@@ -1,0 +1,70 @@
+/// Reproduces paper Figure 11: time until the correct result is first
+/// visible (F-Time) versus time until the final multiplot is complete
+/// (T-Time), per presentation method, as data size grows.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "exec/engine.h"
+#include "exec/presentation.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace muve;
+
+  constexpr size_t kFullRows = 1'500'000;
+  constexpr size_t kCasesPerPoint = 6;
+  const std::vector<double> kSizes = {0.05, 0.2, 1.0};
+
+  bench::PrintHeader("Figure 11",
+                     "F-Time (correct result first visible) vs T-Time "
+                     "(final multiplot complete), flight delays");
+
+  Rng table_rng(71);
+  auto full_table = workload::MakeFlightsTable(kFullRows, &table_rng);
+  const std::vector<bench::Instance> instances = bench::MakeInstances(
+      full_table, kCasesPerPoint, /*num_candidates=*/20,
+      /*max_predicates=*/1, /*seed=*/987);
+
+  bench::PrintRow({"size", "method", "F-Time ms", "T-Time ms"});
+  for (double size : kSizes) {
+    auto table = size >= 1.0 ? full_table : full_table->Sample(size);
+    exec::Engine engine(table);
+    exec::PresentationOptions options;
+    options.planner.timeout_ms = 150.0;
+    options.dynamic_threshold_ms = 40.0;
+
+    for (exec::PresentationMethod method :
+         exec::AllPresentationMethods()) {
+      double f_total = 0.0;
+      double t_total = 0.0;
+      size_t n = 0;
+      for (const bench::Instance& instance : instances) {
+        auto outcome = exec::RunPresentation(
+            method, &engine, instance.candidates, instance.correct,
+            options);
+        if (!outcome.ok() || !std::isfinite(outcome->first_correct_ms)) {
+          continue;
+        }
+        f_total += outcome->first_correct_ms;
+        t_total += outcome->total_ms;
+        ++n;
+      }
+      if (n == 0) continue;
+      bench::PrintRow({bench::Pct(size, 0),
+                       exec::PresentationMethodName(method),
+                       bench::Fmt(f_total / static_cast<double>(n), 1),
+                       bench::Fmt(t_total / static_cast<double>(n), 1)});
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape check vs. paper: for approximate methods, F-Time stays "
+      "far below T-Time at large sizes; the T-Time overhead of "
+      "approximation (extra sampled pass) is noticeable for small data "
+      "and negligible for large data; ILP-Inc has the highest T-Time "
+      "(repeated processing).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+/// Reproduces paper Figure 8: disambiguation cost versus processing cost
+/// when varying the processing-cost bound of the ILP extension (§8.1).
+/// Compared: ILP(P-Cost) with a sweep of bounds, ILP(D-Cost) which
+/// ignores processing cost, and the greedy solver.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/greedy_planner.h"
+#include "core/ilp_planner.h"
+#include "exec/engine.h"
+#include "exec/merger.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace muve;
+
+  bench::PrintHeader(
+      "Figure 8",
+      "Disambiguation cost vs processing cost, varying the "
+      "processing-cost bound (ILP P-Cost extension; 900 px)");
+
+  auto table = *workload::MakeDataset("nyc311", 50000, 31);
+  const std::vector<bench::Instance> instances = bench::MakeInstances(
+      table, /*count=*/4, /*num_candidates=*/8, /*max_predicates=*/2,
+      /*seed=*/99);
+  db::CostEstimator estimator;
+
+  core::PlannerConfig base_config;
+  base_config.geometry.width_px = 900.0;
+  base_config.geometry.max_rows = 1;
+  base_config.timeout_ms = 2000.0;
+
+  const core::GreedyPlanner greedy;
+  const core::IlpPlanner ilp;
+
+  // Per-instance processing groups and the processing cost of the
+  // unconstrained (D-Cost) ILP solution, used to normalize bounds.
+  struct Prepared {
+    std::vector<core::ProcessingGroup> groups;
+    double unconstrained_processing = 0.0;
+  };
+  std::vector<Prepared> prepared(instances.size());
+  double greedy_cost = 0.0;
+  double ilp_dcost_cost = 0.0;
+  double ilp_dcost_processing = 0.0;
+  double ilp_dcost_time = 0.0;
+
+  for (size_t i = 0; i < instances.size(); ++i) {
+    prepared[i].groups = exec::BuildProcessingGroups(
+        instances[i].candidates, *table, estimator);
+
+    auto greedy_plan = greedy.Plan(instances[i].candidates, base_config);
+    if (greedy_plan.ok()) greedy_cost += greedy_plan->expected_cost;
+
+    auto dcost_plan = ilp.Plan(instances[i].candidates, base_config);
+    if (dcost_plan.ok()) {
+      ilp_dcost_cost += dcost_plan->expected_cost;
+      ilp_dcost_time += dcost_plan->optimize_millis;
+      // Processing cost of the chosen multiplot, if executed per its
+      // merge plan.
+      std::vector<size_t> subset;
+      dcost_plan->multiplot.ForEachPlot([&](const core::Plot& plot) {
+        for (const core::PlotBar& bar : plot.bars) {
+          subset.push_back(bar.candidate_index);
+        }
+      });
+      const double cost = exec::EstimateUnitsCost(
+          exec::PlanMergedExecution(instances[i].candidates, subset,
+                                    *table, estimator, true),
+          *table, estimator, instances[i].candidates);
+      prepared[i].unconstrained_processing = cost;
+      ilp_dcost_processing += cost;
+    }
+  }
+  const double n = static_cast<double>(instances.size());
+
+  bench::PrintRow({"method/bound", "disamb $", "proc cost", "opt ms"}, 20);
+  bench::PrintRow({"Greedy", bench::Fmt(greedy_cost / n, 0), "-", "-"}, 20);
+  bench::PrintRow({"ILP(D-Cost)", bench::Fmt(ilp_dcost_cost / n, 0),
+                   bench::Fmt(ilp_dcost_processing / n, 0),
+                   bench::Fmt(ilp_dcost_time / n, 1)},
+                  20);
+
+  for (double fraction : {0.4, 0.6, 0.8, 1.0}) {
+    double total_cost = 0.0;
+    double total_processing = 0.0;
+    double total_time = 0.0;
+    for (size_t i = 0; i < instances.size(); ++i) {
+      core::PlannerConfig config = base_config;
+      config.processing.mode = core::ProcessingCostMode::kConstraint;
+      config.processing.groups = prepared[i].groups;
+      config.processing.cost_bound =
+          fraction * std::max(1.0, prepared[i].unconstrained_processing);
+      auto plan = ilp.Plan(instances[i].candidates, config);
+      if (!plan.ok()) continue;
+      total_cost += plan->expected_cost;
+      total_processing += plan->processing_cost;
+      total_time += plan->optimize_millis;
+    }
+    bench::PrintRow({"ILP(P-Cost) b=" + bench::Fmt(fraction, 1),
+                     bench::Fmt(total_cost / n, 0),
+                     bench::Fmt(total_processing / n, 0),
+                     bench::Fmt(total_time / n, 1)},
+                    20);
+  }
+
+  std::printf(
+      "\nShape check vs. paper: tightening the bound lowers processing "
+      "cost (paper: ~35.7%% reduction) while disambiguation cost rises; "
+      "the unconstrained ILP(D-Cost) anchors the left end.\n");
+  return 0;
+}

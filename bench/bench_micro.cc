@@ -1,0 +1,190 @@
+/// Component microbenchmarks (google-benchmark): phonetic encoding and
+/// lookup, scan/aggregate throughput, merging, planning, and the LP/MIP
+/// solver — the building blocks behind the figure-level experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/greedy_planner.h"
+#include "core/ilp_planner.h"
+#include "db/executor.h"
+#include "exec/merger.h"
+#include "ilp/simplex.h"
+#include "ilp/solver.h"
+#include "nlq/candidate_generator.h"
+#include "nlq/schema_index.h"
+#include "phonetics/double_metaphone.h"
+#include "phonetics/phonetic_index.h"
+#include "phonetics/similarity.h"
+#include "workload/datasets.h"
+#include "workload/query_generator.h"
+
+namespace muve {
+namespace {
+
+// Shared fixtures (constructed once).
+std::shared_ptr<db::Table> Flights(size_t rows) {
+  static std::map<size_t, std::shared_ptr<db::Table>> cache;
+  auto it = cache.find(rows);
+  if (it != cache.end()) return it->second;
+  Rng rng(1);
+  auto table = workload::MakeFlightsTable(rows, &rng);
+  cache[rows] = table;
+  return table;
+}
+
+core::CandidateSet Candidates(size_t n) {
+  static std::map<size_t, core::CandidateSet> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  auto table = Flights(2000);
+  auto index = std::make_shared<nlq::SchemaIndex>(table);
+  nlq::CandidateGenerator generator(index);
+  db::AggregateQuery base;
+  base.table = "flights";
+  base.function = db::AggregateFunction::kAvg;
+  base.aggregate_column = "arr_delay";
+  base.predicates = {db::Predicate::Equals("origin", db::Value("boston"))};
+  nlq::CandidateGeneratorOptions options;
+  options.max_candidates = n;
+  cache[n] = generator.Generate(base, 1.0, options);
+  return cache[n];
+}
+
+void BM_DoubleMetaphoneEncode(benchmark::State& state) {
+  const phonetics::DoubleMetaphone encoder;
+  const char* words[] = {"brooklyn", "massachusetts", "quincy",
+                         "schenectady", "phoenix"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(words[i++ % 5]));
+  }
+}
+BENCHMARK(BM_DoubleMetaphoneEncode);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phonetics::JaroWinklerSimilarity("brooklyn", "brookline"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_PhoneticIndexTopK(benchmark::State& state) {
+  phonetics::PhoneticIndex index;
+  auto table = Flights(5000);
+  for (const std::string& entry : workload::BuildVocabulary(*table)) {
+    index.Add(entry);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TopK("boston", 20));
+  }
+}
+BENCHMARK(BM_PhoneticIndexTopK);
+
+void BM_ScanAggregate(benchmark::State& state) {
+  auto table = Flights(static_cast<size_t>(state.range(0)));
+  db::AggregateQuery query;
+  query.table = "flights";
+  query.function = db::AggregateFunction::kAvg;
+  query.aggregate_column = "arr_delay";
+  query.predicates = {db::Predicate::Equals("origin", db::Value("boston"))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Executor::Execute(*table, query));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanAggregate)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_GroupedScan(benchmark::State& state) {
+  auto table = Flights(static_cast<size_t>(state.range(0)));
+  db::GroupByQuery query;
+  query.table = "flights";
+  query.group_column = "origin";
+  query.group_values = table->FindColumn("origin")->dictionary();
+  query.aggregates = {{db::AggregateFunction::kCount, ""},
+                      {db::AggregateFunction::kAvg, "arr_delay"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Executor::ExecuteGrouped(*table, query));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupedScan)->Arg(100000)->Arg(1000000);
+
+void BM_MergePlanning(benchmark::State& state) {
+  auto table = Flights(2000);
+  db::CostEstimator estimator;
+  core::CandidateSet set = Candidates(50);
+  std::vector<size_t> all(set.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::PlanMergedExecution(set, all, *table, estimator, true));
+  }
+}
+BENCHMARK(BM_MergePlanning);
+
+void BM_GreedyPlanner(benchmark::State& state) {
+  core::CandidateSet set = Candidates(static_cast<size_t>(state.range(0)));
+  core::PlannerConfig config;
+  const core::GreedyPlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Plan(set, config));
+  }
+}
+BENCHMARK(BM_GreedyPlanner)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_IlpFormulationBuild(benchmark::State& state) {
+  core::CandidateSet set = Candidates(static_cast<size_t>(state.range(0)));
+  core::PlannerConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildFormulation(set, config));
+  }
+}
+BENCHMARK(BM_IlpFormulationBuild)->Arg(10)->Arg(20);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  // LP relaxation of a knapsack-like model.
+  Rng rng(5);
+  ilp::Model model;
+  ilp::LinearExpr capacity;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    const int x = model.AddVariable("x" + std::to_string(i), 0.0, 1.0);
+    model.AddObjectiveTerm(x, rng.UniformDouble(1.0, 10.0));
+    capacity.Add(x, rng.UniformDouble(1.0, 10.0));
+  }
+  model.SetSense(ilp::Sense::kMaximize);
+  model.AddConstraint(capacity, ilp::Relation::kLessEqual, n / 3.0);
+  const ilp::SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(model));
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(50)->Arg(200);
+
+void BM_MipKnapsack(benchmark::State& state) {
+  Rng rng(6);
+  ilp::Model model;
+  ilp::LinearExpr capacity;
+  const int n = 18;
+  for (int i = 0; i < n; ++i) {
+    const int x = model.AddBinary("x" + std::to_string(i));
+    model.AddObjectiveTerm(x, 1.0 + (i * 37) % 11);
+    capacity.Add(x, 1.0 + (i * 53) % 9);
+  }
+  model.SetSense(ilp::Sense::kMaximize);
+  model.AddConstraint(capacity, ilp::Relation::kLessEqual, 30.0);
+  const ilp::MipSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(model));
+  }
+}
+BENCHMARK(BM_MipKnapsack);
+
+}  // namespace
+}  // namespace muve
+
+BENCHMARK_MAIN();

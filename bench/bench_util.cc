@@ -1,0 +1,65 @@
+#include "bench/bench_util.h"
+
+#include "workload/query_generator.h"
+
+namespace muve::bench {
+
+void PrintHeader(const std::string& experiment,
+                 const std::string& description) {
+  std::printf("\n");
+  std::printf("====================================================\n");
+  std::printf("=== %s\n", experiment.c_str());
+  std::printf("=== %s\n", description.c_str());
+  std::printf("====================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string Pct(double fraction, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits,
+                fraction * 100.0);
+  return buffer;
+}
+
+std::vector<Instance> MakeInstances(
+    const std::shared_ptr<const db::Table>& table, size_t count,
+    size_t num_candidates, size_t max_predicates, uint64_t seed,
+    double count_star_probability) {
+  Rng rng(seed);
+  auto index = std::make_shared<nlq::SchemaIndex>(table);
+  nlq::CandidateGenerator generator(index);
+  nlq::CandidateGeneratorOptions options;
+  options.max_candidates = num_candidates;
+
+  workload::QueryGeneratorOptions query_options;
+  query_options.min_predicates = 1;
+  query_options.max_predicates = max_predicates;
+  query_options.count_star_probability = count_star_probability;
+
+  std::vector<Instance> instances;
+  instances.reserve(count);
+  while (instances.size() < count) {
+    auto base = workload::RandomQuery(*table, &rng, query_options);
+    if (!base.ok()) continue;
+    Instance instance;
+    instance.base = *base;
+    instance.candidates = generator.Generate(*base, 1.0, options);
+    if (instance.candidates.size() < 2) continue;
+    instances.push_back(std::move(instance));
+  }
+  return instances;
+}
+
+}  // namespace muve::bench

@@ -1,0 +1,49 @@
+#ifndef MUVE_BENCH_BENCH_UTIL_H_
+#define MUVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/candidate.h"
+#include "db/table.h"
+#include "nlq/candidate_generator.h"
+#include "nlq/schema_index.h"
+
+namespace muve::bench {
+
+/// Prints a section header for one reproduced figure/table.
+void PrintHeader(const std::string& experiment,
+                 const std::string& description);
+
+/// Prints a row of fixed-width columns.
+void PrintRow(const std::vector<std::string>& cells, int width = 14);
+
+/// Formats helpers.
+std::string Fmt(double value, int digits = 2);
+std::string Pct(double fraction, int digits = 1);
+
+/// One planning instance: a candidate set derived from a random query
+/// against `table`, exactly like the paper's §9.2 setup (random
+/// aggregates, random equality predicates, phonetically similar
+/// candidates).
+struct Instance {
+  db::AggregateQuery base;
+  core::CandidateSet candidates;
+  /// Index of the base (ground-truth) interpretation, always 0.
+  size_t correct = 0;
+};
+
+/// Generates `count` planning instances. `num_candidates` caps the
+/// candidate set size (paper default 20). `max_predicates` follows the
+/// per-experiment workload (up to 5 in §9.2, 1 in §9.4/9.5).
+std::vector<Instance> MakeInstances(
+    const std::shared_ptr<const db::Table>& table, size_t count,
+    size_t num_candidates, size_t max_predicates, uint64_t seed,
+    double count_star_probability = 0.2);
+
+}  // namespace muve::bench
+
+#endif  // MUVE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+/// Progressive-presentation demo on a large table (paper §8.2 / Fig. 5).
+///
+/// Runs the same ambiguous query through every presentation method on a
+/// million-row flight-delays table and prints each method's
+/// visualization timeline: when the first (possibly approximate)
+/// multiplot appears, when the correct result becomes visible, and when
+/// the final exact multiplot is complete.
+///
+///   $ ./flight_dashboard [rows]
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "exec/presentation.h"
+#include "nlq/candidate_generator.h"
+#include "nlq/schema_index.h"
+#include "viz/render_ascii.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace muve;
+
+  const size_t rows =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 1000000;
+
+  std::printf("Building %zu-row flight-delays table...\n", rows);
+  Rng rng(5);
+  auto table = workload::MakeFlightsTable(rows, &rng);
+  exec::Engine engine(table);
+
+  // An ambiguous voice query: was it boston or austin?
+  auto index = std::make_shared<nlq::SchemaIndex>(table);
+  nlq::CandidateGenerator generator(index);
+  db::AggregateQuery base;
+  base.table = "flights";
+  base.function = db::AggregateFunction::kAvg;
+  base.aggregate_column = "arr_delay";
+  base.predicates = {db::Predicate::Equals("origin", db::Value("boston"))};
+  core::CandidateSet candidates = generator.Generate(base);
+  std::printf("Query: average arrival delay from \"boston\" "
+              "(%zu interpretations considered)\n\n",
+              candidates.size());
+
+  exec::PresentationOptions options;
+  options.planner.timeout_ms = 150.0;
+  options.dynamic_threshold_ms = 40.0;
+
+  for (exec::PresentationMethod method : exec::AllPresentationMethods()) {
+    auto outcome =
+        exec::RunPresentation(method, &engine, candidates, 0, options);
+    if (!outcome.ok()) {
+      std::printf("%-10s failed: %s\n",
+                  exec::PresentationMethodName(method),
+                  outcome.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-10s events:", exec::PresentationMethodName(method));
+    for (const exec::VisualizationEvent& event : outcome->events) {
+      std::printf(" %.0fms%s", event.at_millis,
+                  event.approximate ? "~" : "");
+    }
+    std::printf("  | correct visible at %.0f ms, final at %.0f ms",
+                std::isfinite(outcome->first_correct_ms)
+                    ? outcome->first_correct_ms
+                    : -1.0,
+                outcome->total_ms);
+    if (outcome->initial_relative_error > 0.0) {
+      std::printf(", initial approx error %.2f%%",
+                  outcome->initial_relative_error * 100.0);
+    }
+    std::printf("\n");
+  }
+
+  // Show the final multiplot of the dynamic approximate method.
+  auto final_outcome = exec::RunPresentation(
+      exec::PresentationMethod::kApproxDynamic, &engine, candidates, 0,
+      options);
+  if (final_outcome.ok() && !final_outcome->events.empty()) {
+    std::printf("\nFinal multiplot (App-D):\n%s",
+                viz::RenderMultiplot(
+                    final_outcome->events.back().multiplot)
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef MUVE_COMMON_CLOCK_H_
+#define MUVE_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <limits>
+
+namespace muve {
+
+/// Monotonic stopwatch for timing optimization and query execution.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last Reset().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock deadline. Solvers poll `Expired()` and return their best
+/// incumbent when the deadline is hit (mirroring a Gurobi time limit).
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  Deadline() : millis_(std::numeric_limits<double>::infinity()) {}
+
+  /// A deadline `millis` milliseconds from now. Non-positive budgets expire
+  /// immediately.
+  static Deadline AfterMillis(double millis) { return Deadline(millis); }
+
+  /// A deadline that never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return watch_.ElapsedMillis() >= millis_;
+  }
+
+  /// Remaining budget in milliseconds (0 when expired, +inf when infinite).
+  double RemainingMillis() const {
+    const double left = millis_ - watch_.ElapsedMillis();
+    return left > 0.0 ? left : 0.0;
+  }
+
+  /// True when this deadline can expire at all.
+  bool IsFinite() const {
+    return millis_ != std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  explicit Deadline(double millis) : millis_(millis) {}
+
+  StopWatch watch_;
+  double millis_;
+};
+
+}  // namespace muve
+
+#endif  // MUVE_COMMON_CLOCK_H_

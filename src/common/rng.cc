@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+namespace muve {
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return UniformInt(weights.size());
+  double target = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace muve

@@ -1,0 +1,134 @@
+#ifndef MUVE_COMMON_RNG_H_
+#define MUVE_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace muve {
+
+/// Deterministic, seedable pseudo-random number generator.
+///
+/// Uses xoshiro256** seeded via SplitMix64. All randomized components in
+/// MUVE (workload generation, user simulation, ASR noise) take an `Rng` so
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    assert(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (-n) % n;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = UniformDouble();
+    // Guard against log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = UniformDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Lognormal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<size_t> Permutation(size_t n) {
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    Shuffle(&perm);
+    return perm;
+  }
+
+  /// Picks one element of `items` uniformly at random.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[UniformInt(items.size())];
+  }
+
+  /// Samples an index from a discrete distribution given by `weights`
+  /// (non-negative, not necessarily normalized).
+  size_t Discrete(const std::vector<double>& weights);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace muve
+
+#endif  // MUVE_COMMON_RNG_H_

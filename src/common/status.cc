@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace muve {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+    case StatusCode::kUnbounded:
+      return "Unbounded";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace muve

@@ -1,0 +1,159 @@
+#ifndef MUVE_COMMON_STATUS_H_
+#define MUVE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace muve {
+
+/// Error categories used across the MUVE code base.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kTimeout,
+  kInternal,
+  kParseError,
+  kInfeasible,
+  kUnbounded,
+};
+
+/// Returns a human-readable name for a status code ("Ok", "Timeout", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight error-or-success value, modeled after the Status types used
+/// by Arrow and RocksDB. Functions that can fail return `Status` (or
+/// `Result<T>` when they also produce a value) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error type: holds either a `T` or a non-OK `Status`.
+///
+/// Usage:
+///   Result<int> r = Parse(text);
+///   if (!r.ok()) return r.status();
+///   int value = *r;
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagates a non-OK status out of the current function.
+#define MUVE_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::muve::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error, returns its status.
+#define MUVE_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto MUVE_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!MUVE_CONCAT_(_res_, __LINE__).ok())     \
+    return MUVE_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MUVE_CONCAT_(_res_, __LINE__)).value()
+
+#define MUVE_CONCAT_IMPL_(a, b) a##b
+#define MUVE_CONCAT_(a, b) MUVE_CONCAT_IMPL_(a, b)
+
+}  // namespace muve
+
+#endif  // MUVE_COMMON_STATUS_H_

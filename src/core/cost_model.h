@@ -1,0 +1,73 @@
+#ifndef MUVE_CORE_COST_MODEL_H_
+#define MUVE_CORE_COST_MODEL_H_
+
+#include "core/candidate.h"
+#include "core/multiplot.h"
+
+namespace muve::core {
+
+/// User disambiguation-time model (paper §4.2).
+///
+/// Users are assumed to read red (highlighted) bars first in random order,
+/// then the remaining bars in random order; reading a bar costs c_B, and
+/// understanding a bar's containing plot costs c_P. A multiplot missing
+/// the correct result costs the large constant D_M (the user must re-ask).
+///
+///   D_R = b_R * c_B / 2 + p_R * c_P / 2
+///   D_V = 2 * D_R + (b - b_R) * c_B / 2 + (p - p_R) * c_P / 2
+///   E   = r_R * D_R + r_V * D_V + r_M * D_M
+///
+/// Defaults are fitted from the simulated crowd study (see
+/// bench_fig3_user_model); units are estimated milliseconds.
+struct UserCostModel {
+  double bar_cost_ms = 500.0;    ///< c_B: cost of reading one bar.
+  double plot_cost_ms = 2000.0;  ///< c_P: cost of understanding one plot.
+  double miss_cost_ms = 20000.0; ///< D_M: cost when the result is missing.
+
+  /// D_R: expected time when the correct result is highlighted.
+  double HighlightedCost(size_t num_red_bars,
+                         size_t num_plots_with_red) const {
+    return static_cast<double>(num_red_bars) * bar_cost_ms / 2.0 +
+           static_cast<double>(num_plots_with_red) * plot_cost_ms / 2.0;
+  }
+
+  /// D_V: expected time when the correct result is shown, not highlighted.
+  double VisualizedCost(size_t num_bars, size_t num_red_bars,
+                        size_t num_plots, size_t num_plots_with_red) const {
+    return 2.0 * HighlightedCost(num_red_bars, num_plots_with_red) +
+           static_cast<double>(num_bars - num_red_bars) * bar_cost_ms / 2.0 +
+           static_cast<double>(num_plots - num_plots_with_red) *
+               plot_cost_ms / 2.0;
+  }
+
+  /// Expected disambiguation time for the given multiplot statistics.
+  double ExpectedCost(const MultiplotStats& stats) const {
+    const double d_r =
+        HighlightedCost(stats.num_red_bars, stats.num_plots_with_red);
+    const double d_v =
+        VisualizedCost(stats.num_bars, stats.num_red_bars, stats.num_plots,
+                       stats.num_plots_with_red);
+    return stats.prob_highlighted * d_r + stats.prob_visualized * d_v +
+           stats.prob_missing * miss_cost_ms;
+  }
+
+  /// Expected disambiguation time of `multiplot` given the candidates.
+  double ExpectedCost(const Multiplot& multiplot,
+                      const CandidateSet& candidates) const {
+    return ExpectedCost(multiplot.ComputeStats(candidates));
+  }
+
+  /// Cost of showing nothing at all (every interpretation misses).
+  double EmptyCost() const { return miss_cost_ms; }
+
+  /// Cost savings of `multiplot` relative to the empty multiplot
+  /// (paper §6, Definition 6).
+  double CostSavings(const Multiplot& multiplot,
+                     const CandidateSet& candidates) const {
+    return EmptyCost() - ExpectedCost(multiplot, candidates);
+  }
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_COST_MODEL_H_

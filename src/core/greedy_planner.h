@@ -1,0 +1,57 @@
+#ifndef MUVE_CORE_GREEDY_PLANNER_H_
+#define MUVE_CORE_GREEDY_PLANNER_H_
+
+#include <string>
+
+#include "core/planner.h"
+
+namespace muve::core {
+
+/// Greedy multiplot-selection solver (paper §6, Algorithms 1-4).
+///
+/// Pipeline: (1) generate candidate plots as probability-prefixes of each
+/// template group, (2) expand each with every prefix highlighting choice
+/// (Theorem 2 shows prefix colorings contain an optimal one), (3) pick
+/// plots by greedy submodular maximization under per-row width knapsack
+/// constraints, in the style of Yu et al. [42] (marginal-gain-per-width
+/// rule, compared against the best single plot to preserve the
+/// approximation guarantee), (4) polish: drop redundant bars and refill
+/// freed slots with the most likely unshown compatible queries.
+class GreedyPlanner : public VisualizationPlanner {
+ public:
+  /// Which marginal-gain rule drives plot selection.
+  enum class SelectionRule {
+    kAuto,          ///< Run both rules, keep the better result (default).
+    kGainPerWidth,  ///< Knapsack-aware: gain / width units.
+    kGain,          ///< Pure marginal gain.
+  };
+
+  /// Ablation knobs; the defaults are the full algorithm. Disabling
+  /// stages quantifies their contribution (see bench_ablation_greedy).
+  struct Options {
+    SelectionRule rule = SelectionRule::kAuto;
+    /// Final cleanup: drop redundant bars, refill freed slots (§6.2).
+    bool enable_polish = true;
+    /// Compare against the best single plot (preserves the Theorem 4
+    /// guarantee under knapsack constraints).
+    bool enable_singleton_comparison = true;
+    /// Consider highlighting prefixes (Algorithm 3); disabled, only
+    /// uncolored plot versions are generated.
+    bool enable_coloring = true;
+  };
+
+  GreedyPlanner() = default;
+  explicit GreedyPlanner(Options options) : options_(options) {}
+
+  Result<PlanResult> Plan(const CandidateSet& candidates,
+                          const PlannerConfig& config) const override;
+
+  std::string name() const override { return "greedy"; }
+
+ private:
+  Options options_{};
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_GREEDY_PLANNER_H_

@@ -1,0 +1,76 @@
+#include "core/multiplot.h"
+
+#include <unordered_set>
+
+namespace muve::core {
+
+std::optional<Multiplot::BarLocation> Multiplot::FindCandidate(
+    size_t index) const {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t p = 0; p < rows[r].size(); ++p) {
+      const Plot& plot = rows[r][p];
+      for (size_t b = 0; b < plot.bars.size(); ++b) {
+        if (plot.bars[b].candidate_index == index) {
+          return BarLocation{r, p, b};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+MultiplotStats Multiplot::ComputeStats(
+    const CandidateSet& candidates) const {
+  MultiplotStats stats;
+  ForEachPlot([&](const Plot& plot) {
+    ++stats.num_plots;
+    bool has_red = false;
+    for (const PlotBar& bar : plot.bars) {
+      ++stats.num_bars;
+      const double prob = bar.candidate_index < candidates.size()
+                              ? candidates[bar.candidate_index].probability
+                              : 0.0;
+      if (bar.highlighted) {
+        ++stats.num_red_bars;
+        stats.prob_highlighted += prob;
+        has_red = true;
+      } else {
+        stats.prob_visualized += prob;
+      }
+    }
+    if (has_red) ++stats.num_plots_with_red;
+  });
+  stats.prob_missing =
+      1.0 - stats.prob_highlighted - stats.prob_visualized;
+  if (stats.prob_missing < 0.0) stats.prob_missing = 0.0;
+  return stats;
+}
+
+Status Multiplot::Validate(const ScreenGeometry& geometry) const {
+  if (rows.size() > static_cast<size_t>(geometry.max_rows)) {
+    return Status::FailedPrecondition("multiplot exceeds row budget");
+  }
+  std::unordered_set<size_t> seen;
+  for (const auto& row : rows) {
+    int width = 0;
+    for (const Plot& plot : row) {
+      if (plot.bars.empty()) {
+        return Status::FailedPrecondition("plot without bars");
+      }
+      width +=
+          geometry.PlotWidthUnits(plot.query_template, plot.bars.size());
+      for (const PlotBar& bar : plot.bars) {
+        if (!seen.insert(bar.candidate_index).second) {
+          return Status::FailedPrecondition(
+              "candidate shown in multiple bars");
+        }
+      }
+    }
+    if (width > geometry.WidthUnits()) {
+      return Status::FailedPrecondition("row exceeds screen width");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace muve::core

@@ -1,0 +1,77 @@
+#ifndef MUVE_CORE_PLANNER_H_
+#define MUVE_CORE_PLANNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidate.h"
+#include "core/cost_model.h"
+#include "core/multiplot.h"
+
+namespace muve::core {
+
+/// A group of candidate queries that can be answered by processing a
+/// single (merged) query, plus that query's estimated processing cost.
+/// Produced by the execution layer; consumed by the processing-cost-aware
+/// ILP extension (paper §8.1).
+struct ProcessingGroup {
+  std::vector<size_t> member_candidates;  ///< Candidate indices covered.
+  double cost = 0.0;                      ///< Estimated processing cost.
+};
+
+/// How processing cost participates in visualization planning.
+enum class ProcessingCostMode {
+  kIgnore,      ///< Pure disambiguation-cost planning (default).
+  kConstraint,  ///< Bound total processing cost (Fig. 8 sweep).
+  kObjective,   ///< Add weighted processing cost to the objective (Fig. 9
+                ///< "ILP" method).
+};
+
+/// Optional processing-cost model handed to planners.
+struct ProcessingCostConfig {
+  ProcessingCostMode mode = ProcessingCostMode::kIgnore;
+  std::vector<ProcessingGroup> groups;
+  /// kConstraint: maximum total processing cost of selected groups.
+  double cost_bound = 0.0;
+  /// kObjective: weight converting processing cost units to model
+  /// milliseconds.
+  double objective_weight = 1.0;
+};
+
+/// Planner inputs.
+struct PlannerConfig {
+  ScreenGeometry geometry;
+  UserCostModel cost_model;
+  /// Optimization wall-clock budget in milliseconds (paper §9.2 uses 1 s).
+  double timeout_ms = 1000.0;
+  ProcessingCostConfig processing;
+};
+
+/// Planner outputs.
+struct PlanResult {
+  Multiplot multiplot;
+  double expected_cost = 0.0;    ///< Cost-model estimate (ms).
+  double optimize_millis = 0.0;  ///< Time spent optimizing.
+  bool timed_out = false;        ///< Deadline hit before proven optimality.
+  size_t nodes_explored = 0;     ///< Branch-and-bound nodes (ILP only).
+  double processing_cost = 0.0;  ///< Selected groups' cost (when modeled).
+};
+
+/// Interface of multiplot-selection solvers (paper §2, Definition 5).
+class VisualizationPlanner {
+ public:
+  virtual ~VisualizationPlanner() = default;
+
+  /// Plans a multiplot for the candidate set under the config.
+  virtual Result<PlanResult> Plan(const CandidateSet& candidates,
+                                  const PlannerConfig& config) const = 0;
+
+  /// Human-readable solver name ("greedy", "ilp", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_PLANNER_H_

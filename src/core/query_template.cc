@@ -1,0 +1,172 @@
+#include "core/query_template.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace muve::core {
+
+namespace {
+
+/// Canonical text of one predicate, with an optional placeholder for its
+/// value or column.
+std::string PredicateText(const db::Predicate& predicate, bool mask_value,
+                          bool mask_column) {
+  const std::string column = mask_column ? "?" : ToLower(predicate.column);
+  std::string value = "?";
+  if (!mask_value) {
+    value = predicate.values.empty() ? ""
+                                     : predicate.values.front().ToString();
+  }
+  return column + " = " + value;
+}
+
+/// Builds key and title for a template derived from `query` where
+/// predicate texts are produced by `predicate_text(i)` and the aggregate
+/// part by `aggregate_text`. Keys sort predicates for order independence;
+/// titles keep the original order for readability.
+QueryTemplate MakeTemplate(const db::AggregateQuery& query,
+                           const std::string& aggregate_text,
+                           const std::vector<std::string>& predicate_texts,
+                           SlotKind slot) {
+  QueryTemplate out;
+  out.slot = slot;
+  std::vector<std::string> sorted = predicate_texts;
+  std::sort(sorted.begin(), sorted.end());
+  out.key = ToLower(query.table) + "|" + aggregate_text + "|" +
+            Join(sorted, " & ");
+  out.title = aggregate_text;
+  if (!predicate_texts.empty()) {
+    out.title += " WHERE " + Join(predicate_texts, " AND ");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TemplateInstantiation> DeriveTemplates(
+    const db::AggregateQuery& query) {
+  std::vector<TemplateInstantiation> out;
+
+  // Plain predicate texts, reused by every slot choice.
+  std::vector<std::string> plain_predicates;
+  plain_predicates.reserve(query.predicates.size());
+  for (const db::Predicate& predicate : query.predicates) {
+    plain_predicates.push_back(PredicateText(predicate, false, false));
+  }
+  const std::string aggregate_target =
+      query.aggregate_column.empty() ? "*" : ToLower(query.aggregate_column);
+
+  // Slot: aggregate function, "?(col) WHERE ...".
+  {
+    TemplateInstantiation inst;
+    inst.query_template =
+        MakeTemplate(query, "?(" + aggregate_target + ")", plain_predicates,
+                     SlotKind::kAggregateFunction);
+    inst.slot_label = db::AggregateFunctionName(query.function);
+    out.push_back(std::move(inst));
+  }
+
+  // Slot: aggregate column, "SUM(?) WHERE ..." (only when aggregating a
+  // real column; COUNT(*) has no column to vary).
+  if (!query.aggregate_column.empty()) {
+    TemplateInstantiation inst;
+    inst.query_template = MakeTemplate(
+        query,
+        std::string(db::AggregateFunctionName(query.function)) + "(?)",
+        plain_predicates, SlotKind::kAggregateColumn);
+    inst.slot_label = ToLower(query.aggregate_column);
+    out.push_back(std::move(inst));
+  }
+
+  const std::string full_aggregate =
+      std::string(db::AggregateFunctionName(query.function)) + "(" +
+      aggregate_target + ")";
+
+  // Slots: each predicate's value and column.
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    std::vector<std::string> texts = plain_predicates;
+
+    texts[i] = PredicateText(query.predicates[i], /*mask_value=*/true,
+                             /*mask_column=*/false);
+    TemplateInstantiation value_inst;
+    value_inst.query_template = MakeTemplate(
+        query, full_aggregate, texts, SlotKind::kPredicateValue);
+    value_inst.slot_label =
+        query.predicates[i].values.empty()
+            ? ""
+            : query.predicates[i].values.front().ToString();
+    out.push_back(std::move(value_inst));
+
+    texts[i] = PredicateText(query.predicates[i], /*mask_value=*/false,
+                             /*mask_column=*/true);
+    TemplateInstantiation column_inst;
+    column_inst.query_template = MakeTemplate(
+        query, full_aggregate, texts, SlotKind::kPredicateColumn);
+    column_inst.slot_label = ToLower(query.predicates[i].column);
+    out.push_back(std::move(column_inst));
+  }
+  return out;
+}
+
+std::vector<TemplateGroup> GroupByTemplate(const CandidateSet& candidates) {
+  // Map template key -> group. std::map keeps deterministic ordering
+  // before the final sort.
+  std::map<std::string, TemplateGroup> groups;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (TemplateInstantiation& inst :
+         DeriveTemplates(candidates[i].query)) {
+      TemplateGroup& group = groups[inst.query_template.key];
+      if (group.member_queries.empty()) {
+        group.query_template = inst.query_template;
+      }
+      // The same query may instantiate a template only once.
+      if (std::find(group.member_queries.begin(),
+                    group.member_queries.end(),
+                    i) != group.member_queries.end()) {
+        continue;
+      }
+      group.member_queries.push_back(i);
+      group.member_labels.push_back(std::move(inst.slot_label));
+    }
+  }
+
+  std::vector<TemplateGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    // Sort members by descending probability (Algorithm 2 prefers the
+    // most likely queries when building prefix plots).
+    std::vector<size_t> order(group.member_queries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       return candidates[group.member_queries[a]].probability >
+                              candidates[group.member_queries[b]].probability;
+                     });
+    TemplateGroup sorted_group;
+    sorted_group.query_template = group.query_template;
+    sorted_group.member_queries.reserve(order.size());
+    sorted_group.member_labels.reserve(order.size());
+    for (size_t idx : order) {
+      sorted_group.member_queries.push_back(group.member_queries[idx]);
+      sorted_group.member_labels.push_back(group.member_labels[idx]);
+    }
+    out.push_back(std::move(sorted_group));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const TemplateGroup& a, const TemplateGroup& b) {
+                     double pa = 0.0;
+                     double pb = 0.0;
+                     for (size_t i : a.member_queries) {
+                       pa += candidates[i].probability;
+                     }
+                     for (size_t i : b.member_queries) {
+                       pb += candidates[i].probability;
+                     }
+                     return pa > pb;
+                   });
+  return out;
+}
+
+}  // namespace muve::core

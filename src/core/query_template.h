@@ -1,0 +1,68 @@
+#ifndef MUVE_CORE_QUERY_TEMPLATE_H_
+#define MUVE_CORE_QUERY_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "db/query.h"
+
+namespace muve::core {
+
+/// Which query element a template's placeholder substitutes (paper §2,
+/// Definition 2: "placeholders may substitute constants in predicates but
+/// also operators or aggregation functions").
+enum class SlotKind {
+  kAggregateFunction,  ///< e.g. "?(delay) WHERE ..." varying COUNT/AVG/...
+  kAggregateColumn,    ///< e.g. "AVG(?) WHERE ..." varying the column.
+  kPredicateValue,     ///< e.g. "... WHERE city = ?" varying the constant.
+  kPredicateColumn,    ///< e.g. "... WHERE ? = 'queens'" varying the column.
+};
+
+/// A query template: a query with exactly one element replaced by a
+/// placeholder. All queries instantiating the same template can share one
+/// plot, with the placeholder substitutions as x-axis labels.
+struct QueryTemplate {
+  /// Canonical identity: equal keys <=> same template (predicate order
+  /// insensitive).
+  std::string key;
+  /// Human-readable title shown above the plot, e.g.
+  /// "COUNT(*) WHERE city = ? AND boro = 'brooklyn'".
+  std::string title;
+  SlotKind slot = SlotKind::kPredicateValue;
+
+  bool operator==(const QueryTemplate& other) const {
+    return key == other.key;
+  }
+};
+
+/// One template instantiation: the template plus the concrete label a
+/// particular query substitutes for the placeholder.
+struct TemplateInstantiation {
+  QueryTemplate query_template;
+  std::string slot_label;  ///< x-axis label for this query's bar.
+};
+
+/// Derives all templates instantiated by `query`: one per aggregate
+/// function slot, aggregate column slot (when the query aggregates a
+/// column), and per predicate (value slot and column slot). This is the
+/// function T(q) of Algorithm 2.
+std::vector<TemplateInstantiation> DeriveTemplates(
+    const db::AggregateQuery& query);
+
+/// A group of candidate queries (indices into a CandidateSet) that
+/// instantiate a common template, with per-query x labels.
+struct TemplateGroup {
+  QueryTemplate query_template;
+  std::vector<size_t> member_queries;       ///< Candidate indices.
+  std::vector<std::string> member_labels;   ///< Parallel to member_queries.
+};
+
+/// Groups candidates by template (the first loop of Algorithm 2). Members
+/// within each group are sorted by descending candidate probability.
+/// Groups are sorted by descending total member probability.
+std::vector<TemplateGroup> GroupByTemplate(const CandidateSet& candidates);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_QUERY_TEMPLATE_H_

@@ -1,0 +1,90 @@
+#ifndef MUVE_DB_COLUMN_H_
+#define MUVE_DB_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/value.h"
+
+namespace muve::db {
+
+/// Sentinel dictionary code meaning "value not present in dictionary".
+inline constexpr uint32_t kInvalidCode = UINT32_MAX;
+
+/// A typed, append-only column.
+///
+/// Numeric columns store raw values; string columns are dictionary
+/// encoded: rows hold 32-bit codes into a per-column dictionary, which
+/// makes equality/IN predicates single integer comparisons per row and
+/// gives the planner the distinct-value vocabulary it feeds into the
+/// phonetic index.
+class Column {
+ public:
+  Column(std::string name, ValueType type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  ValueType type() const { return type_; }
+
+  size_t size() const {
+    switch (type_) {
+      case ValueType::kInt64:
+        return int_data_.size();
+      case ValueType::kDouble:
+        return double_data_.size();
+      case ValueType::kString:
+        return codes_.size();
+    }
+    return 0;
+  }
+
+  /// Appends a value; must match the column type (int64 promotes to
+  /// double for kDouble columns).
+  Status Append(const Value& value);
+
+  /// Value at `row` (decoded for string columns).
+  Value Get(size_t row) const;
+
+  // Typed access used by the executor's scan loops.
+  const std::vector<int64_t>& int_data() const { return int_data_; }
+  const std::vector<double>& double_data() const { return double_data_; }
+  const std::vector<uint32_t>& codes() const { return codes_; }
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+
+  /// Dictionary code for `text`, or kInvalidCode when absent. Only valid
+  /// for string columns.
+  uint32_t CodeFor(const std::string& text) const;
+
+  /// Numeric view of row `row` (int64 widened to double). Only valid for
+  /// numeric columns.
+  double NumericAt(size_t row) const {
+    return type_ == ValueType::kInt64
+               ? static_cast<double>(int_data_[row])
+               : double_data_[row];
+  }
+
+  /// Number of distinct values (dictionary size for strings; computed and
+  /// cached for numeric columns).
+  size_t DistinctCount() const;
+
+ private:
+  std::string name_;
+  ValueType type_;
+
+  std::vector<int64_t> int_data_;
+  std::vector<double> double_data_;
+
+  std::vector<uint32_t> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, uint32_t> dictionary_lookup_;
+
+  mutable size_t cached_distinct_ = 0;
+  mutable size_t cached_distinct_at_size_ = SIZE_MAX;
+};
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_COLUMN_H_

@@ -1,0 +1,80 @@
+#include "db/cost_estimator.h"
+
+#include <algorithm>
+
+namespace muve::db {
+
+double CostEstimator::ScanCost(size_t rows, size_t num_predicates,
+                               size_t num_aggregates) const {
+  const double pages =
+      static_cast<double>(rows + params_.rows_per_page - 1) /
+      static_cast<double>(params_.rows_per_page);
+  const double per_row =
+      params_.cpu_tuple_cost +
+      params_.cpu_operator_cost *
+          static_cast<double>(num_predicates + num_aggregates);
+  return params_.startup_cost + pages * params_.seq_page_cost +
+         static_cast<double>(rows) * per_row;
+}
+
+Result<double> CostEstimator::PredicateSelectivity(
+    const Table& table, const Predicate& predicate) const {
+  const Column* column = table.FindColumn(predicate.column);
+  if (column == nullptr) {
+    return Status::NotFound("predicate column '" + predicate.column +
+                            "' not in table");
+  }
+  const size_t distinct = std::max<size_t>(1, column->DistinctCount());
+  // Uniform-distribution assumption, like Postgres without MCV stats:
+  // each accepted constant selects 1/ndv of the rows.
+  const double per_value = 1.0 / static_cast<double>(distinct);
+  const double selectivity =
+      per_value * static_cast<double>(predicate.values.size());
+  return std::min(1.0, selectivity);
+}
+
+Result<CostEstimate> CostEstimator::Estimate(
+    const Table& table, const AggregateQuery& query) const {
+  CostEstimate out;
+  out.selectivity = 1.0;
+  for (const Predicate& predicate : query.predicates) {
+    MUVE_ASSIGN_OR_RETURN(double sel,
+                          PredicateSelectivity(table, predicate));
+    out.selectivity *= sel;
+  }
+  out.output_rows = 1.0;  // Single aggregate row.
+  out.total_cost = ScanCost(table.num_rows(), query.predicates.size(),
+                            /*num_aggregates=*/1);
+  return out;
+}
+
+Result<CostEstimate> CostEstimator::EstimateGrouped(
+    const Table& table, const GroupByQuery& query) const {
+  CostEstimate out;
+  out.selectivity = 1.0;
+  for (const Predicate& predicate : query.shared_predicates) {
+    MUVE_ASSIGN_OR_RETURN(double sel,
+                          PredicateSelectivity(table, predicate));
+    out.selectivity *= sel;
+  }
+  // The IN list on the group column restricts rows as well.
+  Predicate in_list;
+  in_list.column = query.group_column;
+  in_list.op = PredicateOp::kIn;
+  for (const std::string& v : query.group_values) {
+    in_list.values.emplace_back(v);
+  }
+  if (!in_list.values.empty()) {
+    MUVE_ASSIGN_OR_RETURN(double sel, PredicateSelectivity(table, in_list));
+    out.selectivity *= sel;
+  }
+  out.output_rows = static_cast<double>(query.group_values.size());
+  // One pass over the data; per-row work includes the group lookup
+  // (counted as one extra predicate) and all aggregates.
+  out.total_cost =
+      ScanCost(table.num_rows(), query.shared_predicates.size() + 1,
+               query.aggregates.size());
+  return out;
+}
+
+}  // namespace muve::db

@@ -1,0 +1,25 @@
+#ifndef MUVE_DB_CSV_H_
+#define MUVE_DB_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace muve::db {
+
+/// Writes `table` as RFC-4180-style CSV (header row, quoted fields when
+/// they contain separators/quotes/newlines).
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Loads a CSV file with a header row into a new table. Column types are
+/// inferred from the first data row: integers -> INT64, other numbers ->
+/// DOUBLE, everything else -> STRING; later rows must parse accordingly
+/// (numeric parse failures abort the load).
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& table_name,
+                                       const std::string& path);
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_CSV_H_

@@ -1,0 +1,291 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace muve::db {
+
+namespace {
+
+/// Compiled form of one predicate: matches row indices against typed data.
+struct CompiledPredicate {
+  const Column* column = nullptr;
+  // String columns: set of dictionary codes to accept. Empty set means the
+  // predicate can never match (constant absent from the dictionary).
+  std::vector<uint32_t> accepted_codes;
+  // Numeric columns: accepted values.
+  std::vector<int64_t> accepted_ints;
+  std::vector<double> accepted_doubles;
+
+  bool Matches(size_t row) const {
+    switch (column->type()) {
+      case ValueType::kString: {
+        const uint32_t code = column->codes()[row];
+        for (uint32_t accepted : accepted_codes) {
+          if (code == accepted) return true;
+        }
+        return false;
+      }
+      case ValueType::kInt64: {
+        const int64_t v = column->int_data()[row];
+        for (int64_t accepted : accepted_ints) {
+          if (v == accepted) return true;
+        }
+        return false;
+      }
+      case ValueType::kDouble: {
+        const double v = column->double_data()[row];
+        for (double accepted : accepted_doubles) {
+          if (v == accepted) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+};
+
+Result<CompiledPredicate> Compile(const Table& table,
+                                  const Predicate& predicate) {
+  CompiledPredicate compiled;
+  compiled.column = table.FindColumn(predicate.column);
+  if (compiled.column == nullptr) {
+    return Status::NotFound("predicate column '" + predicate.column +
+                            "' not in table '" + table.name() + "'");
+  }
+  if (predicate.values.empty()) {
+    return Status::InvalidArgument("predicate without values");
+  }
+  for (const Value& value : predicate.values) {
+    switch (compiled.column->type()) {
+      case ValueType::kString: {
+        if (!value.is_string()) {
+          return Status::InvalidArgument(
+              "type mismatch in predicate on '" + predicate.column + "'");
+        }
+        const uint32_t code = compiled.column->CodeFor(value.AsString());
+        if (code != kInvalidCode) compiled.accepted_codes.push_back(code);
+        break;
+      }
+      case ValueType::kInt64:
+        if (!value.is_int64()) {
+          return Status::InvalidArgument(
+              "type mismatch in predicate on '" + predicate.column + "'");
+        }
+        compiled.accepted_ints.push_back(value.AsInt64());
+        break;
+      case ValueType::kDouble:
+        if (!value.is_int64() && !value.is_double()) {
+          return Status::InvalidArgument(
+              "type mismatch in predicate on '" + predicate.column + "'");
+        }
+        compiled.accepted_doubles.push_back(value.AsDouble());
+        break;
+    }
+  }
+  return compiled;
+}
+
+/// Streaming accumulator for one aggregate.
+struct Accumulator {
+  AggregateFunction fn;
+  const Column* column = nullptr;  // nullptr for COUNT(*).
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  size_t count = 0;
+
+  void Accept(size_t row) {
+    ++count;
+    if (column == nullptr) return;
+    const double v = column->NumericAt(row);
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  AggregateResult Finish() const {
+    AggregateResult out;
+    out.rows_matched = count;
+    out.empty_input = count == 0;
+    switch (fn) {
+      case AggregateFunction::kCount:
+        out.value = static_cast<double>(count);
+        out.empty_input = false;  // COUNT of empty input is a valid 0.
+        break;
+      case AggregateFunction::kSum:
+        out.value = sum;
+        break;
+      case AggregateFunction::kAvg:
+        out.value = count > 0 ? sum / static_cast<double>(count) : 0.0;
+        break;
+      case AggregateFunction::kMin:
+        out.value = count > 0 ? min : 0.0;
+        break;
+      case AggregateFunction::kMax:
+        out.value = count > 0 ? max : 0.0;
+        break;
+    }
+    return out;
+  }
+};
+
+Result<Accumulator> MakeAccumulator(const Table& table,
+                                    AggregateFunction fn,
+                                    const std::string& column_name) {
+  Accumulator acc;
+  acc.fn = fn;
+  if (fn == AggregateFunction::kCount && column_name.empty()) {
+    return acc;
+  }
+  if (column_name.empty()) {
+    return Status::InvalidArgument("aggregate needs a column");
+  }
+  acc.column = table.FindColumn(column_name);
+  if (acc.column == nullptr) {
+    return Status::NotFound("aggregate column '" + column_name +
+                            "' not in table '" + table.name() + "'");
+  }
+  if (acc.column->type() == ValueType::kString &&
+      fn != AggregateFunction::kCount) {
+    return Status::InvalidArgument("cannot aggregate string column '" +
+                                   column_name + "' with " +
+                                   AggregateFunctionName(fn));
+  }
+  if (fn == AggregateFunction::kCount) acc.column = nullptr;
+  return acc;
+}
+
+}  // namespace
+
+std::string GroupByQuery::ToSql() const {
+  std::string sql = "SELECT " + group_column;
+  for (const AggregateSpec& agg : aggregates) {
+    sql += ", " + std::string(AggregateFunctionName(agg.function)) + "(" +
+           (agg.column.empty() ? "*" : agg.column) + ")";
+  }
+  sql += " FROM " + table;
+  std::vector<Predicate> all = shared_predicates;
+  std::vector<Value> in_values;
+  in_values.reserve(group_values.size());
+  for (const std::string& v : group_values) in_values.emplace_back(v);
+  all.push_back(Predicate::In(group_column, std::move(in_values)));
+  sql += " WHERE ";
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) sql += " AND ";
+    sql += all[i].ToSql();
+  }
+  sql += " GROUP BY " + group_column;
+  return sql;
+}
+
+Result<AggregateResult> Executor::Execute(const Table& table,
+                                          const AggregateQuery& query) {
+  std::vector<CompiledPredicate> compiled;
+  compiled.reserve(query.predicates.size());
+  for (const Predicate& predicate : query.predicates) {
+    MUVE_ASSIGN_OR_RETURN(CompiledPredicate c, Compile(table, predicate));
+    compiled.push_back(std::move(c));
+  }
+  MUVE_ASSIGN_OR_RETURN(
+      Accumulator acc,
+      MakeAccumulator(table, query.function, query.aggregate_column));
+
+  const size_t n = table.num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    bool match = true;
+    for (const CompiledPredicate& predicate : compiled) {
+      if (!predicate.Matches(row)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) acc.Accept(row);
+  }
+  return acc.Finish();
+}
+
+Result<GroupByResult> Executor::ExecuteGrouped(const Table& table,
+                                               const GroupByQuery& query) {
+  const Column* group_column = table.FindColumn(query.group_column);
+  if (group_column == nullptr) {
+    return Status::NotFound("group column '" + query.group_column +
+                            "' not in table '" + table.name() + "'");
+  }
+  if (group_column->type() != ValueType::kString) {
+    return Status::InvalidArgument("GROUP BY requires a string column");
+  }
+
+  std::vector<CompiledPredicate> compiled;
+  compiled.reserve(query.shared_predicates.size());
+  for (const Predicate& predicate : query.shared_predicates) {
+    MUVE_ASSIGN_OR_RETURN(CompiledPredicate c, Compile(table, predicate));
+    compiled.push_back(std::move(c));
+  }
+
+  // Map dictionary code -> group index for the IN list.
+  std::unordered_map<uint32_t, size_t> group_of_code;
+  for (size_t g = 0; g < query.group_values.size(); ++g) {
+    const uint32_t code = group_column->CodeFor(query.group_values[g]);
+    if (code != kInvalidCode) group_of_code.emplace(code, g);
+  }
+
+  // One accumulator per (group, aggregate).
+  std::vector<std::vector<Accumulator>> accumulators(
+      query.group_values.size());
+  for (auto& per_group : accumulators) {
+    per_group.reserve(query.aggregates.size());
+    for (const AggregateSpec& agg : query.aggregates) {
+      MUVE_ASSIGN_OR_RETURN(Accumulator acc,
+                            MakeAccumulator(table, agg.function, agg.column));
+      per_group.push_back(std::move(acc));
+    }
+  }
+
+  const size_t n = table.num_rows();
+  const std::vector<uint32_t>& codes = group_column->codes();
+  for (size_t row = 0; row < n; ++row) {
+    auto it = group_of_code.find(codes[row]);
+    if (it == group_of_code.end()) continue;
+    bool match = true;
+    for (const CompiledPredicate& predicate : compiled) {
+      if (!predicate.Matches(row)) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
+  }
+
+  GroupByResult out;
+  out.rows_scanned = n;
+  out.cells.resize(accumulators.size());
+  for (size_t g = 0; g < accumulators.size(); ++g) {
+    out.cells[g].reserve(accumulators[g].size());
+    for (const Accumulator& acc : accumulators[g]) {
+      out.cells[g].push_back(acc.Finish());
+    }
+  }
+  return out;
+}
+
+double Executor::ScaleSampledValue(AggregateFunction fn, double value,
+                                   double fraction) {
+  if (fraction <= 0.0 || fraction >= 1.0) return value;
+  switch (fn) {
+    case AggregateFunction::kCount:
+    case AggregateFunction::kSum:
+      return value / fraction;
+    case AggregateFunction::kAvg:
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      return value;
+  }
+  return value;
+}
+
+}  // namespace muve::db

@@ -1,0 +1,70 @@
+#ifndef MUVE_DB_EXECUTOR_H_
+#define MUVE_DB_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/query.h"
+#include "db/table.h"
+
+namespace muve::db {
+
+/// Result of executing one aggregate.
+struct AggregateResult {
+  double value = 0.0;        ///< Aggregate value; 0 for empty MIN/MAX/AVG.
+  size_t rows_matched = 0;   ///< Rows satisfying all predicates.
+  bool empty_input = false;  ///< True when no row matched (AVG/MIN/MAX
+                             ///< undefined; value is 0).
+};
+
+/// One aggregate of a grouped (merged) query.
+struct AggregateSpec {
+  AggregateFunction function = AggregateFunction::kCount;
+  std::string column;  ///< Empty for COUNT(*).
+};
+
+/// A merged query (paper §8.1): shared predicates, plus one column whose
+/// equality predicates across the merged queries were rewritten into an IN
+/// list that doubles as GROUP BY key. Each (group value, aggregate) cell of
+/// the result answers one original candidate query.
+struct GroupByQuery {
+  std::string table;
+  std::vector<Predicate> shared_predicates;
+  std::string group_column;
+  std::vector<std::string> group_values;  ///< IN list; also the groups.
+  std::vector<AggregateSpec> aggregates;
+
+  /// SQL text, e.g.
+  /// SELECT city, COUNT(*), SUM(delay) FROM f WHERE ... AND city IN (...)
+  /// GROUP BY city.
+  std::string ToSql() const;
+};
+
+/// Result of a grouped execution: cell (g, a) is the a-th aggregate over
+/// rows whose group column equals group_values[g].
+struct GroupByResult {
+  std::vector<std::vector<AggregateResult>> cells;
+  size_t rows_scanned = 0;
+};
+
+/// Scan-based query executor over in-memory tables.
+class Executor {
+ public:
+  /// Executes a single aggregation query with equality/IN predicates.
+  static Result<AggregateResult> Execute(const Table& table,
+                                         const AggregateQuery& query);
+
+  /// Executes a merged query in one scan.
+  static Result<GroupByResult> ExecuteGrouped(const Table& table,
+                                              const GroupByQuery& query);
+
+  /// Scales an aggregate computed on a `fraction` sample back to the full
+  /// data (COUNT/SUM scale by 1/fraction; AVG/MIN/MAX are estimates as-is).
+  static double ScaleSampledValue(AggregateFunction fn, double value,
+                                  double fraction);
+};
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_EXECUTOR_H_

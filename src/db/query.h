@@ -1,0 +1,89 @@
+#ifndef MUVE_DB_QUERY_H_
+#define MUVE_DB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace muve::db {
+
+/// Aggregation functions supported by the engine. Every MUVE candidate
+/// query computes exactly one aggregate (a single numerical result,
+/// paper §2 Definition 1).
+enum class AggregateFunction {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// "COUNT", "SUM", ...
+const char* AggregateFunctionName(AggregateFunction fn);
+
+/// All supported aggregate functions.
+const std::vector<AggregateFunction>& AllAggregateFunctions();
+
+/// Predicate comparison operators. MUVE's fragment uses equality
+/// predicates; IN appears when the executor merges queries (§8.1).
+enum class PredicateOp {
+  kEq,
+  kIn,
+};
+
+/// A predicate `column op value(s)` on a single column.
+struct Predicate {
+  std::string column;
+  PredicateOp op = PredicateOp::kEq;
+  std::vector<Value> values;  ///< One value for kEq, one or more for kIn.
+
+  static Predicate Equals(std::string column, Value value) {
+    Predicate p;
+    p.column = std::move(column);
+    p.op = PredicateOp::kEq;
+    p.values = {std::move(value)};
+    return p;
+  }
+
+  static Predicate In(std::string column, std::vector<Value> values) {
+    Predicate p;
+    p.column = std::move(column);
+    p.op = PredicateOp::kIn;
+    p.values = std::move(values);
+    return p;
+  }
+
+  /// SQL text, e.g. "city = 'queens'" or "city IN ('queens','quincy')".
+  std::string ToSql() const;
+
+  bool operator==(const Predicate& other) const;
+};
+
+/// A single-table aggregation query: SELECT <fn>(<column>) FROM <table>
+/// WHERE <predicates conjunction>.
+struct AggregateQuery {
+  std::string table;
+  AggregateFunction function = AggregateFunction::kCount;
+  /// Aggregated column; empty for COUNT(*).
+  std::string aggregate_column;
+  std::vector<Predicate> predicates;
+
+  /// Full SQL text of the query.
+  std::string ToSql() const;
+
+  /// "COUNT(*)" / "SUM(delay)" — used in plot titles.
+  std::string AggregateSql() const;
+
+  /// Canonical key: equal queries (same aggregate, same predicate set in
+  /// any order) produce equal keys. Used for dedup and plot membership.
+  std::string CanonicalKey() const;
+
+  bool operator==(const AggregateQuery& other) const {
+    return CanonicalKey() == other.CanonicalKey();
+  }
+};
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_QUERY_H_

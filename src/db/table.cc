@@ -1,0 +1,97 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace muve::db {
+
+Result<std::shared_ptr<Table>> Table::Create(
+    std::string name, const std::vector<ColumnSpec>& schema) {
+  if (schema.empty()) {
+    return Status::InvalidArgument("table '" + name + "' needs columns");
+  }
+  std::vector<std::unique_ptr<Column>> columns;
+  columns.reserve(schema.size());
+  for (const ColumnSpec& spec : schema) {
+    for (const auto& existing : columns) {
+      if (EqualsIgnoreCase(existing->name(), spec.name)) {
+        return Status::InvalidArgument("duplicate column '" + spec.name +
+                                       "'");
+      }
+    }
+    columns.push_back(std::make_unique<Column>(spec.name, spec.type));
+  }
+  return std::shared_ptr<Table>(
+      new Table(std::move(name), std::move(columns)));
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    MUVE_RETURN_NOT_OK(columns_[i]->Append(values[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+const Column* Table::FindColumn(const std::string& name) const {
+  for (const auto& column : columns_) {
+    if (EqualsIgnoreCase(column->name(), name)) return column.get();
+  }
+  return nullptr;
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i]->name(), name)) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in table '" + name_ +
+                          "'");
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& column : columns_) names.push_back(column->name());
+  return names;
+}
+
+std::vector<std::string> Table::ColumnNamesOfType(ValueType type) const {
+  std::vector<std::string> names;
+  for (const auto& column : columns_) {
+    if (column->type() == type) names.push_back(column->name());
+  }
+  return names;
+}
+
+std::shared_ptr<Table> Table::Sample(double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  std::vector<ColumnSpec> schema;
+  schema.reserve(columns_.size());
+  for (const auto& column : columns_) {
+    schema.push_back({column->name(), column->type()});
+  }
+  auto sampled = Table::Create(name_ + "_sample", schema);
+  // Creation from a valid schema cannot fail.
+  std::shared_ptr<Table> out = *sampled;
+  if (fraction <= 0.0 || num_rows_ == 0) return out;
+  // Systematic sampling: take every k-th row. Deterministic, cheap, and
+  // unbiased for the synthetic workloads (row order is random).
+  const double stride = 1.0 / fraction;
+  std::vector<Value> row(columns_.size());
+  for (double position = 0.0; position < static_cast<double>(num_rows_);
+       position += stride) {
+    const size_t r = static_cast<size_t>(position);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      row[c] = columns_[c]->Get(r);
+    }
+    Status st = out->AppendRow(row);
+    (void)st;  // Types match the source schema by construction.
+  }
+  return out;
+}
+
+}  // namespace muve::db

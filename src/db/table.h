@@ -1,0 +1,68 @@
+#ifndef MUVE_DB_TABLE_H_
+#define MUVE_DB_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/column.h"
+#include "db/value.h"
+
+namespace muve::db {
+
+/// Name + type of a column, used to declare table schemas.
+struct ColumnSpec {
+  std::string name;
+  ValueType type;
+};
+
+/// An in-memory, columnar, single relation. MUVE queries a single table
+/// per voice query (paper §3), so the engine is a single-table engine
+/// with no join support.
+class Table {
+ public:
+  /// Creates a table with the given schema. Column names must be unique
+  /// (case insensitive).
+  static Result<std::shared_ptr<Table>> Create(
+      std::string name, const std::vector<ColumnSpec>& schema);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row; `values` must match the schema arity and types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Column by index.
+  const Column& column(size_t index) const { return *columns_[index]; }
+
+  /// Column by name (case insensitive), or nullptr.
+  const Column* FindColumn(const std::string& name) const;
+
+  /// Index of a column by name (case insensitive).
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// All column names, in schema order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// Names of columns with the given type.
+  std::vector<std::string> ColumnNamesOfType(ValueType type) const;
+
+  /// Builds a new table containing a deterministic row sample of
+  /// approximately `fraction` of this table (every k-th row), used for
+  /// approximate query processing and data-size scaling experiments.
+  std::shared_ptr<Table> Sample(double fraction) const;
+
+ private:
+  Table(std::string name, std::vector<std::unique_ptr<Column>> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  std::string name_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_TABLE_H_

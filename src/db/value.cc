@@ -1,0 +1,29 @@
+#include "db/value.h"
+
+#include <cstdio>
+
+namespace muve::db {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(AsInt64());
+  if (is_double()) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%g", std::get<double>(data_));
+    return buffer;
+  }
+  return AsString();
+}
+
+}  // namespace muve::db

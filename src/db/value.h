@@ -1,0 +1,66 @@
+#ifndef MUVE_DB_VALUE_H_
+#define MUVE_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace muve::db {
+
+/// Column data types supported by the engine. MUVE's query fragment needs
+/// numeric aggregation columns and (mostly categorical) string predicate
+/// columns.
+enum class ValueType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "INT64" / "DOUBLE" / "STRING".
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed scalar used at API boundaries (predicates, query
+/// results, CSV loading). Columns store data in typed vectors internally.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueType::kInt64;
+      case 1:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_int64() const { return data_.index() == 0; }
+  bool is_double() const { return data_.index() == 1; }
+  bool is_string() const { return data_.index() == 2; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    if (is_int64()) return static_cast<double>(AsInt64());
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Renders the value for SQL text and plot labels.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_VALUE_H_

@@ -1,0 +1,125 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.h"
+#include "db/executor.h"
+
+namespace muve::exec {
+
+Engine::Engine(std::shared_ptr<const db::Table> table, EngineOptions options)
+    : table_(std::move(table)), options_(options) {
+  // Calibration probe: time one full COUNT(*) scan and relate it to its
+  // estimated cost, yielding cost-units-per-millisecond for
+  // EstimateMillis (used by the dynamic approximate method).
+  db::AggregateQuery probe;
+  probe.table = table_->name();
+  probe.function = db::AggregateFunction::kCount;
+  StopWatch watch;
+  auto result = db::Executor::Execute(*table_, probe);
+  const double millis = std::max(1e-3, watch.ElapsedMillis());
+  if (result.ok()) {
+    if (auto estimate = estimator_.Estimate(*table_, probe); estimate.ok()) {
+      cost_units_per_ms_ = estimate->total_cost / millis;
+    }
+  }
+}
+
+std::shared_ptr<const db::Table> Engine::SampleTable(double fraction) {
+  if (fraction >= 1.0) return table_;
+  auto it = samples_.find(fraction);
+  if (it != samples_.end()) return it->second;
+  std::shared_ptr<const db::Table> sample = table_->Sample(fraction);
+  samples_.emplace(fraction, sample);
+  return sample;
+}
+
+Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
+                                  const std::vector<size_t>& subset,
+                                  double sample_fraction) {
+  Execution out;
+  out.values.assign(candidates.size(), std::nan(""));
+  if (subset.empty()) return out;
+
+  const std::shared_ptr<const db::Table> target =
+      SampleTable(std::clamp(sample_fraction, 0.0, 1.0));
+  const bool sampled = sample_fraction < 1.0;
+
+  const std::vector<MergeUnit> units = PlanMergedExecution(
+      candidates, subset, *table_, estimator_, options_.enable_merging);
+  out.queries_issued = units.size();
+  out.estimated_cost =
+      EstimateUnitsCost(units, *target, estimator_, candidates);
+
+  StopWatch watch;
+  for (const MergeUnit& unit : units) {
+    if (unit.merged) {
+      MUVE_ASSIGN_OR_RETURN(
+          db::GroupByResult result,
+          db::Executor::ExecuteGrouped(*target, unit.group_query));
+      for (size_t g = 0; g < unit.cell_candidate.size(); ++g) {
+        for (size_t a = 0; a < unit.cell_candidate[g].size(); ++a) {
+          const size_t idx = unit.cell_candidate[g][a];
+          if (idx == SIZE_MAX) continue;
+          double value = result.cells[g][a].value;
+          if (sampled) {
+            value = db::Executor::ScaleSampledValue(
+                unit.group_query.aggregates[a].function, value,
+                sample_fraction);
+          }
+          out.values[idx] = value;
+        }
+      }
+    } else {
+      MUVE_ASSIGN_OR_RETURN(
+          db::AggregateResult result,
+          db::Executor::Execute(*target,
+                                candidates[unit.candidate].query));
+      double value = result.value;
+      if (sampled) {
+        value = db::Executor::ScaleSampledValue(
+            candidates[unit.candidate].query.function, value,
+            sample_fraction);
+      }
+      out.values[unit.candidate] = value;
+    }
+  }
+  out.measured_millis = watch.ElapsedMillis();
+  out.modeled_millis =
+      out.measured_millis +
+      options_.per_query_overhead_ms * static_cast<double>(units.size());
+  return out;
+}
+
+Result<Execution> Engine::ExecuteMultiplot(
+    const core::CandidateSet& candidates, core::Multiplot* multiplot,
+    double sample_fraction) {
+  std::vector<size_t> subset;
+  multiplot->ForEachPlot([&](const core::Plot& plot) {
+    for (const core::PlotBar& bar : plot.bars) {
+      subset.push_back(bar.candidate_index);
+    }
+  });
+  MUVE_ASSIGN_OR_RETURN(Execution execution,
+                        Execute(candidates, subset, sample_fraction));
+  multiplot->ForEachPlotMutable([&](core::Plot& plot) {
+    for (core::PlotBar& bar : plot.bars) {
+      bar.value = execution.values[bar.candidate_index];
+      bar.approximate = sample_fraction < 1.0;
+    }
+  });
+  return execution;
+}
+
+double Engine::EstimateMillis(const core::CandidateSet& candidates,
+                              const std::vector<size_t>& subset) const {
+  const std::vector<MergeUnit> units = PlanMergedExecution(
+      candidates, subset, *table_, estimator_, options_.enable_merging);
+  const double cost =
+      EstimateUnitsCost(units, *table_, estimator_, candidates);
+  return cost / std::max(1e-9, cost_units_per_ms_) +
+         options_.per_query_overhead_ms * static_cast<double>(units.size());
+}
+
+}  // namespace muve::exec

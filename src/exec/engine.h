@@ -1,0 +1,88 @@
+#ifndef MUVE_EXEC_ENGINE_H_
+#define MUVE_EXEC_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidate.h"
+#include "core/multiplot.h"
+#include "db/cost_estimator.h"
+#include "db/table.h"
+#include "exec/merger.h"
+
+namespace muve::exec {
+
+/// Execution-engine configuration.
+struct EngineOptions {
+  /// Merge similar candidate queries before execution (paper §8.1).
+  bool enable_merging = true;
+  /// Fixed per-issued-query overhead (parsing, planning, dispatch) added
+  /// to the modeled time — the data-size-independent overhead the paper
+  /// observes in Fig. 11.
+  double per_query_overhead_ms = 2.0;
+};
+
+/// Result of executing a batch of candidate queries.
+struct Execution {
+  /// values[i] answers candidate `i` of the set; NaN when not requested.
+  std::vector<double> values;
+  /// Wall-clock time spent in the storage engine.
+  double measured_millis = 0.0;
+  /// Measured time plus per-query overheads — the latency MUVE reports.
+  double modeled_millis = 0.0;
+  /// Queries actually issued (after merging).
+  size_t queries_issued = 0;
+  /// Optimizer cost units of the issued queries.
+  double estimated_cost = 0.0;
+};
+
+/// Executes candidate queries against a table, with query merging and
+/// sampled (approximate) execution. Samples are materialized lazily and
+/// cached; sample construction is excluded from reported latencies (a
+/// deployed system maintains samples ahead of time).
+class Engine {
+ public:
+  explicit Engine(std::shared_ptr<const db::Table> table,
+                  EngineOptions options = {});
+
+  const db::Table& table() const { return *table_; }
+  const db::CostEstimator& estimator() const { return estimator_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Executes the candidates in `subset` (indices into `candidates`).
+  /// `sample_fraction` < 1 runs against a cached row sample and scales
+  /// scale-dependent aggregates (COUNT/SUM) back up.
+  Result<Execution> Execute(const core::CandidateSet& candidates,
+                            const std::vector<size_t>& subset,
+                            double sample_fraction = 1.0);
+
+  /// Executes every candidate appearing in `multiplot` and fills in the
+  /// bar values.
+  Result<Execution> ExecuteMultiplot(const core::CandidateSet& candidates,
+                                     core::Multiplot* multiplot,
+                                     double sample_fraction = 1.0);
+
+  /// Predicted execution time (ms) for the candidates in `subset`,
+  /// derived from the cost model and a calibration probe.
+  double EstimateMillis(const core::CandidateSet& candidates,
+                        const std::vector<size_t>& subset) const;
+
+  /// Calibrated throughput: optimizer cost units per millisecond.
+  double cost_units_per_ms() const { return cost_units_per_ms_; }
+
+  /// Sampled version of the table (cached by fraction).
+  std::shared_ptr<const db::Table> SampleTable(double fraction);
+
+ private:
+  std::shared_ptr<const db::Table> table_;
+  EngineOptions options_;
+  db::CostEstimator estimator_;
+  double cost_units_per_ms_ = 1.0;
+  std::map<double, std::shared_ptr<const db::Table>> samples_;
+};
+
+}  // namespace muve::exec
+
+#endif  // MUVE_EXEC_ENGINE_H_

@@ -1,0 +1,284 @@
+#include "exec/merger.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+
+namespace muve::exec {
+
+namespace {
+
+/// True when every predicate is a string equality (the mergeable shape).
+bool IsMergeable(const db::AggregateQuery& query) {
+  if (query.predicates.empty()) return false;
+  for (const db::Predicate& predicate : query.predicates) {
+    if (predicate.op != db::PredicateOp::kEq ||
+        predicate.values.size() != 1 ||
+        !predicate.values.front().is_string()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Merge-group key: table + the predicates other than the one at
+/// `varying_index` + the varying column's name. Candidates with equal
+/// keys differ only in that predicate's constant (and possibly in the
+/// aggregate), so one grouped scan answers them all.
+std::string MergeKey(const db::AggregateQuery& query, size_t varying_index) {
+  std::vector<std::string> fixed;
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    if (i == varying_index) continue;
+    fixed.push_back(ToLower(query.predicates[i].column) + "=" +
+                    query.predicates[i].values.front().ToString());
+  }
+  std::sort(fixed.begin(), fixed.end());
+  return ToLower(query.table) + "|" +
+         ToLower(query.predicates[varying_index].column) + "|" +
+         Join(fixed, "&");
+}
+
+struct PendingGroup {
+  size_t varying_index = 0;        ///< In the *first* member's predicates.
+  std::vector<size_t> members;     ///< Candidate indices.
+};
+
+std::string AggregateKey(const db::AggregateQuery& query) {
+  return std::string(db::AggregateFunctionName(query.function)) + "(" +
+         ToLower(query.aggregate_column) + ")";
+}
+
+/// Builds the merged GroupByQuery + cell mapping for a group.
+MergeUnit BuildMergedUnit(const core::CandidateSet& candidates,
+                          const PendingGroup& group,
+                          const std::string& varying_column) {
+  MergeUnit unit;
+  unit.merged = true;
+  const db::AggregateQuery& first =
+      candidates[group.members.front()].query;
+  unit.group_query.table = first.table;
+  unit.group_query.group_column = varying_column;
+  // Shared predicates: every predicate of the first member except the
+  // varying one (all members agree by construction of the key).
+  for (const db::Predicate& predicate : first.predicates) {
+    if (EqualsIgnoreCase(predicate.column, varying_column)) continue;
+    unit.group_query.shared_predicates.push_back(predicate);
+  }
+
+  // Distinct group values and aggregates across members.
+  std::vector<std::string> aggregate_keys;
+  for (size_t idx : group.members) {
+    const db::AggregateQuery& query = candidates[idx].query;
+    std::string value;
+    for (const db::Predicate& predicate : query.predicates) {
+      if (EqualsIgnoreCase(predicate.column, varying_column)) {
+        value = predicate.values.front().AsString();
+      }
+    }
+    if (std::find(unit.group_query.group_values.begin(),
+                  unit.group_query.group_values.end(),
+                  value) == unit.group_query.group_values.end()) {
+      unit.group_query.group_values.push_back(value);
+    }
+    const std::string agg_key = AggregateKey(query);
+    if (std::find(aggregate_keys.begin(), aggregate_keys.end(), agg_key) ==
+        aggregate_keys.end()) {
+      aggregate_keys.push_back(agg_key);
+      unit.group_query.aggregates.push_back(
+          {query.function, query.aggregate_column});
+    }
+  }
+
+  // Cell mapping.
+  unit.cell_candidate.assign(
+      unit.group_query.group_values.size(),
+      std::vector<size_t>(unit.group_query.aggregates.size(), SIZE_MAX));
+  for (size_t idx : group.members) {
+    const db::AggregateQuery& query = candidates[idx].query;
+    std::string value;
+    for (const db::Predicate& predicate : query.predicates) {
+      if (EqualsIgnoreCase(predicate.column, varying_column)) {
+        value = predicate.values.front().AsString();
+      }
+    }
+    const auto value_it =
+        std::find(unit.group_query.group_values.begin(),
+                  unit.group_query.group_values.end(), value);
+    const auto agg_it = std::find(aggregate_keys.begin(),
+                                  aggregate_keys.end(), AggregateKey(query));
+    const size_t g = static_cast<size_t>(
+        value_it - unit.group_query.group_values.begin());
+    const size_t a =
+        static_cast<size_t>(agg_it - aggregate_keys.begin());
+    unit.cell_candidate[g][a] = idx;
+  }
+  return unit;
+}
+
+}  // namespace
+
+std::vector<size_t> MergeUnit::Members() const {
+  if (!merged) return {candidate};
+  std::vector<size_t> members;
+  for (const auto& row : cell_candidate) {
+    for (size_t idx : row) {
+      if (idx != SIZE_MAX) members.push_back(idx);
+    }
+  }
+  return members;
+}
+
+std::vector<MergeUnit> PlanMergedExecution(
+    const core::CandidateSet& candidates, const std::vector<size_t>& subset,
+    const db::Table& table, const db::CostEstimator& estimator,
+    bool enable_merging) {
+  std::vector<MergeUnit> units;
+  if (!enable_merging) {
+    units.reserve(subset.size());
+    for (size_t idx : subset) {
+      MergeUnit unit;
+      unit.candidate = idx;
+      units.push_back(std::move(unit));
+    }
+    return units;
+  }
+
+  // Greedy grouping: each candidate joins the first existing group whose
+  // key matches any of its predicate positions; otherwise it opens a new
+  // group for each of its keys (first-come keys all map to the same new
+  // group so later candidates can join via any position).
+  std::map<std::string, size_t> group_of_key;
+  std::vector<PendingGroup> groups;
+  std::vector<std::string> group_varying_column;
+  std::vector<size_t> singles;
+
+  for (size_t idx : subset) {
+    const db::AggregateQuery& query = candidates[idx].query;
+    if (!IsMergeable(query)) {
+      singles.push_back(idx);
+      continue;
+    }
+    bool joined = false;
+    for (size_t p = 0; p < query.predicates.size() && !joined; ++p) {
+      auto it = group_of_key.find(MergeKey(query, p));
+      if (it != group_of_key.end()) {
+        groups[it->second].members.push_back(idx);
+        joined = true;
+      }
+    }
+    if (joined) continue;
+    const size_t group_index = groups.size();
+    PendingGroup group;
+    group.varying_index = 0;
+    group.members.push_back(idx);
+    groups.push_back(std::move(group));
+    group_varying_column.push_back(
+        query.predicates.front().column);
+    // Register the key of every predicate position so future candidates
+    // can join via whichever position varies... but a group has ONE
+    // varying column; register only position 0's key.
+    group_of_key.emplace(MergeKey(query, 0), group_index);
+  }
+
+  // Materialize units, applying the cost-based merge decision.
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const PendingGroup& group = groups[g];
+    if (group.members.size() < 2) {
+      for (size_t idx : group.members) singles.push_back(idx);
+      continue;
+    }
+    MergeUnit merged =
+        BuildMergedUnit(candidates, group, group_varying_column[g]);
+    // Cost gate: merged scan vs separate scans.
+    double merged_cost = 0.0;
+    if (auto estimate = estimator.EstimateGrouped(table, merged.group_query);
+        estimate.ok()) {
+      merged_cost = estimate->total_cost;
+    }
+    double separate_cost = 0.0;
+    for (size_t idx : group.members) {
+      if (auto estimate = estimator.Estimate(table, candidates[idx].query);
+          estimate.ok()) {
+        separate_cost += estimate->total_cost;
+      }
+    }
+    if (merged_cost > 0.0 && merged_cost < separate_cost) {
+      units.push_back(std::move(merged));
+    } else {
+      for (size_t idx : group.members) singles.push_back(idx);
+    }
+  }
+  for (size_t idx : singles) {
+    MergeUnit unit;
+    unit.candidate = idx;
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+double EstimateUnitsCost(const std::vector<MergeUnit>& units,
+                         const db::Table& table,
+                         const db::CostEstimator& estimator,
+                         const core::CandidateSet& candidates) {
+  double total = 0.0;
+  for (const MergeUnit& unit : units) {
+    if (unit.merged) {
+      if (auto estimate = estimator.EstimateGrouped(table, unit.group_query);
+          estimate.ok()) {
+        total += estimate->total_cost;
+      }
+    } else {
+      if (auto estimate =
+              estimator.Estimate(table, candidates[unit.candidate].query);
+          estimate.ok()) {
+        total += estimate->total_cost;
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<core::ProcessingGroup> BuildProcessingGroups(
+    const core::CandidateSet& candidates, const db::Table& table,
+    const db::CostEstimator& estimator) {
+  std::vector<size_t> all(candidates.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const std::vector<MergeUnit> units = PlanMergedExecution(
+      candidates, all, table, estimator, /*enable_merging=*/true);
+
+  std::vector<core::ProcessingGroup> groups;
+  groups.reserve(units.size() + candidates.size());
+  for (const MergeUnit& unit : units) {
+    core::ProcessingGroup group;
+    group.member_candidates = unit.Members();
+    if (unit.merged) {
+      if (auto estimate = estimator.EstimateGrouped(table, unit.group_query);
+          estimate.ok()) {
+        group.cost = estimate->total_cost;
+      }
+    } else {
+      if (auto estimate =
+              estimator.Estimate(table, candidates[unit.candidate].query);
+          estimate.ok()) {
+        group.cost = estimate->total_cost;
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  // Singleton groups: processing any candidate alone is always possible,
+  // giving the optimizer the option of cheap partial coverage.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    core::ProcessingGroup group;
+    group.member_candidates = {i};
+    if (auto estimate = estimator.Estimate(table, candidates[i].query);
+        estimate.ok()) {
+      group.cost = estimate->total_cost;
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace muve::exec

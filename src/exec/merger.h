@@ -1,0 +1,60 @@
+#ifndef MUVE_EXEC_MERGER_H_
+#define MUVE_EXEC_MERGER_H_
+
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/planner.h"
+#include "db/cost_estimator.h"
+#include "db/executor.h"
+#include "db/table.h"
+
+namespace muve::exec {
+
+/// One unit of work after merging: either a single candidate query, or a
+/// merged GROUP BY query answering several candidates in one scan
+/// (paper §8.1: equality predicates on one column become an IN condition
+/// that doubles as grouping key; result columns are added per aggregate).
+struct MergeUnit {
+  bool merged = false;
+
+  // Single execution.
+  size_t candidate = 0;
+
+  // Merged execution.
+  db::GroupByQuery group_query;
+  /// cell_candidate[g][a]: candidate answered by group value g and
+  /// aggregate a, or SIZE_MAX for cells no candidate asked for.
+  std::vector<std::vector<size_t>> cell_candidate;
+
+  /// All candidates answered by this unit.
+  std::vector<size_t> Members() const;
+};
+
+/// Plans the merged execution of `subset` (candidate indices). Candidates
+/// are grouped when they share the table and all-but-one equality
+/// predicate, with the varying predicate on a common string column; each
+/// group is kept merged only when the cost model says the single merged
+/// scan is cheaper than separate scans (`estimator`). With
+/// `enable_merging` false every candidate becomes its own unit.
+std::vector<MergeUnit> PlanMergedExecution(
+    const core::CandidateSet& candidates, const std::vector<size_t>& subset,
+    const db::Table& table, const db::CostEstimator& estimator,
+    bool enable_merging);
+
+/// Estimated total cost (optimizer units) of executing the units.
+double EstimateUnitsCost(const std::vector<MergeUnit>& units,
+                         const db::Table& table,
+                         const db::CostEstimator& estimator,
+                         const core::CandidateSet& candidates);
+
+/// Builds the processing groups the processing-cost-aware ILP consumes
+/// (paper §8.1): one group per potential merged unit over the *full*
+/// candidate set, plus singleton groups, each with its estimated cost.
+std::vector<core::ProcessingGroup> BuildProcessingGroups(
+    const core::CandidateSet& candidates, const db::Table& table,
+    const db::CostEstimator& estimator);
+
+}  // namespace muve::exec
+
+#endif  // MUVE_EXEC_MERGER_H_

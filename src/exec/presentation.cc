@@ -1,0 +1,304 @@
+#include "exec/presentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/greedy_planner.h"
+#include "core/ilp_planner.h"
+
+namespace muve::exec {
+
+namespace {
+
+/// True when the multiplot shows a bar (with a computed value) for the
+/// candidate.
+bool ShowsCandidate(const core::Multiplot& multiplot, size_t candidate) {
+  bool shown = false;
+  multiplot.ForEachPlot([&](const core::Plot& plot) {
+    for (const core::PlotBar& bar : plot.bars) {
+      if (bar.candidate_index == candidate && !std::isnan(bar.value)) {
+        shown = true;
+      }
+    }
+  });
+  return shown;
+}
+
+/// Mean relative error of `approx` bar values against exact values.
+double RelativeError(const core::Multiplot& approx,
+                     const std::vector<double>& exact_values) {
+  double total = 0.0;
+  size_t count = 0;
+  approx.ForEachPlot([&](const core::Plot& plot) {
+    for (const core::PlotBar& bar : plot.bars) {
+      if (std::isnan(bar.value)) continue;
+      const double exact = exact_values[bar.candidate_index];
+      if (std::isnan(exact)) continue;
+      // Near-zero exact values make relative error meaningless; skip
+      // them (the paper reports relative error over count-style results).
+      if (std::fabs(exact) < 1.0) continue;
+      total += std::fabs(bar.value - exact) / std::fabs(exact);
+      ++count;
+    }
+  });
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+void RecordEvent(PresentationOutcome* outcome, double at_millis,
+                 bool approximate, const core::Multiplot& multiplot,
+                 size_t correct_candidate) {
+  outcome->events.push_back({at_millis, approximate, multiplot});
+  if (ShowsCandidate(multiplot, correct_candidate)) {
+    outcome->first_correct_ms =
+        std::min(outcome->first_correct_ms, at_millis);
+  }
+  outcome->total_ms = std::max(outcome->total_ms, at_millis);
+}
+
+/// Plans with the greedy solver (the default planner of §9.4 methods).
+Result<core::PlanResult> GreedyPlan(const core::CandidateSet& candidates,
+                                    const core::PlannerConfig& config) {
+  static const core::GreedyPlanner kPlanner;
+  return kPlanner.Plan(candidates, config);
+}
+
+/// ILP-based methods plan over a probability prefix of the candidate set
+/// so the integer program fits the in-tree solver's budget (the paper
+/// uses Gurobi, which handles the full 20-candidate models within its
+/// 1 s limit). Candidate sets are sorted by descending probability, so a
+/// prefix keeps candidate indices stable and the residual mass simply
+/// counts as miss probability.
+constexpr size_t kIlpCandidateCap = 12;
+
+core::CandidateSet TrimForIlp(const core::CandidateSet& candidates) {
+  if (candidates.size() <= kIlpCandidateCap) return candidates;
+  std::vector<core::CandidateQuery> prefix(
+      candidates.candidates().begin(),
+      candidates.candidates().begin() +
+          static_cast<long>(kIlpCandidateCap));
+  return core::CandidateSet(std::move(prefix));
+}
+
+}  // namespace
+
+const char* PresentationMethodName(PresentationMethod method) {
+  switch (method) {
+    case PresentationMethod::kGreedy:
+      return "Greedy";
+    case PresentationMethod::kIlp:
+      return "ILP";
+    case PresentationMethod::kIlpIncremental:
+      return "ILP-Inc";
+    case PresentationMethod::kIncrementalPlot:
+      return "Inc-Plot";
+    case PresentationMethod::kApprox1:
+      return "App-1%";
+    case PresentationMethod::kApprox5:
+      return "App-5%";
+    case PresentationMethod::kApproxDynamic:
+      return "App-D";
+  }
+  return "Unknown";
+}
+
+const std::vector<PresentationMethod>& AllPresentationMethods() {
+  static const std::vector<PresentationMethod> kAll = {
+      PresentationMethod::kGreedy,         PresentationMethod::kIlp,
+      PresentationMethod::kIlpIncremental, PresentationMethod::kIncrementalPlot,
+      PresentationMethod::kApprox1,        PresentationMethod::kApprox5,
+      PresentationMethod::kApproxDynamic};
+  return kAll;
+}
+
+Result<PresentationOutcome> RunPresentation(
+    PresentationMethod method, Engine* engine,
+    const core::CandidateSet& candidates, size_t correct_candidate,
+    const PresentationOptions& options) {
+  PresentationOutcome outcome;
+
+  switch (method) {
+    case PresentationMethod::kGreedy: {
+      MUVE_ASSIGN_OR_RETURN(core::PlanResult plan,
+                            GreedyPlan(candidates, options.planner));
+      outcome.plan_millis = plan.optimize_millis;
+      MUVE_ASSIGN_OR_RETURN(
+          Execution execution,
+          engine->ExecuteMultiplot(candidates, &plan.multiplot));
+      RecordEvent(&outcome, plan.optimize_millis + execution.modeled_millis,
+                  false, plan.multiplot, correct_candidate);
+      outcome.expected_user_cost = plan.expected_cost;
+      outcome.correct_shown =
+          ShowsCandidate(plan.multiplot, correct_candidate);
+      return outcome;
+    }
+
+    case PresentationMethod::kIlp: {
+      const core::CandidateSet planning_set = TrimForIlp(candidates);
+      core::PlannerConfig config = options.planner;
+      config.processing.mode = core::ProcessingCostMode::kObjective;
+      config.processing.groups = BuildProcessingGroups(
+          planning_set, engine->table(), engine->estimator());
+      // Convert optimizer cost units into model milliseconds.
+      config.processing.objective_weight =
+          1.0 / std::max(1e-9, engine->cost_units_per_ms());
+      const core::IlpPlanner planner;
+      // Seed the MIP with the greedy solution (like a Gurobi MIP start):
+      // a solver timeout then degrades to greedy quality instead of an
+      // empty screen.
+      MUVE_ASSIGN_OR_RETURN(core::PlanResult seed,
+                            GreedyPlan(planning_set, options.planner));
+      MUVE_ASSIGN_OR_RETURN(
+          core::PlanResult plan,
+          planner.PlanWithHint(planning_set, config, &seed.multiplot));
+      plan.optimize_millis += seed.optimize_millis;
+      outcome.plan_millis = plan.optimize_millis;
+      MUVE_ASSIGN_OR_RETURN(
+          Execution execution,
+          engine->ExecuteMultiplot(candidates, &plan.multiplot));
+      RecordEvent(&outcome, plan.optimize_millis + execution.modeled_millis,
+                  false, plan.multiplot, correct_candidate);
+      outcome.expected_user_cost =
+          options.planner.cost_model.ExpectedCost(plan.multiplot,
+                                                  candidates);
+      outcome.correct_shown =
+          ShowsCandidate(plan.multiplot, correct_candidate);
+      return outcome;
+    }
+
+    case PresentationMethod::kIlpIncremental: {
+      const core::IlpPlanner planner;
+      const core::CandidateSet planning_set = TrimForIlp(candidates);
+      MUVE_ASSIGN_OR_RETURN(core::PlanResult seed,
+                            GreedyPlan(planning_set, options.planner));
+      MUVE_ASSIGN_OR_RETURN(
+          std::vector<core::IlpPlanner::IncrementalSnapshot> snapshots,
+          planner.PlanIncremental(planning_set, options.planner,
+                                  options.ilp_incremental_initial_ms,
+                                  options.ilp_incremental_growth, nullptr,
+                                  &seed.multiplot));
+      double exec_total = 0.0;
+      for (core::IlpPlanner::IncrementalSnapshot& snapshot : snapshots) {
+        MUVE_ASSIGN_OR_RETURN(
+            Execution execution,
+            engine->ExecuteMultiplot(candidates,
+                                     &snapshot.plan.multiplot));
+        exec_total += execution.modeled_millis;
+        RecordEvent(&outcome, snapshot.at_millis + exec_total, false,
+                    snapshot.plan.multiplot, correct_candidate);
+        outcome.plan_millis = snapshot.at_millis;
+        outcome.expected_user_cost = snapshot.plan.expected_cost;
+        outcome.correct_shown =
+            ShowsCandidate(snapshot.plan.multiplot, correct_candidate);
+      }
+      return outcome;
+    }
+
+    case PresentationMethod::kIncrementalPlot: {
+      MUVE_ASSIGN_OR_RETURN(core::PlanResult plan,
+                            GreedyPlan(candidates, options.planner));
+      outcome.plan_millis = plan.optimize_millis;
+      // Show plots in order of their best member probability.
+      struct PlotRef {
+        size_t row, plot;
+        double best_prob;
+      };
+      std::vector<PlotRef> order;
+      for (size_t r = 0; r < plan.multiplot.rows.size(); ++r) {
+        for (size_t p = 0; p < plan.multiplot.rows[r].size(); ++p) {
+          double best = 0.0;
+          for (const core::PlotBar& bar :
+               plan.multiplot.rows[r][p].bars) {
+            best = std::max(best,
+                            candidates[bar.candidate_index].probability);
+          }
+          order.push_back({r, p, best});
+        }
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [](const PlotRef& a, const PlotRef& b) {
+                         return a.best_prob > b.best_prob;
+                       });
+      core::Multiplot shown;
+      shown.rows.resize(plan.multiplot.rows.size());
+      double elapsed = plan.optimize_millis;
+      for (const PlotRef& ref : order) {
+        core::Plot plot = plan.multiplot.rows[ref.row][ref.plot];
+        std::vector<size_t> subset;
+        for (const core::PlotBar& bar : plot.bars) {
+          subset.push_back(bar.candidate_index);
+        }
+        MUVE_ASSIGN_OR_RETURN(Execution execution,
+                              engine->Execute(candidates, subset));
+        for (core::PlotBar& bar : plot.bars) {
+          bar.value = execution.values[bar.candidate_index];
+        }
+        elapsed += execution.modeled_millis;
+        shown.rows[ref.row].push_back(std::move(plot));
+        RecordEvent(&outcome, elapsed, false, shown, correct_candidate);
+      }
+      outcome.expected_user_cost = plan.expected_cost;
+      outcome.correct_shown =
+          ShowsCandidate(shown, correct_candidate);
+      return outcome;
+    }
+
+    case PresentationMethod::kApprox1:
+    case PresentationMethod::kApprox5:
+    case PresentationMethod::kApproxDynamic: {
+      MUVE_ASSIGN_OR_RETURN(core::PlanResult plan,
+                            GreedyPlan(candidates, options.planner));
+      outcome.plan_millis = plan.optimize_millis;
+      double fraction = 0.01;
+      if (method == PresentationMethod::kApprox5) fraction = 0.05;
+      if (method == PresentationMethod::kApproxDynamic) {
+        // Pick the largest sample whose predicted execution still meets
+        // the interactivity threshold.
+        std::vector<size_t> subset;
+        plan.multiplot.ForEachPlot([&](const core::Plot& plot) {
+          for (const core::PlotBar& bar : plot.bars) {
+            subset.push_back(bar.candidate_index);
+          }
+        });
+        const double predicted_full_ms =
+            engine->EstimateMillis(candidates, subset);
+        const double budget =
+            options.dynamic_threshold_ms - plan.optimize_millis;
+        fraction = budget <= 0.0
+                       ? options.dynamic_min_fraction
+                       : std::clamp(budget / predicted_full_ms,
+                                    options.dynamic_min_fraction, 1.0);
+      }
+
+      double elapsed = plan.optimize_millis;
+      core::Multiplot approx_plot;
+      bool emitted_approx = false;
+      if (fraction < 1.0) {
+        approx_plot = plan.multiplot;
+        MUVE_ASSIGN_OR_RETURN(
+            Execution approx_exec,
+            engine->ExecuteMultiplot(candidates, &approx_plot, fraction));
+        elapsed += approx_exec.modeled_millis;
+        RecordEvent(&outcome, elapsed, true, approx_plot,
+                    correct_candidate);
+        emitted_approx = true;
+      }
+      MUVE_ASSIGN_OR_RETURN(
+          Execution exact_exec,
+          engine->ExecuteMultiplot(candidates, &plan.multiplot));
+      elapsed += exact_exec.modeled_millis;
+      RecordEvent(&outcome, elapsed, false, plan.multiplot,
+                  correct_candidate);
+      if (emitted_approx) {
+        outcome.initial_relative_error =
+            RelativeError(approx_plot, exact_exec.values);
+      }
+      outcome.expected_user_cost = plan.expected_cost;
+      outcome.correct_shown =
+          ShowsCandidate(plan.multiplot, correct_candidate);
+      return outcome;
+    }
+  }
+  return Status::InvalidArgument("unknown presentation method");
+}
+
+}  // namespace muve::exec

@@ -1,0 +1,90 @@
+#ifndef MUVE_EXEC_PRESENTATION_H_
+#define MUVE_EXEC_PRESENTATION_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/multiplot.h"
+#include "core/planner.h"
+#include "exec/engine.h"
+
+namespace muve::exec {
+
+/// The processing/presentation methods of paper Fig. 5 and §9.4:
+///  - kGreedy: default pipeline (greedy planning, reactive merging, one
+///    visualization after all queries finished).
+///  - kIlp: ILP planning with processing cost folded into the objective.
+///  - kIlpIncremental: incremental ILP optimization (§5.4), re-processing
+///    after each optimization sequence.
+///  - kIncrementalPlot: plots appear one by one as their queries finish
+///    (§8.2 "incremental plotting").
+///  - kApprox1 / kApprox5: approximate processing on a fixed 1% / 5%
+///    sample first, exact results replacing it when ready (§8.2).
+///  - kApproxDynamic: sample size chosen to meet the interactivity
+///    threshold ("App-D").
+enum class PresentationMethod {
+  kGreedy,
+  kIlp,
+  kIlpIncremental,
+  kIncrementalPlot,
+  kApprox1,
+  kApprox5,
+  kApproxDynamic,
+};
+
+/// "Greedy", "ILP", "ILP-Inc", "Inc-Plot", "App-1%", "App-5%", "App-D".
+const char* PresentationMethodName(PresentationMethod method);
+
+/// All methods, in the paper's order.
+const std::vector<PresentationMethod>& AllPresentationMethods();
+
+/// Harness options.
+struct PresentationOptions {
+  core::PlannerConfig planner;
+  /// Incremental-ILP schedule (paper §9.4 uses k = 62.5 ms, b = 2).
+  double ilp_incremental_initial_ms = 62.5;
+  double ilp_incremental_growth = 2.0;
+  /// Interactivity threshold the dynamic approximate method targets.
+  double dynamic_threshold_ms = 2000.0;
+  /// Smallest sample the dynamic method will use.
+  double dynamic_min_fraction = 0.002;
+};
+
+/// One visualization shown to the user during a presentation run.
+struct VisualizationEvent {
+  double at_millis = 0.0;   ///< Pipeline time when this became visible.
+  bool approximate = false; ///< Values stem from a sample.
+  core::Multiplot multiplot;
+};
+
+/// Timings and quality measures of one presentation run.
+struct PresentationOutcome {
+  std::vector<VisualizationEvent> events;
+  double plan_millis = 0.0;
+  /// F-Time: time until the correct result is visible, at least as an
+  /// approximation (infinity when the plan does not cover it).
+  double first_correct_ms = std::numeric_limits<double>::infinity();
+  /// T-Time: time until the final (exact, complete) visualization.
+  double total_ms = 0.0;
+  /// Mean relative error of the initial visualization's bar values
+  /// against the exact values (0 for non-approximate methods).
+  double initial_relative_error = 0.0;
+  /// User-model cost of the final multiplot.
+  double expected_user_cost = 0.0;
+  /// Whether the final multiplot contains the correct candidate at all.
+  bool correct_shown = false;
+};
+
+/// Runs the full pipeline (plan -> process -> present) for one method and
+/// one candidate set, measuring the paper's Fig. 9-11 quantities.
+/// `correct_candidate` is the index of the ground-truth interpretation.
+Result<PresentationOutcome> RunPresentation(
+    PresentationMethod method, Engine* engine,
+    const core::CandidateSet& candidates, size_t correct_candidate,
+    const PresentationOptions& options);
+
+}  // namespace muve::exec
+
+#endif  // MUVE_EXEC_PRESENTATION_H_

@@ -1,0 +1,348 @@
+#include "ilp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace muve::ilp {
+
+namespace {
+
+/// Dense simplex tableau over equality-form constraints A x = b, x >= 0.
+/// Rows 0..m-1 are constraints; row m carries the (negated) reduced
+/// costs so pricing is O(n) and pivots keep it up to date — the textbook
+/// full-tableau method.
+class Tableau {
+ public:
+  Tableau(size_t num_rows, size_t num_cols)
+      : m_(num_rows),
+        n_(num_cols),
+        a_((num_rows + 1) * (num_cols + 1), 0.0),
+        basis_(num_rows, -1) {}
+
+  double& At(size_t row, size_t col) { return a_[row * (n_ + 1) + col]; }
+  double At(size_t row, size_t col) const {
+    return a_[row * (n_ + 1) + col];
+  }
+  double& Rhs(size_t row) { return a_[row * (n_ + 1) + n_]; }
+  double Rhs(size_t row) const { return a_[row * (n_ + 1) + n_]; }
+  int basis(size_t row) const { return basis_[row]; }
+  void set_basis(size_t row, int col) { basis_[row] = col; }
+  size_t num_rows() const { return m_; }
+  size_t num_cols() const { return n_; }
+
+  /// Loads the objective row with reduced costs for `cost` under the
+  /// current basis: z_j = c_j - c_B' (B^{-1} A)_j. O(m * n), done once
+  /// per phase.
+  void PriceObjective(const std::vector<double>& cost) {
+    double* z = &a_[m_ * (n_ + 1)];
+    for (size_t j = 0; j <= n_; ++j) z[j] = j < n_ ? cost[j] : 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      const double* row = &a_[i * (n_ + 1)];
+      for (size_t j = 0; j <= n_; ++j) z[j] -= cb * row[j];
+    }
+  }
+
+  /// Runs primal simplex minimizing the objective currently priced into
+  /// the objective row. `deadline` (optional) is polled periodically.
+  LpStatus Minimize(double tolerance, int max_iterations, int* iterations,
+                    const std::vector<bool>* disallowed_entering,
+                    const Deadline* deadline) {
+    const double* z = &a_[m_ * (n_ + 1)];
+    for (;;) {
+      if (*iterations >= max_iterations) return LpStatus::kIterationLimit;
+      if (deadline != nullptr && (*iterations & 31) == 0 &&
+          deadline->Expired()) {
+        return LpStatus::kIterationLimit;
+      }
+
+      // Pricing: Dantzig by default, Bland when past half the budget
+      // (anti-cycling safeguard).
+      const bool use_bland = *iterations > max_iterations / 2;
+      int entering = -1;
+      double best = -tolerance;
+      for (size_t j = 0; j < n_; ++j) {
+        if (disallowed_entering != nullptr && (*disallowed_entering)[j]) {
+          continue;
+        }
+        if (z[j] < best) {
+          entering = static_cast<int>(j);
+          if (use_bland) break;  // First eligible index.
+          best = z[j];
+        }
+      }
+      if (entering < 0) return LpStatus::kOptimal;
+
+      // Ratio test.
+      int leaving_row = -1;
+      double best_ratio = 0.0;
+      for (size_t i = 0; i < m_; ++i) {
+        const double pivot = At(i, entering);
+        if (pivot <= tolerance) continue;
+        const double ratio = Rhs(i) / pivot;
+        if (leaving_row < 0 || ratio < best_ratio - 1e-12 ||
+            (std::fabs(ratio - best_ratio) <= 1e-12 &&
+             basis_[i] < basis_[leaving_row])) {
+          leaving_row = static_cast<int>(i);
+          best_ratio = ratio;
+        }
+      }
+      if (leaving_row < 0) return LpStatus::kUnbounded;
+
+      Pivot(static_cast<size_t>(leaving_row),
+            static_cast<size_t>(entering));
+      ++*iterations;
+    }
+  }
+
+  /// Gauss-Jordan pivot on (row, col); updates the basis and the
+  /// objective row.
+  void Pivot(size_t row, size_t col) {
+    double* pivot_row = &a_[row * (n_ + 1)];
+    const double pivot = pivot_row[col];
+    assert(std::fabs(pivot) > 1e-12);
+    const double inv = 1.0 / pivot;
+    for (size_t j = 0; j <= n_; ++j) pivot_row[j] *= inv;
+    pivot_row[col] = 1.0;  // Avoid drift.
+    for (size_t i = 0; i <= m_; ++i) {  // Includes the objective row.
+      if (i == row) continue;
+      double* target = &a_[i * (n_ + 1)];
+      const double factor = target[col];
+      if (factor == 0.0) continue;
+      for (size_t j = 0; j <= n_; ++j) target[j] -= factor * pivot_row[j];
+      target[col] = 0.0;
+    }
+    basis_[row] = static_cast<int>(col);
+  }
+
+ private:
+  size_t m_;
+  size_t n_;
+  std::vector<double> a_;  ///< (m + 1) rows of n cols + rhs, row-major.
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SimplexSolver::Solve(const Model& model) const {
+  std::vector<double> lb(model.num_variables());
+  std::vector<double> ub(model.num_variables());
+  for (size_t v = 0; v < model.num_variables(); ++v) {
+    lb[v] = model.lower_bound(static_cast<int>(v));
+    ub[v] = model.upper_bound(static_cast<int>(v));
+  }
+  return Solve(model, lb, ub, nullptr);
+}
+
+LpSolution SimplexSolver::Solve(const Model& model,
+                                const std::vector<double>& lb,
+                                const std::vector<double>& ub) const {
+  return Solve(model, lb, ub, nullptr);
+}
+
+LpSolution SimplexSolver::Solve(const Model& model,
+                                const std::vector<double>& lb,
+                                const std::vector<double>& ub,
+                                const Deadline* deadline) const {
+  const double tol = options_.tolerance;
+  const size_t num_model_vars = model.num_variables();
+  LpSolution solution;
+
+  // 1. Classify variables: fixed ones are substituted out; free ones are
+  //    shifted by their (finite) lower bound so the LP variable is >= 0.
+  std::vector<int> lp_index(num_model_vars, -1);
+  std::vector<int> model_index;  // lp var -> model var.
+  for (size_t v = 0; v < num_model_vars; ++v) {
+    assert(std::isfinite(lb[v]) && "lower bounds must be finite");
+    if (ub[v] < lb[v] - tol) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    if (ub[v] - lb[v] > tol) {
+      lp_index[v] = static_cast<int>(model_index.size());
+      model_index.push_back(static_cast<int>(v));
+    }
+  }
+  const size_t num_free = model_index.size();
+
+  // 2. Collect rows: model constraints with fixed variables folded into
+  //    the rhs, plus upper-bound rows for free vars with finite ub.
+  struct Row {
+    std::vector<std::pair<int, double>> terms;  // LP variable index.
+    Relation relation;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(model.num_constraints() + num_free);
+  for (size_t i = 0; i < model.num_constraints(); ++i) {
+    Row row;
+    row.relation = model.relation(i);
+    row.rhs = model.rhs(i);
+    for (const auto& [var, coef] : model.row(i)) {
+      row.rhs -= coef * lb[var];
+      if (lp_index[var] >= 0) {
+        row.terms.emplace_back(lp_index[var], coef);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  for (size_t k = 0; k < num_free; ++k) {
+    const int v = model_index[k];
+    if (!std::isfinite(ub[v])) continue;
+    Row row;
+    row.relation = Relation::kLessEqual;
+    row.rhs = ub[v] - lb[v];
+    row.terms.emplace_back(static_cast<int>(k), 1.0);
+    rows.push_back(std::move(row));
+  }
+
+  // 3. Objective in minimize sense over shifted variables.
+  const double sense_factor =
+      model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  std::vector<double> cost(num_free, 0.0);
+  for (size_t v = 0; v < num_model_vars; ++v) {
+    const double c = model.objective_coefficient(static_cast<int>(v));
+    if (lp_index[v] >= 0) cost[lp_index[v]] = sense_factor * c;
+  }
+
+  // 4. Equality form: structural vars, then one slack per <= / >= row,
+  //    then artificials where needed.
+  const size_t m = rows.size();
+  size_t num_slacks = 0;
+  for (const Row& row : rows) {
+    if (row.relation != Relation::kEqual) ++num_slacks;
+  }
+  const size_t slack_base = num_free;
+  const size_t artificial_base = num_free + num_slacks;
+  size_t num_artificials = 0;
+
+  // A row provides a basic slack when its slack coefficient is +1 after
+  // normalizing the rhs to be non-negative.
+  std::vector<bool> needs_artificial(m, false);
+  for (size_t i = 0; i < m; ++i) {
+    const Row& row = rows[i];
+    const bool negate = row.rhs < 0.0;
+    double slack_coef = 0.0;
+    if (row.relation == Relation::kLessEqual) slack_coef = 1.0;
+    if (row.relation == Relation::kGreaterEqual) slack_coef = -1.0;
+    if (negate) slack_coef = -slack_coef;
+    if (slack_coef != 1.0) {
+      needs_artificial[i] = true;
+      ++num_artificials;
+    }
+  }
+
+  const size_t total_cols = artificial_base + num_artificials;
+  Tableau tableau(m, total_cols);
+
+  {
+    size_t slack_cursor = 0;
+    size_t artificial_cursor = 0;
+    for (size_t i = 0; i < m; ++i) {
+      const Row& row = rows[i];
+      const bool negate = row.rhs < 0.0;
+      const double sign = negate ? -1.0 : 1.0;
+      for (const auto& [var, coef] : row.terms) {
+        tableau.At(i, var) += sign * coef;
+      }
+      tableau.Rhs(i) = sign * row.rhs;
+      if (row.relation != Relation::kEqual) {
+        double slack_coef =
+            row.relation == Relation::kLessEqual ? 1.0 : -1.0;
+        slack_coef *= sign;
+        tableau.At(i, slack_base + slack_cursor) = slack_coef;
+        if (!needs_artificial[i]) {
+          tableau.set_basis(i,
+                            static_cast<int>(slack_base + slack_cursor));
+        }
+        ++slack_cursor;
+      }
+      if (needs_artificial[i]) {
+        const size_t art = artificial_base + artificial_cursor;
+        tableau.At(i, art) = 1.0;
+        tableau.set_basis(i, static_cast<int>(art));
+        ++artificial_cursor;
+      }
+    }
+  }
+
+  int iterations = 0;
+
+  // 5. Phase 1: minimize the sum of artificials.
+  if (num_artificials > 0) {
+    std::vector<double> phase1_cost(total_cols, 0.0);
+    for (size_t j = artificial_base; j < total_cols; ++j) {
+      phase1_cost[j] = 1.0;
+    }
+    tableau.PriceObjective(phase1_cost);
+    const LpStatus status =
+        tableau.Minimize(tol, options_.max_iterations, &iterations,
+                         nullptr, deadline);
+    if (status == LpStatus::kIterationLimit) {
+      solution.status = LpStatus::kIterationLimit;
+      return solution;
+    }
+    double phase1_value = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      if (static_cast<size_t>(tableau.basis(i)) >= artificial_base) {
+        phase1_value += tableau.Rhs(i);
+      }
+    }
+    if (phase1_value > 1e-6) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive remaining (degenerate) artificials out of the basis.
+    for (size_t i = 0; i < m; ++i) {
+      if (static_cast<size_t>(tableau.basis(i)) < artificial_base) continue;
+      int pivot_col = -1;
+      for (size_t j = 0; j < artificial_base; ++j) {
+        if (std::fabs(tableau.At(i, j)) > tol) {
+          pivot_col = static_cast<int>(j);
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        tableau.Pivot(i, static_cast<size_t>(pivot_col));
+      }
+      // A remaining all-zero row is redundant; its zero-valued basic
+      // artificial is harmless since artificials cannot re-enter below.
+    }
+  }
+
+  // 6. Phase 2: minimize the real cost; artificial columns may not enter.
+  std::vector<double> phase2_cost(total_cols, 0.0);
+  for (size_t j = 0; j < num_free; ++j) phase2_cost[j] = cost[j];
+  std::vector<bool> disallowed(total_cols, false);
+  for (size_t j = artificial_base; j < total_cols; ++j) disallowed[j] = true;
+  tableau.PriceObjective(phase2_cost);
+  const LpStatus status = tableau.Minimize(
+      tol, options_.max_iterations, &iterations, &disallowed, deadline);
+  if (status == LpStatus::kIterationLimit ||
+      status == LpStatus::kUnbounded) {
+    solution.status = status;
+    return solution;
+  }
+
+  // 7. Extract the solution, undoing shift and substitution.
+  std::vector<double> lp_values(total_cols, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    lp_values[tableau.basis(i)] = tableau.Rhs(i);
+  }
+  solution.x.resize(num_model_vars);
+  for (size_t v = 0; v < num_model_vars; ++v) {
+    if (lp_index[v] < 0) {
+      solution.x[v] = lb[v];
+    } else {
+      solution.x[v] = lb[v] + lp_values[lp_index[v]];
+      solution.x[v] = std::clamp(solution.x[v], lb[v], ub[v]);
+    }
+  }
+  solution.objective = model.EvaluateObjective(solution.x);
+  solution.status = LpStatus::kOptimal;
+  return solution;
+}
+
+}  // namespace muve::ilp

@@ -1,0 +1,68 @@
+#ifndef MUVE_ILP_SIMPLEX_H_
+#define MUVE_ILP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/clock.h"
+
+#include "ilp/model.h"
+
+namespace muve::ilp {
+
+/// Status of one LP solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+/// Solution of an LP relaxation.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Values for every model variable (also populated for substituted-out
+  /// fixed variables). Empty unless status is kOptimal.
+  std::vector<double> x;
+  /// Objective in the model's sense, including the constant term.
+  double objective = 0.0;
+};
+
+/// Dense two-phase primal simplex solver.
+///
+/// Solves the LP relaxation of a `Model` under per-variable bound
+/// overrides (the branch-and-bound layer narrows bounds when branching).
+/// Fixed variables are substituted out; finite upper bounds become rows.
+/// Dantzig pricing with a switch to Bland's rule for anti-cycling.
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 200000;
+    double tolerance = 1e-8;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Solves min/max c'x s.t. model constraints, lb <= x <= ub.
+  /// `lb`/`ub` must have one entry per model variable and satisfy
+  /// lb[v] >= model lower bound, ub[v] <= model upper bound. All lower
+  /// bounds must be finite.
+  LpSolution Solve(const Model& model, const std::vector<double>& lb,
+                   const std::vector<double>& ub) const;
+
+  /// As above, aborting with kIterationLimit once `deadline` expires
+  /// (pass nullptr for no deadline).
+  LpSolution Solve(const Model& model, const std::vector<double>& lb,
+                   const std::vector<double>& ub,
+                   const Deadline* deadline) const;
+
+  /// Solves with the model's own bounds.
+  LpSolution Solve(const Model& model) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace muve::ilp
+
+#endif  // MUVE_ILP_SIMPLEX_H_

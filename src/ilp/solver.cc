@@ -1,0 +1,163 @@
+#include "ilp/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace muve::ilp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lb;
+  std::vector<double> ub;
+  double parent_bound;  ///< LP bound of the parent (minimize sense).
+};
+
+/// Rounds near-integral values exactly; returns the index of the most
+/// fractional integer variable, or -1 when integral.
+int MostFractional(const Model& model, const std::vector<double>& x,
+                   double tol) {
+  int best = -1;
+  double best_score = tol;
+  for (size_t v = 0; v < model.num_variables(); ++v) {
+    if (!model.is_integer(static_cast<int>(v))) continue;
+    const double frac = x[v] - std::floor(x[v]);
+    const double distance = std::min(frac, 1.0 - frac);
+    if (distance > best_score) {
+      best_score = distance;
+      best = static_cast<int>(v);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipSolution MipSolver::Solve(const Model& model, const Deadline& deadline,
+                             const std::vector<double>* warm_start) const {
+  const bool minimize = model.sense() == Sense::kMinimize;
+  // Internally we compare in minimize sense.
+  auto to_min = [minimize](double v) { return minimize ? v : -v; };
+
+  MipSolution best;
+  best.status = MipStatus::kInfeasible;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  if (warm_start != nullptr && model.IsFeasible(*warm_start)) {
+    best.x = *warm_start;
+    best.objective = model.EvaluateObjective(*warm_start);
+    incumbent = to_min(best.objective);
+    best.status = MipStatus::kFeasibleTimeout;  // Refined on return.
+  }
+
+  SimplexSolver lp(options_.lp_options);
+
+  Node root;
+  root.lb.resize(model.num_variables());
+  root.ub.resize(model.num_variables());
+  for (size_t v = 0; v < model.num_variables(); ++v) {
+    root.lb[v] = model.lower_bound(static_cast<int>(v));
+    root.ub[v] = model.upper_bound(static_cast<int>(v));
+  }
+  root.parent_bound = -std::numeric_limits<double>::infinity();
+
+  // Depth-first search; children pushed so the branch suggested by the LP
+  // value is explored first (diving quickly yields incumbents).
+  std::vector<Node> stack;
+  stack.push_back(std::move(root));
+
+  double global_bound = -std::numeric_limits<double>::infinity();
+  bool timed_out = false;
+  bool root_unbounded = false;
+  size_t nodes = 0;
+
+  while (!stack.empty()) {
+    if (deadline.Expired() || nodes >= options_.max_nodes) {
+      timed_out = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    // Bound-based pruning against the incumbent.
+    if (node.parent_bound >= incumbent - options_.gap_tolerance) continue;
+
+    const LpSolution relax = lp.Solve(model, node.lb, node.ub, &deadline);
+    ++nodes;
+    if (relax.status == LpStatus::kInfeasible) continue;
+    if (relax.status == LpStatus::kIterationLimit) {
+      timed_out = true;
+      break;
+    }
+    if (relax.status == LpStatus::kUnbounded) {
+      if (nodes == 1) root_unbounded = true;
+      // An unbounded relaxation at the root makes the MIP unbounded (for
+      // our models this never happens; deeper nodes inherit the issue).
+      break;
+    }
+    const double bound = to_min(relax.objective);
+    if (nodes == 1) global_bound = bound;
+    if (bound >= incumbent - options_.gap_tolerance) continue;
+
+    const int branch_var =
+        MostFractional(model, relax.x, options_.integrality_tolerance);
+    if (branch_var < 0) {
+      // Integer feasible: snap integers and accept as incumbent.
+      std::vector<double> x = relax.x;
+      for (size_t v = 0; v < model.num_variables(); ++v) {
+        if (model.is_integer(static_cast<int>(v))) {
+          x[v] = std::round(x[v]);
+        }
+      }
+      const double objective = model.EvaluateObjective(x);
+      const double value = to_min(objective);
+      if (value < incumbent - options_.gap_tolerance) {
+        incumbent = value;
+        best.x = std::move(x);
+        best.objective = objective;
+      }
+      continue;
+    }
+
+    // Branch: floor and ceiling children.
+    const double value = relax.x[branch_var];
+    Node down = node;
+    down.ub[branch_var] = std::floor(value);
+    down.parent_bound = bound;
+    Node up = std::move(node);
+    up.lb[branch_var] = std::ceil(value);
+    up.parent_bound = bound;
+
+    // Explore the branch nearer the LP value first (pushed last).
+    const double frac = value - std::floor(value);
+    if (frac > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  best.nodes_explored = nodes;
+  best.timed_out = timed_out;
+  best.best_bound = minimize ? global_bound : -global_bound;
+
+  if (root_unbounded) {
+    best.status = MipStatus::kUnbounded;
+    return best;
+  }
+  const bool has_incumbent = std::isfinite(incumbent);
+  if (!timed_out) {
+    best.status =
+        has_incumbent ? MipStatus::kOptimal : MipStatus::kInfeasible;
+    if (has_incumbent) best.best_bound = best.objective;
+  } else {
+    best.status = has_incumbent ? MipStatus::kFeasibleTimeout
+                                : MipStatus::kNoSolutionTimeout;
+  }
+  return best;
+}
+
+}  // namespace muve::ilp

@@ -1,0 +1,73 @@
+#ifndef MUVE_ILP_SOLVER_H_
+#define MUVE_ILP_SOLVER_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "ilp/model.h"
+#include "ilp/simplex.h"
+
+namespace muve::ilp {
+
+/// Outcome of a MIP solve.
+enum class MipStatus {
+  kOptimal,          ///< Proven optimal solution found.
+  kFeasibleTimeout,  ///< Deadline hit; best incumbent returned.
+  kInfeasible,       ///< No integer-feasible solution exists.
+  kNoSolutionTimeout,///< Deadline hit before any incumbent was found.
+  kUnbounded,
+};
+
+/// Solution of a MIP solve.
+struct MipSolution {
+  MipStatus status = MipStatus::kInfeasible;
+  std::vector<double> x;      ///< Best assignment (when one exists).
+  double objective = 0.0;     ///< Objective of `x` in the model's sense.
+  double best_bound = 0.0;    ///< Dual bound at termination.
+  size_t nodes_explored = 0;  ///< Branch-and-bound nodes processed.
+  bool timed_out = false;     ///< True when the deadline expired.
+
+  bool has_solution() const {
+    return status == MipStatus::kOptimal ||
+           status == MipStatus::kFeasibleTimeout;
+  }
+};
+
+/// Branch-and-bound solver for mixed binary/integer programs, standing in
+/// for the Gurobi solver the paper uses (§9.1). Mirrors the behaviour MUVE
+/// relies on: a wall-clock time limit after which the best incumbent found
+/// so far is returned (paper: "in case of a timeout, the ILP approach
+/// still produces a solution").
+class MipSolver {
+ public:
+  struct Options {
+    /// Tolerance for considering an LP value integral.
+    double integrality_tolerance = 1e-6;
+    /// Relative optimality gap at which search stops.
+    double gap_tolerance = 1e-9;
+    /// Hard cap on explored nodes (safety valve).
+    size_t max_nodes = 2'000'000;
+    SimplexSolver::Options lp_options;
+  };
+
+  MipSolver() = default;
+  explicit MipSolver(Options options) : options_(options) {}
+
+  /// Solves `model` to optimality or until `deadline` expires.
+  /// `warm_start` (optional) is checked for feasibility and used as the
+  /// initial incumbent, like passing a MIP start to Gurobi.
+  MipSolution Solve(const Model& model, const Deadline& deadline,
+                    const std::vector<double>* warm_start = nullptr) const;
+
+  /// Convenience: solve with no deadline.
+  MipSolution Solve(const Model& model) const {
+    return Solve(model, Deadline::Infinite());
+  }
+
+ private:
+  Options options_{};
+};
+
+}  // namespace muve::ilp
+
+#endif  // MUVE_ILP_SOLVER_H_

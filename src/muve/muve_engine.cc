@@ -1,0 +1,65 @@
+#include "muve/muve_engine.h"
+
+#include "common/clock.h"
+#include "core/greedy_planner.h"
+#include "core/ilp_planner.h"
+#include "workload/datasets.h"
+
+namespace muve {
+
+MuveEngine::MuveEngine(std::shared_ptr<const db::Table> table,
+                       MuveOptions options)
+    : options_(std::move(options)),
+      schema_index_(std::make_shared<nlq::SchemaIndex>(table)),
+      translator_(schema_index_),
+      generator_(schema_index_),
+      exec_engine_(table, options_.execution) {
+  std::vector<std::string> lexicon = workload::BuildVocabulary(*table);
+  for (const char* word :
+       {"how", "many", "total", "average", "maximum", "minimum", "count",
+        "sum", "where", "is", "and", "records", "number", "of"}) {
+    lexicon.emplace_back(word);
+  }
+  speech_ = std::make_unique<speech::SpeechSimulator>(lexicon);
+}
+
+Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
+  Answer answer;
+  answer.transcript = std::string(text);
+  StopWatch watch;
+
+  MUVE_ASSIGN_OR_RETURN(nlq::Translation translation,
+                        translator_.Translate(text));
+  answer.base_query = translation.query;
+  answer.base_confidence = translation.confidence;
+  answer.candidates = generator_.Generate(
+      translation.query, translation.confidence, options_.generation);
+
+  if (options_.use_ilp) {
+    const core::IlpPlanner planner;
+    MUVE_ASSIGN_OR_RETURN(answer.plan,
+                          planner.Plan(answer.candidates, options_.planner));
+  } else {
+    const core::GreedyPlanner planner;
+    MUVE_ASSIGN_OR_RETURN(answer.plan,
+                          planner.Plan(answer.candidates, options_.planner));
+  }
+  MUVE_ASSIGN_OR_RETURN(
+      answer.execution,
+      exec_engine_.ExecuteMultiplot(answer.candidates,
+                                    &answer.plan.multiplot));
+  answer.pipeline_millis = watch.ElapsedMillis();
+  return answer;
+}
+
+Result<MuveEngine::Answer> MuveEngine::AskVoice(
+    std::string_view utterance, Rng* rng,
+    const speech::SpeechNoiseOptions& noise) {
+  const std::string transcript =
+      speech_->Transcribe(utterance, rng, noise);
+  MUVE_ASSIGN_OR_RETURN(Answer answer, AskText(transcript));
+  answer.transcript = transcript;
+  return answer;
+}
+
+}  // namespace muve

@@ -1,0 +1,79 @@
+#ifndef MUVE_MUVE_MUVE_ENGINE_H_
+#define MUVE_MUVE_MUVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/candidate.h"
+#include "core/planner.h"
+#include "db/table.h"
+#include "exec/engine.h"
+#include "nlq/candidate_generator.h"
+#include "nlq/schema_index.h"
+#include "nlq/translator.h"
+#include "speech/speech_simulator.h"
+
+namespace muve {
+
+/// Top-level configuration of a MuveEngine.
+struct MuveOptions {
+  core::PlannerConfig planner;
+  nlq::CandidateGeneratorOptions generation;
+  exec::EngineOptions execution;
+  /// Plan with the ILP solver instead of the greedy solver.
+  bool use_ilp = false;
+};
+
+/// The complete MUVE pipeline (paper Fig. 1) over one table:
+/// (noisy) text -> base SQL (text-to-SQL) -> probability distribution over
+/// candidate queries (text-to-multi-SQL) -> multiplot selection
+/// (visualization planner) -> merged query execution -> multiplot with
+/// results.
+///
+/// Speech recognition happens upstream: callers either pass recognized
+/// text to AskText(), or pass a clean utterance plus noise options to
+/// AskVoice(), which simulates the recognizer.
+class MuveEngine {
+ public:
+  /// The full answer to one voice query.
+  struct Answer {
+    std::string transcript;         ///< Text after (simulated) ASR.
+    db::AggregateQuery base_query;  ///< Most likely translation.
+    double base_confidence = 0.0;
+    core::CandidateSet candidates;  ///< Probability distribution.
+    core::PlanResult plan;          ///< Multiplot with filled-in values.
+    exec::Execution execution;
+    double pipeline_millis = 0.0;   ///< Planning + execution time.
+  };
+
+  explicit MuveEngine(std::shared_ptr<const db::Table> table,
+                      MuveOptions options = {});
+
+  /// Answers a (recognized) text query.
+  Result<Answer> AskText(std::string_view text);
+
+  /// Answers a voice query: the utterance passes through the simulated
+  /// recognizer before translation.
+  Result<Answer> AskVoice(std::string_view utterance, Rng* rng,
+                          const speech::SpeechNoiseOptions& noise = {});
+
+  const db::Table& table() const { return exec_engine_.table(); }
+  const nlq::SchemaIndex& schema_index() const { return *schema_index_; }
+  exec::Engine& exec_engine() { return exec_engine_; }
+  const MuveOptions& options() const { return options_; }
+
+ private:
+  MuveOptions options_;
+  std::shared_ptr<const nlq::SchemaIndex> schema_index_;
+  nlq::Translator translator_;
+  nlq::CandidateGenerator generator_;
+  exec::Engine exec_engine_;
+  std::unique_ptr<speech::SpeechSimulator> speech_;
+};
+
+}  // namespace muve
+
+#endif  // MUVE_MUVE_MUVE_ENGINE_H_

@@ -1,0 +1,275 @@
+#include "nlq/candidate_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "phonetics/similarity.h"
+
+namespace muve::nlq {
+
+namespace {
+
+/// One single-element replacement applicable to the base query.
+struct Replacement {
+  enum class Site {
+    kAggregateFunction,
+    kAggregateColumn,
+    kAggregateBoth,    // Function and column at once (COUNT(*) bases).
+    kPredicateValue,   // May move the predicate to another column.
+    kPredicateColumn,  // Same value, different owning column.
+    kDropPredicate,    // Remove a (possibly spurious) predicate.
+  };
+  Site site = Site::kPredicateValue;
+  size_t predicate_index = 0;
+  db::AggregateFunction function = db::AggregateFunction::kCount;
+  std::string column;
+  std::string value;
+  double weight = 0.0;
+  int site_id = 0;  ///< Replacements at the same site are exclusive.
+};
+
+/// Applies a replacement to a copy of the query. Returns false when the
+/// replacement conflicts with the query (e.g. duplicate predicate column).
+bool Apply(const Replacement& replacement, db::AggregateQuery* query) {
+  switch (replacement.site) {
+    case Replacement::Site::kAggregateFunction:
+      // COUNT keeps the aggregate column (COUNT(col) == COUNT(*) in this
+      // fragment) so the candidate shares the "?(col)" function-slot
+      // template with its siblings.
+      query->function = replacement.function;
+      return true;
+    case Replacement::Site::kAggregateColumn:
+      query->aggregate_column = replacement.column;
+      return true;
+    case Replacement::Site::kAggregateBoth:
+      query->function = replacement.function;
+      query->aggregate_column = replacement.column;
+      return true;
+    case Replacement::Site::kDropPredicate: {
+      for (size_t i = 0; i < query->predicates.size(); ++i) {
+        if (EqualsIgnoreCase(query->predicates[i].column,
+                             replacement.column)) {
+          query->predicates.erase(query->predicates.begin() +
+                                  static_cast<long>(i));
+          return !query->predicates.empty();
+        }
+      }
+      return false;  // Another replacement already rewired this column.
+    }
+    case Replacement::Site::kPredicateValue:
+    case Replacement::Site::kPredicateColumn: {
+      if (replacement.predicate_index >= query->predicates.size()) {
+        return false;
+      }
+      // The replacement may move the predicate onto another column; a
+      // query with two predicates on one column is contradictory (both
+      // are equalities), so reject those.
+      for (size_t i = 0; i < query->predicates.size(); ++i) {
+        if (i == replacement.predicate_index) continue;
+        if (EqualsIgnoreCase(query->predicates[i].column,
+                             replacement.column)) {
+          return false;
+        }
+      }
+      db::Predicate& predicate =
+          query->predicates[replacement.predicate_index];
+      predicate.column = replacement.column;
+      predicate.values = {db::Value(replacement.value)};
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+core::CandidateSet CandidateGenerator::Generate(
+    const db::AggregateQuery& base, double base_confidence,
+    const CandidateGeneratorOptions& options) const {
+  std::vector<Replacement> replacements;
+  int next_site_id = 0;
+
+  // Site: aggregate function (only meaningful when a column is
+  // aggregated; COUNT(*) has no alternative target).
+  if (!base.aggregate_column.empty()) {
+    const int site = next_site_id++;
+    const std::string base_name =
+        ToLower(db::AggregateFunctionName(base.function));
+    for (db::AggregateFunction fn : db::AllAggregateFunctions()) {
+      if (fn == base.function) continue;
+      const std::string name = ToLower(db::AggregateFunctionName(fn));
+      Replacement r;
+      r.site = Replacement::Site::kAggregateFunction;
+      r.function = fn;
+      r.weight = std::max(
+          options.aggregate_alternative_floor,
+          std::pow(phonetics::PhoneticSimilarity(base_name, name),
+                   options.sharpen));
+      r.site_id = site;
+      replacements.push_back(std::move(r));
+    }
+  }
+
+  // Site: COUNT(*) bases may stem from a misrecognized aggregate
+  // keyword — propose every (function, numeric column) combination.
+  if (base.aggregate_column.empty() &&
+      base.function == db::AggregateFunction::kCount &&
+      options.count_star_alternative_weight > 0.0) {
+    const int site = next_site_id++;
+    for (const std::string& column :
+         index_->table().ColumnNamesOfType(db::ValueType::kInt64)) {
+      for (db::AggregateFunction fn : db::AllAggregateFunctions()) {
+        if (fn == db::AggregateFunction::kCount) continue;
+        Replacement r;
+        r.site = Replacement::Site::kAggregateBoth;
+        r.function = fn;
+        r.column = column;
+        r.weight = options.count_star_alternative_weight;
+        r.site_id = site;
+        replacements.push_back(std::move(r));
+      }
+    }
+    for (const std::string& column :
+         index_->table().ColumnNamesOfType(db::ValueType::kDouble)) {
+      for (db::AggregateFunction fn : db::AllAggregateFunctions()) {
+        if (fn == db::AggregateFunction::kCount) continue;
+        Replacement r;
+        r.site = Replacement::Site::kAggregateBoth;
+        r.function = fn;
+        r.column = column;
+        r.weight = options.count_star_alternative_weight;
+        r.site_id = site;
+        replacements.push_back(std::move(r));
+      }
+    }
+  }
+
+  // Site: aggregate column.
+  if (!base.aggregate_column.empty()) {
+    const int site = next_site_id++;
+    for (const ColumnMatch& match : index_->TopColumns(
+             base.aggregate_column, options.k_similar + 1,
+             /*numeric_only=*/true)) {
+      if (EqualsIgnoreCase(match.column, base.aggregate_column)) continue;
+      Replacement r;
+      r.site = Replacement::Site::kAggregateColumn;
+      r.column = match.column;
+      r.weight = std::pow(match.similarity, options.sharpen);
+      r.site_id = site;
+      replacements.push_back(std::move(r));
+    }
+  }
+
+  // Sites: predicate values and predicate columns.
+  for (size_t p = 0; p < base.predicates.size(); ++p) {
+    const db::Predicate& predicate = base.predicates[p];
+    if (predicate.op != db::PredicateOp::kEq || predicate.values.empty() ||
+        !predicate.values.front().is_string()) {
+      continue;
+    }
+    const std::string value = predicate.values.front().AsString();
+
+    const int value_site = next_site_id++;
+    for (const ValueMatch& match :
+         index_->TopValues(value, options.k_similar + 1)) {
+      if (EqualsIgnoreCase(match.value, value) &&
+          EqualsIgnoreCase(match.column, predicate.column)) {
+        continue;
+      }
+      Replacement r;
+      r.site = Replacement::Site::kPredicateValue;
+      r.predicate_index = p;
+      r.column = match.column;
+      r.value = match.value;
+      r.weight = std::pow(match.similarity, options.sharpen);
+      r.site_id = value_site;
+      replacements.push_back(std::move(r));
+    }
+
+    const int column_site = next_site_id++;
+    for (const std::string& owner : index_->ColumnsOfValue(value)) {
+      if (EqualsIgnoreCase(owner, predicate.column)) continue;
+      Replacement r;
+      r.site = Replacement::Site::kPredicateColumn;
+      r.predicate_index = p;
+      r.column = owner;
+      r.value = value;
+      r.weight =
+          std::pow(phonetics::PhoneticSimilarity(predicate.column, owner),
+                   options.sharpen);
+      r.site_id = column_site;
+      replacements.push_back(std::move(r));
+    }
+  }
+
+  // Sites: dropping one of multiple predicates (spurious insertions).
+  if (base.predicates.size() >= 2 &&
+      options.drop_predicate_weight > 0.0) {
+    for (const db::Predicate& predicate : base.predicates) {
+      Replacement r;
+      r.site = Replacement::Site::kDropPredicate;
+      r.column = predicate.column;
+      r.weight = options.drop_predicate_weight;
+      r.site_id = next_site_id++;
+      replacements.push_back(std::move(r));
+    }
+  }
+
+  // Assemble weighted candidates: the base, all single replacements, and
+  // (optionally) pairs of replacements at distinct sites.
+  core::CandidateSet candidates;
+  candidates.Add(base, std::max(base_confidence, 1e-9));
+
+  for (const Replacement& r : replacements) {
+    db::AggregateQuery query = base;
+    if (!Apply(r, &query)) continue;
+    candidates.Add(std::move(query), base_confidence * r.weight);
+  }
+
+  if (options.include_pairs && !replacements.empty()) {
+    // Use only the strongest alternatives per site for pair enumeration.
+    std::vector<size_t> order(replacements.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return replacements[a].weight > replacements[b].weight;
+    });
+    std::vector<size_t> picked;
+    std::vector<int> per_site_count(next_site_id, 0);
+    for (size_t idx : order) {
+      if (per_site_count[replacements[idx].site_id] >=
+          static_cast<int>(options.pair_fanout)) {
+        continue;
+      }
+      ++per_site_count[replacements[idx].site_id];
+      picked.push_back(idx);
+    }
+    for (size_t a = 0; a < picked.size(); ++a) {
+      for (size_t b = a + 1; b < picked.size(); ++b) {
+        const Replacement& ra = replacements[picked[a]];
+        const Replacement& rb = replacements[picked[b]];
+        if (ra.site_id == rb.site_id) continue;
+        db::AggregateQuery query = base;
+        if (!Apply(ra, &query) || !Apply(rb, &query)) continue;
+        candidates.Add(std::move(query),
+                       base_confidence * ra.weight * rb.weight);
+      }
+    }
+  }
+
+  candidates.Deduplicate();
+  candidates.SortByProbability();
+  if (candidates.size() > options.max_candidates) {
+    std::vector<core::CandidateQuery> trimmed(
+        candidates.candidates().begin(),
+        candidates.candidates().begin() +
+            static_cast<long>(options.max_candidates));
+    candidates = core::CandidateSet(std::move(trimmed));
+  }
+  candidates.Normalize();
+  return candidates;
+}
+
+}  // namespace muve::nlq

@@ -1,0 +1,75 @@
+#include "nlq/schema_index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace muve::nlq {
+
+SchemaIndex::SchemaIndex(std::shared_ptr<const db::Table> table)
+    : table_(std::move(table)) {
+  for (size_t c = 0; c < table_->num_columns(); ++c) {
+    const db::Column& column = table_->column(c);
+    all_columns_.Add(column.name());
+    if (column.type() != db::ValueType::kString) {
+      numeric_columns_.Add(column.name());
+      continue;
+    }
+    phonetics::PhoneticIndex& per_column =
+        values_per_column_[ToLower(column.name())];
+    for (const std::string& value : column.dictionary()) {
+      all_values_.Add(value);
+      per_column.Add(value);
+      std::vector<std::string>& owners =
+          columns_of_value_[ToLower(value)];
+      if (std::find(owners.begin(), owners.end(), column.name()) ==
+          owners.end()) {
+        owners.push_back(column.name());
+      }
+    }
+  }
+}
+
+std::vector<ColumnMatch> SchemaIndex::TopColumns(const std::string& term,
+                                                 size_t k,
+                                                 bool numeric_only) const {
+  const phonetics::PhoneticIndex& index =
+      numeric_only ? numeric_columns_ : all_columns_;
+  std::vector<ColumnMatch> out;
+  for (const phonetics::PhoneticMatch& match : index.TopK(term, k)) {
+    out.push_back({match.entry, match.similarity});
+  }
+  return out;
+}
+
+std::vector<ValueMatch> SchemaIndex::TopValues(const std::string& term,
+                                               size_t k) const {
+  std::vector<ValueMatch> out;
+  for (const phonetics::PhoneticMatch& match : all_values_.TopK(term, k)) {
+    for (const std::string& column : ColumnsOfValue(match.entry)) {
+      out.push_back({match.entry, column, match.similarity});
+    }
+  }
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<ValueMatch> SchemaIndex::TopValuesInColumn(
+    const std::string& column, const std::string& term, size_t k) const {
+  std::vector<ValueMatch> out;
+  auto it = values_per_column_.find(ToLower(column));
+  if (it == values_per_column_.end()) return out;
+  for (const phonetics::PhoneticMatch& match : it->second.TopK(term, k)) {
+    out.push_back({match.entry, column, match.similarity});
+  }
+  return out;
+}
+
+std::vector<std::string> SchemaIndex::ColumnsOfValue(
+    const std::string& value) const {
+  auto it = columns_of_value_.find(ToLower(value));
+  if (it == columns_of_value_.end()) return {};
+  return it->second;
+}
+
+}  // namespace muve::nlq

@@ -1,0 +1,70 @@
+#ifndef MUVE_NLQ_SCHEMA_INDEX_H_
+#define MUVE_NLQ_SCHEMA_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.h"
+#include "phonetics/phonetic_index.h"
+
+namespace muve::nlq {
+
+/// A fuzzy value match: a categorical value, the column it belongs to,
+/// and its phonetic similarity to the lookup term.
+struct ValueMatch {
+  std::string value;
+  std::string column;
+  double similarity = 0.0;
+};
+
+/// A fuzzy column match.
+struct ColumnMatch {
+  std::string column;
+  double similarity = 0.0;
+};
+
+/// Phonetic indexes over a table's schema elements and categorical
+/// values — the structure MUVE queries for "the k most phonetically
+/// similar entries for each query element" (paper §3, via Lucene there).
+class SchemaIndex {
+ public:
+  explicit SchemaIndex(std::shared_ptr<const db::Table> table);
+
+  const db::Table& table() const { return *table_; }
+  std::shared_ptr<const db::Table> table_ptr() const { return table_; }
+
+  /// k columns most phonetically similar to `term`. `numeric_only`
+  /// restricts matches to aggregatable (numeric) columns.
+  std::vector<ColumnMatch> TopColumns(const std::string& term, size_t k,
+                                      bool numeric_only = false) const;
+
+  /// k categorical values most phonetically similar to `term`, across all
+  /// string columns (each tagged with its owning column). When a value
+  /// occurs in several columns, one match per column is returned.
+  std::vector<ValueMatch> TopValues(const std::string& term,
+                                    size_t k) const;
+
+  /// k values of one specific column most similar to `term`.
+  std::vector<ValueMatch> TopValuesInColumn(const std::string& column,
+                                            const std::string& term,
+                                            size_t k) const;
+
+  /// Columns owning the exact value `value` (case insensitive).
+  std::vector<std::string> ColumnsOfValue(const std::string& value) const;
+
+ private:
+  std::shared_ptr<const db::Table> table_;
+  phonetics::PhoneticIndex all_columns_;
+  phonetics::PhoneticIndex numeric_columns_;
+  phonetics::PhoneticIndex all_values_;
+  std::unordered_map<std::string, std::vector<std::string>>
+      columns_of_value_;  // Lower-cased value -> owning columns.
+  std::unordered_map<std::string, phonetics::PhoneticIndex>
+      values_per_column_;  // Lower-cased column name -> value index.
+};
+
+}  // namespace muve::nlq
+
+#endif  // MUVE_NLQ_SCHEMA_INDEX_H_

@@ -1,0 +1,82 @@
+#include "phonetics/phonetic_index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "phonetics/similarity.h"
+
+namespace muve::phonetics {
+
+namespace {
+
+const DoubleMetaphone& Encoder() {
+  static const DoubleMetaphone kEncoder;
+  return kEncoder;
+}
+
+double CodeSimilarity(const MetaphoneCode& a, const MetaphoneCode& b) {
+  double best = JaroWinklerSimilarity(a.primary, b.primary);
+  if (a.secondary != a.primary) {
+    best = std::max(best, JaroWinklerSimilarity(a.secondary, b.primary));
+  }
+  if (b.secondary != b.primary) {
+    best = std::max(best, JaroWinklerSimilarity(a.primary, b.secondary));
+  }
+  if (a.secondary != a.primary && b.secondary != b.primary) {
+    best = std::max(best, JaroWinklerSimilarity(a.secondary, b.secondary));
+  }
+  return best;
+}
+
+}  // namespace
+
+void PhoneticIndex::Add(std::string_view entry) {
+  const std::string lower = ToLower(entry);
+  for (const IndexedEntry& existing : entries_) {
+    if (existing.lower == lower) return;
+  }
+  IndexedEntry indexed;
+  indexed.text = std::string(entry);
+  indexed.lower = lower;
+  indexed.code = Encoder().Encode(entry);
+  entries_.push_back(std::move(indexed));
+}
+
+void PhoneticIndex::AddAll(const std::vector<std::string>& entries) {
+  for (const std::string& entry : entries) Add(entry);
+}
+
+std::vector<PhoneticMatch> PhoneticIndex::TopK(std::string_view query,
+                                               size_t k,
+                                               bool include_exact) const {
+  const std::string query_lower = ToLower(query);
+  const MetaphoneCode query_code = Encoder().Encode(query);
+
+  std::vector<PhoneticMatch> matches;
+  matches.reserve(entries_.size());
+  for (const IndexedEntry& entry : entries_) {
+    if (!include_exact && entry.lower == query_lower) continue;
+    double similarity = CodeSimilarity(query_code, entry.code);
+    // Break phonetic ties with the spelling similarity so that, e.g.,
+    // lookups of "brooklyn" prefer "brooklyn" over "brookline".
+    similarity = 0.9 * similarity +
+                 0.1 * JaroWinklerSimilarity(query_lower, entry.lower);
+    matches.push_back({entry.text, similarity});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const PhoneticMatch& a, const PhoneticMatch& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.entry < b.entry;
+            });
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+double PhoneticIndex::Similarity(std::string_view query,
+                                 std::string_view entry) {
+  return PhoneticSimilarity(query, entry);
+}
+
+}  // namespace muve::phonetics

@@ -1,0 +1,62 @@
+#ifndef MUVE_PHONETICS_PHONETIC_INDEX_H_
+#define MUVE_PHONETICS_PHONETIC_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "phonetics/double_metaphone.h"
+
+namespace muve::phonetics {
+
+/// An entry returned by a phonetic lookup.
+struct PhoneticMatch {
+  std::string entry;        ///< The indexed vocabulary entry.
+  double similarity = 0.0;  ///< Phonetic similarity in [0, 1].
+};
+
+/// Vocabulary index answering "k most phonetically similar entries"
+/// queries, standing in for the Apache Lucene phonetic functionality the
+/// paper uses (§3, typically k = 20).
+///
+/// Entries are encoded with Double Metaphone at insertion time; lookups
+/// compare the query's codes to all stored codes with Jaro-Winkler. For the
+/// vocabulary sizes MUVE handles (schema element names and distinct column
+/// values), a scored linear scan is exact and fast.
+class PhoneticIndex {
+ public:
+  PhoneticIndex() = default;
+
+  /// Adds one vocabulary entry. Duplicate entries are ignored.
+  void Add(std::string_view entry);
+
+  /// Adds each entry of `entries`.
+  void AddAll(const std::vector<std::string>& entries);
+
+  /// Number of distinct entries in the index.
+  size_t size() const { return entries_.size(); }
+
+  /// Returns up to `k` entries most phonetically similar to `query`,
+  /// sorted by descending similarity (ties broken lexicographically).
+  /// When `include_exact` is false, an entry equal to `query` (case
+  /// insensitive) is excluded — MUVE uses this to propose *alternatives*.
+  std::vector<PhoneticMatch> TopK(std::string_view query, size_t k,
+                                  bool include_exact = true) const;
+
+  /// Phonetic similarity between `query` and a specific entry (whether or
+  /// not the entry is indexed).
+  static double Similarity(std::string_view query, std::string_view entry);
+
+ private:
+  struct IndexedEntry {
+    std::string text;
+    std::string lower;
+    MetaphoneCode code;
+  };
+
+  std::vector<IndexedEntry> entries_;
+};
+
+}  // namespace muve::phonetics
+
+#endif  // MUVE_PHONETICS_PHONETIC_INDEX_H_

@@ -1,0 +1,84 @@
+#include "phonetics/similarity.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "phonetics/double_metaphone.h"
+
+namespace muve::phonetics {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t len_a = a.size();
+  const size_t len_b = b.size();
+  const size_t match_window =
+      std::max<size_t>(1, std::max(len_a, len_b) / 2) - 1;
+
+  std::vector<bool> matched_a(len_a, false);
+  std::vector<bool> matched_b(len_b, false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    const size_t lo = i > match_window ? i - match_window : 0;
+    const size_t hi = std::min(len_b, i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (matched_b[j] || a[i] != b[j]) continue;
+      matched_a[i] = true;
+      matched_b[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(len_a) + m / static_cast<double>(len_b) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double PhoneticSimilarity(std::string_view a, std::string_view b) {
+  static const DoubleMetaphone kEncoder;
+  const MetaphoneCode code_a = kEncoder.Encode(a);
+  const MetaphoneCode code_b = kEncoder.Encode(b);
+  double best = JaroWinklerSimilarity(code_a.primary, code_b.primary);
+  if (code_a.secondary != code_a.primary) {
+    best = std::max(best,
+                    JaroWinklerSimilarity(code_a.secondary, code_b.primary));
+  }
+  if (code_b.secondary != code_b.primary) {
+    best = std::max(best,
+                    JaroWinklerSimilarity(code_a.primary, code_b.secondary));
+  }
+  if (code_a.secondary != code_a.primary &&
+      code_b.secondary != code_b.primary) {
+    best = std::max(
+        best, JaroWinklerSimilarity(code_a.secondary, code_b.secondary));
+  }
+  return best;
+}
+
+}  // namespace muve::phonetics

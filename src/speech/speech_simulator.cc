@@ -1,0 +1,72 @@
+#include "speech/speech_simulator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace muve::speech {
+
+SpeechSimulator::SpeechSimulator(
+    const std::vector<std::string>& vocabulary) {
+  for (const std::string& word : vocabulary) {
+    // Multi-word entries are added word by word: the recognizer operates
+    // on single tokens.
+    for (const std::string& token : SplitWhitespace(word)) {
+      lexicon_.Add(ToLower(token));
+    }
+  }
+}
+
+std::string SpeechSimulator::Transcribe(
+    std::string_view utterance, Rng* rng,
+    const SpeechNoiseOptions& options) const {
+  std::vector<std::string> words = SplitWhitespace(ToLower(utterance));
+  std::vector<std::string> out_words;
+  out_words.reserve(words.size());
+  for (const std::string& word : words) {
+    if (rng->Bernoulli(options.deletion_rate)) continue;
+    if (!rng->Bernoulli(options.substitution_rate) || lexicon_.size() == 0) {
+      out_words.push_back(word);
+      continue;
+    }
+    const std::vector<phonetics::PhoneticMatch> neighbours =
+        lexicon_.TopK(word, options.confusion_k, /*include_exact=*/false);
+    if (neighbours.empty()) {
+      out_words.push_back(word);
+      continue;
+    }
+    std::vector<double> weights;
+    weights.reserve(neighbours.size());
+    for (const phonetics::PhoneticMatch& match : neighbours) {
+      // Square the similarity so near-homophones dominate.
+      weights.push_back(match.similarity * match.similarity);
+    }
+    out_words.push_back(neighbours[rng->Discrete(weights)].entry);
+  }
+  return Join(out_words, " ");
+}
+
+double SpeechSimulator::WordErrorRate(std::string_view reference,
+                                      std::string_view hypothesis) {
+  const std::vector<std::string> ref = SplitWhitespace(ToLower(reference));
+  const std::vector<std::string> hyp = SplitWhitespace(ToLower(hypothesis));
+  if (ref.empty()) return hyp.empty() ? 0.0 : 1.0;
+  // Word-level Levenshtein distance.
+  std::vector<size_t> previous(hyp.size() + 1);
+  std::vector<size_t> current(hyp.size() + 1);
+  for (size_t j = 0; j <= hyp.size(); ++j) previous[j] = j;
+  for (size_t i = 1; i <= ref.size(); ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= hyp.size(); ++j) {
+      const size_t substitution =
+          previous[j - 1] + (ref[i - 1] == hyp[j - 1] ? 0 : 1);
+      current[j] = std::min({previous[j] + 1, current[j - 1] + 1,
+                             substitution});
+    }
+    std::swap(previous, current);
+  }
+  return static_cast<double>(previous[hyp.size()]) /
+         static_cast<double>(ref.size());
+}
+
+}  // namespace muve::speech

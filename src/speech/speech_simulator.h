@@ -1,0 +1,52 @@
+#ifndef MUVE_SPEECH_SPEECH_SIMULATOR_H_
+#define MUVE_SPEECH_SPEECH_SIMULATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "phonetics/phonetic_index.h"
+
+namespace muve::speech {
+
+/// Noise knobs of the simulated recognizer.
+struct SpeechNoiseOptions {
+  /// Probability of substituting each word with a phonetically similar
+  /// vocabulary word.
+  double substitution_rate = 0.15;
+  /// Probability of dropping a word entirely.
+  double deletion_rate = 0.02;
+  /// Substitutions are drawn among the k nearest phonetic neighbours,
+  /// weighted by similarity.
+  size_t confusion_k = 5;
+};
+
+/// Simulated speech recognizer, standing in for the browser Web Speech
+/// API the paper uses (§3). Given a ground-truth utterance it produces a
+/// noisy transcript whose errors are exactly the class MUVE is designed
+/// for: words replaced by phonetically similar words ("queens" ->
+/// "quincy"), plus occasional deletions.
+class SpeechSimulator {
+ public:
+  /// `vocabulary` is the recognizer's language-model lexicon; substituted
+  /// words are drawn from it (typically the dataset vocabulary plus
+  /// common query words).
+  explicit SpeechSimulator(const std::vector<std::string>& vocabulary);
+
+  /// Transcribes `utterance` with noise.
+  std::string Transcribe(std::string_view utterance, Rng* rng,
+                         const SpeechNoiseOptions& options = {}) const;
+
+  /// Word error rate between a reference and a hypothesis transcript
+  /// (word-level Levenshtein distance / reference length).
+  static double WordErrorRate(std::string_view reference,
+                              std::string_view hypothesis);
+
+ private:
+  phonetics::PhoneticIndex lexicon_;
+};
+
+}  // namespace muve::speech
+
+#endif  // MUVE_SPEECH_SPEECH_SIMULATOR_H_

@@ -1,0 +1,64 @@
+#include "user/user_simulator.h"
+
+#include <cmath>
+#include <vector>
+
+namespace muve::user {
+
+double UserSimulator::Noisy(double base, Rng* rng) const {
+  const double sigma = model_.noise_sigma;
+  // Lognormal with unit mean: exp(N(-sigma^2/2, sigma)).
+  return base * rng->LogNormal(-sigma * sigma / 2.0, sigma);
+}
+
+UserSimulator::SearchOutcome UserSimulator::FindTarget(
+    const core::Multiplot& multiplot, size_t target, Rng* rng) const {
+  struct BarRef {
+    size_t plot_id;
+    size_t candidate;
+  };
+  std::vector<BarRef> red_bars;
+  std::vector<BarRef> plain_bars;
+  size_t plot_id = 0;
+  multiplot.ForEachPlot([&](const core::Plot& plot) {
+    for (const core::PlotBar& bar : plot.bars) {
+      if (bar.highlighted) {
+        red_bars.push_back({plot_id, bar.candidate_index});
+      } else {
+        plain_bars.push_back({plot_id, bar.candidate_index});
+      }
+    }
+    ++plot_id;
+  });
+
+  SearchOutcome outcome;
+  outcome.millis = Noisy(model_.base_latency_ms, rng);
+
+  std::vector<char> plot_understood(plot_id, 0);
+  auto scan = [&](std::vector<BarRef>* bars) -> bool {
+    rng->Shuffle(bars);
+    for (const BarRef& bar : *bars) {
+      if (!plot_understood[bar.plot_id]) {
+        outcome.millis += Noisy(model_.plot_read_ms, rng);
+        plot_understood[bar.plot_id] = 1;
+      }
+      outcome.millis += Noisy(model_.bar_read_ms, rng);
+      if (bar.candidate == target) return true;
+    }
+    return false;
+  };
+
+  // Red bars first, then the rest (paper §4.2 reading order).
+  if (scan(&red_bars)) {
+    outcome.found = true;
+    return outcome;
+  }
+  if (scan(&plain_bars)) {
+    outcome.found = true;
+    return outcome;
+  }
+  outcome.found = false;
+  return outcome;
+}
+
+}  // namespace muve::user

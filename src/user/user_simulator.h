@@ -1,0 +1,56 @@
+#ifndef MUVE_USER_USER_SIMULATOR_H_
+#define MUVE_USER_USER_SIMULATOR_H_
+
+#include "common/rng.h"
+#include "core/multiplot.h"
+
+namespace muve::user {
+
+/// Generative model of user reading behaviour, consistent with the fitted
+/// disambiguation-time model of paper §4.2: users scan highlighted (red)
+/// bars first in uniformly random order, then the remaining bars in
+/// uniformly random order; entering a not-yet-understood plot costs
+/// plot_read_ms, each bar costs bar_read_ms. Bar and plot *positions* do
+/// not influence the order — the property the paper's study could not
+/// refute (Hypotheses 1-2 rejected, 3-4 confirmed).
+struct UserBehaviorModel {
+  double bar_read_ms = 500.0;   ///< Ground-truth c_B.
+  double plot_read_ms = 2000.0; ///< Ground-truth c_P.
+  double base_latency_ms = 800.0;  ///< Page load + reaction time.
+  /// Multiplicative lognormal noise (sigma) on every read cost.
+  double noise_sigma = 0.35;
+  /// Time to give up, re-ask the query and obtain a fresh answer when the
+  /// result is missing from the multiplot.
+  double requery_ms = 20000.0;
+};
+
+/// Simulates individual users interacting with multiplots.
+class UserSimulator {
+ public:
+  explicit UserSimulator(UserBehaviorModel model = {}) : model_(model) {}
+
+  const UserBehaviorModel& model() const { return model_; }
+
+  /// Outcome of one simulated search.
+  struct SearchOutcome {
+    double millis = 0.0;  ///< Time until click (or until giving up).
+    bool found = false;   ///< Whether the target bar was present.
+  };
+
+  /// Simulates one user searching `multiplot` for the bar of candidate
+  /// `target`. When the target is absent, `millis` is the time spent
+  /// scanning everything before concluding the result is missing
+  /// (excluding requery time — the caller decides what follows).
+  SearchOutcome FindTarget(const core::Multiplot& multiplot, size_t target,
+                           Rng* rng) const;
+
+ private:
+  /// One noisy read cost: base * lognormal with unit mean.
+  double Noisy(double base, Rng* rng) const;
+
+  UserBehaviorModel model_;
+};
+
+}  // namespace muve::user
+
+#endif  // MUVE_USER_USER_SIMULATOR_H_

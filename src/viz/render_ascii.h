@@ -1,0 +1,35 @@
+#ifndef MUVE_VIZ_RENDER_ASCII_H_
+#define MUVE_VIZ_RENDER_ASCII_H_
+
+#include <string>
+
+#include "core/multiplot.h"
+
+namespace muve::viz {
+
+/// Terminal-rendering options.
+struct AsciiRenderOptions {
+  /// Total character width of the rendering.
+  size_t width_chars = 78;
+  /// Emit ANSI escape codes (red highlighted bars). Disable for tests and
+  /// non-TTY output.
+  bool use_color = true;
+  /// Maximum bar length in characters.
+  size_t max_bar_chars = 30;
+};
+
+/// Renders a multiplot as text: one block per plot (grouped under row
+/// headers), horizontal bars scaled to the plot's maximum value,
+/// highlighted bars marked in red (ANSI) or with a '*' marker.
+///
+/// Example:
+///   ── Row 1 ──────────────────────────────────
+///   COUNT(*) WHERE borough = ?
+///     brooklyn  |########################  12034
+///     bronx     |##########                5021 *
+std::string RenderMultiplot(const core::Multiplot& multiplot,
+                            const AsciiRenderOptions& options = {});
+
+}  // namespace muve::viz
+
+#endif  // MUVE_VIZ_RENDER_ASCII_H_

@@ -1,0 +1,37 @@
+#ifndef MUVE_VIZ_RENDER_SVG_H_
+#define MUVE_VIZ_RENDER_SVG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/multiplot.h"
+
+namespace muve::viz {
+
+/// SVG rendering options; plot geometry follows the planner's
+/// ScreenGeometry so what the optimizer budgeted is what gets drawn.
+struct SvgRenderOptions {
+  core::ScreenGeometry geometry;
+  double row_height_px = 220.0;
+  double title_font_px = 12.0;
+  double label_font_px = 10.0;
+  /// Fill colors.
+  std::string bar_color = "#4878a8";
+  std::string highlight_color = "#d62728";
+  std::string approx_color = "#9ecae1";
+};
+
+/// Renders the multiplot as a standalone SVG document with vertical bar
+/// charts (one chart per plot, laid out left-to-right within each row),
+/// highlighted bars in red — the browser-style output of paper Fig. 2.
+std::string RenderSvg(const core::Multiplot& multiplot,
+                      const SvgRenderOptions& options = {});
+
+/// Writes the SVG document to `path`.
+Status WriteSvgFile(const core::Multiplot& multiplot,
+                    const std::string& path,
+                    const SvgRenderOptions& options = {});
+
+}  // namespace muve::viz
+
+#endif  // MUVE_VIZ_RENDER_SVG_H_

@@ -1,0 +1,67 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+
+namespace muve::workload {
+
+Result<db::AggregateQuery> RandomQuery(const db::Table& table, Rng* rng,
+                                       const QueryGeneratorOptions& options) {
+  db::AggregateQuery query;
+  query.table = table.name();
+
+  // Aggregate: COUNT(*) or a random function over a random numeric column.
+  std::vector<std::string> numeric_columns =
+      table.ColumnNamesOfType(db::ValueType::kInt64);
+  for (const std::string& name :
+       table.ColumnNamesOfType(db::ValueType::kDouble)) {
+    numeric_columns.push_back(name);
+  }
+  if (numeric_columns.empty() ||
+      rng->Bernoulli(options.count_star_probability)) {
+    query.function = db::AggregateFunction::kCount;
+    query.aggregate_column.clear();
+  } else {
+    query.function = rng->Choice(db::AllAggregateFunctions());
+    if (query.function == db::AggregateFunction::kCount) {
+      query.aggregate_column.clear();
+    } else {
+      query.aggregate_column = rng->Choice(numeric_columns);
+    }
+  }
+
+  // Predicates on distinct string columns.
+  std::vector<std::string> string_columns =
+      table.ColumnNamesOfType(db::ValueType::kString);
+  if (string_columns.empty()) {
+    return Status::FailedPrecondition(
+        "table has no string columns for predicates");
+  }
+  rng->Shuffle(&string_columns);
+  const size_t max_predicates =
+      std::min(options.max_predicates, string_columns.size());
+  const size_t min_predicates =
+      std::min(options.min_predicates, max_predicates);
+  const size_t num_predicates = static_cast<size_t>(rng->UniformInRange(
+      static_cast<int64_t>(min_predicates),
+      static_cast<int64_t>(max_predicates)));
+
+  for (size_t i = 0; i < num_predicates; ++i) {
+    const db::Column* column = table.FindColumn(string_columns[i]);
+    const std::vector<std::string>& dictionary = column->dictionary();
+    if (dictionary.empty()) continue;
+    const std::string& value = rng->Choice(dictionary);
+    query.predicates.push_back(
+        db::Predicate::Equals(column->name(), db::Value(value)));
+  }
+  if (query.predicates.empty()) {
+    return Status::FailedPrecondition("no predicates generated (empty "
+                                      "dictionaries)");
+  }
+  return query;
+}
+
+Result<db::AggregateQuery> RandomQuery(const db::Table& table, Rng* rng) {
+  return RandomQuery(table, rng, QueryGeneratorOptions());
+}
+
+}  // namespace muve::workload

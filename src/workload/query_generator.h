@@ -1,0 +1,36 @@
+#ifndef MUVE_WORKLOAD_QUERY_GENERATOR_H_
+#define MUVE_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/query.h"
+#include "db/table.h"
+
+namespace muve::workload {
+
+/// Controls for random query generation (paper §9.2: "randomly generating
+/// up to five equality predicates by randomly picking columns and
+/// constants", uniform distribution).
+struct QueryGeneratorOptions {
+  size_t min_predicates = 1;
+  size_t max_predicates = 5;
+  /// Probability of generating COUNT(*) instead of an aggregate over a
+  /// numeric column.
+  double count_star_probability = 0.2;
+};
+
+/// Generates one random aggregation query against `table`: a uniformly
+/// chosen aggregate (function + numeric column), and equality predicates
+/// on distinct uniformly chosen string columns with uniformly chosen
+/// constants from each column's active domain.
+Result<db::AggregateQuery> RandomQuery(const db::Table& table, Rng* rng,
+                                       const QueryGeneratorOptions& options);
+
+/// Convenience overload with default options.
+Result<db::AggregateQuery> RandomQuery(const db::Table& table, Rng* rng);
+
+}  // namespace muve::workload
+
+#endif  // MUVE_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,626 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "common/rng.h"
+#include "db/cost_estimator.h"
+#include "db/executor.h"
+#include "db/query.h"
+#include "db/sql_parser.h"
+#include "db/table.h"
+#include "workload/datasets.h"
+#include "workload/query_generator.h"
+
+namespace muve::db {
+namespace {
+
+std::shared_ptr<Table> MakeCityTable() {
+  auto table = *Table::Create("trips", {{"city", ValueType::kString},
+                                        {"kind", ValueType::kString},
+                                        {"delay", ValueType::kDouble},
+                                        {"distance", ValueType::kInt64}});
+  struct Row {
+    const char* city;
+    const char* kind;
+    double delay;
+    int64_t distance;
+  };
+  const Row rows[] = {
+      {"boston", "bus", 5.0, 10},   {"boston", "rail", 7.0, 20},
+      {"austin", "bus", 1.0, 30},   {"austin", "bus", 3.0, 40},
+      {"boston", "bus", -2.0, 50},  {"newark", "rail", 9.0, 60},
+      {"newark", "bus", 11.0, 70},  {"boston", "rail", 0.0, 80},
+  };
+  for (const Row& row : rows) {
+    EXPECT_TRUE(table
+                    ->AppendRow({Value(row.city), Value(row.kind),
+                                 Value(row.delay), Value(row.distance)})
+                    .ok());
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// Table / Column.
+// ---------------------------------------------------------------------
+
+TEST(TableTest, CreateRejectsDuplicatesAndEmpty) {
+  EXPECT_FALSE(Table::Create("t", {}).ok());
+  EXPECT_FALSE(Table::Create("t", {{"a", ValueType::kInt64},
+                                   {"A", ValueType::kString}})
+                   .ok());
+}
+
+TEST(TableTest, AppendAndRead) {
+  auto table = MakeCityTable();
+  EXPECT_EQ(table->num_rows(), 8u);
+  EXPECT_EQ(table->num_columns(), 4u);
+  EXPECT_EQ(table->column(0).Get(0).AsString(), "boston");
+  EXPECT_EQ(table->column(3).Get(7).AsInt64(), 80);
+}
+
+TEST(TableTest, AppendRejectsTypeAndArityMismatch) {
+  auto table = MakeCityTable();
+  EXPECT_FALSE(table->AppendRow({Value("x"), Value("y")}).ok());
+  EXPECT_FALSE(table
+                   ->AppendRow({Value(int64_t{1}), Value("bus"),
+                                Value(1.0), Value(int64_t{2})})
+                   .ok());
+}
+
+TEST(TableTest, FindColumnIsCaseInsensitive) {
+  auto table = MakeCityTable();
+  EXPECT_NE(table->FindColumn("CITY"), nullptr);
+  EXPECT_EQ(table->FindColumn("nope"), nullptr);
+  EXPECT_TRUE(table->ColumnIndex("Delay").ok());
+  EXPECT_FALSE(table->ColumnIndex("nope").ok());
+}
+
+TEST(TableTest, ColumnNamesOfType) {
+  auto table = MakeCityTable();
+  EXPECT_EQ(table->ColumnNamesOfType(ValueType::kString),
+            (std::vector<std::string>{"city", "kind"}));
+  EXPECT_EQ(table->ColumnNamesOfType(ValueType::kDouble),
+            (std::vector<std::string>{"delay"}));
+}
+
+TEST(ColumnTest, DictionaryEncoding) {
+  auto table = MakeCityTable();
+  const Column* city = table->FindColumn("city");
+  EXPECT_EQ(city->dictionary().size(), 3u);
+  EXPECT_EQ(city->DistinctCount(), 3u);
+  EXPECT_NE(city->CodeFor("boston"), kInvalidCode);
+  EXPECT_EQ(city->CodeFor("chicago"), kInvalidCode);
+}
+
+TEST(ColumnTest, NumericDistinctCount) {
+  auto table = MakeCityTable();
+  EXPECT_EQ(table->FindColumn("distance")->DistinctCount(), 8u);
+}
+
+TEST(TableTest, SampleFraction) {
+  Rng rng(3);
+  auto big = workload::Make311Table(10000, &rng);
+  auto sample = big->Sample(0.1);
+  EXPECT_NEAR(static_cast<double>(sample->num_rows()), 1000.0, 10.0);
+  EXPECT_EQ(sample->num_columns(), big->num_columns());
+  auto empty = big->Sample(0.0);
+  EXPECT_EQ(empty->num_rows(), 0u);
+  auto full = big->Sample(1.0);
+  EXPECT_EQ(full->num_rows(), big->num_rows());
+}
+
+// ---------------------------------------------------------------------
+// Query model.
+// ---------------------------------------------------------------------
+
+TEST(QueryTest, ToSql) {
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kAvg;
+  query.aggregate_column = "delay";
+  query.predicates.push_back(Predicate::Equals("city", Value("boston")));
+  query.predicates.push_back(
+      Predicate::In("kind", {Value("bus"), Value("rail")}));
+  EXPECT_EQ(query.ToSql(),
+            "SELECT AVG(delay) FROM trips WHERE city = 'boston' AND kind "
+            "IN ('bus', 'rail')");
+}
+
+TEST(QueryTest, CanonicalKeyIsPredicateOrderInsensitive) {
+  AggregateQuery a;
+  a.table = "t";
+  a.function = AggregateFunction::kCount;
+  a.predicates = {Predicate::Equals("x", Value("1")),
+                  Predicate::Equals("y", Value("2"))};
+  AggregateQuery b = a;
+  std::swap(b.predicates[0], b.predicates[1]);
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(QueryTest, CanonicalKeyDistinguishesAggregates) {
+  AggregateQuery a;
+  a.table = "t";
+  a.function = AggregateFunction::kMin;
+  a.aggregate_column = "v";
+  AggregateQuery b = a;
+  b.function = AggregateFunction::kMax;
+  EXPECT_NE(a.CanonicalKey(), b.CanonicalKey());
+}
+
+// ---------------------------------------------------------------------
+// Executor.
+// ---------------------------------------------------------------------
+
+TEST(ExecutorTest, CountWithPredicate) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kCount;
+  query.predicates = {Predicate::Equals("city", Value("boston"))};
+  auto result = Executor::Execute(*table, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->value, 4.0);
+  EXPECT_EQ(result->rows_matched, 4u);
+}
+
+TEST(ExecutorTest, AllAggregates) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.aggregate_column = "delay";
+  query.predicates = {Predicate::Equals("city", Value("boston"))};
+  // boston delays: 5, 7, -2, 0.
+  query.function = AggregateFunction::kSum;
+  EXPECT_DOUBLE_EQ(Executor::Execute(*table, query)->value, 10.0);
+  query.function = AggregateFunction::kAvg;
+  EXPECT_DOUBLE_EQ(Executor::Execute(*table, query)->value, 2.5);
+  query.function = AggregateFunction::kMin;
+  EXPECT_DOUBLE_EQ(Executor::Execute(*table, query)->value, -2.0);
+  query.function = AggregateFunction::kMax;
+  EXPECT_DOUBLE_EQ(Executor::Execute(*table, query)->value, 7.0);
+}
+
+TEST(ExecutorTest, ConjunctionOfPredicates) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kCount;
+  query.predicates = {Predicate::Equals("city", Value("boston")),
+                      Predicate::Equals("kind", Value("bus"))};
+  EXPECT_DOUBLE_EQ(Executor::Execute(*table, query)->value, 2.0);
+}
+
+TEST(ExecutorTest, InPredicate) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kCount;
+  query.predicates = {
+      Predicate::In("city", {Value("boston"), Value("newark")})};
+  EXPECT_DOUBLE_EQ(Executor::Execute(*table, query)->value, 6.0);
+}
+
+TEST(ExecutorTest, PredicateOnMissingValueMatchesNothing) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kCount;
+  query.predicates = {Predicate::Equals("city", Value("chicago"))};
+  auto result = Executor::Execute(*table, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->value, 0.0);
+}
+
+TEST(ExecutorTest, EmptyInputAggregates) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kAvg;
+  query.aggregate_column = "delay";
+  query.predicates = {Predicate::Equals("city", Value("chicago"))};
+  auto result = Executor::Execute(*table, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty_input);
+}
+
+TEST(ExecutorTest, ErrorsOnBadColumns) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kSum;
+  query.aggregate_column = "city";  // String column.
+  EXPECT_FALSE(Executor::Execute(*table, query).ok());
+  query.aggregate_column = "nope";
+  EXPECT_FALSE(Executor::Execute(*table, query).ok());
+  query.aggregate_column = "delay";
+  query.predicates = {Predicate::Equals("nope", Value("x"))};
+  EXPECT_FALSE(Executor::Execute(*table, query).ok());
+  query.predicates = {Predicate::Equals("city", Value(int64_t{3}))};
+  EXPECT_FALSE(Executor::Execute(*table, query).ok());
+}
+
+TEST(ExecutorTest, IntAggregation) {
+  auto table = MakeCityTable();
+  AggregateQuery query;
+  query.table = "trips";
+  query.function = AggregateFunction::kSum;
+  query.aggregate_column = "distance";
+  EXPECT_DOUBLE_EQ(Executor::Execute(*table, query)->value, 360.0);
+}
+
+// ---------------------------------------------------------------------
+// Grouped execution: must equal separate execution.
+// ---------------------------------------------------------------------
+
+TEST(ExecutorTest, GroupedMatchesSeparate) {
+  auto table = MakeCityTable();
+  GroupByQuery grouped;
+  grouped.table = "trips";
+  grouped.group_column = "city";
+  grouped.group_values = {"boston", "austin", "newark", "chicago"};
+  grouped.shared_predicates = {Predicate::Equals("kind", Value("bus"))};
+  grouped.aggregates = {{AggregateFunction::kCount, ""},
+                        {AggregateFunction::kSum, "delay"},
+                        {AggregateFunction::kAvg, "delay"}};
+  auto grouped_result = Executor::ExecuteGrouped(*table, grouped);
+  ASSERT_TRUE(grouped_result.ok());
+
+  for (size_t g = 0; g < grouped.group_values.size(); ++g) {
+    for (size_t a = 0; a < grouped.aggregates.size(); ++a) {
+      AggregateQuery single;
+      single.table = "trips";
+      single.function = grouped.aggregates[a].function;
+      single.aggregate_column = grouped.aggregates[a].column;
+      single.predicates = {
+          Predicate::Equals("kind", Value("bus")),
+          Predicate::Equals("city", Value(grouped.group_values[g]))};
+      auto single_result = Executor::Execute(*table, single);
+      ASSERT_TRUE(single_result.ok());
+      EXPECT_DOUBLE_EQ(grouped_result->cells[g][a].value,
+                       single_result->value)
+          << "group " << grouped.group_values[g] << " agg " << a;
+    }
+  }
+}
+
+TEST(ExecutorTest, GroupedRandomizedEquivalence) {
+  Rng rng(99);
+  auto table = workload::Make311Table(5000, &rng);
+  const Column* borough = table->FindColumn("borough");
+  GroupByQuery grouped;
+  grouped.table = table->name();
+  grouped.group_column = "borough";
+  grouped.group_values = borough->dictionary();
+  grouped.shared_predicates = {
+      Predicate::Equals("status", Value("open"))};
+  grouped.aggregates = {{AggregateFunction::kCount, ""},
+                        {AggregateFunction::kMax, "open_hours"}};
+  auto grouped_result = Executor::ExecuteGrouped(*table, grouped);
+  ASSERT_TRUE(grouped_result.ok());
+  for (size_t g = 0; g < grouped.group_values.size(); ++g) {
+    AggregateQuery single;
+    single.table = table->name();
+    single.function = AggregateFunction::kCount;
+    single.predicates = {
+        Predicate::Equals("status", Value("open")),
+        Predicate::Equals("borough", Value(grouped.group_values[g]))};
+    EXPECT_DOUBLE_EQ(grouped_result->cells[g][0].value,
+                     Executor::Execute(*table, single)->value);
+  }
+}
+
+TEST(ExecutorTest, GroupedRequiresStringGroupColumn) {
+  auto table = MakeCityTable();
+  GroupByQuery grouped;
+  grouped.table = "trips";
+  grouped.group_column = "delay";
+  grouped.group_values = {"x"};
+  grouped.aggregates = {{AggregateFunction::kCount, ""}};
+  EXPECT_FALSE(Executor::ExecuteGrouped(*table, grouped).ok());
+}
+
+TEST(ExecutorTest, GroupBySqlText) {
+  GroupByQuery grouped;
+  grouped.table = "trips";
+  grouped.group_column = "city";
+  grouped.group_values = {"boston", "austin"};
+  grouped.shared_predicates = {Predicate::Equals("kind", Value("bus"))};
+  grouped.aggregates = {{AggregateFunction::kCount, ""},
+                        {AggregateFunction::kSum, "delay"}};
+  EXPECT_EQ(grouped.ToSql(),
+            "SELECT city, COUNT(*), SUM(delay) FROM trips WHERE kind = "
+            "'bus' AND city IN ('boston', 'austin') GROUP BY city");
+}
+
+TEST(ExecutorTest, SampledValueScaling) {
+  EXPECT_DOUBLE_EQ(
+      Executor::ScaleSampledValue(AggregateFunction::kCount, 10.0, 0.1),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      Executor::ScaleSampledValue(AggregateFunction::kSum, 10.0, 0.5),
+      20.0);
+  EXPECT_DOUBLE_EQ(
+      Executor::ScaleSampledValue(AggregateFunction::kAvg, 10.0, 0.1),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      Executor::ScaleSampledValue(AggregateFunction::kMax, 10.0, 0.1),
+      10.0);
+}
+
+// ---------------------------------------------------------------------
+// SQL parser.
+// ---------------------------------------------------------------------
+
+TEST(SqlParserTest, ParsesSimpleCount) {
+  auto query = ParseSql("SELECT COUNT(*) FROM trips");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->function, AggregateFunction::kCount);
+  EXPECT_TRUE(query->aggregate_column.empty());
+  EXPECT_EQ(query->table, "trips");
+  EXPECT_TRUE(query->predicates.empty());
+}
+
+TEST(SqlParserTest, ParsesFullQuery) {
+  auto query = ParseSql(
+      "select avg(delay) from trips where city = 'boston' and kind = "
+      "'bus'");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->function, AggregateFunction::kAvg);
+  EXPECT_EQ(query->aggregate_column, "delay");
+  ASSERT_EQ(query->predicates.size(), 2u);
+  EXPECT_EQ(query->predicates[0].column, "city");
+  EXPECT_EQ(query->predicates[0].values[0].AsString(), "boston");
+}
+
+TEST(SqlParserTest, ParsesInList) {
+  auto query = ParseSql(
+      "SELECT SUM(delay) FROM trips WHERE city IN ('a', 'b', 'c')");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->predicates.size(), 1u);
+  EXPECT_EQ(query->predicates[0].op, PredicateOp::kIn);
+  EXPECT_EQ(query->predicates[0].values.size(), 3u);
+}
+
+TEST(SqlParserTest, ParsesNumericLiterals) {
+  auto query =
+      ParseSql("SELECT COUNT(*) FROM t WHERE x = 5 AND y = 2.5");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->predicates[0].values[0].is_int64());
+  EXPECT_TRUE(query->predicates[1].values[0].is_double());
+}
+
+TEST(SqlParserTest, QuoteEscaping) {
+  auto query = ParseSql("SELECT COUNT(*) FROM t WHERE x = 'o''brien'");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->predicates[0].values[0].AsString(), "o'brien");
+}
+
+TEST(SqlParserTest, RoundTripsThroughToSql) {
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM trips",
+      "SELECT AVG(delay) FROM trips WHERE city = 'boston'",
+      "SELECT MAX(delay) FROM trips WHERE city IN ('a', 'b') AND kind = "
+      "'bus'",
+  };
+  for (const char* sql : queries) {
+    auto query = ParseSql(sql);
+    ASSERT_TRUE(query.ok()) << sql;
+    auto reparsed = ParseSql(query->ToSql());
+    ASSERT_TRUE(reparsed.ok()) << query->ToSql();
+    EXPECT_EQ(query->CanonicalKey(), reparsed->CanonicalKey());
+  }
+}
+
+TEST(SqlParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT BOGUS(x) FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT SUM(*) FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE a = 'x' extra").ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT COUNT(*) FROM t WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE a > 3").ok());
+}
+
+// ---------------------------------------------------------------------
+// Cost estimator.
+// ---------------------------------------------------------------------
+
+TEST(CostEstimatorTest, CostGrowsWithDataSize) {
+  Rng rng(1);
+  auto small = workload::Make311Table(1000, &rng);
+  auto large = workload::Make311Table(20000, &rng);
+  CostEstimator estimator;
+  AggregateQuery query;
+  query.function = AggregateFunction::kCount;
+  query.table = "nyc311";
+  query.predicates = {Predicate::Equals("borough", Value("brooklyn"))};
+  EXPECT_LT(estimator.Estimate(*small, query)->total_cost,
+            estimator.Estimate(*large, query)->total_cost);
+}
+
+TEST(CostEstimatorTest, SelectivityMultiplies) {
+  Rng rng(1);
+  auto table = workload::Make311Table(5000, &rng);
+  CostEstimator estimator;
+  AggregateQuery one;
+  one.table = "nyc311";
+  one.predicates = {Predicate::Equals("borough", Value("brooklyn"))};
+  AggregateQuery two = one;
+  two.predicates.push_back(Predicate::Equals("status", Value("open")));
+  EXPECT_LT(estimator.Estimate(*table, two)->selectivity,
+            estimator.Estimate(*table, one)->selectivity);
+}
+
+TEST(CostEstimatorTest, MergedCheaperThanManySeparate) {
+  Rng rng(1);
+  auto table = workload::Make311Table(20000, &rng);
+  CostEstimator estimator;
+  GroupByQuery grouped;
+  grouped.table = "nyc311";
+  grouped.group_column = "borough";
+  grouped.group_values = table->FindColumn("borough")->dictionary();
+  grouped.aggregates = {{AggregateFunction::kCount, ""}};
+  const double merged_cost =
+      estimator.EstimateGrouped(*table, grouped)->total_cost;
+  AggregateQuery single;
+  single.table = "nyc311";
+  single.function = AggregateFunction::kCount;
+  double separate_cost = 0.0;
+  for (const std::string& value : grouped.group_values) {
+    single.predicates = {Predicate::Equals("borough", Value(value))};
+    separate_cost += estimator.Estimate(*table, single)->total_cost;
+  }
+  EXPECT_LT(merged_cost, separate_cost / 2.0);
+}
+
+TEST(CostEstimatorTest, ErrorsOnUnknownColumn) {
+  auto table = MakeCityTable();
+  CostEstimator estimator;
+  AggregateQuery query;
+  query.table = "trips";
+  query.predicates = {Predicate::Equals("nope", Value("x"))};
+  EXPECT_FALSE(estimator.Estimate(*table, query).ok());
+}
+
+// ---------------------------------------------------------------------
+// Workload generators.
+// ---------------------------------------------------------------------
+
+TEST(WorkloadTest, AllDatasetsBuild) {
+  for (const std::string& name : workload::DatasetNames()) {
+    auto table = workload::MakeDataset(name, 500, 42);
+    ASSERT_TRUE(table.ok()) << name;
+    EXPECT_EQ((*table)->num_rows(), 500u);
+    EXPECT_FALSE((*table)->ColumnNamesOfType(ValueType::kString).empty());
+  }
+  EXPECT_FALSE(workload::MakeDataset("bogus", 10, 1).ok());
+}
+
+TEST(WorkloadTest, DatasetsAreSeedDeterministic) {
+  auto a = *workload::MakeDataset("flights", 200, 7);
+  auto b = *workload::MakeDataset("flights", 200, 7);
+  for (size_t c = 0; c < a->num_columns(); ++c) {
+    for (size_t r = 0; r < a->num_rows(); r += 17) {
+      EXPECT_TRUE(a->column(c).Get(r) == b->column(c).Get(r));
+    }
+  }
+}
+
+TEST(WorkloadTest, VocabularyContainsSchemaAndValues) {
+  auto table = *workload::MakeDataset("nyc311", 1000, 3);
+  const std::vector<std::string> vocabulary =
+      workload::BuildVocabulary(*table);
+  auto contains = [&](const std::string& word) {
+    return std::find(vocabulary.begin(), vocabulary.end(), word) !=
+           vocabulary.end();
+  };
+  EXPECT_TRUE(contains("borough"));
+  EXPECT_TRUE(contains("open_hours"));
+  EXPECT_TRUE(contains("brooklyn"));
+}
+
+TEST(WorkloadTest, RandomQueryIsExecutable) {
+  Rng rng(21);
+  auto table = *workload::MakeDataset("dob", 2000, 5);
+  for (int i = 0; i < 50; ++i) {
+    auto query = workload::RandomQuery(*table, &rng);
+    ASSERT_TRUE(query.ok());
+    EXPECT_GE(query->predicates.size(), 1u);
+    EXPECT_LE(query->predicates.size(), 5u);
+    EXPECT_TRUE(Executor::Execute(*table, *query).ok()) << query->ToSql();
+  }
+}
+
+TEST(WorkloadTest, RandomQueryRespectsPredicateBounds) {
+  Rng rng(22);
+  auto table = *workload::MakeDataset("flights", 500, 5);
+  workload::QueryGeneratorOptions options;
+  options.min_predicates = 2;
+  options.max_predicates = 3;
+  for (int i = 0; i < 30; ++i) {
+    auto query = workload::RandomQuery(*table, &rng, options);
+    ASSERT_TRUE(query.ok());
+    EXPECT_GE(query->predicates.size(), 2u);
+    EXPECT_LE(query->predicates.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace muve::db
+
+#include "db/csv.h"
+
+namespace muve::db {
+namespace {
+
+TEST(CsvTest, RoundTripPreservesData) {
+  auto table = MakeCityTable();
+  const std::string path = ::testing::TempDir() + "/muve_trips.csv";
+  ASSERT_TRUE(WriteCsv(*table, path).ok());
+  auto loaded = ReadCsv("trips", path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ((*loaded)->num_rows(), table->num_rows());
+  ASSERT_EQ((*loaded)->num_columns(), table->num_columns());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    EXPECT_EQ((*loaded)->column(c).name(), table->column(c).name());
+    EXPECT_EQ((*loaded)->column(c).type(), table->column(c).type());
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      EXPECT_TRUE((*loaded)->column(c).Get(r) == table->column(c).Get(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(CsvTest, QuotedFieldsSurvive) {
+  auto table = *Table::Create("q", {{"text", ValueType::kString}});
+  ASSERT_TRUE(table->AppendRow({Value("plain")}).ok());
+  ASSERT_TRUE(table->AppendRow({Value("has,comma")}).ok());
+  ASSERT_TRUE(table->AppendRow({Value("has \"quote\"")}).ok());
+  const std::string path = ::testing::TempDir() + "/muve_quoted.csv";
+  ASSERT_TRUE(WriteCsv(*table, path).ok());
+  auto loaded = ReadCsv("q", path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->column(0).Get(1).AsString(), "has,comma");
+  EXPECT_EQ((*loaded)->column(0).Get(2).AsString(), "has \"quote\"");
+}
+
+TEST(CsvTest, TypeInference) {
+  const std::string path = ::testing::TempDir() + "/muve_types.csv";
+  {
+    std::ofstream out(path);
+    out << "name,count,ratio\nalpha,3,1.5\nbeta,-7,2\n";
+  }
+  auto loaded = ReadCsv("t", path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->column(0).type(), ValueType::kString);
+  EXPECT_EQ((*loaded)->column(1).type(), ValueType::kInt64);
+  EXPECT_EQ((*loaded)->column(2).type(), ValueType::kDouble);
+  EXPECT_EQ((*loaded)->column(1).Get(1).AsInt64(), -7);
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ReadCsv("t", "/nonexistent/file.csv").ok());
+  const std::string path = ::testing::TempDir() + "/muve_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n3\n";  // Ragged row.
+  }
+  EXPECT_FALSE(ReadCsv("t", path).ok());
+  {
+    // Mixed numeric/text values: all-rows inference degrades the column
+    // to STRING rather than failing.
+    std::ofstream out(path);
+    out << "a\n1\nnot_a_number\n";
+  }
+  auto mixed = ReadCsv("t", path);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ((*mixed)->column(0).type(), ValueType::kString);
+}
+
+}  // namespace
+}  // namespace muve::db

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/greedy_planner.h"
+#include "core/ilp_planner.h"
+#include "exec/engine.h"
+#include "exec/presentation.h"
+#include "muve/muve_engine.h"
+#include "nlq/candidate_generator.h"
+#include "nlq/schema_index.h"
+#include "nlq/translator.h"
+#include "speech/speech_simulator.h"
+#include "user/user_simulator.h"
+#include "workload/datasets.h"
+#include "workload/query_generator.h"
+
+namespace muve {
+namespace {
+
+/// End-to-end invariants across the full pipeline, on every dataset.
+class DatasetPipelineTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(DatasetPipelineTest, GroundTruthRecoverableThroughCleanPipeline) {
+  auto table = *workload::MakeDataset(GetParam(), 5000, 33);
+  MuveEngine engine(table);
+  Rng rng(34);
+  workload::QueryGeneratorOptions gen_options;
+  gen_options.min_predicates = 1;
+  gen_options.max_predicates = 1;
+  gen_options.count_star_probability = 0.0;
+
+  size_t covered = 0;
+  const size_t trials = 8;
+  for (size_t i = 0; i < trials; ++i) {
+    auto truth = workload::RandomQuery(*table, &rng, gen_options);
+    ASSERT_TRUE(truth.ok());
+    auto answer = engine.AskText(nlq::VerbalizeQuery(*truth));
+    if (!answer.ok()) continue;
+    const std::string truth_key = truth->CanonicalKey();
+    for (size_t c = 0; c < answer->candidates.size(); ++c) {
+      if (answer->candidates[c].query.CanonicalKey() != truth_key) {
+        continue;
+      }
+      if (answer->plan.multiplot.FindCandidate(c).has_value()) {
+        ++covered;
+      }
+      break;
+    }
+  }
+  // With a clean utterance, the correct interpretation should land on
+  // the screen for the clear majority of queries.
+  EXPECT_GE(covered, trials * 6 / 10) << covered << "/" << trials;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetPipelineTest,
+                         ::testing::Values("ads", "dob", "nyc311",
+                                           "flights"));
+
+TEST(IntegrationTest, NoisyPipelineBenefitsFromMultiplots) {
+  // The headline claim: under ASR noise, the multiplot covers the true
+  // interpretation far more often than the single top-1 query does.
+  auto table = *workload::MakeDataset("nyc311", 5000, 35);
+  MuveOptions muve_options;
+  muve_options.planner.geometry.width_px = 1536.0;  // Desktop screen.
+  muve_options.planner.geometry.max_rows = 2;
+  MuveEngine engine(table, muve_options);
+  Rng rng(36);
+  speech::SpeechNoiseOptions noise;
+  noise.substitution_rate = 0.25;
+  noise.deletion_rate = 0.0;
+  workload::QueryGeneratorOptions gen_options;
+  gen_options.min_predicates = 1;
+  gen_options.max_predicates = 1;
+  gen_options.count_star_probability = 1.0;  // COUNT(*): focus on values.
+
+  size_t top1_correct = 0;
+  size_t multiplot_correct = 0;
+  size_t answered = 0;
+  const size_t trials = 40;
+  for (size_t i = 0; i < trials; ++i) {
+    auto truth = workload::RandomQuery(*table, &rng, gen_options);
+    ASSERT_TRUE(truth.ok());
+    auto answer =
+        engine.AskVoice(nlq::VerbalizeQuery(*truth), &rng, noise);
+    if (!answer.ok()) continue;
+    ++answered;
+    const std::string truth_key = truth->CanonicalKey();
+    if (answer->base_query.CanonicalKey() == truth_key) ++top1_correct;
+    for (size_t c = 0; c < answer->candidates.size(); ++c) {
+      if (answer->candidates[c].query.CanonicalKey() == truth_key &&
+          answer->plan.multiplot.FindCandidate(c).has_value()) {
+        ++multiplot_correct;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(answered, trials / 2);
+  EXPECT_GE(multiplot_correct, top1_correct);
+  EXPECT_GT(multiplot_correct, answered / 3);
+}
+
+TEST(IntegrationTest, GreedyAndIlpAgreeOnEasyInstances) {
+  // When the screen is large enough to show everything, both solvers
+  // should find (nearly) the same cost.
+  auto table = *workload::MakeDataset("nyc311", 2000, 37);
+  auto index = std::make_shared<nlq::SchemaIndex>(table);
+  nlq::CandidateGenerator generator(index);
+  db::AggregateQuery base;
+  base.table = "nyc311";
+  base.function = db::AggregateFunction::kCount;
+  base.predicates = {
+      db::Predicate::Equals("borough", db::Value("queens"))};
+  nlq::CandidateGeneratorOptions gen_options;
+  gen_options.max_candidates = 8;
+  core::CandidateSet set = generator.Generate(base, 1.0, gen_options);
+
+  core::PlannerConfig config;
+  config.geometry.width_px = 4000.0;
+  config.timeout_ms = 10000.0;
+  core::GreedyPlanner greedy;
+  core::IlpPlanner ilp;
+  auto greedy_plan = greedy.Plan(set, config);
+  auto ilp_plan = ilp.Plan(set, config);
+  ASSERT_TRUE(greedy_plan.ok());
+  ASSERT_TRUE(ilp_plan.ok());
+  EXPECT_LE(ilp_plan->expected_cost, greedy_plan->expected_cost + 1e-6);
+  EXPECT_LT(greedy_plan->expected_cost,
+            1.6 * ilp_plan->expected_cost + 1.0);
+}
+
+TEST(IntegrationTest, UserStudyLoopOnPlannedMultiplot) {
+  // Close the loop: plan, execute, then let simulated users search the
+  // real multiplot; expected times should be in the ballpark of the
+  // model's prediction.
+  auto table = *workload::MakeDataset("nyc311", 5000, 38);
+  MuveEngine engine(table);
+  auto answer = engine.AskText("how many complaints in brooklyn");
+  ASSERT_TRUE(answer.ok());
+
+  user::UserBehaviorModel behavior;
+  behavior.noise_sigma = 0.25;
+  user::UserSimulator simulator(behavior);
+  Rng rng(39);
+  double total = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    total +=
+        simulator.FindTarget(answer->plan.multiplot, 0, &rng).millis;
+  }
+  const double mean = total / trials;
+  // Model prediction for the highlighted-or-visualized candidate 0,
+  // minus base latency; sanity band of 4x either way.
+  const double predicted = answer->plan.expected_cost;
+  EXPECT_GT(mean, behavior.base_latency_ms);
+  EXPECT_LT(mean, 4.0 * predicted + 8.0 * behavior.base_latency_ms);
+}
+
+TEST(IntegrationTest, PresentationPipelineOnFlights) {
+  Rng rng(40);
+  auto table = workload::MakeFlightsTable(40000, &rng);
+  exec::Engine engine(table);
+  auto index = std::make_shared<nlq::SchemaIndex>(table);
+  nlq::CandidateGenerator generator(index);
+  db::AggregateQuery base;
+  base.table = "flights";
+  base.function = db::AggregateFunction::kAvg;
+  base.aggregate_column = "arr_delay";
+  base.predicates = {db::Predicate::Equals("origin", db::Value("boston"))};
+  core::CandidateSet set = generator.Generate(base);
+
+  exec::PresentationOptions options;
+  options.dynamic_threshold_ms = 100.0;
+  for (exec::PresentationMethod method :
+       {exec::PresentationMethod::kGreedy,
+        exec::PresentationMethod::kApprox1,
+        exec::PresentationMethod::kApproxDynamic}) {
+    auto outcome =
+        exec::RunPresentation(method, &engine, set, 0, options);
+    ASSERT_TRUE(outcome.ok()) << exec::PresentationMethodName(method);
+    EXPECT_TRUE(outcome->correct_shown);
+    EXPECT_TRUE(std::isfinite(outcome->first_correct_ms));
+  }
+}
+
+}  // namespace
+}  // namespace muve

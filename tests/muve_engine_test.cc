@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "muve/muve_engine.h"
+#include "viz/render_ascii.h"
+#include "workload/datasets.h"
+
+namespace muve {
+namespace {
+
+std::shared_ptr<db::Table> Table311() {
+  Rng rng(777);
+  return workload::Make311Table(10000, &rng);
+}
+
+TEST(MuveEngineTest, AskTextEndToEnd) {
+  MuveEngine engine(Table311());
+  auto answer = engine.AskText("how many complaints in brooklyn");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->base_query.function, db::AggregateFunction::kCount);
+  EXPECT_GE(answer->candidates.size(), 2u);
+  EXPECT_FALSE(answer->plan.multiplot.empty());
+  // Every bar in the multiplot carries an executed value.
+  answer->plan.multiplot.ForEachPlot([](const core::Plot& plot) {
+    for (const core::PlotBar& bar : plot.bars) {
+      EXPECT_FALSE(std::isnan(bar.value));
+    }
+  });
+  // The base interpretation must be on display.
+  EXPECT_TRUE(answer->plan.multiplot.FindCandidate(0).has_value());
+  EXPECT_GT(answer->pipeline_millis, 0.0);
+}
+
+TEST(MuveEngineTest, MultiplotValuesMatchDirectExecution) {
+  auto table = Table311();
+  MuveEngine engine(table);
+  auto answer = engine.AskText("how many complaints in brooklyn");
+  ASSERT_TRUE(answer.ok());
+  auto direct = db::Executor::Execute(*table, answer->base_query);
+  ASSERT_TRUE(direct.ok());
+  auto location = answer->plan.multiplot.FindCandidate(0);
+  ASSERT_TRUE(location.has_value());
+  const core::PlotBar& bar =
+      answer->plan.multiplot.rows[location->row][location->plot]
+          .bars[location->bar];
+  EXPECT_DOUBLE_EQ(bar.value, direct->value);
+}
+
+TEST(MuveEngineTest, AskVoiceWithNoiseStillAnswers) {
+  MuveEngine engine(Table311());
+  Rng rng(1);
+  speech::SpeechNoiseOptions noise;
+  noise.substitution_rate = 0.3;
+  int answered = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto answer = engine.AskVoice("how many noise complaints in brooklyn",
+                                  &rng, noise);
+    if (answer.ok()) ++answered;
+  }
+  // Noise may occasionally destroy the utterance beyond recognition, but
+  // most attempts must go through.
+  EXPECT_GE(answered, 7);
+}
+
+TEST(MuveEngineTest, IlpModePlansValidMultiplots) {
+  MuveOptions options;
+  options.use_ilp = true;
+  options.planner.timeout_ms = 1500.0;
+  options.generation.max_candidates = 12;  // Keep the ILP small.
+  MuveEngine engine(Table311(), options);
+  auto answer = engine.AskText("how many complaints in brooklyn");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->plan.multiplot.empty());
+  EXPECT_TRUE(
+      answer->plan.multiplot.Validate(options.planner.geometry).ok());
+}
+
+TEST(MuveEngineTest, AnswerRendersAsAscii) {
+  MuveEngine engine(Table311());
+  auto answer = engine.AskText("average open hours for noise in queens");
+  ASSERT_TRUE(answer.ok());
+  const std::string text = viz::RenderMultiplot(
+      answer->plan.multiplot, {.use_color = false});
+  EXPECT_NE(text.find("Row 1"), std::string::npos);
+}
+
+TEST(MuveEngineTest, RejectsUnlinkableUtterance) {
+  MuveEngine engine(Table311());
+  EXPECT_FALSE(engine.AskText("zzz qqq xxx").ok());
+}
+
+TEST(MuveEngineTest, AmbiguousQueryCoversMultipleInterpretations) {
+  // "heating" has the deliberate near-homophone "heeding": both
+  // interpretations should make it into the multiplot.
+  MuveEngine engine(Table311());
+  auto answer = engine.AskText("how many heating complaints");
+  ASSERT_TRUE(answer.ok());
+  bool heating_exists = false;
+  bool heeding_exists = false;
+  bool heating_shown = false;
+  bool heeding_shown = false;
+  for (size_t i = 0; i < answer->candidates.size(); ++i) {
+    for (const db::Predicate& predicate :
+         answer->candidates[i].query.predicates) {
+      if (predicate.values.empty() || !predicate.values[0].is_string()) {
+        continue;
+      }
+      const bool shown =
+          answer->plan.multiplot.FindCandidate(i).has_value();
+      if (predicate.values[0].AsString() == "heating") {
+        heating_exists = true;
+        heating_shown |= shown;
+      }
+      if (predicate.values[0].AsString() == "heeding") {
+        heeding_exists = true;
+        heeding_shown |= shown;
+      }
+    }
+  }
+  ASSERT_TRUE(heating_exists);
+  ASSERT_TRUE(heeding_exists);
+  EXPECT_TRUE(heating_shown);
+  EXPECT_TRUE(heeding_shown);
+}
+
+}  // namespace
+}  // namespace muve

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nlq/candidate_generator.h"
+#include "nlq/schema_index.h"
+#include "nlq/translator.h"
+#include "workload/datasets.h"
+#include "workload/query_generator.h"
+
+namespace muve::nlq {
+namespace {
+
+std::shared_ptr<const SchemaIndex> Index311() {
+  static std::shared_ptr<const SchemaIndex> kIndex = [] {
+    Rng rng(42);
+    return std::make_shared<const SchemaIndex>(
+        workload::Make311Table(3000, &rng));
+  }();
+  return kIndex;
+}
+
+// ---------------------------------------------------------------------
+// SchemaIndex.
+// ---------------------------------------------------------------------
+
+TEST(SchemaIndexTest, TopColumnsFindsExact) {
+  auto matches = Index311()->TopColumns("borough", 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].column, "borough");
+  EXPECT_NEAR(matches[0].similarity, 1.0, 1e-9);
+}
+
+TEST(SchemaIndexTest, NumericOnlyExcludesStrings) {
+  for (const ColumnMatch& match :
+       Index311()->TopColumns("borough", 10, /*numeric_only=*/true)) {
+    EXPECT_NE(match.column, "borough");
+    EXPECT_NE(match.column, "status");
+  }
+}
+
+TEST(SchemaIndexTest, TopValuesTagsOwningColumn) {
+  auto matches = Index311()->TopValues("brooklyn", 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].value, "brooklyn");
+  EXPECT_EQ(matches[0].column, "borough");
+}
+
+TEST(SchemaIndexTest, PhoneticallySimilarValuesRankHigh) {
+  // "heeding" is the deliberately confusable neighbour of "heating".
+  auto matches = Index311()->TopValues("heating", 3);
+  ASSERT_GE(matches.size(), 2u);
+  EXPECT_EQ(matches[0].value, "heating");
+  EXPECT_EQ(matches[1].value, "heeding");
+}
+
+TEST(SchemaIndexTest, TopValuesInColumnRestricts) {
+  for (const ValueMatch& match :
+       Index311()->TopValuesInColumn("agency", "nypd", 10)) {
+    EXPECT_EQ(match.column, "agency");
+  }
+  EXPECT_TRUE(Index311()->TopValuesInColumn("no_such", "x", 3).empty());
+}
+
+TEST(SchemaIndexTest, ColumnsOfValue) {
+  EXPECT_EQ(Index311()->ColumnsOfValue("brooklyn"),
+            (std::vector<std::string>{"borough"}));
+  EXPECT_TRUE(Index311()->ColumnsOfValue("nonexistent").empty());
+}
+
+// ---------------------------------------------------------------------
+// Translator.
+// ---------------------------------------------------------------------
+
+TEST(TranslatorTest, CountQuery) {
+  Translator translator(Index311());
+  auto result = translator.Translate("how many complaints in brooklyn");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.function, db::AggregateFunction::kCount);
+  ASSERT_EQ(result->query.predicates.size(), 1u);
+  EXPECT_EQ(result->query.predicates[0].column, "borough");
+  EXPECT_EQ(result->query.predicates[0].values[0].AsString(), "brooklyn");
+}
+
+TEST(TranslatorTest, AverageWithAggregateColumn) {
+  Translator translator(Index311());
+  auto result = translator.Translate(
+      "average open hours for noise in queens");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.function, db::AggregateFunction::kAvg);
+  EXPECT_EQ(result->query.aggregate_column, "open_hours");
+  ASSERT_EQ(result->query.predicates.size(), 2u);
+}
+
+TEST(TranslatorTest, MaxQuery) {
+  Translator translator(Index311());
+  auto result =
+      translator.Translate("maximum open hours where status is open");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.function, db::AggregateFunction::kMax);
+  EXPECT_EQ(result->query.aggregate_column, "open_hours");
+  ASSERT_EQ(result->query.predicates.size(), 1u);
+  EXPECT_EQ(result->query.predicates[0].column, "status");
+}
+
+TEST(TranslatorTest, PhoneticallyCorruptedValueStillLinks) {
+  Translator translator(Index311());
+  // "brooklin" for "brooklyn".
+  auto result = translator.Translate("how many complaints in brooklin");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->query.predicates.size(), 1u);
+  // "brooklin" is genuinely ambiguous between the vocabulary entries
+  // "brooklyn" and "brookline" — either is a valid top-1 link (the
+  // candidate generator covers the other); what matters is that the
+  // corrupted token linked to the borough column at reduced confidence.
+  const std::string linked =
+      result->query.predicates[0].values[0].AsString();
+  EXPECT_TRUE(linked == "brooklyn" || linked == "brookline") << linked;
+  EXPECT_EQ(result->query.predicates[0].column, "borough");
+  EXPECT_LT(result->confidence, 1.0);
+}
+
+TEST(TranslatorTest, MultiWordValues) {
+  Translator translator(Index311());
+  auto result =
+      translator.Translate("how many water leak complaints");
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const db::Predicate& predicate : result->query.predicates) {
+    if (predicate.values[0].AsString() == "water leak") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TranslatorTest, RejectsGibberishAndEmpty) {
+  Translator translator(Index311());
+  EXPECT_FALSE(translator.Translate("").ok());
+  EXPECT_FALSE(translator.Translate("xylophone zeppelin flugelhorn").ok());
+}
+
+TEST(TranslatorTest, VerbalizeRoundTrips) {
+  Rng rng(9);
+  auto table = workload::Make311Table(3000, &rng);
+  auto index = std::make_shared<const SchemaIndex>(table);
+  Translator translator(index);
+  workload::QueryGeneratorOptions options;
+  options.min_predicates = 1;
+  options.max_predicates = 2;
+  options.count_star_probability = 0.3;
+  size_t round_tripped = 0;
+  const size_t trials = 30;
+  for (size_t i = 0; i < trials; ++i) {
+    auto truth = workload::RandomQuery(*table, &rng, options);
+    ASSERT_TRUE(truth.ok());
+    const std::string utterance = VerbalizeQuery(*truth);
+    auto back = translator.Translate(utterance);
+    if (back.ok() &&
+        back->query.CanonicalKey() == truth->CanonicalKey()) {
+      ++round_tripped;
+    }
+  }
+  // The rule-based translator will not be perfect, but must recover the
+  // exact query for a solid majority of clean utterances.
+  EXPECT_GE(round_tripped, trials * 7 / 10)
+      << round_tripped << "/" << trials;
+}
+
+// ---------------------------------------------------------------------
+// Candidate generation ("text to multi-SQL", paper §3).
+// ---------------------------------------------------------------------
+
+db::AggregateQuery BaseQuery() {
+  db::AggregateQuery query;
+  query.table = "nyc311";
+  query.function = db::AggregateFunction::kAvg;
+  query.aggregate_column = "open_hours";
+  query.predicates = {
+      db::Predicate::Equals("borough", db::Value("queens"))};
+  return query;
+}
+
+TEST(CandidateGeneratorTest, BaseQueryIsMostLikely) {
+  CandidateGenerator generator(Index311());
+  core::CandidateSet set = generator.Generate(BaseQuery());
+  ASSERT_FALSE(set.empty());
+  EXPECT_EQ(set[0].query.CanonicalKey(), BaseQuery().CanonicalKey());
+  for (size_t i = 1; i < set.size(); ++i) {
+    EXPECT_LE(set[i].probability, set[0].probability);
+  }
+}
+
+TEST(CandidateGeneratorTest, NormalizedAndDeduplicated) {
+  CandidateGenerator generator(Index311());
+  core::CandidateSet set = generator.Generate(BaseQuery());
+  EXPECT_NEAR(set.TotalProbability(), 1.0, 1e-9);
+  std::set<std::string> keys;
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_TRUE(keys.insert(set[i].query.CanonicalKey()).second)
+        << "duplicate candidate " << set[i].query.ToSql();
+  }
+}
+
+TEST(CandidateGeneratorTest, ContainsPhoneticValueAlternative) {
+  CandidateGenerator generator(Index311());
+  core::CandidateSet set = generator.Generate(BaseQuery());
+  bool found_quincy = false;
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (const db::Predicate& predicate : set[i].query.predicates) {
+      if (!predicate.values.empty() &&
+          predicate.values[0].is_string() &&
+          predicate.values[0].AsString() == "quincy") {
+        found_quincy = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_quincy)
+      << "phonetic neighbour 'quincy' missing from candidates";
+}
+
+TEST(CandidateGeneratorTest, ContainsAggregateAlternatives) {
+  CandidateGenerator generator(Index311());
+  core::CandidateSet set = generator.Generate(BaseQuery());
+  std::set<db::AggregateFunction> functions;
+  for (size_t i = 0; i < set.size(); ++i) {
+    functions.insert(set[i].query.function);
+  }
+  EXPECT_GE(functions.size(), 2u);
+}
+
+TEST(CandidateGeneratorTest, RespectsMaxCandidates) {
+  CandidateGenerator generator(Index311());
+  CandidateGeneratorOptions options;
+  options.max_candidates = 10;
+  core::CandidateSet set = generator.Generate(BaseQuery(), 1.0, options);
+  EXPECT_LE(set.size(), 10u);
+  EXPECT_NEAR(set.TotalProbability(), 1.0, 1e-9);
+}
+
+TEST(CandidateGeneratorTest, PairsOnlyWhenEnabled) {
+  CandidateGenerator generator(Index311());
+  db::AggregateQuery base = BaseQuery();
+  base.predicates.push_back(
+      db::Predicate::Equals("status", db::Value("open")));
+  CandidateGeneratorOptions no_pairs;
+  no_pairs.include_pairs = false;
+  no_pairs.max_candidates = 500;
+  CandidateGeneratorOptions with_pairs;
+  with_pairs.include_pairs = true;
+  with_pairs.max_candidates = 500;
+  EXPECT_LT(generator.Generate(base, 1.0, no_pairs).size(),
+            generator.Generate(base, 1.0, with_pairs).size());
+}
+
+TEST(CandidateGeneratorTest, SharpenConcentratesMass) {
+  CandidateGenerator generator(Index311());
+  CandidateGeneratorOptions soft;
+  soft.sharpen = 1.0;
+  CandidateGeneratorOptions sharp;
+  sharp.sharpen = 12.0;
+  const double soft_top =
+      generator.Generate(BaseQuery(), 1.0, soft)[0].probability;
+  const double sharp_top =
+      generator.Generate(BaseQuery(), 1.0, sharp)[0].probability;
+  EXPECT_GT(sharp_top, soft_top);
+}
+
+TEST(CandidateGeneratorTest, NoContradictoryPredicates) {
+  CandidateGenerator generator(Index311());
+  db::AggregateQuery base = BaseQuery();
+  base.predicates.push_back(
+      db::Predicate::Equals("complaint_type", db::Value("noise")));
+  core::CandidateSet set = generator.Generate(base);
+  for (size_t i = 0; i < set.size(); ++i) {
+    std::set<std::string> columns;
+    for (const db::Predicate& predicate : set[i].query.predicates) {
+      EXPECT_TRUE(columns.insert(predicate.column).second)
+          << "two equality predicates on one column: "
+          << set[i].query.ToSql();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muve::nlq
+
+namespace muve::nlq {
+namespace {
+
+// ---------------------------------------------------------------------
+// Robustness-oriented candidate kinds (ASR failure recovery).
+// ---------------------------------------------------------------------
+
+TEST(CandidateGeneratorTest, CountStarBaseProposesAggregates) {
+  // A COUNT(*) base may stem from a misheard aggregate keyword: every
+  // (function, numeric column) combination must appear as a candidate.
+  CandidateGenerator generator(Index311());
+  db::AggregateQuery base;
+  base.table = "nyc311";
+  base.function = db::AggregateFunction::kCount;
+  base.predicates = {
+      db::Predicate::Equals("borough", db::Value("queens"))};
+  CandidateGeneratorOptions options;
+  options.max_candidates = 200;
+  core::CandidateSet set = generator.Generate(base, 1.0, options);
+  bool found_avg_hours = false;
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (set[i].query.function == db::AggregateFunction::kAvg &&
+        set[i].query.aggregate_column == "open_hours") {
+      found_avg_hours = true;
+    }
+  }
+  EXPECT_TRUE(found_avg_hours);
+}
+
+TEST(CandidateGeneratorTest, DropPredicateCandidates) {
+  // Spurious predicates injected by ASR noise: candidates with one
+  // predicate removed must exist for multi-predicate bases.
+  CandidateGenerator generator(Index311());
+  db::AggregateQuery base;
+  base.table = "nyc311";
+  base.function = db::AggregateFunction::kCount;
+  base.predicates = {
+      db::Predicate::Equals("borough", db::Value("queens")),
+      db::Predicate::Equals("status", db::Value("open"))};
+  CandidateGeneratorOptions options;
+  options.max_candidates = 200;
+  core::CandidateSet set = generator.Generate(base, 1.0, options);
+  db::AggregateQuery dropped = base;
+  dropped.predicates.erase(dropped.predicates.begin());  // Only status.
+  bool found = false;
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (set[i].query.CanonicalKey() == dropped.CanonicalKey()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CandidateGeneratorTest, NoDropForSinglePredicate) {
+  // A single-predicate query must never produce a predicate-free
+  // candidate (the fragment needs at least the aggregate to mean
+  // anything; an empty WHERE would dominate every plot).
+  CandidateGenerator generator(Index311());
+  db::AggregateQuery base;
+  base.table = "nyc311";
+  base.function = db::AggregateFunction::kCount;
+  base.predicates = {
+      db::Predicate::Equals("borough", db::Value("queens"))};
+  core::CandidateSet set = generator.Generate(base);
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_FALSE(set[i].query.predicates.empty())
+        << set[i].query.ToSql();
+  }
+}
+
+TEST(CandidateGeneratorTest, AggregateFloorKeepsCountReachable) {
+  // From an AVG base, the COUNT interpretation must survive with at
+  // least the floor weight even though "avg" and "count" sound nothing
+  // alike.
+  CandidateGenerator generator(Index311());
+  core::CandidateSet set = generator.Generate(BaseQuery());
+  db::AggregateQuery count_version = BaseQuery();
+  count_version.function = db::AggregateFunction::kCount;
+  bool found = false;
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (set[i].query.CanonicalKey() == count_version.CanonicalKey()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryKeyTest, CountStarEqualsCountColumn) {
+  db::AggregateQuery star;
+  star.table = "t";
+  star.function = db::AggregateFunction::kCount;
+  star.predicates = {db::Predicate::Equals("a", db::Value("x"))};
+  db::AggregateQuery column = star;
+  column.aggregate_column = "m";
+  EXPECT_EQ(star.CanonicalKey(), column.CanonicalKey());
+  // But not for other aggregates.
+  db::AggregateQuery sum_a = star;
+  sum_a.function = db::AggregateFunction::kSum;
+  sum_a.aggregate_column = "m";
+  db::AggregateQuery sum_b = sum_a;
+  sum_b.aggregate_column = "n";
+  EXPECT_NE(sum_a.CanonicalKey(), sum_b.CanonicalKey());
+}
+
+}  // namespace
+}  // namespace muve::nlq

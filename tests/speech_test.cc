@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "speech/speech_simulator.h"
+
+namespace muve::speech {
+namespace {
+
+SpeechSimulator MakeSimulator() {
+  return SpeechSimulator({"brooklyn", "bronx", "queens", "quincy",
+                          "boston", "austin", "noise", "heating",
+                          "heeding", "average", "many", "complaints"});
+}
+
+TEST(WordErrorRateTest, IdenticalIsZero) {
+  EXPECT_DOUBLE_EQ(
+      SpeechSimulator::WordErrorRate("how many in queens",
+                                     "how many in queens"),
+      0.0);
+}
+
+TEST(WordErrorRateTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(SpeechSimulator::WordErrorRate("Hello World",
+                                                  "hello world"),
+                   0.0);
+}
+
+TEST(WordErrorRateTest, SingleSubstitution) {
+  EXPECT_NEAR(SpeechSimulator::WordErrorRate("a b c d", "a x c d"), 0.25,
+              1e-12);
+}
+
+TEST(WordErrorRateTest, DeletionAndInsertion) {
+  EXPECT_NEAR(SpeechSimulator::WordErrorRate("a b c", "a c"), 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(SpeechSimulator::WordErrorRate("a c", "a b c"), 0.5, 1e-12);
+}
+
+TEST(WordErrorRateTest, EmptyReference) {
+  EXPECT_DOUBLE_EQ(SpeechSimulator::WordErrorRate("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(SpeechSimulator::WordErrorRate("", "hi"), 1.0);
+}
+
+TEST(SpeechSimulatorTest, NoNoiseIsIdentity) {
+  SpeechSimulator simulator = MakeSimulator();
+  Rng rng(1);
+  SpeechNoiseOptions options;
+  options.substitution_rate = 0.0;
+  options.deletion_rate = 0.0;
+  EXPECT_EQ(simulator.Transcribe("how many in queens", &rng, options),
+            "how many in queens");
+}
+
+TEST(SpeechSimulatorTest, DeterministicForSeed) {
+  SpeechSimulator simulator = MakeSimulator();
+  SpeechNoiseOptions options;
+  options.substitution_rate = 0.5;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  EXPECT_EQ(
+      simulator.Transcribe("average noise in brooklyn", &rng_a, options),
+      simulator.Transcribe("average noise in brooklyn", &rng_b, options));
+}
+
+TEST(SpeechSimulatorTest, SubstitutionRateControlsWer) {
+  SpeechSimulator simulator = MakeSimulator();
+  Rng rng(13);
+  SpeechNoiseOptions options;
+  options.substitution_rate = 0.3;
+  options.deletion_rate = 0.0;
+  const std::string reference =
+      "average heating complaints in brooklyn queens boston austin";
+  double total_wer = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    total_wer += SpeechSimulator::WordErrorRate(
+        reference, simulator.Transcribe(reference, &rng, options));
+  }
+  // Expected WER roughly equals the substitution rate.
+  EXPECT_NEAR(total_wer / trials, 0.3, 0.08);
+}
+
+TEST(SpeechSimulatorTest, SubstitutionsArePhoneticNeighbours) {
+  SpeechSimulator simulator = MakeSimulator();
+  Rng rng(17);
+  SpeechNoiseOptions options;
+  options.substitution_rate = 1.0;  // Always substitute.
+  options.deletion_rate = 0.0;
+  options.confusion_k = 1;          // Nearest neighbour only.
+  // The nearest phonetic neighbour of "queens" in the lexicon is
+  // "quincy" (identical Double Metaphone codes).
+  int quincy = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    if (simulator.Transcribe("queens", &rng, options) == "quincy") {
+      ++quincy;
+    }
+  }
+  EXPECT_EQ(quincy, trials);
+}
+
+TEST(SpeechSimulatorTest, DeletionDropsWords) {
+  SpeechSimulator simulator = MakeSimulator();
+  Rng rng(19);
+  SpeechNoiseOptions options;
+  options.substitution_rate = 0.0;
+  options.deletion_rate = 1.0;
+  EXPECT_EQ(simulator.Transcribe("drop all of this", &rng, options), "");
+}
+
+TEST(SpeechSimulatorTest, EmptyLexiconPassesThrough) {
+  SpeechSimulator simulator({});
+  Rng rng(23);
+  SpeechNoiseOptions options;
+  options.substitution_rate = 1.0;
+  options.deletion_rate = 0.0;
+  EXPECT_EQ(simulator.Transcribe("hello world", &rng, options),
+            "hello world");
+}
+
+}  // namespace
+}  // namespace muve::speech
