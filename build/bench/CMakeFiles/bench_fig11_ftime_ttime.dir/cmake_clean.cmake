@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ftime_ttime.dir/bench_fig11_ftime_ttime.cc.o"
+  "CMakeFiles/bench_fig11_ftime_ttime.dir/bench_fig11_ftime_ttime.cc.o.d"
+  "bench_fig11_ftime_ttime"
+  "bench_fig11_ftime_ttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ftime_ttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_vs_baseline.cc" "bench/CMakeFiles/bench_fig12_vs_baseline.dir/bench_fig12_vs_baseline.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_vs_baseline.dir/bench_fig12_vs_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/muve_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/muve/CMakeFiles/muve_engine_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/user/CMakeFiles/muve_user.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/muve_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/muve_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlq/CMakeFiles/muve_nlq.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/muve_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/muve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/muve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/muve_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/muve_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/phonetics/CMakeFiles/muve_phonetics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/muve_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ratings.dir/bench_fig13_ratings.cc.o"
+  "CMakeFiles/bench_fig13_ratings.dir/bench_fig13_ratings.cc.o.d"
+  "bench_fig13_ratings"
+  "bench_fig13_ratings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ratings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

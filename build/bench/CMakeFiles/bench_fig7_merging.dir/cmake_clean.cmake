@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_merging.dir/bench_fig7_merging.cc.o"
+  "CMakeFiles/bench_fig7_merging.dir/bench_fig7_merging.cc.o.d"
+  "bench_fig7_merging"
+  "bench_fig7_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

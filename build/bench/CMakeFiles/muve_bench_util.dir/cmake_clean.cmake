@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/muve_bench_util.dir/bench_util.cc.o.d"
+  "libmuve_bench_util.a"
+  "libmuve_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

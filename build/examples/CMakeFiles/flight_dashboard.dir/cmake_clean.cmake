@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_dashboard.dir/flight_dashboard.cpp.o"
+  "CMakeFiles/flight_dashboard.dir/flight_dashboard.cpp.o.d"
+  "flight_dashboard"
+  "flight_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyc311_explorer.dir/nyc311_explorer.cpp.o"
+  "CMakeFiles/nyc311_explorer.dir/nyc311_explorer.cpp.o.d"
+  "nyc311_explorer"
+  "nyc311_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyc311_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_robustness.dir/voice_robustness.cpp.o"
+  "CMakeFiles/voice_robustness.dir/voice_robustness.cpp.o.d"
+  "voice_robustness"
+  "voice_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

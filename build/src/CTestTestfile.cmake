@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("phonetics")
+subdirs("db")
+subdirs("ilp")
+subdirs("core")
+subdirs("nlq")
+subdirs("speech")
+subdirs("exec")
+subdirs("viz")
+subdirs("workload")
+subdirs("user")
+subdirs("muve")

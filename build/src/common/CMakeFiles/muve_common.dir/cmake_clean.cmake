@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_common.dir/rng.cc.o"
+  "CMakeFiles/muve_common.dir/rng.cc.o.d"
+  "CMakeFiles/muve_common.dir/status.cc.o"
+  "CMakeFiles/muve_common.dir/status.cc.o.d"
+  "CMakeFiles/muve_common.dir/strings.cc.o"
+  "CMakeFiles/muve_common.dir/strings.cc.o.d"
+  "libmuve_common.a"
+  "libmuve_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force_planner.cc" "src/core/CMakeFiles/muve_core.dir/brute_force_planner.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/brute_force_planner.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/core/CMakeFiles/muve_core.dir/candidate.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/candidate.cc.o.d"
+  "/root/repo/src/core/greedy_planner.cc" "src/core/CMakeFiles/muve_core.dir/greedy_planner.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/greedy_planner.cc.o.d"
+  "/root/repo/src/core/ilp_planner.cc" "src/core/CMakeFiles/muve_core.dir/ilp_planner.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/ilp_planner.cc.o.d"
+  "/root/repo/src/core/multiplot.cc" "src/core/CMakeFiles/muve_core.dir/multiplot.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/multiplot.cc.o.d"
+  "/root/repo/src/core/query_template.cc" "src/core/CMakeFiles/muve_core.dir/query_template.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/query_template.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/muve_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/muve_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_core.dir/brute_force_planner.cc.o"
+  "CMakeFiles/muve_core.dir/brute_force_planner.cc.o.d"
+  "CMakeFiles/muve_core.dir/candidate.cc.o"
+  "CMakeFiles/muve_core.dir/candidate.cc.o.d"
+  "CMakeFiles/muve_core.dir/greedy_planner.cc.o"
+  "CMakeFiles/muve_core.dir/greedy_planner.cc.o.d"
+  "CMakeFiles/muve_core.dir/ilp_planner.cc.o"
+  "CMakeFiles/muve_core.dir/ilp_planner.cc.o.d"
+  "CMakeFiles/muve_core.dir/multiplot.cc.o"
+  "CMakeFiles/muve_core.dir/multiplot.cc.o.d"
+  "CMakeFiles/muve_core.dir/query_template.cc.o"
+  "CMakeFiles/muve_core.dir/query_template.cc.o.d"
+  "libmuve_core.a"
+  "libmuve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

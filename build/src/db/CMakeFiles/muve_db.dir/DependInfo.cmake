@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/column.cc" "src/db/CMakeFiles/muve_db.dir/column.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/column.cc.o.d"
+  "/root/repo/src/db/cost_estimator.cc" "src/db/CMakeFiles/muve_db.dir/cost_estimator.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/cost_estimator.cc.o.d"
+  "/root/repo/src/db/csv.cc" "src/db/CMakeFiles/muve_db.dir/csv.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/csv.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/db/CMakeFiles/muve_db.dir/executor.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/executor.cc.o.d"
+  "/root/repo/src/db/query.cc" "src/db/CMakeFiles/muve_db.dir/query.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/query.cc.o.d"
+  "/root/repo/src/db/sql_parser.cc" "src/db/CMakeFiles/muve_db.dir/sql_parser.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/sql_parser.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/muve_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/table.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/muve_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/muve_db.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

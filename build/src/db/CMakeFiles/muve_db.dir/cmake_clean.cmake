@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_db.dir/column.cc.o"
+  "CMakeFiles/muve_db.dir/column.cc.o.d"
+  "CMakeFiles/muve_db.dir/cost_estimator.cc.o"
+  "CMakeFiles/muve_db.dir/cost_estimator.cc.o.d"
+  "CMakeFiles/muve_db.dir/csv.cc.o"
+  "CMakeFiles/muve_db.dir/csv.cc.o.d"
+  "CMakeFiles/muve_db.dir/executor.cc.o"
+  "CMakeFiles/muve_db.dir/executor.cc.o.d"
+  "CMakeFiles/muve_db.dir/query.cc.o"
+  "CMakeFiles/muve_db.dir/query.cc.o.d"
+  "CMakeFiles/muve_db.dir/sql_parser.cc.o"
+  "CMakeFiles/muve_db.dir/sql_parser.cc.o.d"
+  "CMakeFiles/muve_db.dir/table.cc.o"
+  "CMakeFiles/muve_db.dir/table.cc.o.d"
+  "CMakeFiles/muve_db.dir/value.cc.o"
+  "CMakeFiles/muve_db.dir/value.cc.o.d"
+  "libmuve_db.a"
+  "libmuve_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

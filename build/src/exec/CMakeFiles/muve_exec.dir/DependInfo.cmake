@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/engine.cc" "src/exec/CMakeFiles/muve_exec.dir/engine.cc.o" "gcc" "src/exec/CMakeFiles/muve_exec.dir/engine.cc.o.d"
+  "/root/repo/src/exec/merger.cc" "src/exec/CMakeFiles/muve_exec.dir/merger.cc.o" "gcc" "src/exec/CMakeFiles/muve_exec.dir/merger.cc.o.d"
+  "/root/repo/src/exec/presentation.cc" "src/exec/CMakeFiles/muve_exec.dir/presentation.cc.o" "gcc" "src/exec/CMakeFiles/muve_exec.dir/presentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/muve_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/muve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/muve_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

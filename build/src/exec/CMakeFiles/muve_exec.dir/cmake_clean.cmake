@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_exec.dir/engine.cc.o"
+  "CMakeFiles/muve_exec.dir/engine.cc.o.d"
+  "CMakeFiles/muve_exec.dir/merger.cc.o"
+  "CMakeFiles/muve_exec.dir/merger.cc.o.d"
+  "CMakeFiles/muve_exec.dir/presentation.cc.o"
+  "CMakeFiles/muve_exec.dir/presentation.cc.o.d"
+  "libmuve_exec.a"
+  "libmuve_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

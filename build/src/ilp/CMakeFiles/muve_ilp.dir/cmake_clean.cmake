@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_ilp.dir/simplex.cc.o"
+  "CMakeFiles/muve_ilp.dir/simplex.cc.o.d"
+  "CMakeFiles/muve_ilp.dir/solver.cc.o"
+  "CMakeFiles/muve_ilp.dir/solver.cc.o.d"
+  "libmuve_ilp.a"
+  "libmuve_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_engine_lib.dir/muve_engine.cc.o"
+  "CMakeFiles/muve_engine_lib.dir/muve_engine.cc.o.d"
+  "libmuve_engine_lib.a"
+  "libmuve_engine_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_engine_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

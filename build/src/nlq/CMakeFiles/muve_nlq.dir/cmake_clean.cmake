@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_nlq.dir/candidate_generator.cc.o"
+  "CMakeFiles/muve_nlq.dir/candidate_generator.cc.o.d"
+  "CMakeFiles/muve_nlq.dir/schema_index.cc.o"
+  "CMakeFiles/muve_nlq.dir/schema_index.cc.o.d"
+  "CMakeFiles/muve_nlq.dir/translator.cc.o"
+  "CMakeFiles/muve_nlq.dir/translator.cc.o.d"
+  "libmuve_nlq.a"
+  "libmuve_nlq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_nlq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

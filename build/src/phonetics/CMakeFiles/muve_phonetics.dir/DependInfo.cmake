@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phonetics/double_metaphone.cc" "src/phonetics/CMakeFiles/muve_phonetics.dir/double_metaphone.cc.o" "gcc" "src/phonetics/CMakeFiles/muve_phonetics.dir/double_metaphone.cc.o.d"
+  "/root/repo/src/phonetics/phonetic_index.cc" "src/phonetics/CMakeFiles/muve_phonetics.dir/phonetic_index.cc.o" "gcc" "src/phonetics/CMakeFiles/muve_phonetics.dir/phonetic_index.cc.o.d"
+  "/root/repo/src/phonetics/similarity.cc" "src/phonetics/CMakeFiles/muve_phonetics.dir/similarity.cc.o" "gcc" "src/phonetics/CMakeFiles/muve_phonetics.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

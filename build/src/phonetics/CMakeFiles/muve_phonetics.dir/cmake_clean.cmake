@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_phonetics.dir/double_metaphone.cc.o"
+  "CMakeFiles/muve_phonetics.dir/double_metaphone.cc.o.d"
+  "CMakeFiles/muve_phonetics.dir/phonetic_index.cc.o"
+  "CMakeFiles/muve_phonetics.dir/phonetic_index.cc.o.d"
+  "CMakeFiles/muve_phonetics.dir/similarity.cc.o"
+  "CMakeFiles/muve_phonetics.dir/similarity.cc.o.d"
+  "libmuve_phonetics.a"
+  "libmuve_phonetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_phonetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for muve_phonetics.
+# This may be replaced when dependencies are built.

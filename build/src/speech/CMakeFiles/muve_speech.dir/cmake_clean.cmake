@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_speech.dir/speech_simulator.cc.o"
+  "CMakeFiles/muve_speech.dir/speech_simulator.cc.o.d"
+  "libmuve_speech.a"
+  "libmuve_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_stats.dir/stats.cc.o"
+  "CMakeFiles/muve_stats.dir/stats.cc.o.d"
+  "libmuve_stats.a"
+  "libmuve_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

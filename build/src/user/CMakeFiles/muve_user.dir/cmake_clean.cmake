@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_user.dir/studies.cc.o"
+  "CMakeFiles/muve_user.dir/studies.cc.o.d"
+  "CMakeFiles/muve_user.dir/user_simulator.cc.o"
+  "CMakeFiles/muve_user.dir/user_simulator.cc.o.d"
+  "libmuve_user.a"
+  "libmuve_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/render_ascii.cc" "src/viz/CMakeFiles/muve_viz.dir/render_ascii.cc.o" "gcc" "src/viz/CMakeFiles/muve_viz.dir/render_ascii.cc.o.d"
+  "/root/repo/src/viz/render_svg.cc" "src/viz/CMakeFiles/muve_viz.dir/render_svg.cc.o" "gcc" "src/viz/CMakeFiles/muve_viz.dir/render_svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/muve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/muve_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/muve_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

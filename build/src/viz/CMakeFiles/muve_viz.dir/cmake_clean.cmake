@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_viz.dir/render_ascii.cc.o"
+  "CMakeFiles/muve_viz.dir/render_ascii.cc.o.d"
+  "CMakeFiles/muve_viz.dir/render_svg.cc.o"
+  "CMakeFiles/muve_viz.dir/render_svg.cc.o.d"
+  "libmuve_viz.a"
+  "libmuve_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_workload.dir/datasets.cc.o"
+  "CMakeFiles/muve_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/muve_workload.dir/query_generator.cc.o"
+  "CMakeFiles/muve_workload.dir/query_generator.cc.o.d"
+  "libmuve_workload.a"
+  "libmuve_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

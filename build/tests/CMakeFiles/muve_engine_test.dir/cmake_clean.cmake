@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_engine_test.dir/muve_engine_test.cc.o"
+  "CMakeFiles/muve_engine_test.dir/muve_engine_test.cc.o.d"
+  "muve_engine_test"
+  "muve_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlq_test.dir/nlq_test.cc.o"
+  "CMakeFiles/nlq_test.dir/nlq_test.cc.o.d"
+  "nlq_test"
+  "nlq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

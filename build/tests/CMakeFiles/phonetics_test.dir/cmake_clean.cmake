@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phonetics_test.dir/phonetics_test.cc.o"
+  "CMakeFiles/phonetics_test.dir/phonetics_test.cc.o.d"
+  "phonetics_test"
+  "phonetics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phonetics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

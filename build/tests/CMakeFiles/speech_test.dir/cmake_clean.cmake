@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_test.dir/speech_test.cc.o"
+  "CMakeFiles/speech_test.dir/speech_test.cc.o.d"
+  "speech_test"
+  "speech_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;24;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build/tests/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;25;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(phonetics_test "/root/repo/build/tests/phonetics_test")
+set_tests_properties(phonetics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;26;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(db_test "/root/repo/build/tests/db_test")
+set_tests_properties(db_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;27;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ilp_test "/root/repo/build/tests/ilp_test")
+set_tests_properties(ilp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;28;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_model_test "/root/repo/build/tests/core_model_test")
+set_tests_properties(core_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;29;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(planner_test "/root/repo/build/tests/planner_test")
+set_tests_properties(planner_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;30;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nlq_test "/root/repo/build/tests/nlq_test")
+set_tests_properties(nlq_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;31;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(speech_test "/root/repo/build/tests/speech_test")
+set_tests_properties(speech_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;32;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(exec_test "/root/repo/build/tests/exec_test")
+set_tests_properties(exec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;33;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(user_test "/root/repo/build/tests/user_test")
+set_tests_properties(user_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;34;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(viz_test "/root/repo/build/tests/viz_test")
+set_tests_properties(viz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;35;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(muve_engine_test "/root/repo/build/tests/muve_engine_test")
+set_tests_properties(muve_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;36;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;37;muve_add_test;/root/repo/tests/CMakeLists.txt;0;")
