@@ -7,9 +7,11 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/greedy_planner.h"
 #include "core/ilp_planner.h"
 #include "db/executor.h"
+#include "exec/engine.h"
 #include "exec/merger.h"
 #include "ilp/simplex.h"
 #include "ilp/solver.h"
@@ -112,6 +114,105 @@ void BM_GroupedScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GroupedScan)->Arg(100000)->Arg(1000000);
+
+/// Serial vs. parallel scans at fixed table size: range(0) is the row
+/// count, range(1) the thread count (1 = serial executor path). On a
+/// multicore machine the 1M-row scan should speed up ~linearly to the
+/// physical core count; thread count 1 must match BM_ScanAggregate.
+void BM_ScanAggregateParallel(benchmark::State& state) {
+  auto table = Flights(static_cast<size_t>(state.range(0)));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  db::ExecutorOptions options;
+  if (threads >= 2) {
+    pool = std::make_unique<ThreadPool>(threads);
+    options.pool = pool.get();
+  }
+  db::AggregateQuery query;
+  query.table = "flights";
+  query.function = db::AggregateFunction::kAvg;
+  query.aggregate_column = "arr_delay";
+  query.predicates = {db::Predicate::Equals("origin", db::Value("boston"))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Executor::Execute(*table, query, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanAggregateParallel)
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 4})
+    ->Args({1000000, 8});
+
+void BM_GroupedScanParallel(benchmark::State& state) {
+  auto table = Flights(static_cast<size_t>(state.range(0)));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  db::ExecutorOptions options;
+  if (threads >= 2) {
+    pool = std::make_unique<ThreadPool>(threads);
+    options.pool = pool.get();
+  }
+  db::GroupByQuery query;
+  query.table = "flights";
+  query.group_column = "origin";
+  query.group_values = table->FindColumn("origin")->dictionary();
+  query.aggregates = {{db::AggregateFunction::kCount, ""},
+                      {db::AggregateFunction::kAvg, "arr_delay"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db::Executor::ExecuteGrouped(*table, query, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupedScanParallel)
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 4})
+    ->Args({1000000, 8});
+
+/// End-to-end engine execution of a mergeable candidate batch, serial vs.
+/// parallel merge units (num_threads = 1 vs. pool sizes).
+void BM_EngineExecuteParallel(benchmark::State& state) {
+  auto table = Flights(static_cast<size_t>(state.range(0)));
+  exec::EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  exec::Engine engine(table, options);
+  core::CandidateSet set = Candidates(20);
+  std::vector<size_t> all(set.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(set, all));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineExecuteParallel)
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 8});
+
+/// Greedy planning with parallel candidate evaluation; range(0) is the
+/// candidate count, range(1) the thread count.
+void BM_GreedyPlannerParallel(benchmark::State& state) {
+  core::CandidateSet set = Candidates(static_cast<size_t>(state.range(0)));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  core::GreedyPlanner::Options options;
+  if (threads >= 2) {
+    pool = std::make_unique<ThreadPool>(threads);
+    options.pool = pool.get();
+    options.min_parallel_candidates = 1;
+  }
+  core::PlannerConfig config;
+  const core::GreedyPlanner planner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Plan(set, config));
+  }
+}
+BENCHMARK(BM_GreedyPlannerParallel)
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 8});
 
 void BM_MergePlanning(benchmark::State& state) {
   auto table = Flights(2000);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification: a Release build running the tier-1 test suite, then
+# a ThreadSanitizer build re-running it to catch data races in the
+# parallel executor / engine / planner paths.
+#
+# Usage: scripts/check.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> Release build + tests"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "==> Skipping ThreadSanitizer pass (--skip-tsan)"
+  exit 0
+fi
+
+echo "==> ThreadSanitizer build + tests"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMUVE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)"
+(cd build-tsan && ctest --output-on-failure -j "$(nproc)")
+
+echo "==> All checks passed"

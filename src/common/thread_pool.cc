@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace muve {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t num_chunks = (n + grain - 1) / grain;
+
+  auto run_chunk = [&](size_t chunk) {
+    const size_t begin = chunk * grain;
+    const size_t end = std::min(n, begin + grain);
+    body(chunk, begin, end);
+  };
+
+  if (pool == nullptr || pool->num_threads() < 2 || num_chunks < 2) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) run_chunk(chunk);
+    return;
+  }
+
+  // Dynamic chunk distribution: helpers and the calling thread pull the
+  // next unclaimed chunk index. Which thread runs a chunk varies run to
+  // run; what each chunk computes does not.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto drain = [run_chunk, next, num_chunks] {
+    for (;;) {
+      const size_t chunk = next->fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      run_chunk(chunk);
+    }
+  };
+
+  const size_t num_helpers =
+      std::min(pool->num_threads() - 1, num_chunks - 1);
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(num_helpers);
+  for (size_t i = 0; i < num_helpers; ++i) {
+    helpers.push_back(pool->Submit(drain));
+  }
+  drain();
+  for (std::future<void>& helper : helpers) helper.get();
+}
+
+}  // namespace muve

@@ -1,0 +1,99 @@
+#ifndef MUVE_COMMON_THREAD_POOL_H_
+#define MUVE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace muve {
+
+/// Fixed-size thread pool with one shared blocking task queue (FIFO, no
+/// work stealing). All parallel execution in MUVE — partitioned scans in
+/// `db::Executor`, concurrent merge units in `exec::Engine`, candidate
+/// evaluation in `core::GreedyPlanner` — runs on one of these pools so
+/// thread count is a single configuration knob (`num_threads` in
+/// `EngineOptions` / `MuveOptions`).
+///
+/// Lifetime: workers start in the constructor and are joined in the
+/// destructor after finishing every task already queued (graceful
+/// shutdown); Submit after shutdown began is rejected with a broken
+/// future-less no-op and must not happen in correct code.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. The future's
+  /// get() rethrows any exception thrown by `fn` (std::packaged_task
+  /// semantics).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    // packaged_task is move-only; std::function requires copyable
+    // targets, so the task rides behind a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!stop_) queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Resolves a `num_threads` option value: 0 means "use the hardware",
+  /// i.e. std::thread::hardware_concurrency() (itself at least 1).
+  static size_t ResolveThreadCount(size_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(chunk, begin, end)` for every chunk of [0, n) cut into
+/// fixed `grain`-sized pieces (the last piece may be shorter), spreading
+/// chunks across `pool` and the calling thread.
+///
+/// Two properties the callers rely on:
+///  - The partitioning depends only on `n` and `grain`, never on the pool
+///    size, so a reduction that combines per-chunk results *in chunk
+///    order* produces the same floating-point result for every thread
+///    count >= 1.
+///  - The calling thread participates in draining chunks (it never only
+///    blocks), so the call completes even when the pool is saturated or
+///    the caller itself is a pool worker — nested ParallelFor cannot
+///    deadlock, it just degrades toward serial.
+///
+/// `body` must not throw and chunks must touch disjoint state (each chunk
+/// writing only its own slot of a results vector is the intended shape).
+/// A null `pool` (or n small enough for a single chunk) runs everything
+/// inline on the calling thread, still chunk by chunk.
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
+}  // namespace muve
+
+#endif  // MUVE_COMMON_THREAD_POOL_H_

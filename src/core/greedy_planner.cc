@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "core/query_template.h"
 
 namespace muve::core {
@@ -69,6 +71,43 @@ MultiplotStats StatsAfterAdd(const State& state,
     }
   }
   return stats;
+}
+
+/// Result of scoring one range of candidate plots: the best (highest
+/// score) plot, lowest index on exact ties.
+struct ScoredPick {
+  double score = 0.0;
+  int index = -1;
+  double cost = 0.0;
+};
+
+/// Reduces `evaluate(begin, end)` over all of [0, n), in parallel when a
+/// pool is given. Chunk boundaries are fixed (independent of pool size)
+/// and partial picks merge in chunk order with a strict `>`, so the
+/// overall argmax — including its lowest-index tie-break — is identical
+/// to the serial left-to-right scan for every thread count.
+ScoredPick PickBest(
+    ThreadPool* pool, size_t n, size_t min_parallel, ScoredPick init,
+    const std::function<ScoredPick(size_t, size_t)>& evaluate) {
+  if (pool == nullptr || pool->num_threads() < 2 || n < min_parallel) {
+    return evaluate(0, n);
+  }
+  // Around 4 chunks per worker bounds idle tails without making chunks
+  // so small that scheduling dominates. Chunk boundaries do not affect
+  // the outcome: per-candidate scores are chunking-independent, and the
+  // lowest index attaining the global maximum wins under any grouping.
+  const size_t grain =
+      std::max<size_t>(16, n / (4 * pool->num_threads()) + 1);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<ScoredPick> partials(num_chunks);
+  ParallelFor(pool, n, grain, [&](size_t chunk, size_t begin, size_t end) {
+    partials[chunk] = evaluate(begin, end);
+  });
+  ScoredPick best = init;
+  for (const ScoredPick& partial : partials) {
+    if (partial.index >= 0 && partial.score > best.score) best = partial;
+  }
+  return best;
 }
 
 void ApplyAdd(State* state, const ColoredCandidate& plot,
@@ -259,36 +298,45 @@ Result<PlanResult> GreedyPlanner::Plan(const CandidateSet& candidates,
     std::vector<char> group_used(groups.size(), 0);
     double cost = empty_cost;
     for (;;) {
-      double best_score = 0.0;
-      int best_index = -1;
-      double best_cost = 0.0;
-      for (size_t c = 0; c < colored.size(); ++c) {
-        const ColoredCandidate& plot = colored[c];
-        if (group_used[plot.group]) continue;
-        // Feasible in some row?
-        bool fits = false;
-        for (size_t r = 0; r < num_rows; ++r) {
-          if (plot.width <= remaining[r]) {
-            fits = true;
-            break;
+      // Scores one index range of candidate plots against the current
+      // state (read-only during the scan).
+      auto evaluate = [&](size_t begin, size_t end) {
+        ScoredPick pick;
+        for (size_t c = begin; c < end; ++c) {
+          const ColoredCandidate& plot = colored[c];
+          if (group_used[plot.group]) continue;
+          // Feasible in some row?
+          bool fits = false;
+          for (size_t r = 0; r < num_rows; ++r) {
+            if (plot.width <= remaining[r]) {
+              fits = true;
+              break;
+            }
+          }
+          if (!fits) continue;
+          const MultiplotStats stats =
+              StatsAfterAdd(state, plot, groups[plot.group], candidates);
+          const double next_cost = CostOf(model, stats);
+          const double gain = cost - next_cost;
+          if (gain <= 1e-12) continue;
+          const double score =
+              rule == Rule::kGainPerWidth
+                  ? gain / static_cast<double>(plot.width)
+                  : gain;
+          if (score > pick.score) {
+            pick.score = score;
+            pick.index = static_cast<int>(c);
+            pick.cost = next_cost;
           }
         }
-        if (!fits) continue;
-        const MultiplotStats stats =
-            StatsAfterAdd(state, plot, groups[plot.group], candidates);
-        const double next_cost = CostOf(model, stats);
-        const double gain = cost - next_cost;
-        if (gain <= 1e-12) continue;
-        const double score =
-            rule == Rule::kGainPerWidth
-                ? gain / static_cast<double>(plot.width)
-                : gain;
-        if (score > best_score) {
-          best_score = score;
-          best_index = static_cast<int>(c);
-          best_cost = next_cost;
-        }
-      }
+        return pick;
+      };
+      const ScoredPick best =
+          PickBest(options_.pool, colored.size(),
+                   options_.min_parallel_candidates, ScoredPick{},
+                   evaluate);
+      const int best_index = best.index;
+      const double best_cost = best.cost;
       if (best_index < 0) break;
 
       const ColoredCandidate& plot = colored[best_index];
@@ -332,24 +380,35 @@ Result<PlanResult> GreedyPlanner::Plan(const CandidateSet& candidates,
   // Guarantee-preserving comparison against the best single plot
   // (standard for greedy knapsack-constrained submodular maximization).
   if (options_.enable_singleton_comparison) {
-    double best_single_cost = empty_cost;
-    int best_single = -1;
     State fresh;
     fresh.shown.assign(candidates.size(), 0);
     fresh.highlighted.assign(candidates.size(), 0);
-    for (size_t c = 0; c < colored.size(); ++c) {
-      if (colored[c].width > screen_width) continue;
-      const MultiplotStats stats = StatsAfterAdd(
-          fresh, colored[c], groups[colored[c].group], candidates);
-      const double cost = CostOf(model, stats);
-      if (cost < best_single_cost) {
-        best_single_cost = cost;
-        best_single = static_cast<int>(c);
+    // Scored as negated cost (negation is exact, so comparisons and ties
+    // behave identically to comparing costs directly).
+    auto evaluate = [&](size_t begin, size_t end) {
+      ScoredPick pick;
+      pick.score = -empty_cost;
+      for (size_t c = begin; c < end; ++c) {
+        if (colored[c].width > screen_width) continue;
+        const MultiplotStats stats = StatsAfterAdd(
+            fresh, colored[c], groups[colored[c].group], candidates);
+        const double cost = CostOf(model, stats);
+        if (-cost > pick.score) {
+          pick.score = -cost;
+          pick.index = static_cast<int>(c);
+          pick.cost = cost;
+        }
       }
-    }
-    if (best_single >= 0 && best_single_cost < current_cost) {
+      return pick;
+    };
+    ScoredPick init;
+    init.score = -empty_cost;
+    const ScoredPick best_single =
+        PickBest(options_.pool, colored.size(),
+                 options_.min_parallel_candidates, init, evaluate);
+    if (best_single.index >= 0 && best_single.cost < current_cost) {
       selected.clear();
-      selected.push_back({colored[best_single], 0});
+      selected.push_back({colored[best_single.index], 0});
     }
   }
 

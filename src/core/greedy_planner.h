@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/planner.h"
 
 namespace muve::core {
@@ -38,6 +39,16 @@ class GreedyPlanner : public VisualizationPlanner {
     /// Consider highlighting prefixes (Algorithm 3); disabled, only
     /// uncolored plot versions are generated.
     bool enable_coloring = true;
+    /// Worker pool for evaluating the candidate plots of one greedy step
+    /// in parallel. The argmax is reduced over fixed candidate-index
+    /// chunks merged in chunk order with a strict comparison, so ties
+    /// resolve to the lowest candidate index — the same winner the
+    /// serial loop picks — and the chosen plan is invariant under pool
+    /// size. nullptr evaluates serially.
+    ThreadPool* pool = nullptr;
+    /// Below this many candidate plots a step is evaluated serially even
+    /// with a pool (scheduling overhead exceeds the work).
+    size_t min_parallel_candidates = 64;
   };
 
   GreedyPlanner() = default;

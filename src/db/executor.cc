@@ -107,6 +107,17 @@ struct Accumulator {
     max = std::max(max, v);
   }
 
+  /// Folds another partition's partial state into this one. An all-empty
+  /// partition contributes count 0 and +/-inf extrema, so it cannot leak
+  /// a 0 identity into AVG/MIN/MAX; Finish() decides emptiness from the
+  /// merged count alone.
+  void Merge(const Accumulator& other) {
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
   AggregateResult Finish() const {
     AggregateResult out;
     out.rows_matched = count;
@@ -159,6 +170,13 @@ Result<Accumulator> MakeAccumulator(const Table& table,
   return acc;
 }
 
+bool MatchesAll(const std::vector<CompiledPredicate>& compiled, size_t row) {
+  for (const CompiledPredicate& predicate : compiled) {
+    if (!predicate.Matches(row)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string GroupByQuery::ToSql() const {
@@ -183,7 +201,8 @@ std::string GroupByQuery::ToSql() const {
 }
 
 Result<AggregateResult> Executor::Execute(const Table& table,
-                                          const AggregateQuery& query) {
+                                          const AggregateQuery& query,
+                                          const ExecutorOptions& options) {
   std::vector<CompiledPredicate> compiled;
   compiled.reserve(query.predicates.size());
   for (const Predicate& predicate : query.predicates) {
@@ -195,21 +214,30 @@ Result<AggregateResult> Executor::Execute(const Table& table,
       MakeAccumulator(table, query.function, query.aggregate_column));
 
   const size_t n = table.num_rows();
-  for (size_t row = 0; row < n; ++row) {
-    bool match = true;
-    for (const CompiledPredicate& predicate : compiled) {
-      if (!predicate.Matches(row)) {
-        match = false;
-        break;
-      }
+  if (!options.ShouldParallelize(n)) {
+    for (size_t row = 0; row < n; ++row) {
+      if (MatchesAll(compiled, row)) acc.Accept(row);
     }
-    if (match) acc.Accept(row);
+    return acc.Finish();
   }
+
+  const size_t grain = std::max<size_t>(1, options.parallel_grain);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<Accumulator> partials(num_chunks, acc);
+  ParallelFor(options.pool, n, grain,
+              [&](size_t chunk, size_t begin, size_t end) {
+                Accumulator& partial = partials[chunk];
+                for (size_t row = begin; row < end; ++row) {
+                  if (MatchesAll(compiled, row)) partial.Accept(row);
+                }
+              });
+  for (const Accumulator& partial : partials) acc.Merge(partial);
   return acc.Finish();
 }
 
-Result<GroupByResult> Executor::ExecuteGrouped(const Table& table,
-                                               const GroupByQuery& query) {
+Result<GroupByResult> Executor::ExecuteGrouped(
+    const Table& table, const GroupByQuery& query,
+    const ExecutorOptions& options) {
   const Column* group_column = table.FindColumn(query.group_column);
   if (group_column == nullptr) {
     return Status::NotFound("group column '" + query.group_column +
@@ -247,18 +275,40 @@ Result<GroupByResult> Executor::ExecuteGrouped(const Table& table,
 
   const size_t n = table.num_rows();
   const std::vector<uint32_t>& codes = group_column->codes();
-  for (size_t row = 0; row < n; ++row) {
-    auto it = group_of_code.find(codes[row]);
-    if (it == group_of_code.end()) continue;
-    bool match = true;
-    for (const CompiledPredicate& predicate : compiled) {
-      if (!predicate.Matches(row)) {
-        match = false;
-        break;
+  if (!options.ShouldParallelize(n)) {
+    for (size_t row = 0; row < n; ++row) {
+      auto it = group_of_code.find(codes[row]);
+      if (it == group_of_code.end()) continue;
+      if (!MatchesAll(compiled, row)) continue;
+      for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
+    }
+  } else {
+    // Per-partition replicas of the (group x aggregate) accumulator grid,
+    // merged cell-wise in partition order.
+    const size_t grain = std::max<size_t>(1, options.parallel_grain);
+    const size_t num_chunks = (n + grain - 1) / grain;
+    std::vector<std::vector<std::vector<Accumulator>>> partials(
+        num_chunks, accumulators);
+    ParallelFor(options.pool, n, grain,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  std::vector<std::vector<Accumulator>>& grid =
+                      partials[chunk];
+                  for (size_t row = begin; row < end; ++row) {
+                    auto it = group_of_code.find(codes[row]);
+                    if (it == group_of_code.end()) continue;
+                    if (!MatchesAll(compiled, row)) continue;
+                    for (Accumulator& acc : grid[it->second]) {
+                      acc.Accept(row);
+                    }
+                  }
+                });
+    for (const auto& grid : partials) {
+      for (size_t g = 0; g < accumulators.size(); ++g) {
+        for (size_t a = 0; a < accumulators[g].size(); ++a) {
+          accumulators[g][a].Merge(grid[g][a]);
+        }
       }
     }
-    if (!match) continue;
-    for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
   }
 
   GroupByResult out;

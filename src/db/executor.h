@@ -5,10 +5,31 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "db/query.h"
 #include "db/table.h"
 
 namespace muve::db {
+
+/// Controls how the executor runs a scan.
+struct ExecutorOptions {
+  /// Worker pool for partitioned scans; nullptr runs the exact serial
+  /// scan loop (the pre-threading code path, byte-identical results).
+  ThreadPool* pool = nullptr;
+  /// Tables smaller than this stay on the serial path even with a pool —
+  /// partitioning overhead dwarfs the scan below this size.
+  size_t min_parallel_rows = 16384;
+  /// Rows per partition. Fixed (independent of thread count), so the
+  /// per-partition aggregate states and their in-order merge — and hence
+  /// the floating-point result — are identical for every pool size.
+  size_t parallel_grain = 16384;
+
+  /// True when this configuration parallelizes a scan of `num_rows` rows.
+  bool ShouldParallelize(size_t num_rows) const {
+    return pool != nullptr && pool->num_threads() >= 2 &&
+           num_rows >= min_parallel_rows && num_rows > parallel_grain;
+  }
+};
 
 /// Result of executing one aggregate.
 struct AggregateResult {
@@ -49,15 +70,25 @@ struct GroupByResult {
 };
 
 /// Scan-based query executor over in-memory tables.
+///
+/// With `options.pool` set, scans are partitioned into fixed-size row
+/// ranges executed by the pool; each partition accumulates a private
+/// aggregate state (COUNT/SUM/MIN/MAX merge directly, AVG as a
+/// sum+count pair, GROUP BY as a per-partition accumulator grid) and the
+/// partial states are merged in partition order. Empty-input detection
+/// happens after the merge: a partition that matched nothing contributes
+/// a zero-count state, never a 0 identity value.
 class Executor {
  public:
   /// Executes a single aggregation query with equality/IN predicates.
   static Result<AggregateResult> Execute(const Table& table,
-                                         const AggregateQuery& query);
+                                         const AggregateQuery& query,
+                                         const ExecutorOptions& options = {});
 
   /// Executes a merged query in one scan.
-  static Result<GroupByResult> ExecuteGrouped(const Table& table,
-                                              const GroupByQuery& query);
+  static Result<GroupByResult> ExecuteGrouped(
+      const Table& table, const GroupByQuery& query,
+      const ExecutorOptions& options = {});
 
   /// Scales an aggregate computed on a `fraction` sample back to the full
   /// data (COUNT/SUM scale by 1/fraction; AVG/MIN/MAX are estimates as-is).

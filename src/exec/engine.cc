@@ -2,14 +2,77 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "db/executor.h"
 
 namespace muve::exec {
 
+namespace {
+
+/// Outcome of one merge unit: the (candidate index, value) pairs it
+/// answered, or the error that stopped it. Units compute into private
+/// buffers; the engine applies buffers to Execution::values in unit
+/// order, so the final vector is identical to the serial loop's
+/// regardless of completion order.
+struct UnitOutcome {
+  Status status;
+  std::vector<std::pair<size_t, double>> values;
+};
+
+UnitOutcome ExecuteUnit(const MergeUnit& unit, const db::Table& target,
+                        const core::CandidateSet& candidates, bool sampled,
+                        double sample_fraction,
+                        const db::ExecutorOptions& db_options) {
+  UnitOutcome out;
+  if (unit.merged) {
+    Result<db::GroupByResult> result =
+        db::Executor::ExecuteGrouped(target, unit.group_query, db_options);
+    if (!result.ok()) {
+      out.status = result.status();
+      return out;
+    }
+    for (size_t g = 0; g < unit.cell_candidate.size(); ++g) {
+      for (size_t a = 0; a < unit.cell_candidate[g].size(); ++a) {
+        const size_t idx = unit.cell_candidate[g][a];
+        if (idx == SIZE_MAX) continue;
+        double value = result->cells[g][a].value;
+        if (sampled) {
+          value = db::Executor::ScaleSampledValue(
+              unit.group_query.aggregates[a].function, value,
+              sample_fraction);
+        }
+        out.values.emplace_back(idx, value);
+      }
+    }
+  } else {
+    Result<db::AggregateResult> result = db::Executor::Execute(
+        target, candidates[unit.candidate].query, db_options);
+    if (!result.ok()) {
+      out.status = result.status();
+      return out;
+    }
+    double value = result->value;
+    if (sampled) {
+      value = db::Executor::ScaleSampledValue(
+          candidates[unit.candidate].query.function, value,
+          sample_fraction);
+    }
+    out.values.emplace_back(unit.candidate, value);
+  }
+  return out;
+}
+
+}  // namespace
+
 Engine::Engine(std::shared_ptr<const db::Table> table, EngineOptions options)
     : table_(std::move(table)), options_(options) {
+  const size_t threads =
+      ThreadPool::ResolveThreadCount(options_.num_threads);
+  if (threads >= 2) pool_ = std::make_unique<ThreadPool>(threads);
   // Calibration probe: time one full COUNT(*) scan and relate it to its
   // estimated cost, yielding cost-units-per-millisecond for
   // EstimateMillis (used by the dynamic approximate method).
@@ -53,36 +116,47 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
       EstimateUnitsCost(units, *target, estimator_, candidates);
 
   StopWatch watch;
-  for (const MergeUnit& unit : units) {
-    if (unit.merged) {
-      MUVE_ASSIGN_OR_RETURN(
-          db::GroupByResult result,
-          db::Executor::ExecuteGrouped(*target, unit.group_query));
-      for (size_t g = 0; g < unit.cell_candidate.size(); ++g) {
-        for (size_t a = 0; a < unit.cell_candidate[g].size(); ++a) {
-          const size_t idx = unit.cell_candidate[g][a];
-          if (idx == SIZE_MAX) continue;
-          double value = result.cells[g][a].value;
-          if (sampled) {
-            value = db::Executor::ScaleSampledValue(
-                unit.group_query.aggregates[a].function, value,
-                sample_fraction);
-          }
-          out.values[idx] = value;
-        }
+  if (pool_ != nullptr && units.size() >= 2) {
+    // Independent units run concurrently with serial per-unit scans:
+    // never both unit- and row-level parallelism at once, so pool tasks
+    // never wait on sub-tasks of the same pool.
+    std::vector<std::future<UnitOutcome>> futures;
+    futures.reserve(units.size());
+    for (const MergeUnit& unit : units) {
+      futures.push_back(pool_->Submit([&unit, &target, &candidates,
+                                       sampled, sample_fraction] {
+        return ExecuteUnit(unit, *target, candidates, sampled,
+                           sample_fraction, db::ExecutorOptions{});
+      }));
+    }
+    std::vector<UnitOutcome> outcomes;
+    outcomes.reserve(units.size());
+    for (std::future<UnitOutcome>& future : futures) {
+      outcomes.push_back(future.get());
+    }
+    // Apply in unit order; report the first error in unit order, which
+    // is the status the serial loop would have returned.
+    for (const UnitOutcome& outcome : outcomes) {
+      MUVE_RETURN_NOT_OK(outcome.status);
+      for (const auto& [idx, value] : outcome.values) {
+        out.values[idx] = value;
       }
-    } else {
-      MUVE_ASSIGN_OR_RETURN(
-          db::AggregateResult result,
-          db::Executor::Execute(*target,
-                                candidates[unit.candidate].query));
-      double value = result.value;
-      if (sampled) {
-        value = db::Executor::ScaleSampledValue(
-            candidates[unit.candidate].query.function, value,
-            sample_fraction);
+    }
+  } else {
+    // Serial across units; a lone unit may still partition its scan by
+    // rows when a pool exists.
+    db::ExecutorOptions db_options;
+    if (units.size() == 1) {
+      db_options.pool = pool_.get();
+      db_options.min_parallel_rows = options_.min_parallel_rows;
+    }
+    for (const MergeUnit& unit : units) {
+      const UnitOutcome outcome = ExecuteUnit(
+          unit, *target, candidates, sampled, sample_fraction, db_options);
+      MUVE_RETURN_NOT_OK(outcome.status);
+      for (const auto& [idx, value] : outcome.values) {
+        out.values[idx] = value;
       }
-      out.values[unit.candidate] = value;
     }
   }
   out.measured_millis = watch.ElapsedMillis();

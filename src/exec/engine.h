@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/candidate.h"
 #include "core/multiplot.h"
 #include "db/cost_estimator.h"
@@ -22,6 +23,18 @@ struct EngineOptions {
   /// to the modeled time — the data-size-independent overhead the paper
   /// observes in Fig. 11.
   double per_query_overhead_ms = 2.0;
+  /// Worker threads for query execution: 0 picks
+  /// hardware_concurrency, 1 is the exact serial path (no pool is
+  /// created; results are byte-identical to the pre-threading engine),
+  /// >= 2 creates a fixed-size shared ThreadPool. Independent merge
+  /// units run concurrently (bit-identical to serial, as each unit's
+  /// scan is unchanged and units answer disjoint value slots); a batch
+  /// that collapses to a single unit parallelizes the scan itself by row
+  /// partitioning instead.
+  size_t num_threads = 0;
+  /// Minimum table rows before a single unit's scan is row-partitioned
+  /// (forwarded to db::ExecutorOptions).
+  size_t min_parallel_rows = 16384;
 };
 
 /// Result of executing a batch of candidate queries.
@@ -75,10 +88,16 @@ class Engine {
   /// Sampled version of the table (cached by fraction).
   std::shared_ptr<const db::Table> SampleTable(double fraction);
 
+  /// The engine's worker pool, or nullptr when running serially
+  /// (num_threads resolved to 1). Shared with the planning layer so the
+  /// whole pipeline draws from one fixed set of threads.
+  ThreadPool* thread_pool() const { return pool_.get(); }
+
  private:
   std::shared_ptr<const db::Table> table_;
   EngineOptions options_;
   db::CostEstimator estimator_;
+  std::unique_ptr<ThreadPool> pool_;
   double cost_units_per_ms_ = 1.0;
   std::map<double, std::shared_ptr<const db::Table>> samples_;
 };

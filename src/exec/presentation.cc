@@ -55,11 +55,15 @@ void RecordEvent(PresentationOutcome* outcome, double at_millis,
   outcome->total_ms = std::max(outcome->total_ms, at_millis);
 }
 
-/// Plans with the greedy solver (the default planner of §9.4 methods).
+/// Plans with the greedy solver (the default planner of §9.4 methods),
+/// evaluating greedy steps on the engine's worker pool when it has one.
 Result<core::PlanResult> GreedyPlan(const core::CandidateSet& candidates,
-                                    const core::PlannerConfig& config) {
-  static const core::GreedyPlanner kPlanner;
-  return kPlanner.Plan(candidates, config);
+                                    const core::PlannerConfig& config,
+                                    ThreadPool* pool) {
+  core::GreedyPlanner::Options options;
+  options.pool = pool;
+  const core::GreedyPlanner planner(options);
+  return planner.Plan(candidates, config);
 }
 
 /// ILP-based methods plan over a probability prefix of the candidate set
@@ -119,7 +123,7 @@ Result<PresentationOutcome> RunPresentation(
   switch (method) {
     case PresentationMethod::kGreedy: {
       MUVE_ASSIGN_OR_RETURN(core::PlanResult plan,
-                            GreedyPlan(candidates, options.planner));
+                            GreedyPlan(candidates, options.planner, engine->thread_pool()));
       outcome.plan_millis = plan.optimize_millis;
       MUVE_ASSIGN_OR_RETURN(
           Execution execution,
@@ -146,7 +150,7 @@ Result<PresentationOutcome> RunPresentation(
       // a solver timeout then degrades to greedy quality instead of an
       // empty screen.
       MUVE_ASSIGN_OR_RETURN(core::PlanResult seed,
-                            GreedyPlan(planning_set, options.planner));
+                            GreedyPlan(planning_set, options.planner, engine->thread_pool()));
       MUVE_ASSIGN_OR_RETURN(
           core::PlanResult plan,
           planner.PlanWithHint(planning_set, config, &seed.multiplot));
@@ -169,7 +173,7 @@ Result<PresentationOutcome> RunPresentation(
       const core::IlpPlanner planner;
       const core::CandidateSet planning_set = TrimForIlp(candidates);
       MUVE_ASSIGN_OR_RETURN(core::PlanResult seed,
-                            GreedyPlan(planning_set, options.planner));
+                            GreedyPlan(planning_set, options.planner, engine->thread_pool()));
       MUVE_ASSIGN_OR_RETURN(
           std::vector<core::IlpPlanner::IncrementalSnapshot> snapshots,
           planner.PlanIncremental(planning_set, options.planner,
@@ -195,7 +199,7 @@ Result<PresentationOutcome> RunPresentation(
 
     case PresentationMethod::kIncrementalPlot: {
       MUVE_ASSIGN_OR_RETURN(core::PlanResult plan,
-                            GreedyPlan(candidates, options.planner));
+                            GreedyPlan(candidates, options.planner, engine->thread_pool()));
       outcome.plan_millis = plan.optimize_millis;
       // Show plots in order of their best member probability.
       struct PlotRef {
@@ -246,7 +250,7 @@ Result<PresentationOutcome> RunPresentation(
     case PresentationMethod::kApprox5:
     case PresentationMethod::kApproxDynamic: {
       MUVE_ASSIGN_OR_RETURN(core::PlanResult plan,
-                            GreedyPlan(candidates, options.planner));
+                            GreedyPlan(candidates, options.planner, engine->thread_pool()));
       outcome.plan_millis = plan.optimize_millis;
       double fraction = 0.01;
       if (method == PresentationMethod::kApprox5) fraction = 0.05;

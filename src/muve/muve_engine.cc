@@ -40,7 +40,9 @@ Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
     MUVE_ASSIGN_OR_RETURN(answer.plan,
                           planner.Plan(answer.candidates, options_.planner));
   } else {
-    const core::GreedyPlanner planner;
+    core::GreedyPlanner::Options greedy_options;
+    greedy_options.pool = exec_engine_.thread_pool();
+    const core::GreedyPlanner planner(greedy_options);
     MUVE_ASSIGN_OR_RETURN(answer.plan,
                           planner.Plan(answer.candidates, options_.planner));
   }

@@ -19,6 +19,12 @@
 namespace muve {
 
 /// Top-level configuration of a MuveEngine.
+///
+/// Thread count flows through `execution.num_threads` (0 =
+/// hardware_concurrency, 1 = exact serial pipeline): the execution
+/// engine owns one fixed-size ThreadPool sized accordingly and shares it
+/// with the greedy planner, so the whole pipeline draws from a single
+/// set of worker threads.
 struct MuveOptions {
   core::PlannerConfig planner;
   nlq::CandidateGeneratorOptions generation;

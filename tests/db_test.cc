@@ -226,6 +226,89 @@ TEST(ExecutorTest, EmptyInputAggregates) {
   EXPECT_TRUE(result->empty_input);
 }
 
+TEST(ExecutorTest, EmptyInputSurvivesParallelMerge) {
+  // Regression: a zero-match AVG/MIN/MAX must report empty_input = true
+  // when the scan is partitioned and partial accumulators are merged. A
+  // buggy merge would fold a partition's identity extrema (+/-inf) or a
+  // 0 sum into a "real" value and lose the emptiness bit.
+  auto table = *Table::Create("wide", {{"city", ValueType::kString},
+                                       {"delay", ValueType::kDouble}});
+  for (int r = 0; r < 5000; ++r) {
+    ASSERT_TRUE(
+        table->AppendRow({Value("boston"), Value(1.0 + r)}).ok());
+  }
+  ThreadPool pool(4);
+  ExecutorOptions options;
+  options.pool = &pool;
+  options.min_parallel_rows = 1;
+  options.parallel_grain = 257;  // Many partitions, all empty.
+
+  for (const AggregateFunction fn :
+       {AggregateFunction::kAvg, AggregateFunction::kMin,
+        AggregateFunction::kMax}) {
+    AggregateQuery query;
+    query.table = "wide";
+    query.function = fn;
+    query.aggregate_column = "delay";
+    query.predicates = {Predicate::Equals("city", Value("chicago"))};
+    auto result = Executor::Execute(*table, query, options);
+    ASSERT_TRUE(result.ok()) << AggregateFunctionName(fn);
+    EXPECT_TRUE(result->empty_input) << AggregateFunctionName(fn);
+    EXPECT_DOUBLE_EQ(result->value, 0.0) << AggregateFunctionName(fn);
+    EXPECT_EQ(result->rows_matched, 0u) << AggregateFunctionName(fn);
+  }
+
+  // COUNT of nothing is a real 0, not an empty input.
+  AggregateQuery count;
+  count.table = "wide";
+  count.function = AggregateFunction::kCount;
+  count.predicates = {Predicate::Equals("city", Value("chicago"))};
+  auto counted = Executor::Execute(*table, count, options);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_FALSE(counted->empty_input);
+  EXPECT_DOUBLE_EQ(counted->value, 0.0);
+}
+
+TEST(ExecutorTest, GroupedEmptyCellsSurviveParallelMerge) {
+  // Same regression at the grouped-scan merge: an IN-list group value
+  // absent from the data must yield empty_input cells after the
+  // per-partition accumulator grids are merged.
+  auto table = *Table::Create("wide", {{"city", ValueType::kString},
+                                       {"delay", ValueType::kDouble}});
+  for (int r = 0; r < 5000; ++r) {
+    ASSERT_TRUE(
+        table->AppendRow({Value("boston"), Value(1.0 + r)}).ok());
+  }
+  ThreadPool pool(4);
+  ExecutorOptions options;
+  options.pool = &pool;
+  options.min_parallel_rows = 1;
+  options.parallel_grain = 257;
+
+  GroupByQuery grouped;
+  grouped.table = "wide";
+  grouped.group_column = "city";
+  grouped.group_values = {"boston", "chicago"};
+  grouped.aggregates = {{AggregateFunction::kAvg, "delay"},
+                        {AggregateFunction::kMin, "delay"},
+                        {AggregateFunction::kCount, ""}};
+  auto result = Executor::ExecuteGrouped(*table, grouped, options);
+  ASSERT_TRUE(result.ok());
+
+  // boston is populated: AVG of 1..5000 and MIN 1.
+  EXPECT_FALSE(result->cells[0][0].empty_input);
+  EXPECT_DOUBLE_EQ(result->cells[0][0].value, 2500.5);
+  EXPECT_DOUBLE_EQ(result->cells[0][1].value, 1.0);
+  EXPECT_DOUBLE_EQ(result->cells[0][2].value, 5000.0);
+
+  // chicago matched nothing anywhere: AVG/MIN empty, COUNT real 0.
+  EXPECT_TRUE(result->cells[1][0].empty_input);
+  EXPECT_DOUBLE_EQ(result->cells[1][0].value, 0.0);
+  EXPECT_TRUE(result->cells[1][1].empty_input);
+  EXPECT_FALSE(result->cells[1][2].empty_input);
+  EXPECT_DOUBLE_EQ(result->cells[1][2].value, 0.0);
+}
+
 TEST(ExecutorTest, ErrorsOnBadColumns) {
   auto table = MakeCityTable();
   AggregateQuery query;

@@ -1,0 +1,314 @@
+/// Differential test harness for the threaded MUVE pipeline.
+///
+/// Hundreds of seeded random workloads are pushed through pairs of
+/// implementations that must agree:
+///   - db::Executor serial scan vs row-partitioned parallel scan (1, 2
+///     and 8 threads), for single aggregates and grouped queries;
+///   - exec::Engine merged vs unmerged execution, serial vs parallel;
+///   - core::GreedyPlanner serial vs parallel candidate evaluation
+///     (plans must be structurally identical, costs bitwise equal);
+///   - greedy vs brute-force reference planner on tiny instances (the
+///     exhaustive optimum can never be worse than greedy).
+///
+/// Agreement rules: COUNT/MIN/MAX and all plan structure are exact;
+/// SUM/AVG compare within 1e-9 relative tolerance between serial and
+/// partitioned scans (partition sums associate differently), but are
+/// bitwise identical between different thread counts because partition
+/// boundaries are fixed by grain, not by pool size.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/brute_force_planner.h"
+#include "core/greedy_planner.h"
+#include "db/executor.h"
+#include "exec/engine.h"
+#include "testing/random_workload.h"
+
+namespace muve {
+namespace {
+
+constexpr int kNumSeeds = 210;
+constexpr uint64_t kSeedBase = 9000;
+
+/// Thread counts every comparison runs at (1 = serial reference path).
+const size_t kThreadCounts[] = {1, 2, 8};
+
+bool SumBased(db::AggregateFunction fn) {
+  return fn == db::AggregateFunction::kSum ||
+         fn == db::AggregateFunction::kAvg;
+}
+
+/// Exact for COUNT/MIN/MAX, 1e-9 relative for SUM/AVG.
+void ExpectAggregateAgreement(const db::AggregateResult& reference,
+                              const db::AggregateResult& other,
+                              db::AggregateFunction fn,
+                              const std::string& context) {
+  EXPECT_EQ(reference.rows_matched, other.rows_matched) << context;
+  EXPECT_EQ(reference.empty_input, other.empty_input) << context;
+  if (SumBased(fn)) {
+    const double scale = std::max(1.0, std::fabs(reference.value));
+    EXPECT_NEAR(reference.value, other.value, 1e-9 * scale) << context;
+  } else {
+    EXPECT_EQ(reference.value, other.value) << context;
+  }
+}
+
+/// Canonical string form of a multiplot's structure (bars, highlighting,
+/// row layout) for exact plan comparison.
+std::string PlanSignature(const core::Multiplot& multiplot) {
+  std::ostringstream out;
+  for (size_t r = 0; r < multiplot.rows.size(); ++r) {
+    out << "row" << r << "[";
+    for (const core::Plot& plot : multiplot.rows[r]) {
+      out << "(" << plot.query_template.key << ":";
+      for (const core::PlotBar& bar : plot.bars) {
+        out << bar.candidate_index << (bar.highlighted ? "R" : "p") << ",";
+      }
+      out << ")";
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pool2_ = new ThreadPool(2);
+    pool8_ = new ThreadPool(8);
+  }
+  static void TearDownTestSuite() {
+    delete pool8_;
+    pool8_ = nullptr;
+    delete pool2_;
+    pool2_ = nullptr;
+  }
+
+  /// Pool for a thread count; nullptr = serial.
+  static ThreadPool* PoolFor(size_t threads) {
+    if (threads <= 1) return nullptr;
+    return threads == 2 ? pool2_ : pool8_;
+  }
+
+  static ThreadPool* pool2_;
+  static ThreadPool* pool8_;
+};
+
+ThreadPool* DifferentialTest::pool2_ = nullptr;
+ThreadPool* DifferentialTest::pool8_ = nullptr;
+
+// ---------------------------------------------------------------------
+// Layer 1: db::Executor — serial vs partitioned scans.
+// ---------------------------------------------------------------------
+
+TEST_F(DifferentialTest, ExecutorSerialVsParallelScans) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + static_cast<uint64_t>(seed));
+    auto table = testing::RandomTable(&rng);
+    // Odd grain, forced parallelism: partition boundaries cut rows at
+    // awkward offsets and every thread count must still agree.
+    db::ExecutorOptions parallel_options;
+    parallel_options.min_parallel_rows = 1;
+    parallel_options.parallel_grain = 193;
+
+    for (int q = 0; q < 3; ++q) {
+      const db::AggregateQuery query =
+          testing::RandomAggregateQuery(*table, &rng);
+      const auto serial = db::Executor::Execute(*table, query);
+      ASSERT_TRUE(serial.ok()) << query.ToSql();
+      db::AggregateResult at2{};
+      for (const size_t threads : kThreadCounts) {
+        parallel_options.pool = PoolFor(threads);
+        const auto parallel =
+            db::Executor::Execute(*table, query, parallel_options);
+        ASSERT_TRUE(parallel.ok()) << query.ToSql();
+        ExpectAggregateAgreement(
+            *serial, *parallel, query.function,
+            "seed " + std::to_string(seed) + " threads " +
+                std::to_string(threads) + " " + query.ToSql());
+        // Fixed-grain partitioning: 2- and 8-thread runs are bitwise
+        // identical, including SUM/AVG.
+        if (threads == 2) at2 = *parallel;
+        if (threads == 8) {
+          EXPECT_EQ(at2.value, parallel->value) << query.ToSql();
+          EXPECT_EQ(at2.rows_matched, parallel->rows_matched);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialTest, ExecutorSerialVsParallelGroupedScans) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 100000 + static_cast<uint64_t>(seed));
+    auto table = testing::RandomTable(&rng);
+    const db::GroupByQuery query =
+        testing::RandomGroupByQuery(*table, &rng);
+    const auto serial = db::Executor::ExecuteGrouped(*table, query);
+    ASSERT_TRUE(serial.ok()) << query.ToSql();
+
+    db::ExecutorOptions parallel_options;
+    parallel_options.min_parallel_rows = 1;
+    parallel_options.parallel_grain = 311;
+    db::GroupByResult at2{};
+    for (const size_t threads : kThreadCounts) {
+      parallel_options.pool = PoolFor(threads);
+      const auto parallel =
+          db::Executor::ExecuteGrouped(*table, query, parallel_options);
+      ASSERT_TRUE(parallel.ok()) << query.ToSql();
+      ASSERT_EQ(serial->cells.size(), parallel->cells.size());
+      for (size_t g = 0; g < serial->cells.size(); ++g) {
+        ASSERT_EQ(serial->cells[g].size(), parallel->cells[g].size());
+        for (size_t a = 0; a < serial->cells[g].size(); ++a) {
+          ExpectAggregateAgreement(
+              serial->cells[g][a], parallel->cells[g][a],
+              query.aggregates[a].function,
+              "seed " + std::to_string(seed) + " threads " +
+                  std::to_string(threads) + " cell " + std::to_string(g) +
+                  "/" + std::to_string(a) + " " + query.ToSql());
+          if (threads == 8) {
+            EXPECT_EQ(at2.cells[g][a].value, parallel->cells[g][a].value);
+          }
+        }
+      }
+      if (threads == 2) at2 = *parallel;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: exec::Engine — merged vs unmerged, serial vs parallel.
+// ---------------------------------------------------------------------
+
+TEST_F(DifferentialTest, EngineMergedUnmergedSerialParallel) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 200000 + static_cast<uint64_t>(seed));
+    auto table = testing::RandomTable(&rng);
+    const core::CandidateSet set =
+        testing::RandomCandidateSet(*table, &rng);
+    if (set.empty()) continue;
+    std::vector<size_t> all(set.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+    // Reference: serial, unmerged.
+    exec::Engine reference(table,
+                           {.enable_merging = false, .num_threads = 1});
+    const auto expected = reference.Execute(set, all);
+    ASSERT_TRUE(expected.ok());
+
+    for (const bool merging : {false, true}) {
+      for (const size_t threads : kThreadCounts) {
+        exec::EngineOptions options;
+        options.enable_merging = merging;
+        options.num_threads = threads;
+        exec::Engine engine(table, options);
+        const auto actual = engine.Execute(set, all);
+        ASSERT_TRUE(actual.ok());
+        ASSERT_EQ(expected->values.size(), actual->values.size());
+        for (size_t i = 0; i < set.size(); ++i) {
+          const std::string context =
+              "seed " + std::to_string(seed) + " merging " +
+              std::to_string(merging) + " threads " +
+              std::to_string(threads) + " " + set[i].query.ToSql();
+          if (std::isnan(expected->values[i])) {
+            EXPECT_TRUE(std::isnan(actual->values[i])) << context;
+            continue;
+          }
+          const double scale =
+              std::max(1.0, std::fabs(expected->values[i]));
+          EXPECT_NEAR(expected->values[i], actual->values[i],
+                      1e-9 * scale)
+              << context;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Layer 3: planners — greedy thread-count invariance, greedy vs
+// brute-force reference.
+// ---------------------------------------------------------------------
+
+TEST_F(DifferentialTest, GreedyPlannerThreadCountInvariant) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 300000 + static_cast<uint64_t>(seed));
+    testing::RandomTableOptions table_options;
+    table_options.min_rows = 200;
+    table_options.max_rows = 600;
+    auto table = testing::RandomTable(&rng, table_options);
+    const core::CandidateSet set =
+        testing::RandomCandidateSet(*table, &rng, 24);
+    if (set.empty()) continue;
+    core::PlannerConfig config;
+    config.geometry.max_rows = 1 + static_cast<int>(seed % 2);
+
+    core::PlanResult reference;
+    for (const size_t threads : kThreadCounts) {
+      core::GreedyPlanner::Options options;
+      options.pool = PoolFor(threads);
+      options.min_parallel_candidates = 1;  // Force the parallel path.
+      const core::GreedyPlanner planner(options);
+      const auto plan = planner.Plan(set, config);
+      ASSERT_TRUE(plan.ok());
+      EXPECT_TRUE(plan->multiplot.Validate(config.geometry).ok())
+          << "seed " << seed << " threads " << threads;
+      if (threads == 1) {
+        reference = *plan;
+        continue;
+      }
+      // The parallel argmax must reproduce the serial plan exactly:
+      // same structure, bitwise-equal cost.
+      EXPECT_EQ(PlanSignature(reference.multiplot),
+                PlanSignature(plan->multiplot))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(reference.expected_cost, plan->expected_cost)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST_F(DifferentialTest, GreedyNeverBeatsBruteForce) {
+  int planned = 0;
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 400000 + static_cast<uint64_t>(seed));
+    testing::RandomTableOptions table_options;
+    table_options.min_rows = 100;
+    table_options.max_rows = 300;
+    auto table = testing::RandomTable(&rng, table_options);
+    const core::CandidateSet set = testing::TinyCandidateSet(*table, &rng);
+    core::PlannerConfig config;
+    config.geometry.max_rows = 1;
+
+    const core::BruteForcePlanner brute;
+    const auto optimal = brute.Plan(set, config);
+    ASSERT_TRUE(optimal.ok()) << "seed " << seed;
+
+    for (const size_t threads : kThreadCounts) {
+      core::GreedyPlanner::Options options;
+      options.pool = PoolFor(threads);
+      options.min_parallel_candidates = 1;
+      const core::GreedyPlanner planner(options);
+      const auto greedy = planner.Plan(set, config);
+      ASSERT_TRUE(greedy.ok()) << "seed " << seed;
+      // The exhaustive optimum is a lower bound for greedy at every
+      // thread count.
+      EXPECT_LE(optimal->expected_cost,
+                greedy->expected_cost + 1e-9)
+          << "seed " << seed << " threads " << threads;
+    }
+    ++planned;
+  }
+  // The suite must not silently degenerate to skipping everything.
+  EXPECT_GE(planned, kNumSeeds);
+}
+
+}  // namespace
+}  // namespace muve

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "muve/muve_engine.h"
+#include "testing/sanitizer.h"
 #include "viz/render_ascii.h"
 #include "workload/datasets.h"
 
@@ -65,6 +66,10 @@ TEST(MuveEngineTest, AskVoiceWithNoiseStillAnswers) {
 }
 
 TEST(MuveEngineTest, IlpModePlansValidMultiplots) {
+  if (testing::kSanitizerBuild) {
+    GTEST_SKIP() << "wall-clock solver budget is meaningless under the "
+                    "~10x sanitizer slowdown";
+  }
   MuveOptions options;
   options.use_ilp = true;
   options.planner.timeout_ms = 1500.0;
@@ -89,6 +94,64 @@ TEST(MuveEngineTest, AnswerRendersAsAscii) {
 TEST(MuveEngineTest, RejectsUnlinkableUtterance) {
   MuveEngine engine(Table311());
   EXPECT_FALSE(engine.AskText("zzz qqq xxx").ok());
+}
+
+// ---------------------------------------------------------------------
+// AskVoice error paths.
+// ---------------------------------------------------------------------
+
+TEST(MuveEngineTest, AskVoiceUntranslatableTranscriptFailsGracefully) {
+  MuveEngine engine(Table311());
+  Rng rng(42);
+  // Zero noise: the transcript is the utterance verbatim, and the
+  // utterance links to nothing in the schema. The pipeline must surface
+  // a translation error, not crash or fabricate a query.
+  speech::SpeechNoiseOptions no_noise;
+  no_noise.substitution_rate = 0.0;
+  no_noise.deletion_rate = 0.0;
+  auto answer = engine.AskVoice("zzz qqq xxx", &rng, no_noise);
+  EXPECT_FALSE(answer.ok());
+  EXPECT_FALSE(answer.status().message().empty());
+}
+
+TEST(MuveEngineTest, AskVoiceEmptyCandidateSetYieldsEmptyMultiplot) {
+  // max_candidates = 0 leaves the generator with nothing to offer. The
+  // planner and execution engine must both accept the empty set: the
+  // answer succeeds with an empty multiplot rather than erroring out.
+  MuveOptions options;
+  options.generation.max_candidates = 0;
+  MuveEngine engine(Table311(), options);
+  Rng rng(43);
+  speech::SpeechNoiseOptions no_noise;
+  no_noise.substitution_rate = 0.0;
+  no_noise.deletion_rate = 0.0;
+  auto answer =
+      engine.AskVoice("how many complaints in brooklyn", &rng, no_noise);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->candidates.empty());
+  EXPECT_TRUE(answer->plan.multiplot.empty());
+  EXPECT_TRUE(answer->execution.values.empty());
+}
+
+TEST(MuveEngineTest, AskVoiceIlpTimeoutFallsBackToIncumbent) {
+  // An absurdly small ILP budget forces the deadline before proven
+  // optimality. The planner must return its warm-start incumbent (never
+  // an error), flag timed_out, and the multiplot must still validate.
+  MuveOptions options;
+  options.use_ilp = true;
+  options.planner.timeout_ms = 0.05;
+  options.generation.max_candidates = 12;
+  MuveEngine engine(Table311(), options);
+  Rng rng(44);
+  speech::SpeechNoiseOptions no_noise;
+  no_noise.substitution_rate = 0.0;
+  no_noise.deletion_rate = 0.0;
+  auto answer =
+      engine.AskVoice("how many complaints in brooklyn", &rng, no_noise);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->plan.timed_out);
+  EXPECT_TRUE(
+      answer->plan.multiplot.Validate(options.planner.geometry).ok());
 }
 
 TEST(MuveEngineTest, AmbiguousQueryCoversMultipleInterpretations) {

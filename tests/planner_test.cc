@@ -8,6 +8,7 @@
 #include "core/greedy_planner.h"
 #include "core/ilp_planner.h"
 #include "core/query_template.h"
+#include "testing/sanitizer.h"
 
 namespace muve::core {
 namespace {
@@ -205,6 +206,10 @@ TEST(IlpPlannerTest, TimeoutStillYieldsValidPlan) {
 }
 
 TEST(IlpPlannerTest, IncrementalSnapshotsImprove) {
+  if (muve::testing::kSanitizerBuild) {
+    GTEST_SKIP() << "wall-clock solver budget is meaningless under the "
+                    "~10x sanitizer slowdown";
+  }
   Rng rng(56);
   const CandidateSet set = SmallInstance(&rng, 8);
   PlannerConfig config = TightConfig();

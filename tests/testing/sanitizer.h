@@ -1,0 +1,48 @@
+#ifndef MUVE_TESTS_TESTING_SANITIZER_H_
+#define MUVE_TESTS_TESTING_SANITIZER_H_
+
+/// Detection of sanitizer builds (see MUVE_SANITIZE in CMakeLists.txt).
+///
+/// Tests that assert wall-clock-budgeted solver behavior (e.g. "the ILP
+/// proves optimality within its timeout") are meaningless under the
+/// ~10x slowdown of ThreadSanitizer and skip themselves with this flag.
+/// Race-sensitive tests must NOT use it — finding races under TSan is
+/// the whole point of the sanitizer pass.
+
+#if defined(__SANITIZE_THREAD__)
+#define MUVE_THREAD_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MUVE_THREAD_SANITIZER 1
+#endif
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MUVE_ADDRESS_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MUVE_ADDRESS_SANITIZER 1
+#endif
+#endif
+
+namespace muve::testing {
+
+#ifdef MUVE_THREAD_SANITIZER
+inline constexpr bool kThreadSanitizer = true;
+#else
+inline constexpr bool kThreadSanitizer = false;
+#endif
+
+#ifdef MUVE_ADDRESS_SANITIZER
+inline constexpr bool kAddressSanitizer = true;
+#else
+inline constexpr bool kAddressSanitizer = false;
+#endif
+
+/// True in any sanitizer build: timing-sensitive assertions should be
+/// skipped (GTEST_SKIP) because instrumentation slows execution ~10x.
+inline constexpr bool kSanitizerBuild = kThreadSanitizer || kAddressSanitizer;
+
+}  // namespace muve::testing
+
+#endif  // MUVE_TESTS_TESTING_SANITIZER_H_
