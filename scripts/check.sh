@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Full verification: a Release build running the tier-1 test suite, then
-# a ThreadSanitizer build re-running it to catch data races in the
-# parallel executor / engine / planner paths.
+# Verification driver over the labeled test tiers:
+#   tier1  every unit/integration/differential suite at its default
+#          (fast) seed and iteration counts;
+#   slow   nightly-scale re-runs of the randomized suites (3x the
+#          differential seeds, 15x the fuzz iterations) selected via
+#          MUVE_DIFF_SEEDS / MUVE_FUZZ_ITERS.
 #
-# Usage: scripts/check.sh [--skip-tsan]
+# The default run builds Release, runs tier1, then rebuilds with
+# ThreadSanitizer and runs tier1 again to catch data races in the
+# parallel executor / engine / planner / cache paths. --full adds the
+# slow label to both passes.
+#
+# Usage: scripts/check.sh [--skip-tsan] [--full]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+LABELS=(-L tier1)
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --full) LABELS=() ;;  # No label filter: tier1 + slow.
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -19,7 +29,7 @@ done
 echo "==> Release build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+(cd build && ctest --output-on-failure -j "$(nproc)" "${LABELS[@]+"${LABELS[@]}"}")
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> Skipping ThreadSanitizer pass (--skip-tsan)"
@@ -30,6 +40,6 @@ echo "==> ThreadSanitizer build + tests"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMUVE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)"
-(cd build-tsan && ctest --output-on-failure -j "$(nproc)")
+(cd build-tsan && ctest --output-on-failure -j "$(nproc)" "${LABELS[@]+"${LABELS[@]}"}")
 
 echo "==> All checks passed"

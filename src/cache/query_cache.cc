@@ -1,0 +1,170 @@
+#include "cache/query_cache.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "db/value.h"
+
+namespace muve::cache {
+
+namespace {
+
+/// Exact, delimiter-safe serialization of a value: type tag plus full
+/// %.17g precision for doubles (display formatting rounds to 6
+/// significant digits and would alias distinct constants) and a length
+/// prefix for strings (so a value containing a delimiter cannot forge
+/// another key).
+void AppendValue(const db::Value& value, std::string* key) {
+  if (value.is_int64()) {
+    *key += 'i';
+    *key += std::to_string(value.AsInt64());
+  } else if (value.is_double()) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "d%.17g", value.AsDouble());
+    *key += buffer;
+  } else {
+    const std::string& text = value.AsString();
+    *key += 's';
+    *key += std::to_string(text.size());
+    *key += ':';
+    *key += text;
+  }
+}
+
+void AppendPredicate(const db::Predicate& predicate, std::string* key) {
+  // Column matching is case-insensitive in the executor, so lowering
+  // only merges keys that resolve to the same column.
+  *key += ToLower(predicate.column);
+  *key += predicate.op == db::PredicateOp::kEq ? "=" : "@in";
+  for (const db::Value& value : predicate.values) {
+    AppendValue(value, key);
+    *key += ',';
+  }
+  *key += ';';
+}
+
+/// "t<id>@<version>|" — every key starts with this, which is what makes
+/// a version bump an implicit whole-table invalidation.
+std::string TablePrefix(const db::Table& table) {
+  return "t" + std::to_string(table.id()) + "@" +
+         std::to_string(table.version()) + "|";
+}
+
+std::string AggregateKey(const db::Table& table,
+                         const db::AggregateQuery& query) {
+  std::string key = TablePrefix(table);
+  key += "a|";
+  key += db::AggregateFunctionName(query.function);
+  key += '(';
+  // COUNT ignores its column (never-NULL fragment), matching
+  // AggregateQuery::CanonicalKey.
+  if (query.function != db::AggregateFunction::kCount) {
+    key += ToLower(query.aggregate_column);
+  }
+  key += ")|";
+  for (const db::Predicate& predicate : query.predicates) {
+    AppendPredicate(predicate, &key);
+  }
+  return key;
+}
+
+std::string GroupedKey(const db::Table& table,
+                       const db::GroupByQuery& query) {
+  std::string key = TablePrefix(table);
+  key += "g|";
+  key += ToLower(query.group_column);
+  key += '|';
+  // Group values stay in order: result cells are indexed by position.
+  for (const std::string& value : query.group_values) {
+    key += std::to_string(value.size());
+    key += ':';
+    key += value;
+  }
+  key += '|';
+  for (const db::AggregateSpec& agg : query.aggregates) {
+    key += db::AggregateFunctionName(agg.function);
+    key += '(';
+    if (agg.function != db::AggregateFunction::kCount) {
+      key += ToLower(agg.column);
+    }
+    key += ')';
+  }
+  key += '|';
+  for (const db::Predicate& predicate : query.shared_predicates) {
+    AppendPredicate(predicate, &key);
+  }
+  return key;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(size_t capacity)
+    : aggregate_cache_(capacity, &stats_),
+      grouped_cache_(capacity, &stats_) {}
+
+void QueryCache::SweepStaleVersions(const db::Table& table) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(version_mutex_);
+    auto it = seen_version_.find(table.id());
+    if (it != seen_version_.end() && it->second == table.version()) return;
+    seen_version_[table.id()] = table.version();
+    // First sight of a table has nothing to sweep.
+    if (it == seen_version_.end()) return;
+  }
+  const std::string id_prefix = "t" + std::to_string(table.id()) + "@";
+  const std::string live_prefix = TablePrefix(table);
+  const auto stale = [&](const std::string& key) {
+    return StartsWith(key, id_prefix) && !StartsWith(key, live_prefix);
+  };
+  const size_t swept =
+      aggregate_cache_.EraseIf(stale) + grouped_cache_.EraseIf(stale);
+  if (swept > 0) stats_.RecordInvalidations(swept);
+}
+
+bool QueryCache::Lookup(const db::Table& table,
+                        const db::AggregateQuery& query,
+                        db::AggregateResult* out) {
+  if (!enabled()) {  // Skip key construction; still a counted miss.
+    stats_.RecordMiss();
+    return false;
+  }
+  SweepStaleVersions(table);
+  return aggregate_cache_.Get(AggregateKey(table, query), out);
+}
+
+void QueryCache::Store(const db::Table& table,
+                       const db::AggregateQuery& query,
+                       const db::AggregateResult& result) {
+  if (!enabled()) return;
+  SweepStaleVersions(table);
+  aggregate_cache_.Put(AggregateKey(table, query), result);
+}
+
+bool QueryCache::Lookup(const db::Table& table,
+                        const db::GroupByQuery& query,
+                        db::GroupByResult* out) {
+  if (!enabled()) {
+    stats_.RecordMiss();
+    return false;
+  }
+  SweepStaleVersions(table);
+  return grouped_cache_.Get(GroupedKey(table, query), out);
+}
+
+void QueryCache::Store(const db::Table& table,
+                       const db::GroupByQuery& query,
+                       const db::GroupByResult& result) {
+  if (!enabled()) return;
+  SweepStaleVersions(table);
+  grouped_cache_.Put(GroupedKey(table, query), result);
+}
+
+void QueryCache::Clear() {
+  aggregate_cache_.Clear();
+  grouped_cache_.Clear();
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  seen_version_.clear();
+}
+
+}  // namespace muve::cache

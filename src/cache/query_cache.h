@@ -1,0 +1,77 @@
+#ifndef MUVE_CACHE_QUERY_CACHE_H_
+#define MUVE_CACHE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cache/lru_cache.h"
+#include "cache/stats.h"
+#include "db/executor.h"
+
+namespace muve::cache {
+
+/// Session-scoped LRU cache of `db::Executor` results implementing
+/// `db::ResultCache`: one LRU map for single-aggregate results, one for
+/// grouped (merged) results, sharing one `Stats` block and one capacity.
+///
+/// Keys combine the table's process-unique id, its content version, and
+/// an exact serialization of the query (aggregate spec, predicate set,
+/// group column + ordered IN list). Doubles are serialized at full
+/// precision (%.17g) so two queries differing anywhere past the display
+/// precision can never alias. Predicate *order* participates in the key:
+/// reordered-but-equivalent queries recompute rather than risk a stale
+/// mapping — a deliberate trade of hit rate for an obviously sound key.
+///
+/// Invalidation: a table version bump makes every outstanding key for
+/// that table unreachable (keys embed the version). On the next lookup
+/// or store against the bumped table the stale entries are also swept
+/// out eagerly — freeing their capacity — and counted as invalidations.
+///
+/// Thread-safety: safe for concurrent use by ThreadPool workers; the two
+/// LRUs lock internally and the version sweep holds its own mutex.
+class QueryCache : public db::ResultCache {
+ public:
+  /// `capacity` bounds each of the two internal maps; 0 disables the
+  /// cache entirely (lookups miss, stores drop — the exact uncached
+  /// path).
+  explicit QueryCache(size_t capacity);
+
+  bool Lookup(const db::Table& table, const db::AggregateQuery& query,
+              db::AggregateResult* out) override;
+  void Store(const db::Table& table, const db::AggregateQuery& query,
+             const db::AggregateResult& result) override;
+
+  bool Lookup(const db::Table& table, const db::GroupByQuery& query,
+              db::GroupByResult* out) override;
+  void Store(const db::Table& table, const db::GroupByQuery& query,
+             const db::GroupByResult& result) override;
+
+  size_t capacity() const { return aggregate_cache_.capacity(); }
+  bool enabled() const { return aggregate_cache_.enabled(); }
+
+  /// Entries currently held across both maps.
+  size_t size() const {
+    return aggregate_cache_.size() + grouped_cache_.size();
+  }
+
+  /// Combined counters of both maps (they share one Stats block).
+  StatsSnapshot stats() const { return stats_.Snapshot(); }
+
+  void Clear();
+
+ private:
+  /// Detects a version bump of `table` and sweeps its stale entries.
+  void SweepStaleVersions(const db::Table& table);
+
+  Stats stats_;
+  LruCache<std::string, db::AggregateResult> aggregate_cache_;
+  LruCache<std::string, db::GroupByResult> grouped_cache_;
+  std::mutex version_mutex_;
+  std::unordered_map<uint64_t, uint64_t> seen_version_;
+};
+
+}  // namespace muve::cache
+
+#endif  // MUVE_CACHE_QUERY_CACHE_H_

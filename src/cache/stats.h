@@ -1,0 +1,61 @@
+#ifndef MUVE_CACHE_STATS_H_
+#define MUVE_CACHE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace muve::cache {
+
+/// Plain-value copy of a cache's counters, safe to aggregate and compare.
+struct StatsSnapshot {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  ///< Entries purged by table-version bumps.
+
+  uint64_t lookups() const { return hits + misses; }
+
+  /// Fraction of lookups served from the cache (0 when never looked up).
+  double hit_rate() const;
+
+  /// "hits=12 misses=3 evictions=0 invalidations=0 hit_rate=0.800".
+  std::string ToString() const;
+
+  StatsSnapshot& operator+=(const StatsSnapshot& other);
+};
+
+/// Thread-safe hit/miss/eviction/invalidation counters shared by the
+/// session caches. Counters use relaxed atomics: they are monotonic
+/// tallies, never used to synchronize cached data (the caches' own
+/// mutexes do that), so total ordering against cache contents is not
+/// required — only that every operation is counted exactly once.
+class Stats {
+ public:
+  Stats() = default;
+  Stats(const Stats&) = delete;
+  Stats& operator=(const Stats&) = delete;
+
+  void RecordHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordEvictions(uint64_t n) {
+    evictions_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordInvalidations(uint64_t n) {
+    invalidations_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  StatsSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace muve::cache
+
+#endif  // MUVE_CACHE_STATS_H_

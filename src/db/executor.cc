@@ -203,6 +203,15 @@ std::string GroupByQuery::ToSql() const {
 Result<AggregateResult> Executor::Execute(const Table& table,
                                           const AggregateQuery& query,
                                           const ExecutorOptions& options) {
+  // Cache probe before any compilation work: a hit can only exist for a
+  // query that previously compiled and ran successfully against this
+  // exact table version, so skipping validation cannot mask an error the
+  // uncached path would report.
+  if (options.cache != nullptr) {
+    AggregateResult cached;
+    if (options.cache->Lookup(table, query, &cached)) return cached;
+  }
+
   std::vector<CompiledPredicate> compiled;
   compiled.reserve(query.predicates.size());
   for (const Predicate& predicate : query.predicates) {
@@ -214,30 +223,38 @@ Result<AggregateResult> Executor::Execute(const Table& table,
       MakeAccumulator(table, query.function, query.aggregate_column));
 
   const size_t n = table.num_rows();
+  AggregateResult out;
   if (!options.ShouldParallelize(n)) {
     for (size_t row = 0; row < n; ++row) {
       if (MatchesAll(compiled, row)) acc.Accept(row);
     }
-    return acc.Finish();
+    out = acc.Finish();
+  } else {
+    const size_t grain = std::max<size_t>(1, options.parallel_grain);
+    const size_t num_chunks = (n + grain - 1) / grain;
+    std::vector<Accumulator> partials(num_chunks, acc);
+    ParallelFor(options.pool, n, grain,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  Accumulator& partial = partials[chunk];
+                  for (size_t row = begin; row < end; ++row) {
+                    if (MatchesAll(compiled, row)) partial.Accept(row);
+                  }
+                });
+    for (const Accumulator& partial : partials) acc.Merge(partial);
+    out = acc.Finish();
   }
-
-  const size_t grain = std::max<size_t>(1, options.parallel_grain);
-  const size_t num_chunks = (n + grain - 1) / grain;
-  std::vector<Accumulator> partials(num_chunks, acc);
-  ParallelFor(options.pool, n, grain,
-              [&](size_t chunk, size_t begin, size_t end) {
-                Accumulator& partial = partials[chunk];
-                for (size_t row = begin; row < end; ++row) {
-                  if (MatchesAll(compiled, row)) partial.Accept(row);
-                }
-              });
-  for (const Accumulator& partial : partials) acc.Merge(partial);
-  return acc.Finish();
+  if (options.cache != nullptr) options.cache->Store(table, query, out);
+  return out;
 }
 
 Result<GroupByResult> Executor::ExecuteGrouped(
     const Table& table, const GroupByQuery& query,
     const ExecutorOptions& options) {
+  if (options.cache != nullptr) {
+    GroupByResult cached;
+    if (options.cache->Lookup(table, query, &cached)) return cached;
+  }
+
   const Column* group_column = table.FindColumn(query.group_column);
   if (group_column == nullptr) {
     return Status::NotFound("group column '" + query.group_column +
@@ -320,6 +337,7 @@ Result<GroupByResult> Executor::ExecuteGrouped(
       out.cells[g].push_back(acc.Finish());
     }
   }
+  if (options.cache != nullptr) options.cache->Store(table, query, out);
   return out;
 }
 

@@ -11,11 +11,19 @@
 
 namespace muve::db {
 
+class ResultCache;
+
 /// Controls how the executor runs a scan.
 struct ExecutorOptions {
   /// Worker pool for partitioned scans; nullptr runs the exact serial
   /// scan loop (the pre-threading code path, byte-identical results).
   ThreadPool* pool = nullptr;
+  /// Session result cache consulted before scanning and filled after;
+  /// nullptr (or a disabled cache) is the exact uncached path. The cache
+  /// stores the executor's raw output, so a hit is byte-identical to the
+  /// scan that populated it. Must be thread-safe when `pool` is set
+  /// (cache::QueryCache is).
+  ResultCache* cache = nullptr;
   /// Tables smaller than this stay on the serial path even with a pool —
   /// partitioning overhead dwarfs the scan below this size.
   size_t min_parallel_rows = 16384;
@@ -67,6 +75,34 @@ struct GroupByQuery {
 struct GroupByResult {
   std::vector<std::vector<AggregateResult>> cells;
   size_t rows_scanned = 0;
+};
+
+/// Cache of executor results, keyed by the storage layer on the exact
+/// (table identity + version, query) pair. Defined here so `db` stays
+/// independent of the cache library; `cache::QueryCache` (src/cache/)
+/// implements it with capacity-bounded LRU maps and hit/miss counters.
+///
+/// Contract: Lookup may return true only for a result previously passed
+/// to Store for an equivalent query against the same table id *and*
+/// version — implementations must never serve a result computed against
+/// other table contents. Only successful executions are stored, so the
+/// cached path reproduces the uncached path's errors exactly (a query
+/// that would fail never has an entry to hit). Implementations must be
+/// safe for concurrent calls from ThreadPool workers.
+class ResultCache {
+ public:
+  virtual ~ResultCache() = default;
+
+  /// Returns true and fills `*out` on a hit.
+  virtual bool Lookup(const Table& table, const AggregateQuery& query,
+                      AggregateResult* out) = 0;
+  virtual void Store(const Table& table, const AggregateQuery& query,
+                     const AggregateResult& result) = 0;
+
+  virtual bool Lookup(const Table& table, const GroupByQuery& query,
+                      GroupByResult* out) = 0;
+  virtual void Store(const Table& table, const GroupByQuery& query,
+                     const GroupByResult& result) = 0;
 };
 
 /// Scan-based query executor over in-memory tables.

@@ -33,8 +33,16 @@ const std::vector<AggregateFunction>& AllAggregateFunctions() {
 namespace {
 
 std::string QuoteIfString(const Value& value) {
-  if (value.is_string()) return "'" + value.AsString() + "'";
-  return value.ToString();
+  if (!value.is_string()) return value.ToString();
+  // Double embedded quotes — the escape the SQL lexer understands — so
+  // ToSql output always re-parses to the same value.
+  std::string quoted = "'";
+  for (char c : value.AsString()) {
+    if (c == '\'') quoted += '\'';
+    quoted += c;
+  }
+  quoted += '\'';
+  return quoted;
 }
 
 }  // namespace

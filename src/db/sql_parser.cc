@@ -1,6 +1,7 @@
 #include "db/sql_parser.h"
 
 #include <cctype>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,26 @@ class Lexer {
            (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
             input_[pos_] == '.')) {
       ++pos_;
+    }
+    // Optional exponent ("1.2e+30" — what %g emits for wide-range
+    // doubles). Only consumed when digits follow, so "123easy" still
+    // lexes as number "123" + identifier "easy".
+    if (pos_ < input_.size() &&
+        (input_[pos_] == 'e' || input_[pos_] == 'E')) {
+      size_t mark = pos_++;
+      if (pos_ < input_.size() &&
+          (input_[pos_] == '-' || input_[pos_] == '+')) {
+        ++pos_;
+      }
+      if (pos_ < input_.size() &&
+          std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+      } else {
+        pos_ = mark;
+      }
     }
     return {TokenType::kNumber,
             std::string(input_.substr(start, pos_ - start))};
@@ -244,11 +265,19 @@ class Parser {
       return v;
     }
     if (token.type == TokenType::kNumber) {
-      Value v = token.text.find('.') != std::string::npos
-                    ? Value(std::stod(token.text))
-                    : Value(static_cast<int64_t>(std::stoll(token.text)));
-      Advance();
-      return v;
+      // The lexer is permissive: a lone sign ("-") or a malformed/overflowing
+      // digit string still arrives here as a number token, and
+      // stoll/stod throw on those — report a parse error instead.
+      try {
+        Value v = token.text.find_first_of(".eE") != std::string::npos
+                      ? Value(std::stod(token.text))
+                      : Value(static_cast<int64_t>(std::stoll(token.text)));
+        Advance();
+        return v;
+      } catch (const std::exception&) {
+        return Status::ParseError("invalid numeric literal '" + token.text +
+                                  "'");
+      }
     }
     return Status::ParseError("expected literal, got '" + token.text + "'");
   }

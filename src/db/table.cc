@@ -1,10 +1,26 @@
 #include "db/table.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/strings.h"
 
 namespace muve::db {
+
+namespace {
+
+/// Process-wide id source; 0 is reserved as "no table".
+uint64_t NextTableId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Table::Table(std::string name, std::vector<std::unique_ptr<Column>> columns)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      id_(NextTableId()) {}
 
 Result<std::shared_ptr<Table>> Table::Create(
     std::string name, const std::vector<ColumnSpec>& schema) {
@@ -34,6 +50,7 @@ Status Table::AppendRow(const std::vector<Value>& values) {
     MUVE_RETURN_NOT_OK(columns_[i]->Append(values[i]));
   }
   ++num_rows_;
+  ++version_;
   return Status::OK();
 }
 

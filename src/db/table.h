@@ -31,7 +31,18 @@ class Table {
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
 
+  /// Process-unique identity of this table object, assigned at creation.
+  /// Result caches key on (id, version) so a `Sample()` copy or an
+  /// identically named table can never alias another table's entries.
+  uint64_t id() const { return id_; }
+
+  /// Content version: bumped by every successful AppendRow. A cached
+  /// result is valid only for the exact (id, version) it was computed
+  /// against; bumping the version logically invalidates all entries.
+  uint64_t version() const { return version_; }
+
   /// Appends one row; `values` must match the schema arity and types.
+  /// Bumps `version()`.
   Status AppendRow(const std::vector<Value>& values);
 
   /// Column by index.
@@ -55,12 +66,13 @@ class Table {
   std::shared_ptr<Table> Sample(double fraction) const;
 
  private:
-  Table(std::string name, std::vector<std::unique_ptr<Column>> columns)
-      : name_(std::move(name)), columns_(std::move(columns)) {}
+  Table(std::string name, std::vector<std::unique_ptr<Column>> columns);
 
   std::string name_;
   std::vector<std::unique_ptr<Column>> columns_;
   size_t num_rows_ = 0;
+  uint64_t id_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace muve::db

@@ -19,8 +19,12 @@ const char* ValueTypeName(ValueType type) {
 std::string Value::ToString() const {
   if (is_int64()) return std::to_string(AsInt64());
   if (is_double()) {
+    const double v = std::get<double>(data_);
+    // Normalize -0.0: "%g" would render "-0", which re-parses as the
+    // integer 0 and breaks SQL round-tripping.
+    if (v == 0.0) return "0";
     char buffer[48];
-    std::snprintf(buffer, sizeof(buffer), "%g", std::get<double>(data_));
+    std::snprintf(buffer, sizeof(buffer), "%g", v);
     return buffer;
   }
   return AsString();

@@ -73,6 +73,10 @@ Engine::Engine(std::shared_ptr<const db::Table> table, EngineOptions options)
   const size_t threads =
       ThreadPool::ResolveThreadCount(options_.num_threads);
   if (threads >= 2) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.cache_capacity > 0) {
+    result_cache_ =
+        std::make_unique<cache::QueryCache>(options_.cache_capacity);
+  }
   // Calibration probe: time one full COUNT(*) scan and relate it to its
   // estimated cost, yielding cost-units-per-millisecond for
   // EstimateMillis (used by the dynamic approximate method).
@@ -122,11 +126,17 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     // never wait on sub-tasks of the same pool.
     std::vector<std::future<UnitOutcome>> futures;
     futures.reserve(units.size());
+    // The shared result cache is safe under concurrent units (it locks
+    // internally); two units never answer the same candidate, and equal
+    // keys racing a miss compute identical values.
+    db::ExecutorOptions unit_options;
+    unit_options.cache = result_cache_.get();
     for (const MergeUnit& unit : units) {
       futures.push_back(pool_->Submit([&unit, &target, &candidates,
-                                       sampled, sample_fraction] {
+                                       sampled, sample_fraction,
+                                       unit_options] {
         return ExecuteUnit(unit, *target, candidates, sampled,
-                           sample_fraction, db::ExecutorOptions{});
+                           sample_fraction, unit_options);
       }));
     }
     std::vector<UnitOutcome> outcomes;
@@ -146,6 +156,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     // Serial across units; a lone unit may still partition its scan by
     // rows when a pool exists.
     db::ExecutorOptions db_options;
+    db_options.cache = result_cache_.get();
     if (units.size() == 1) {
       db_options.pool = pool_.get();
       db_options.min_parallel_rows = options_.min_parallel_rows;

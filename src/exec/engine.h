@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "cache/query_cache.h"
+#include "cache/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/candidate.h"
@@ -35,6 +37,13 @@ struct EngineOptions {
   /// Minimum table rows before a single unit's scan is row-partitioned
   /// (forwarded to db::ExecutorOptions).
   size_t min_parallel_rows = 16384;
+  /// Entries per map of the session result cache (cache::QueryCache):
+  /// executor results are reused across repeated and overlapping
+  /// candidate batches of the session. 0 disables the cache — no
+  /// QueryCache is constructed and every scan takes the exact uncached
+  /// path. Cached results are the executor's raw output, so hits are
+  /// byte-identical to recomputation at the same thread configuration.
+  size_t cache_capacity = 256;
 };
 
 /// Result of executing a batch of candidate queries.
@@ -93,11 +102,23 @@ class Engine {
   /// whole pipeline draws from one fixed set of threads.
   ThreadPool* thread_pool() const { return pool_.get(); }
 
+  /// The session result cache, or nullptr when disabled
+  /// (cache_capacity = 0).
+  cache::QueryCache* result_cache() const { return result_cache_.get(); }
+
+  /// Hit/miss/eviction/invalidation counters of the result cache (all
+  /// zero when disabled).
+  cache::StatsSnapshot result_cache_stats() const {
+    return result_cache_ != nullptr ? result_cache_->stats()
+                                    : cache::StatsSnapshot{};
+  }
+
  private:
   std::shared_ptr<const db::Table> table_;
   EngineOptions options_;
   db::CostEstimator estimator_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<cache::QueryCache> result_cache_;
   double cost_units_per_ms_ = 1.0;
   std::map<double, std::shared_ptr<const db::Table>> samples_;
 };

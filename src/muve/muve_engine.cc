@@ -1,19 +1,57 @@
 #include "muve/muve_engine.h"
 
+#include <cctype>
+
 #include "common/clock.h"
+#include "common/strings.h"
 #include "core/greedy_planner.h"
 #include "core/ilp_planner.h"
 #include "workload/datasets.h"
 
 namespace muve {
 
+MuveOptions MuveEngine::SyncCacheOptions(MuveOptions options) {
+  options.execution.cache_capacity = options.cache_capacity;
+  return options;
+}
+
+std::string MuveEngine::NormalizedTranscriptKey(std::string_view text) {
+  // Mirrors the translator's TokenizeUtterance cleanup (lowercase, keep
+  // alphanumerics and underscores, drop apostrophes, everything else
+  // separates tokens) so the memo key is exactly the translator's view of
+  // the transcript.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == ' ' ||
+        c == '_') {
+      cleaned += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (c == '\'') {
+      // "what's" -> "whats".
+    } else {
+      cleaned += ' ';
+    }
+  }
+  std::string key;
+  key.reserve(cleaned.size());
+  for (const std::string& token : SplitWhitespace(cleaned)) {
+    if (!key.empty()) key += ' ';
+    key += token;
+  }
+  return key;
+}
+
 MuveEngine::MuveEngine(std::shared_ptr<const db::Table> table,
                        MuveOptions options)
-    : options_(std::move(options)),
+    : options_(SyncCacheOptions(std::move(options))),
       schema_index_(std::make_shared<nlq::SchemaIndex>(table)),
       translator_(schema_index_),
       generator_(schema_index_),
-      exec_engine_(table, options_.execution) {
+      exec_engine_(table, options_.execution),
+      candidate_cache_(options_.cache_capacity),
+      plan_memo_(options_.cache_capacity) {
+  generator_.set_cache(&candidate_cache_);
   std::vector<std::string> lexicon = workload::BuildVocabulary(*table);
   for (const char* word :
        {"how", "many", "total", "average", "maximum", "minimum", "count",
@@ -23,10 +61,50 @@ MuveEngine::MuveEngine(std::shared_ptr<const db::Table> table,
   speech_ = std::make_unique<speech::SpeechSimulator>(lexicon);
 }
 
+PipelineCacheStats MuveEngine::cache_stats() const {
+  PipelineCacheStats stats;
+  stats.results = exec_engine_.result_cache_stats();
+  stats.candidates = candidate_cache_.stats();
+  stats.plans = plan_memo_.stats();
+  return stats;
+}
+
+void MuveEngine::ClearCaches() {
+  if (exec_engine_.result_cache() != nullptr) {
+    exec_engine_.result_cache()->Clear();
+  }
+  candidate_cache_.Clear();
+  plan_memo_.Clear();
+}
+
 Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
   Answer answer;
   answer.transcript = std::string(text);
   StopWatch watch;
+
+  // Compiled-plan memo: a repeated (normalized) transcript skips
+  // translation, candidate generation, and planning. Only successful
+  // pipelines are memoized, and the pipeline up to execution is
+  // deterministic in the transcript, so a hit replays exactly what a
+  // fresh run would compute. Execution always reruns so answers reflect
+  // the table's current contents.
+  std::string memo_key;
+  if (plan_memo_.enabled()) {
+    memo_key = NormalizedTranscriptKey(text);
+    PlanMemoEntry memo;
+    if (plan_memo_.Get(memo_key, &memo)) {
+      answer.base_query = std::move(memo.base_query);
+      answer.base_confidence = memo.base_confidence;
+      answer.candidates = std::move(memo.candidates);
+      answer.plan = std::move(memo.plan);
+      MUVE_ASSIGN_OR_RETURN(
+          answer.execution,
+          exec_engine_.ExecuteMultiplot(answer.candidates,
+                                        &answer.plan.multiplot));
+      answer.pipeline_millis = watch.ElapsedMillis();
+      return answer;
+    }
+  }
 
   MUVE_ASSIGN_OR_RETURN(nlq::Translation translation,
                         translator_.Translate(text));
@@ -50,6 +128,14 @@ Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
       answer.execution,
       exec_engine_.ExecuteMultiplot(answer.candidates,
                                     &answer.plan.multiplot));
+  if (plan_memo_.enabled()) {
+    PlanMemoEntry memo;
+    memo.base_query = answer.base_query;
+    memo.base_confidence = answer.base_confidence;
+    memo.candidates = answer.candidates;
+    memo.plan = answer.plan;
+    plan_memo_.Put(memo_key, std::move(memo));
+  }
   answer.pipeline_millis = watch.ElapsedMillis();
   return answer;
 }

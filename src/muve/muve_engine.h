@@ -5,6 +5,8 @@
 #include <string>
 #include <string_view>
 
+#include "cache/lru_cache.h"
+#include "cache/stats.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/candidate.h"
@@ -31,6 +33,26 @@ struct MuveOptions {
   exec::EngineOptions execution;
   /// Plan with the ILP solver instead of the greedy solver.
   bool use_ilp = false;
+  /// Master knob for session caching: entries per cache of the pipeline's
+  /// three session caches (executor result cache, phonetic-candidate
+  /// cache, compiled-plan memo). Overrides `execution.cache_capacity`.
+  /// 0 disables all three — every query takes the exact uncached path.
+  size_t cache_capacity = 256;
+};
+
+/// Hit/miss/eviction/invalidation counters of the pipeline's session
+/// caches, one snapshot per cache layer.
+struct PipelineCacheStats {
+  cache::StatsSnapshot results;     ///< Executor result cache.
+  cache::StatsSnapshot candidates;  ///< Phonetic-candidate cache.
+  cache::StatsSnapshot plans;       ///< Compiled-plan memo.
+
+  cache::StatsSnapshot Total() const {
+    cache::StatsSnapshot total = results;
+    total += candidates;
+    total += plans;
+    return total;
+  }
 };
 
 /// The complete MUVE pipeline (paper Fig. 1) over one table:
@@ -71,13 +93,43 @@ class MuveEngine {
   exec::Engine& exec_engine() { return exec_engine_; }
   const MuveOptions& options() const { return options_; }
 
+  /// Counters of all three session caches (all zero when disabled via
+  /// cache_capacity = 0).
+  PipelineCacheStats cache_stats() const;
+
+  /// Drops all cached state (results, candidate sets, plan memo) without
+  /// resetting counters — subsequent queries recompute from scratch.
+  void ClearCaches();
+
  private:
+  /// One memoized pipeline front half: everything AskText computes before
+  /// execution, keyed on the normalized transcript. Replaying a hit skips
+  /// translation, candidate generation, and planning; execution always
+  /// reruns (against the result cache) so answers reflect current data.
+  struct PlanMemoEntry {
+    db::AggregateQuery base_query;
+    double base_confidence = 0.0;
+    core::CandidateSet candidates;
+    core::PlanResult plan;
+  };
+
+  /// Whitespace-normalized lowercase token stream of a transcript,
+  /// mirroring the translator's own input normalization: transcripts with
+  /// equal keys translate (and therefore plan) identically.
+  static std::string NormalizedTranscriptKey(std::string_view text);
+
+  /// Returns `options` with the master cache knob copied into the layers
+  /// it governs (called in the init list before members that read it).
+  static MuveOptions SyncCacheOptions(MuveOptions options);
+
   MuveOptions options_;
   std::shared_ptr<const nlq::SchemaIndex> schema_index_;
   nlq::Translator translator_;
   nlq::CandidateGenerator generator_;
   exec::Engine exec_engine_;
   std::unique_ptr<speech::SpeechSimulator> speech_;
+  nlq::CandidateGenerator::Cache candidate_cache_;
+  cache::LruCache<std::string, PlanMemoEntry> plan_memo_;
 };
 
 }  // namespace muve

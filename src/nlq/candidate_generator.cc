@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,14 @@
 namespace muve::nlq {
 
 namespace {
+
+/// Full-precision double for cache keys: %.17g round-trips every finite
+/// value, so distinct option settings never share a key.
+std::string ExactDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
 
 /// One single-element replacement applicable to the base query.
 struct Replacement {
@@ -84,11 +93,88 @@ bool Apply(const Replacement& replacement, db::AggregateQuery* query) {
   return false;
 }
 
+/// Length-prefixed string: immune to delimiter injection.
+void AppendString(const std::string& s, std::string* key) {
+  key->append(std::to_string(s.size()));
+  key->push_back(':');
+  key->append(s);
+}
+
+void AppendQueryExact(const db::AggregateQuery& query, std::string* key) {
+  // Exact, in-order serialization (unlike CanonicalKey, which lowers and
+  // sorts predicates): generation copies the base's exact strings into
+  // candidates and enumerates predicates in order, so two bases that are
+  // canonically equal but differently spelled or ordered may yield
+  // differently ordered candidate sets and must not share a key.
+  AppendString(query.table, key);
+  key->push_back('|');
+  key->append(db::AggregateFunctionName(query.function));
+  key->push_back('(');
+  AppendString(query.aggregate_column, key);
+  key->push_back(')');
+  for (const db::Predicate& predicate : query.predicates) {
+    AppendString(predicate.column, key);
+    key->append(predicate.op == db::PredicateOp::kEq ? "=" : "@in");
+    for (const db::Value& value : predicate.values) {
+      switch (value.type()) {
+        case db::ValueType::kInt64:
+          key->push_back('i');
+          key->append(std::to_string(value.AsInt64()));
+          break;
+        case db::ValueType::kDouble:
+          key->push_back('d');
+          key->append(ExactDouble(value.AsDouble()));
+          break;
+        case db::ValueType::kString:
+          key->push_back('s');
+          AppendString(value.AsString(), key);
+          break;
+      }
+      key->push_back(',');
+    }
+    key->push_back(';');
+  }
+}
+
 }  // namespace
+
+std::string CandidateCacheKey(const db::AggregateQuery& base,
+                              double base_confidence,
+                              const CandidateGeneratorOptions& options) {
+  std::string key;
+  key.reserve(128);
+  AppendQueryExact(base, &key);
+  key.push_back('#');
+  key.append(ExactDouble(base_confidence));
+  key.push_back('#');
+  key.append(std::to_string(options.k_similar));
+  key.push_back(',');
+  key.append(std::to_string(options.max_candidates));
+  key.push_back(',');
+  key.append(ExactDouble(options.sharpen));
+  key.push_back(',');
+  key.push_back(options.include_pairs ? '1' : '0');
+  key.push_back(',');
+  key.append(std::to_string(options.pair_fanout));
+  key.push_back(',');
+  key.append(ExactDouble(options.count_star_alternative_weight));
+  key.push_back(',');
+  key.append(ExactDouble(options.aggregate_alternative_floor));
+  key.push_back(',');
+  key.append(ExactDouble(options.drop_predicate_weight));
+  return key;
+}
 
 core::CandidateSet CandidateGenerator::Generate(
     const db::AggregateQuery& base, double base_confidence,
     const CandidateGeneratorOptions& options) const {
+  std::string cache_key;
+  if (cache_ != nullptr && cache_->enabled()) {
+    cache_key = CandidateCacheKey(base, base_confidence, options);
+    core::CandidateSet cached;
+    if (cache_->Get(cache_key, &cached)) return cached;
+  }
+
   std::vector<Replacement> replacements;
   int next_site_id = 0;
 
@@ -269,6 +355,9 @@ core::CandidateSet CandidateGenerator::Generate(
     candidates = core::CandidateSet(std::move(trimmed));
   }
   candidates.Normalize();
+  if (cache_ != nullptr && cache_->enabled()) {
+    cache_->Put(cache_key, candidates);
+  }
   return candidates;
 }
 

@@ -2,7 +2,9 @@
 #define MUVE_NLQ_CANDIDATE_GENERATOR_H_
 
 #include <memory>
+#include <string>
 
+#include "cache/lru_cache.h"
 #include "core/candidate.h"
 #include "db/query.h"
 #include "nlq/schema_index.h"
@@ -49,8 +51,19 @@ struct CandidateGeneratorOptions {
 /// Double Metaphone codes; multi-replacement probabilities multiply.
 class CandidateGenerator {
  public:
+  /// Session cache of generated candidate sets. Keyed on the exact
+  /// (base query, confidence, options) triple — see CandidateCacheKey —
+  /// so a hit returns the byte-identical distribution the phonetic
+  /// expansion would recompute. Owned by the caller (MuveEngine) and
+  /// shared across queries of a session.
+  using Cache = cache::LruCache<std::string, core::CandidateSet>;
+
   explicit CandidateGenerator(std::shared_ptr<const SchemaIndex> index)
       : index_(std::move(index)) {}
+
+  /// Attaches a session cache (nullptr detaches). Non-owning; the cache
+  /// must outlive the generator's Generate calls.
+  void set_cache(Cache* cache) { cache_ = cache; }
 
   /// Generates the candidate set (normalized to total probability 1,
   /// sorted by descending probability, duplicates merged). The base query
@@ -62,7 +75,14 @@ class CandidateGenerator {
 
  private:
   std::shared_ptr<const SchemaIndex> index_;
+  Cache* cache_ = nullptr;
 };
+
+/// Cache key for one Generate call: canonical base query plus every
+/// option that shapes the expansion, numeric fields at full precision.
+std::string CandidateCacheKey(const db::AggregateQuery& base,
+                              double base_confidence,
+                              const CandidateGeneratorOptions& options);
 
 }  // namespace muve::nlq
 

@@ -1,0 +1,406 @@
+// Unit tests for the session caching subsystem (src/cache/): LRU
+// recency/eviction semantics, the capacity-0 disabled path, key
+// exactness, table-version invalidation, and counter consistency under
+// concurrent ThreadPool use.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "cache/query_cache.h"
+#include "cache/stats.h"
+#include "common/thread_pool.h"
+#include "db/executor.h"
+#include "db/query.h"
+#include "db/table.h"
+#include "db/value.h"
+
+namespace muve {
+namespace {
+
+using cache::LruCache;
+using cache::QueryCache;
+using cache::StatsSnapshot;
+
+std::shared_ptr<db::Table> MakeTable(size_t rows = 64) {
+  auto table = db::Table::Create(
+      "cachet", {{"city", db::ValueType::kString},
+                 {"delay", db::ValueType::kInt64}});
+  EXPECT_TRUE(table.ok());
+  for (size_t r = 0; r < rows; ++r) {
+    const Status status = (*table)->AppendRow(
+        {db::Value(r % 2 == 0 ? "queens" : "quincy"),
+         db::Value(static_cast<int64_t>(r) - 10)});
+    EXPECT_TRUE(status.ok());
+  }
+  return std::move(table).value();
+}
+
+db::AggregateQuery CountCity(const std::string& city) {
+  db::AggregateQuery query;
+  query.table = "cachet";
+  query.function = db::AggregateFunction::kCount;
+  query.predicates.push_back(
+      db::Predicate::Equals("city", db::Value(city)));
+  return query;
+}
+
+// ---------------------------------------------------------------------
+// LruCache
+// ---------------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  LruCache<std::string, int> cache(3);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);
+
+  // Touch "a" so "b" becomes the LRU entry.
+  int out = 0;
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out, 1);
+
+  cache.Put("d", 4);  // Evicts "b".
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_TRUE(cache.Get("c", &out));
+  EXPECT_TRUE(cache.Get("d", &out));
+
+  // Next eviction order follows recency: "a" (then "c", "d").
+  cache.Put("e", 5);
+  EXPECT_FALSE(cache.Get("a", &out));
+  EXPECT_TRUE(cache.Get("c", &out));
+
+  const StatsSnapshot stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.misses, 2u);  // "b" and "a" after their evictions.
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.lookups(), 7u);
+}
+
+TEST(LruCacheTest, OverwriteRefreshesRecencyWithoutGrowing) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("a", 10);  // Overwrite: "b" is now LRU.
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put("c", 3);  // Evicts "b".
+  int out = 0;
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out, 10);
+}
+
+TEST(LruCacheTest, CapacityZeroBypassesEverything) {
+  LruCache<std::string, int> cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put("a", 1);
+  EXPECT_EQ(cache.size(), 0u);
+  int out = 7;
+  EXPECT_FALSE(cache.Get("a", &out));
+  EXPECT_EQ(out, 7);  // Untouched on miss.
+  const StatsSnapshot stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(LruCacheTest, CapacityOneThrashesButStaysCorrect) {
+  LruCache<int, int> cache(1);
+  for (int i = 0; i < 10; ++i) {
+    cache.Put(i, i * i);
+    int out = 0;
+    ASSERT_TRUE(cache.Get(i, &out));
+    EXPECT_EQ(out, i * i);
+    if (i > 0) EXPECT_FALSE(cache.Get(i - 1, &out));
+    EXPECT_EQ(cache.size(), 1u);
+  }
+  EXPECT_EQ(cache.stats().evictions, 9u);
+}
+
+TEST(LruCacheTest, EraseIfRemovesMatchingKeys) {
+  LruCache<std::string, int> cache(8);
+  cache.Put("t1/a", 1);
+  cache.Put("t1/b", 2);
+  cache.Put("t2/a", 3);
+  const size_t erased = cache.EraseIf(
+      [](const std::string& key) { return key.rfind("t1/", 0) == 0; });
+  EXPECT_EQ(erased, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  int out = 0;
+  EXPECT_FALSE(cache.Get("t1/a", &out));
+  EXPECT_TRUE(cache.Get("t2/a", &out));
+}
+
+TEST(LruCacheTest, SharedStatsAggregateAcrossCaches) {
+  cache::Stats shared;
+  LruCache<int, int> a(2, &shared);
+  LruCache<int, int> b(2, &shared);
+  int out = 0;
+  a.Put(1, 1);
+  b.Put(2, 2);
+  EXPECT_TRUE(a.Get(1, &out));
+  EXPECT_FALSE(b.Get(1, &out));
+  const StatsSnapshot stats = shared.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// QueryCache
+// ---------------------------------------------------------------------
+
+TEST(QueryCacheTest, ExecutorFillsAndHitsAggregateCache) {
+  auto table = MakeTable();
+  QueryCache cache(16);
+  db::ExecutorOptions options;
+  options.cache = &cache;
+
+  const db::AggregateQuery query = CountCity("queens");
+  const auto first = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto second = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(first->value, second->value);
+  EXPECT_EQ(first->rows_matched, second->rows_matched);
+  EXPECT_EQ(first->empty_input, second->empty_input);
+}
+
+TEST(QueryCacheTest, DisabledCacheNeverStores) {
+  auto table = MakeTable();
+  QueryCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  db::ExecutorOptions options;
+  options.cache = &cache;
+  const db::AggregateQuery query = CountCity("queens");
+  const auto first = db::Executor::Execute(*table, query, options);
+  const auto second = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->value, second->value);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(QueryCacheTest, VersionBumpInvalidatesStaleEntries) {
+  auto table = MakeTable(10);  // 5 rows match "queens".
+  QueryCache cache(16);
+  db::ExecutorOptions options;
+  options.cache = &cache;
+
+  const db::AggregateQuery query = CountCity("queens");
+  const auto before = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->value, 5.0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Appending bumps the table version: the cached entry must not be
+  // served again.
+  ASSERT_TRUE(
+      table->AppendRow({db::Value("queens"), db::Value(int64_t{1})}).ok());
+
+  const auto after = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->value, 6.0);
+  EXPECT_GE(cache.stats().invalidations, 1u);
+
+  // The fresh result is cached under the new version and hits again.
+  const auto warm = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->value, 6.0);
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(QueryCacheTest, SweepFreesCapacityOfStaleEntries) {
+  auto table = MakeTable(10);
+  QueryCache cache(16);
+  db::ExecutorOptions options;
+  options.cache = &cache;
+  const auto r1 = db::Executor::Execute(*table, CountCity("queens"), options);
+  const auto r2 = db::Executor::Execute(*table, CountCity("quincy"), options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  ASSERT_TRUE(
+      table->AppendRow({db::Value("queens"), db::Value(int64_t{1})}).ok());
+  const auto r3 = db::Executor::Execute(*table, CountCity("queens"), options);
+  ASSERT_TRUE(r3.ok());
+  // Both stale entries were swept; only the fresh one remains.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(QueryCacheTest, DistinctTablesNeverShareEntries) {
+  auto table_a = MakeTable(10);
+  auto table_b = MakeTable(20);  // Same schema and name, different table.
+  QueryCache cache(16);
+  const db::AggregateQuery query = CountCity("queens");
+
+  db::AggregateResult result_a;
+  result_a.value = 5.0;
+  cache.Store(*table_a, query, result_a);
+
+  db::AggregateResult out;
+  EXPECT_FALSE(cache.Lookup(*table_b, query, &out));
+  EXPECT_TRUE(cache.Lookup(*table_a, query, &out));
+  EXPECT_EQ(out.value, 5.0);
+}
+
+TEST(QueryCacheTest, KeysAreExactBeyondDisplayPrecision) {
+  auto table = MakeTable(4);
+  QueryCache cache(16);
+  // Two predicates whose constants agree to 6 significant digits — the
+  // display precision of Value::ToString — but differ beyond it.
+  db::AggregateQuery q1;
+  q1.table = "cachet";
+  q1.function = db::AggregateFunction::kCount;
+  q1.predicates.push_back(
+      db::Predicate::Equals("delay", db::Value(1.00000001)));
+  db::AggregateQuery q2 = q1;
+  q2.predicates[0].values = {db::Value(1.00000002)};
+
+  db::AggregateResult result;
+  result.value = 42.0;
+  cache.Store(*table, q1, result);
+  db::AggregateResult out;
+  EXPECT_FALSE(cache.Lookup(*table, q2, &out)) << "aliased distinct keys";
+  EXPECT_TRUE(cache.Lookup(*table, q1, &out));
+}
+
+TEST(QueryCacheTest, GroupedResultsRoundTrip) {
+  auto table = MakeTable(16);
+  QueryCache cache(16);
+  db::ExecutorOptions options;
+  options.cache = &cache;
+
+  db::GroupByQuery query;
+  query.table = "cachet";
+  query.group_column = "city";
+  query.group_values = {"queens", "quincy", "absent"};
+  query.aggregates.push_back({db::AggregateFunction::kCount, ""});
+  query.aggregates.push_back({db::AggregateFunction::kSum, "delay"});
+
+  const auto cold = db::Executor::ExecuteGrouped(*table, query, options);
+  ASSERT_TRUE(cold.ok());
+  const auto warm = db::Executor::ExecuteGrouped(*table, query, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_EQ(cold->cells.size(), warm->cells.size());
+  for (size_t g = 0; g < cold->cells.size(); ++g) {
+    ASSERT_EQ(cold->cells[g].size(), warm->cells[g].size());
+    for (size_t a = 0; a < cold->cells[g].size(); ++a) {
+      EXPECT_EQ(cold->cells[g][a].value, warm->cells[g][a].value);
+      EXPECT_EQ(cold->cells[g][a].rows_matched,
+                warm->cells[g][a].rows_matched);
+      EXPECT_EQ(cold->cells[g][a].empty_input,
+                warm->cells[g][a].empty_input);
+    }
+  }
+
+  // Group-value order is part of the key: a reordered IN list has
+  // position-indexed cells, so it must not hit the stored entry.
+  db::GroupByQuery reordered = query;
+  std::swap(reordered.group_values[0], reordered.group_values[1]);
+  db::GroupByResult out;
+  EXPECT_FALSE(cache.Lookup(*table, reordered, &out));
+}
+
+// ---------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------
+
+TEST(CacheConcurrencyTest, CountersConsistentUnderThreadPool) {
+  ThreadPool pool(8);
+  LruCache<int, int> cache(64);
+  constexpr int kTasks = 16;
+  constexpr int kOpsPerTask = 2000;
+
+  std::atomic<uint64_t> observed_hits{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.Submit([t, &cache, &observed_hits] {
+      uint64_t hits = 0;
+      for (int i = 0; i < kOpsPerTask; ++i) {
+        const int key = (t * 31 + i * 17) % 96;  // Overlapping key space.
+        int out = 0;
+        if (cache.Get(key, &out)) {
+          ++hits;
+          EXPECT_EQ(out, key * 3);  // Values are a function of the key.
+        } else {
+          cache.Put(key, key * 3);
+        }
+      }
+      observed_hits.fetch_add(hits, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& future : futures) future.get();
+
+  const StatsSnapshot stats = cache.stats();
+  EXPECT_EQ(stats.lookups(),
+            static_cast<uint64_t>(kTasks) * kOpsPerTask);
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(CacheConcurrencyTest, SharedQueryCacheUnderConcurrentExecution) {
+  ThreadPool pool(8);
+  auto table = MakeTable(512);
+  QueryCache cache(8);
+  constexpr int kTasks = 16;
+
+  std::vector<std::future<double>> futures;
+  futures.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.Submit([t, &table, &cache]() -> double {
+      db::ExecutorOptions options;
+      options.cache = &cache;
+      // Two distinct queries raced by all workers: concurrent equal-key
+      // misses must compute (and store) identical values. The repeat is
+      // a guaranteed hit (the task's own store cannot have been evicted
+      // — only two keys exist) and must agree with the first run.
+      const db::AggregateQuery query =
+          CountCity(t % 2 == 0 ? "queens" : "quincy");
+      const auto cold = db::Executor::Execute(*table, query, options);
+      const auto warm = db::Executor::Execute(*table, query, options);
+      EXPECT_TRUE(cold.ok());
+      EXPECT_TRUE(warm.ok());
+      if (!cold.ok() || !warm.ok()) return -1.0;
+      EXPECT_EQ(cold->value, warm->value);
+      return cold->value;
+    }));
+  }
+  double queens = -1.0;
+  double quincy = -1.0;
+  for (int t = 0; t < kTasks; ++t) {
+    const double value = futures[static_cast<size_t>(t)].get();
+    double& expected = (t % 2 == 0) ? queens : quincy;
+    if (expected < 0.0) {
+      expected = value;
+    } else {
+      EXPECT_EQ(expected, value) << "task " << t;
+    }
+  }
+  EXPECT_EQ(queens, 256.0);
+  EXPECT_EQ(quincy, 256.0);
+  const StatsSnapshot stats = cache.stats();
+  EXPECT_EQ(stats.lookups(), 2u * static_cast<uint64_t>(kTasks));
+  EXPECT_GE(stats.hits, static_cast<uint64_t>(kTasks));
+}
+
+}  // namespace
+}  // namespace muve

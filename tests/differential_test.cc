@@ -8,33 +8,54 @@
 ///   - core::GreedyPlanner serial vs parallel candidate evaluation
 ///     (plans must be structurally identical, costs bitwise equal);
 ///   - greedy vs brute-force reference planner on tiny instances (the
-///     exhaustive optimum can never be worse than greedy).
+///     exhaustive optimum can never be worse than greedy);
+///   - cached vs uncached execution at every layer (executor, engine,
+///     full MuveEngine pipeline): cold, warm, and capacity-1 thrash
+///     replays must be byte-identical to the cache-disabled path,
+///     including across table-version invalidation.
 ///
 /// Agreement rules: COUNT/MIN/MAX and all plan structure are exact;
 /// SUM/AVG compare within 1e-9 relative tolerance between serial and
 /// partitioned scans (partition sums associate differently), but are
 /// bitwise identical between different thread counts because partition
-/// boundaries are fixed by grain, not by pool size.
+/// boundaries are fixed by grain, not by pool size. Cached results are
+/// the raw output of the scan that populated them, so cached-vs-uncached
+/// comparisons are bitwise at the same thread configuration.
+///
+/// MUVE_DIFF_SEEDS overrides the seed count (the `slow` CTest variants
+/// raise it; every seed is self-contained so any count reproduces).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/brute_force_planner.h"
 #include "core/greedy_planner.h"
 #include "db/executor.h"
 #include "exec/engine.h"
+#include "muve/muve_engine.h"
+#include "nlq/translator.h"
 #include "testing/random_workload.h"
+#include "viz/render_ascii.h"
 
 namespace muve {
 namespace {
 
-constexpr int kNumSeeds = 210;
+int SeedCount() {
+  const char* value = std::getenv("MUVE_DIFF_SEEDS");
+  if (value == nullptr) return 210;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<int>(parsed) : 210;
+}
+
+const int kNumSeeds = SeedCount();
 constexpr uint64_t kSeedBase = 9000;
 
 /// Thread counts every comparison runs at (1 = serial reference path).
@@ -308,6 +329,248 @@ TEST_F(DifferentialTest, GreedyNeverBeatsBruteForce) {
   }
   // The suite must not silently degenerate to skipping everything.
   EXPECT_GE(planned, kNumSeeds);
+}
+
+// ---------------------------------------------------------------------
+// Layer 4: caching — cached vs uncached must be byte-identical at every
+// layer, for cold, warm, and capacity-1 thrash replays.
+// ---------------------------------------------------------------------
+
+void ExpectBitwiseEqual(const db::AggregateResult& expected,
+                        const db::AggregateResult& actual,
+                        const std::string& context) {
+  EXPECT_EQ(expected.value, actual.value) << context;
+  EXPECT_EQ(expected.rows_matched, actual.rows_matched) << context;
+  EXPECT_EQ(expected.empty_input, actual.empty_input) << context;
+}
+
+TEST_F(DifferentialTest, ExecutorCachedVsUncachedScans) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 500000 + static_cast<uint64_t>(seed));
+    auto table = testing::RandomTable(&rng);
+    std::vector<db::AggregateQuery> queries;
+    for (int q = 0; q < 3; ++q) {
+      queries.push_back(testing::RandomAggregateQuery(*table, &rng));
+    }
+    const db::GroupByQuery grouped =
+        testing::RandomGroupByQuery(*table, &rng);
+
+    for (const size_t threads : kThreadCounts) {
+      db::ExecutorOptions uncached;
+      uncached.pool = PoolFor(threads);
+      uncached.min_parallel_rows = 1;
+      uncached.parallel_grain = 193;
+
+      // Warm (roomy) and thrash (capacity 1, constant eviction) caches:
+      // both must reproduce the uncached scan bitwise on every replay —
+      // the cache stores raw scan output and partitioning is fixed-grain,
+      // so results at the same thread count are byte-identical.
+      cache::QueryCache roomy(16);
+      cache::QueryCache thrash(1);
+      for (cache::QueryCache* qcache : {&roomy, &thrash}) {
+        db::ExecutorOptions cached = uncached;
+        cached.cache = qcache;
+        for (const db::AggregateQuery& query : queries) {
+          const auto reference =
+              db::Executor::Execute(*table, query, uncached);
+          ASSERT_TRUE(reference.ok()) << query.ToSql();
+          for (const char* phase : {"cold", "warm"}) {
+            const auto replay =
+                db::Executor::Execute(*table, query, cached);
+            ASSERT_TRUE(replay.ok()) << query.ToSql();
+            ExpectBitwiseEqual(
+                *reference, *replay,
+                "seed " + std::to_string(seed) + " threads " +
+                    std::to_string(threads) + " cap " +
+                    std::to_string(qcache->capacity()) + " " + phase +
+                    " " + query.ToSql());
+          }
+        }
+        const auto reference =
+            db::Executor::ExecuteGrouped(*table, grouped, uncached);
+        ASSERT_TRUE(reference.ok()) << grouped.ToSql();
+        for (int replay = 0; replay < 2; ++replay) {
+          const auto actual =
+              db::Executor::ExecuteGrouped(*table, grouped, cached);
+          ASSERT_TRUE(actual.ok()) << grouped.ToSql();
+          ASSERT_EQ(reference->cells.size(), actual->cells.size());
+          for (size_t g = 0; g < reference->cells.size(); ++g) {
+            ASSERT_EQ(reference->cells[g].size(),
+                      actual->cells[g].size());
+            for (size_t a = 0; a < reference->cells[g].size(); ++a) {
+              ExpectBitwiseEqual(
+                  reference->cells[g][a], actual->cells[g][a],
+                  "seed " + std::to_string(seed) + " grouped cell " +
+                      std::to_string(g) + "/" + std::to_string(a));
+            }
+          }
+        }
+      }
+      // The roomy cache must have served the warm replays from memory.
+      EXPECT_GT(roomy.stats().hits, 0u) << "seed " << seed;
+    }
+
+    // Version-bump invalidation: after an append, the cached path must
+    // match a fresh uncached scan, never the stale cached value.
+    cache::QueryCache qcache(16);
+    db::ExecutorOptions cached;
+    cached.cache = &qcache;
+    const auto stale = db::Executor::Execute(*table, queries[0], cached);
+    ASSERT_TRUE(stale.ok());
+    std::vector<db::Value> row;
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      switch (table->column(c).type()) {
+        case db::ValueType::kString:
+          row.emplace_back("absent_value");
+          break;
+        case db::ValueType::kInt64:
+          row.emplace_back(int64_t{17});
+          break;
+        case db::ValueType::kDouble:
+          row.emplace_back(17.5);
+          break;
+      }
+    }
+    ASSERT_TRUE(table->AppendRow(row).ok());
+    const auto fresh = db::Executor::Execute(*table, queries[0]);
+    ASSERT_TRUE(fresh.ok());
+    const auto after = db::Executor::Execute(*table, queries[0], cached);
+    ASSERT_TRUE(after.ok());
+    ExpectBitwiseEqual(*fresh, *after,
+                       "seed " + std::to_string(seed) +
+                           " post-append " + queries[0].ToSql());
+  }
+}
+
+TEST_F(DifferentialTest, EngineCachedVsUncachedReplay) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 600000 + static_cast<uint64_t>(seed));
+    auto table = testing::RandomTable(&rng);
+    const core::CandidateSet set =
+        testing::RandomCandidateSet(*table, &rng);
+    if (set.empty()) continue;
+    std::vector<size_t> all(set.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+    for (const size_t threads : kThreadCounts) {
+      exec::EngineOptions options;
+      options.num_threads = threads;
+      options.min_parallel_rows = 1;  // Exercise row partitioning too.
+      options.cache_capacity = 0;
+      exec::Engine uncached(table, options);
+      const auto reference = uncached.Execute(set, all);
+      ASSERT_TRUE(reference.ok());
+      // The disabled cache reports no activity.
+      EXPECT_EQ(uncached.result_cache(), nullptr);
+      EXPECT_EQ(uncached.result_cache_stats().lookups(), 0u);
+
+      for (const size_t capacity : {size_t{256}, size_t{1}}) {
+        options.cache_capacity = capacity;
+        exec::Engine engine(table, options);
+        for (const char* phase : {"cold", "warm"}) {
+          const auto replay = engine.Execute(set, all);
+          ASSERT_TRUE(replay.ok());
+          ASSERT_EQ(reference->values.size(), replay->values.size());
+          for (size_t i = 0; i < reference->values.size(); ++i) {
+            const std::string context =
+                "seed " + std::to_string(seed) + " threads " +
+                std::to_string(threads) + " cap " +
+                std::to_string(capacity) + " " + phase + " candidate " +
+                std::to_string(i);
+            if (std::isnan(reference->values[i])) {
+              EXPECT_TRUE(std::isnan(replay->values[i])) << context;
+            } else {
+              EXPECT_EQ(reference->values[i], replay->values[i])
+                  << context;
+            }
+          }
+        }
+        const cache::StatsSnapshot stats = engine.result_cache_stats();
+        EXPECT_GT(stats.lookups(), 0u);
+        if (capacity >= set.size()) {
+          // Warm replay of an identical batch is all hits.
+          EXPECT_GT(stats.hits, 0u) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialTest, MuvePipelineCachedVsUncachedReplay) {
+  // Table rows stay far below min_parallel_rows, so every scan is the
+  // serial per-unit loop at every thread count and the full pipeline —
+  // plan structure, bar values, rendering — must be byte-identical
+  // between the cached and uncached engines, cold and warm.
+  viz::AsciiRenderOptions render_options;
+  render_options.use_color = false;
+  uint64_t plan_hits = 0;
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 700000 + static_cast<uint64_t>(seed));
+    testing::RandomTableOptions table_options;
+    table_options.min_rows = 150;
+    table_options.max_rows = 400;
+    auto table = testing::RandomTable(&rng, table_options);
+    db::AggregateQuery target = testing::RandomAggregateQuery(*table, &rng);
+    if (target.predicates.empty()) {
+      target.predicates.push_back(
+          testing::RandomPredicate(*table, &rng, 0.0));
+    }
+    const std::string utterance = nlq::VerbalizeQuery(target);
+
+    const size_t threads = kThreadCounts[seed % 3];
+    MuveOptions cached_options;
+    cached_options.execution.num_threads = threads;
+    MuveOptions uncached_options = cached_options;
+    uncached_options.cache_capacity = 0;
+    MuveEngine cached(table, cached_options);
+    MuveEngine uncached(table, uncached_options);
+
+    for (const char* phase : {"cold", "warm"}) {
+      const auto expected = uncached.AskText(utterance);
+      const auto actual = cached.AskText(utterance);
+      ASSERT_EQ(expected.ok(), actual.ok())
+          << "seed " << seed << " " << phase << " \"" << utterance << "\"";
+      if (!expected.ok()) break;
+      const std::string context = "seed " + std::to_string(seed) + " " +
+                                  phase + " threads " +
+                                  std::to_string(threads) + " \"" +
+                                  utterance + "\"";
+      EXPECT_EQ(expected->base_query.CanonicalKey(),
+                actual->base_query.CanonicalKey())
+          << context;
+      EXPECT_EQ(expected->base_confidence, actual->base_confidence)
+          << context;
+      ASSERT_EQ(expected->candidates.size(), actual->candidates.size())
+          << context;
+      for (size_t i = 0; i < expected->candidates.size(); ++i) {
+        EXPECT_EQ(expected->candidates[i].query.CanonicalKey(),
+                  actual->candidates[i].query.CanonicalKey())
+            << context << " candidate " << i;
+        EXPECT_EQ(expected->candidates[i].probability,
+                  actual->candidates[i].probability)
+            << context << " candidate " << i;
+      }
+      EXPECT_EQ(PlanSignature(expected->plan.multiplot),
+                PlanSignature(actual->plan.multiplot))
+          << context;
+      EXPECT_EQ(viz::RenderMultiplot(expected->plan.multiplot,
+                                     render_options),
+                viz::RenderMultiplot(actual->plan.multiplot,
+                                     render_options))
+          << context;
+    }
+
+    const PipelineCacheStats stats = cached.cache_stats();
+    if (stats.plans.lookups() > 0) {
+      // The uncached engine keeps all three caches silent.
+      const PipelineCacheStats off = uncached.cache_stats();
+      EXPECT_EQ(off.Total().lookups(), 0u) << "seed " << seed;
+      plan_hits += stats.plans.hits;
+    }
+  }
+  // Warm replays hit the plan memo on at least some seeds — the suite
+  // must not silently degenerate into translation failures.
+  EXPECT_GT(plan_hits, 0u);
 }
 
 }  // namespace
