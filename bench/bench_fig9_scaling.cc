@@ -54,6 +54,10 @@ int main() {
     options.ilp_incremental_initial_ms = 62.5;  // Paper §9.4: k, b = 2.
     options.ilp_incremental_growth = 2.0;
     options.dynamic_threshold_ms = dynamic_theta;
+    // Let the ILP methods use the engine pool for the tree search; the
+    // wave-based search returns identical plans at any thread count, so
+    // this only moves F-Times, never which plot is shown.
+    options.planner.ilp.num_threads = 0;
 
     const auto& methods = exec::AllPresentationMethods();
     for (size_t m = 0; m < methods.size(); ++m) {

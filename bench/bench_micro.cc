@@ -4,9 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 
+#include "bench/bench_util.h"
 #include "cache/query_cache.h"
+#include "common/clock.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/greedy_planner.h"
@@ -366,6 +372,48 @@ void BM_SimplexSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexSolve)->Arg(50)->Arg(200);
 
+/// A real MUVE multiplot-selection MIP (Fig. 6 family, 311 data) for
+/// exercising the branch-and-bound solver end to end. Built once.
+const ilp::Model& MuveMip() {
+  static const ilp::Model* model = [] {
+    auto table = *workload::MakeDataset("nyc311", 2000, 7);
+    const std::vector<bench::Instance> instances = bench::MakeInstances(
+        table, /*count=*/1, /*num_candidates=*/8, /*max_predicates=*/2,
+        /*seed=*/1234);
+    core::PlannerConfig config;
+    config.geometry.width_px = 750.0;
+    config.geometry.max_rows = 1;
+    auto formulation =
+        core::BuildFormulation(instances[0].candidates, config);
+    return new ilp::Model(std::move(formulation->model));
+  }();
+  return *model;
+}
+
+/// Branch-and-bound on the MUVE instance: range(0) = solver threads,
+/// range(1) = presolve on (1) / off (0). All variants must report the
+/// same objective; threads > 1 additionally the same node count.
+void BM_MipMuvePlanning(benchmark::State& state) {
+  const ilp::Model& model = MuveMip();
+  ilp::MipSolver::Options options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.presolve = state.range(1) == 1;
+  const ilp::MipSolver solver(options);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    const ilp::MipSolution solution = solver.Solve(model);
+    nodes += solution.nodes_explored;
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes) /
+                            static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MipMuvePlanning)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({8, 1})
+    ->Args({1, 0});
+
 void BM_MipKnapsack(benchmark::State& state) {
   Rng rng(6);
   ilp::Model model;
@@ -385,7 +433,106 @@ void BM_MipKnapsack(benchmark::State& state) {
 }
 BENCHMARK(BM_MipKnapsack);
 
+/// Solver smoke run behind `--muve_ilp_json=PATH`: solves a small Fig. 6
+/// instance family and writes machine-readable throughput/latency stats
+/// (consumed by scripts/check.sh as the tier1 solver benchmark).
+int RunIlpJsonReport(const std::string& path) {
+  constexpr double kTimeoutMs = 1000.0;
+  constexpr size_t kInstances = 4;
+  auto table = *workload::MakeDataset("nyc311", 2000, 7);
+  const std::vector<bench::Instance> instances = bench::MakeInstances(
+      table, kInstances, /*num_candidates=*/8, /*max_predicates=*/2,
+      /*seed=*/1234);
+  core::PlannerConfig config;
+  config.geometry.width_px = 750.0;
+  config.geometry.max_rows = 1;
+
+  size_t total_nodes = 0;
+  int64_t total_lp_iterations = 0;
+  double total_ms = 0.0;
+  size_t timeouts = 0;
+  size_t solved = 0;
+  double first_incumbent_sum = 0.0;
+  size_t first_incumbent_n = 0;
+  for (const bench::Instance& instance : instances) {
+    auto formulation = core::BuildFormulation(instance.candidates, config);
+    if (!formulation.ok()) continue;
+    const ilp::MipSolver solver;
+    StopWatch watch;
+    const ilp::MipSolution solution = solver.Solve(
+        formulation->model, Deadline::AfterMillis(kTimeoutMs));
+    total_ms += watch.ElapsedMillis();
+    ++solved;
+    total_nodes += solution.nodes_explored;
+    total_lp_iterations += solution.lp_iterations;
+    if (solution.timed_out) ++timeouts;
+    if (solution.time_to_first_incumbent_ms >= 0.0) {
+      first_incumbent_sum += solution.time_to_first_incumbent_ms;
+      ++first_incumbent_n;
+    }
+  }
+  if (solved == 0) {
+    std::fprintf(stderr, "no instances solved\n");
+    return 1;
+  }
+  const double nodes_per_sec =
+      total_ms > 0.0 ? static_cast<double>(total_nodes) / (total_ms / 1e3)
+                     : 0.0;
+  const double mean_first_incumbent_ms =
+      first_incumbent_n > 0 ? first_incumbent_sum /
+                                  static_cast<double>(first_incumbent_n)
+                            : -1.0;
+  const double timeout_ratio =
+      static_cast<double>(timeouts) / static_cast<double>(solved);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"ilp_solver_smoke\",\n"
+      << "  \"instances\": " << solved << ",\n"
+      << "  \"timeout_ms\": " << kTimeoutMs << ",\n"
+      << "  \"total_time_ms\": " << total_ms << ",\n"
+      << "  \"total_nodes\": " << total_nodes << ",\n"
+      << "  \"total_lp_iterations\": " << total_lp_iterations << ",\n"
+      << "  \"nodes_per_sec\": " << nodes_per_sec << ",\n"
+      << "  \"mean_time_to_first_incumbent_ms\": "
+      << mean_first_incumbent_ms << ",\n"
+      << "  \"timeout_ratio\": " << timeout_ratio << "\n"
+      << "}\n";
+  std::printf(
+      "BENCH_ilp: %zu instances, %.1f ms total, %zu nodes (%.0f "
+      "nodes/sec), first incumbent %.2f ms, timeout ratio %.2f -> %s\n",
+      solved, total_ms, total_nodes, nodes_per_sec,
+      mean_first_incumbent_ms, timeout_ratio, path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace muve
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN with one extra flag: `--muve_ilp_json=PATH` skips the
+/// google-benchmark suite and emits the solver smoke report instead. The
+/// flag is stripped before benchmark::Initialize, which rejects unknown
+/// arguments.
+int main(int argc, char** argv) {
+  std::string json_path;
+  int kept = 1;
+  const char* kFlag = "--muve_ilp_json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_path = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!json_path.empty()) return muve::RunIlpJsonReport(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

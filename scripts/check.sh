@@ -31,6 +31,13 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)" "${LABELS[@]+"${LABELS[@]}"}")
 
+# The bench_ilp_smoke tier1 test wrote machine-readable solver stats
+# (nodes/sec, time-to-first-incumbent, timeout ratio); surface them.
+if [[ -f build/BENCH_ilp.json ]]; then
+  echo "==> Solver smoke stats (build/BENCH_ilp.json)"
+  cat build/BENCH_ilp.json
+fi
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> Skipping ThreadSanitizer pass (--skip-tsan)"
   exit 0

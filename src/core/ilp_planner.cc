@@ -445,13 +445,19 @@ Result<PlanResult> IlpPlanner::PlanWithHint(const CandidateSet& candidates,
     }
   }
 
-  ilp::MipSolver solver;
+  ilp::MipSolver::Options solver_options;
+  solver_options.presolve = config.ilp.presolve;
+  solver_options.num_threads = config.ilp.num_threads;
+  solver_options.pool = config.ilp.num_threads != 1 ? pool_ : nullptr;
+  ilp::MipSolver solver(solver_options);
   const ilp::MipSolution solution = solver.Solve(
       formulation.model, Deadline::AfterMillis(config.timeout_ms), &warm);
 
   result.optimize_millis = watch.ElapsedMillis();
   result.timed_out = solution.timed_out;
   result.nodes_explored = solution.nodes_explored;
+  result.best_bound = solution.best_bound;
+  result.optimality_gap = solution.gap();
   if (!solution.has_solution()) {
     // No incumbent (should not happen given the warm start): fall back to
     // the empty multiplot.

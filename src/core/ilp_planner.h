@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/planner.h"
 #include "core/query_template.h"
 #include "ilp/model.h"
@@ -70,6 +71,13 @@ class IlpPlanner : public VisualizationPlanner {
  public:
   IlpPlanner() = default;
 
+  /// Runs the solver's parallel tree search on `pool` (typically the
+  /// engine-wide worker pool) whenever `config.ilp.num_threads != 1`;
+  /// with the default serial config the pool is left untouched. A null
+  /// pool makes the solver create a temporary one per solve when
+  /// `config.ilp.num_threads` asks for parallelism.
+  explicit IlpPlanner(ThreadPool* pool) : pool_(pool) {}
+
   Result<PlanResult> Plan(const CandidateSet& candidates,
                           const PlannerConfig& config) const override;
 
@@ -102,6 +110,9 @@ class IlpPlanner : public VisualizationPlanner {
       const std::function<void(const IncrementalSnapshot&)>& callback =
           nullptr,
       const Multiplot* initial_hint = nullptr) const;
+
+ private:
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace muve::core

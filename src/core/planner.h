@@ -40,6 +40,19 @@ struct ProcessingCostConfig {
   double objective_weight = 1.0;
 };
 
+/// Knobs forwarded to the branch-and-bound MIP solver behind the ILP
+/// planners (kept free of ilp/ headers so every planner user can set
+/// them). Defaults match the solver's: presolve on, serial search.
+struct IlpSolverConfig {
+  /// Worker threads for the parallel tree search: 1 = serial, 0 = use
+  /// the hardware. Results are identical at any thread count for runs
+  /// that finish within the timeout.
+  size_t num_threads = 1;
+  /// Root presolve (bound tightening, singleton rows, redundant-row
+  /// removal, strict dual fixing).
+  bool presolve = true;
+};
+
 /// Planner inputs.
 struct PlannerConfig {
   ScreenGeometry geometry;
@@ -47,6 +60,7 @@ struct PlannerConfig {
   /// Optimization wall-clock budget in milliseconds (paper §9.2 uses 1 s).
   double timeout_ms = 1000.0;
   ProcessingCostConfig processing;
+  IlpSolverConfig ilp;
 };
 
 /// Planner outputs.
@@ -57,6 +71,12 @@ struct PlanResult {
   bool timed_out = false;        ///< Deadline hit before proven optimality.
   size_t nodes_explored = 0;     ///< Branch-and-bound nodes (ILP only).
   double processing_cost = 0.0;  ///< Selected groups' cost (when modeled).
+  /// Dual (best) bound on the expected cost at termination (ILP only);
+  /// equals `expected_cost` when the solve proved optimality.
+  double best_bound = 0.0;
+  /// Relative optimality gap at termination (ILP only): 0 when proven
+  /// optimal, +inf when the timeout hit before any incumbent.
+  double optimality_gap = 0.0;
 };
 
 /// Interface of multiplot-selection solvers (paper §2, Definition 5).

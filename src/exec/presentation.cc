@@ -145,7 +145,7 @@ Result<PresentationOutcome> RunPresentation(
       // Convert optimizer cost units into model milliseconds.
       config.processing.objective_weight =
           1.0 / std::max(1e-9, engine->cost_units_per_ms());
-      const core::IlpPlanner planner;
+      const core::IlpPlanner planner(engine->thread_pool());
       // Seed the MIP with the greedy solution (like a Gurobi MIP start):
       // a solver timeout then degrades to greedy quality instead of an
       // empty screen.
@@ -170,7 +170,7 @@ Result<PresentationOutcome> RunPresentation(
     }
 
     case PresentationMethod::kIlpIncremental: {
-      const core::IlpPlanner planner;
+      const core::IlpPlanner planner(engine->thread_pool());
       const core::CandidateSet planning_set = TrimForIlp(candidates);
       MUVE_ASSIGN_OR_RETURN(core::PlanResult seed,
                             GreedyPlan(planning_set, options.planner, engine->thread_pool()));

@@ -1,0 +1,263 @@
+#include "ilp/presolve.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace muve::ilp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Conservative feasibility slack: a row is only declared infeasible (or
+/// a bound crossing reported) when it is violated beyond this.
+constexpr double kFeasTol = 1e-6;
+/// A row whose maximum activity stays within this of the rhs is
+/// redundant and dropped.
+constexpr double kDropTol = 1e-9;
+/// Integer bound rounding slack (floor/ceil snap).
+constexpr double kIntTol = 1e-6;
+
+/// Normalized working row: `terms * x (<=|=) rhs` with duplicates
+/// accumulated and >= rows negated into <=.
+struct WorkRow {
+  std::vector<std::pair<int, double>> terms;
+  double rhs = 0.0;
+  bool eq = false;
+  bool alive = true;
+};
+
+/// Sum of per-term extreme contributions with infinities counted apart,
+/// so one unbounded variable does not poison residual computations.
+struct Activity {
+  double finite = 0.0;
+  int inf = 0;
+
+  void Add(double contribution) {
+    if (std::isinf(contribution)) {
+      ++inf;
+    } else {
+      finite += contribution;
+    }
+  }
+  /// Total excluding one term's contribution, or +/-inf when other
+  /// infinite terms remain. `sign` is -1 for a minimum activity
+  /// (infinities are -inf) and +1 for a maximum.
+  double Excluding(double contribution, int sign) const {
+    const int other_inf = inf - (std::isinf(contribution) ? 1 : 0);
+    if (other_inf > 0) return sign * kInf;
+    return std::isinf(contribution) ? finite : finite - contribution;
+  }
+  double Total(int sign) const { return inf > 0 ? sign * kInf : finite; }
+};
+
+}  // namespace
+
+PresolveResult Presolve(const Model& model, double tolerance) {
+  const size_t n = model.num_variables();
+  PresolveResult result;
+
+  std::vector<double> lb(n), ub(n);
+  for (size_t v = 0; v < n; ++v) {
+    lb[v] = model.lower_bound(static_cast<int>(v));
+    ub[v] = model.upper_bound(static_cast<int>(v));
+  }
+
+  // Normalize all rows once; presolve then works purely on this form.
+  std::vector<WorkRow> rows;
+  rows.reserve(model.num_constraints());
+  std::vector<double> accum(n, 0.0);
+  std::vector<int> touched;
+  for (size_t i = 0; i < model.num_constraints(); ++i) {
+    WorkRow row;
+    const Relation relation = model.relation(i);
+    const double sign = relation == Relation::kGreaterEqual ? -1.0 : 1.0;
+    row.eq = relation == Relation::kEqual;
+    row.rhs = sign * model.rhs(i);
+    touched.clear();
+    for (const auto& [var, coef] : model.row(i)) {
+      if (accum[var] == 0.0) touched.push_back(var);
+      accum[var] += sign * coef;
+    }
+    for (int var : touched) {
+      if (accum[var] != 0.0) row.terms.emplace_back(var, accum[var]);
+      accum[var] = 0.0;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const double sense = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  std::vector<double> cmin, cmax;  // Per-term extreme contributions.
+  // Per-variable summaries for dual fixing, rebuilt each round.
+  std::vector<bool> in_equality(n);
+  std::vector<double> coef_min(n), coef_max(n);
+
+  for (int round = 0; round < 25; ++round) {
+    bool changed = false;
+
+    for (WorkRow& row : rows) {
+      if (!row.alive) continue;
+      if (row.terms.empty()) {
+        if (row.rhs < -kFeasTol || (row.eq && row.rhs > kFeasTol)) {
+          result.infeasible = true;
+          return result;
+        }
+        row.alive = false;
+        ++result.stats.rows_removed;
+        changed = true;
+        continue;
+      }
+
+      Activity min_act, max_act;
+      cmin.clear();
+      cmax.clear();
+      for (const auto& [var, coef] : row.terms) {
+        const double lo = coef > 0.0 ? coef * lb[var] : coef * ub[var];
+        const double hi = coef > 0.0 ? coef * ub[var] : coef * lb[var];
+        cmin.push_back(lo);
+        cmax.push_back(hi);
+        min_act.Add(lo);
+        max_act.Add(hi);
+      }
+
+      // Infeasibility and redundancy from the activity range.
+      const double lo_total = min_act.Total(-1);
+      const double hi_total = max_act.Total(+1);
+      if (lo_total > row.rhs + kFeasTol ||
+          (row.eq && hi_total < row.rhs - kFeasTol)) {
+        result.infeasible = true;
+        return result;
+      }
+      const bool upper_tight = hi_total <= row.rhs + kDropTol;
+      const bool lower_tight = lo_total >= row.rhs - kDropTol;
+      if (upper_tight && (!row.eq || lower_tight)) {
+        row.alive = false;
+        ++result.stats.rows_removed;
+        changed = true;
+        continue;
+      }
+
+      // Activity-based bound tightening. For a <= row, term (v, a):
+      //   a * x_v <= rhs - min_activity(others);
+      // an equality row also bounds from the other side:
+      //   a * x_v >= rhs - max_activity(others).
+      // Singleton rows (one term) have empty residuals, so this turns
+      // them into pure bounds; the redundancy check above then removes
+      // them on the next sweep.
+      for (size_t k = 0; k < row.terms.size(); ++k) {
+        const auto [var, coef] = row.terms[k];
+        const bool integer = model.is_integer(var);
+        const double res_min = min_act.Excluding(cmin[k], -1);
+        if (std::isfinite(res_min)) {
+          const double limit = (row.rhs - res_min) / coef;
+          if (coef > 0.0) {
+            double new_ub = integer ? std::floor(limit + kIntTol) : limit;
+            if (new_ub < ub[var] - tolerance) {
+              ub[var] = new_ub;
+              ++result.stats.bounds_tightened;
+              changed = true;
+            }
+          } else {
+            double new_lb = integer ? std::ceil(limit - kIntTol) : limit;
+            if (new_lb > lb[var] + tolerance) {
+              lb[var] = new_lb;
+              ++result.stats.bounds_tightened;
+              changed = true;
+            }
+          }
+        }
+        if (row.eq) {
+          const double res_max = max_act.Excluding(cmax[k], +1);
+          if (std::isfinite(res_max)) {
+            const double limit = (row.rhs - res_max) / coef;
+            if (coef > 0.0) {
+              double new_lb = integer ? std::ceil(limit - kIntTol) : limit;
+              if (new_lb > lb[var] + tolerance) {
+                lb[var] = new_lb;
+                ++result.stats.bounds_tightened;
+                changed = true;
+              }
+            } else {
+              double new_ub = integer ? std::floor(limit + kIntTol) : limit;
+              if (new_ub < ub[var] - tolerance) {
+                ub[var] = new_ub;
+                ++result.stats.bounds_tightened;
+                changed = true;
+              }
+            }
+          }
+        }
+        if (lb[var] > ub[var] + kFeasTol) {
+          result.infeasible = true;
+          return result;
+        }
+        if (lb[var] > ub[var]) ub[var] = lb[var];  // Snap tiny crossings.
+      }
+    }
+
+    // Strict dual fixing: a variable whose (minimize-sense) cost is
+    // strictly positive and whose every <=-row coefficient is
+    // nonnegative sits at its lower bound in EVERY optimum — moving up
+    // only worsens the objective and tightens constraints. Mirrored for
+    // strictly negative cost. Variables in equality rows are skipped,
+    // and zero-cost variables are never fixed (other optima could place
+    // them elsewhere; fixing would break the presolve-on/off identity).
+    std::fill(in_equality.begin(), in_equality.end(), false);
+    std::fill(coef_min.begin(), coef_min.end(), 0.0);
+    std::fill(coef_max.begin(), coef_max.end(), 0.0);
+    for (const WorkRow& row : rows) {
+      if (!row.alive) continue;
+      for (const auto& [var, coef] : row.terms) {
+        if (row.eq) in_equality[var] = true;
+        coef_min[var] = std::min(coef_min[var], coef);
+        coef_max[var] = std::max(coef_max[var], coef);
+      }
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (in_equality[v] || ub[v] - lb[v] <= tolerance) continue;
+      const double cost =
+          sense * model.objective_coefficient(static_cast<int>(v));
+      if (cost > tolerance && coef_min[v] >= 0.0 && std::isfinite(lb[v])) {
+        ub[v] = lb[v];
+        ++result.stats.variables_fixed;
+        changed = true;
+      } else if (cost < -tolerance && coef_max[v] <= 0.0 &&
+                 std::isfinite(ub[v])) {
+        lb[v] = ub[v];
+        ++result.stats.variables_fixed;
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+    ++result.stats.rounds;
+  }
+
+  // Rebuild a model over the same variables: indices, names, objective,
+  // and sense are preserved verbatim; only bounds and rows changed.
+  Model out;
+  for (size_t v = 0; v < n; ++v) {
+    const int var = static_cast<int>(v);
+    if (model.is_integer(var)) {
+      out.AddInteger(model.name(var), lb[v], ub[v]);
+    } else {
+      out.AddVariable(model.name(var), lb[v], ub[v]);
+    }
+    const double coef = model.objective_coefficient(var);
+    if (coef != 0.0) out.AddObjectiveTerm(var, coef);
+  }
+  out.AddObjectiveConstant(model.objective_constant());
+  out.SetSense(model.sense());
+  for (const WorkRow& row : rows) {
+    if (!row.alive) continue;
+    LinearExpr expr;
+    expr.terms = row.terms;
+    out.AddConstraint(expr, row.eq ? Relation::kEqual : Relation::kLessEqual,
+                      row.rhs);
+  }
+  result.model = std::move(out);
+  return result;
+}
+
+}  // namespace muve::ilp

@@ -1,0 +1,46 @@
+#ifndef MUVE_ILP_PRESOLVE_H_
+#define MUVE_ILP_PRESOLVE_H_
+
+#include <cstddef>
+
+#include "ilp/model.h"
+
+namespace muve::ilp {
+
+/// Counters describing what one presolve application did.
+struct PresolveStats {
+  int rounds = 0;
+  size_t rows_removed = 0;
+  size_t bounds_tightened = 0;
+  size_t variables_fixed = 0;
+};
+
+/// Output of `Presolve`: a reduced model over the SAME variables (indices
+/// and names preserved 1:1, objective and sense unchanged) with possibly
+/// fewer rows and tighter bounds. Any x feasible for `model` is feasible
+/// for the input and vice versa, so solutions need no back-mapping.
+struct PresolveResult {
+  Model model;
+  PresolveStats stats;
+  /// True when presolve proved the input has no feasible point; `model`
+  /// is then unspecified and must not be solved.
+  bool infeasible = false;
+};
+
+/// Root presolve: iterated activity-based bound tightening (with integer
+/// rounding), singleton-row conversion to bounds, redundant-row removal,
+/// and strict dual fixing of variables whose objective pushes them onto a
+/// bound that no constraint resists.
+///
+/// Every transformation preserves the full set of optimal solutions (not
+/// just the optimal value): dual fixing only fires when moving off the
+/// bound strictly worsens the objective, so solving the presolved model
+/// yields byte-identical results to solving the original — the contract
+/// the differential tests pin down. Applying Presolve to its own output
+/// is a fixpoint (idempotence): bounds are only tightened when they
+/// improve by more than `tolerance`.
+PresolveResult Presolve(const Model& model, double tolerance = 1e-7);
+
+}  // namespace muve::ilp
+
+#endif  // MUVE_ILP_PRESOLVE_H_

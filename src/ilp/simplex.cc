@@ -3,128 +3,514 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace muve::ilp {
 
 namespace {
 
-/// Dense simplex tableau over equality-form constraints A x = b, x >= 0.
-/// Rows 0..m-1 are constraints; row m carries the (negated) reduced
-/// costs so pricing is O(n) and pivots keep it up to date — the textbook
-/// full-tableau method.
-class Tableau {
- public:
-  Tableau(size_t num_rows, size_t num_cols)
-      : m_(num_rows),
-        n_(num_cols),
-        a_((num_rows + 1) * (num_cols + 1), 0.0),
-        basis_(num_rows, -1) {}
-
-  double& At(size_t row, size_t col) { return a_[row * (n_ + 1) + col]; }
-  double At(size_t row, size_t col) const {
-    return a_[row * (n_ + 1) + col];
-  }
-  double& Rhs(size_t row) { return a_[row * (n_ + 1) + n_]; }
-  double Rhs(size_t row) const { return a_[row * (n_ + 1) + n_]; }
-  int basis(size_t row) const { return basis_[row]; }
-  void set_basis(size_t row, int col) { basis_[row] = col; }
-  size_t num_rows() const { return m_; }
-  size_t num_cols() const { return n_; }
-
-  /// Loads the objective row with reduced costs for `cost` under the
-  /// current basis: z_j = c_j - c_B' (B^{-1} A)_j. O(m * n), done once
-  /// per phase.
-  void PriceObjective(const std::vector<double>& cost) {
-    double* z = &a_[m_ * (n_ + 1)];
-    for (size_t j = 0; j <= n_; ++j) z[j] = j < n_ ? cost[j] : 0.0;
-    for (size_t i = 0; i < m_; ++i) {
-      const double cb = cost[basis_[i]];
-      if (cb == 0.0) continue;
-      const double* row = &a_[i * (n_ + 1)];
-      for (size_t j = 0; j <= n_; ++j) z[j] -= cb * row[j];
-    }
-  }
-
-  /// Runs primal simplex minimizing the objective currently priced into
-  /// the objective row. `deadline` (optional) is polled periodically.
-  LpStatus Minimize(double tolerance, int max_iterations, int* iterations,
-                    const std::vector<bool>* disallowed_entering,
-                    const Deadline* deadline) {
-    const double* z = &a_[m_ * (n_ + 1)];
-    for (;;) {
-      if (*iterations >= max_iterations) return LpStatus::kIterationLimit;
-      if (deadline != nullptr && (*iterations & 31) == 0 &&
-          deadline->Expired()) {
-        return LpStatus::kIterationLimit;
-      }
-
-      // Pricing: Dantzig by default, Bland when past half the budget
-      // (anti-cycling safeguard).
-      const bool use_bland = *iterations > max_iterations / 2;
-      int entering = -1;
-      double best = -tolerance;
-      for (size_t j = 0; j < n_; ++j) {
-        if (disallowed_entering != nullptr && (*disallowed_entering)[j]) {
-          continue;
-        }
-        if (z[j] < best) {
-          entering = static_cast<int>(j);
-          if (use_bland) break;  // First eligible index.
-          best = z[j];
-        }
-      }
-      if (entering < 0) return LpStatus::kOptimal;
-
-      // Ratio test.
-      int leaving_row = -1;
-      double best_ratio = 0.0;
-      for (size_t i = 0; i < m_; ++i) {
-        const double pivot = At(i, entering);
-        if (pivot <= tolerance) continue;
-        const double ratio = Rhs(i) / pivot;
-        if (leaving_row < 0 || ratio < best_ratio - 1e-12 ||
-            (std::fabs(ratio - best_ratio) <= 1e-12 &&
-             basis_[i] < basis_[leaving_row])) {
-          leaving_row = static_cast<int>(i);
-          best_ratio = ratio;
-        }
-      }
-      if (leaving_row < 0) return LpStatus::kUnbounded;
-
-      Pivot(static_cast<size_t>(leaving_row),
-            static_cast<size_t>(entering));
-      ++*iterations;
-    }
-  }
-
-  /// Gauss-Jordan pivot on (row, col); updates the basis and the
-  /// objective row.
-  void Pivot(size_t row, size_t col) {
-    double* pivot_row = &a_[row * (n_ + 1)];
-    const double pivot = pivot_row[col];
-    assert(std::fabs(pivot) > 1e-12);
-    const double inv = 1.0 / pivot;
-    for (size_t j = 0; j <= n_; ++j) pivot_row[j] *= inv;
-    pivot_row[col] = 1.0;  // Avoid drift.
-    for (size_t i = 0; i <= m_; ++i) {  // Includes the objective row.
-      if (i == row) continue;
-      double* target = &a_[i * (n_ + 1)];
-      const double factor = target[col];
-      if (factor == 0.0) continue;
-      for (size_t j = 0; j <= n_; ++j) target[j] -= factor * pivot_row[j];
-      target[col] = 0.0;
-    }
-    basis_[row] = static_cast<int>(col);
-  }
-
- private:
-  size_t m_;
-  size_t n_;
-  std::vector<double> a_;  ///< (m + 1) rows of n cols + rhs, row-major.
-  std::vector<int> basis_;
-};
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Minimum magnitude for a coefficient to act as a pivot element.
+constexpr double kPivotTol = 1e-9;
+/// Ratio-test tie window (two blocking limits within this are "equal").
+constexpr double kTieTol = 1e-12;
+/// A variable whose bound range is below this is treated as fixed.
+constexpr double kFixedTol = 1e-12;
 
 }  // namespace
+
+// ---------------------------------------------------------------------
+// LpCore
+// ---------------------------------------------------------------------
+
+LpCore::LpCore(const Model& model) : model_(&model) {
+  n_ = model.num_variables();
+  m_ = model.num_constraints();
+  columns_.assign(n_, {});
+  cost_.assign(n_, 0.0);
+  rhs_.assign(m_, 0.0);
+  equality_.assign(m_, false);
+
+  const double sense = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  for (size_t j = 0; j < n_; ++j) {
+    cost_[j] = sense * model.objective_coefficient(static_cast<int>(j));
+  }
+
+  // Normalize every row to `a'x + s = b, s >= 0`: >= rows are negated,
+  // = rows keep a slack fixed at zero. Duplicate terms are accumulated.
+  std::vector<double> accum(n_, 0.0);
+  std::vector<int> touched;
+  for (size_t i = 0; i < m_; ++i) {
+    const Relation relation = model.relation(i);
+    const double sign = relation == Relation::kGreaterEqual ? -1.0 : 1.0;
+    equality_[i] = relation == Relation::kEqual;
+    rhs_[i] = sign * model.rhs(i);
+    touched.clear();
+    for (const auto& [var, coef] : model.row(i)) {
+      if (accum[var] == 0.0) touched.push_back(var);
+      accum[var] += sign * coef;
+    }
+    for (int var : touched) {
+      if (accum[var] != 0.0) {
+        columns_[var].emplace_back(static_cast<int>(i), accum[var]);
+      }
+      accum[var] = 0.0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// LpState
+// ---------------------------------------------------------------------
+
+LpState::LpState(const LpCore* core, SimplexOptions options)
+    : core_(core),
+      options_(options),
+      m_(core->num_rows()),
+      n_(core->num_structural()),
+      width_(core->num_columns()) {
+  lb_.assign(width_, 0.0);
+  ub_.assign(width_, kInf);
+  tab_.assign(m_ * width_, 0.0);
+  beta_.assign(m_, 0.0);
+  d_.assign(width_, 0.0);
+  status_.assign(width_, kAtLower);
+  value_.assign(width_, 0.0);
+  basic_.assign(m_, -1);
+  // Slack bounds never change: [0, inf) for <=, [0, 0] for = rows.
+  for (size_t i = 0; i < m_; ++i) {
+    lb_[n_ + i] = 0.0;
+    ub_[n_ + i] = core_->equality(i) ? 0.0 : kInf;
+  }
+}
+
+void LpState::LoadBounds(const std::vector<double>& lb,
+                         const std::vector<double>& ub) {
+  for (size_t j = 0; j < n_; ++j) {
+    lb_[j] = lb[j];
+    ub_[j] = ub[j];
+  }
+}
+
+void LpState::ResetBasis() {
+  std::fill(tab_.begin(), tab_.end(), 0.0);
+  for (size_t i = 0; i < m_; ++i) {
+    Tab(i, n_ + i) = 1.0;
+    basic_[i] = static_cast<int>(n_ + i);
+    status_[n_ + i] = kBasic;
+  }
+  for (size_t j = 0; j < n_; ++j) {
+    for (const auto& [row, coef] : core_->column(j)) Tab(row, j) = coef;
+    // Nonbasic start at the bound its cost is drawn toward, so the
+    // initial basis is close to dual feasible and phase 2 stays short.
+    const bool lower_ok = std::isfinite(lb_[j]);
+    const bool upper_ok = std::isfinite(ub_[j]);
+    assert((lower_ok || upper_ok) && "variables need one finite bound");
+    if (lower_ok && (core_->cost(j) >= 0.0 || !upper_ok)) {
+      status_[j] = kAtLower;
+      value_[j] = lb_[j];
+    } else {
+      status_[j] = kAtUpper;
+      value_[j] = ub_[j];
+    }
+  }
+  RecomputeBeta();
+}
+
+void LpState::RecomputeBeta() {
+  // beta = B^{-1} (b - A_N x_N). The slack block of the tableau is
+  // exactly B^{-1} (slack columns started as the identity), so no
+  // factorization is needed. Nonbasic slacks always sit at zero.
+  for (size_t i = 0; i < m_; ++i) {
+    const double* row = &tab_[i * width_];
+    double v = 0.0;
+    for (size_t k = 0; k < m_; ++k) v += row[n_ + k] * core_->rhs(k);
+    beta_[i] = v;
+  }
+  for (size_t j = 0; j < n_; ++j) {
+    if (status_[j] == kBasic || value_[j] == 0.0) continue;
+    const double xj = value_[j];
+    for (size_t i = 0; i < m_; ++i) {
+      const double a = Tab(i, j);
+      if (a != 0.0) beta_[i] -= a * xj;
+    }
+  }
+}
+
+void LpState::PriceReducedCosts() {
+  for (size_t j = 0; j < width_; ++j) {
+    d_[j] = j < n_ ? core_->cost(j) : 0.0;
+  }
+  for (size_t i = 0; i < m_; ++i) {
+    const int b = basic_[i];
+    const double cb = static_cast<size_t>(b) < n_ ? core_->cost(b) : 0.0;
+    if (cb == 0.0) continue;
+    const double* row = &tab_[i * width_];
+    for (size_t j = 0; j < width_; ++j) d_[j] -= cb * row[j];
+  }
+  for (size_t i = 0; i < m_; ++i) d_[basic_[i]] = 0.0;
+}
+
+void LpState::Pivot(size_t row, size_t col) {
+  double* pivot_row = &tab_[row * width_];
+  const double pivot = pivot_row[col];
+  assert(std::fabs(pivot) > kPivotTol);
+  const double inv = 1.0 / pivot;
+  for (size_t j = 0; j < width_; ++j) pivot_row[j] *= inv;
+  pivot_row[col] = 1.0;  // Avoid drift.
+  for (size_t i = 0; i < m_; ++i) {
+    if (i == row) continue;
+    double* target = &tab_[i * width_];
+    const double factor = target[col];
+    if (factor == 0.0) continue;
+    for (size_t j = 0; j < width_; ++j) target[j] -= factor * pivot_row[j];
+    target[col] = 0.0;
+  }
+  basic_[row] = static_cast<int>(col);
+  status_[col] = kBasic;
+}
+
+LpStatus LpState::PrimalLoop(bool phase1, const Deadline* deadline) {
+  const double tol = options_.tolerance;
+  const int64_t iter_budget = iterations_ + options_.max_iterations;
+  const int64_t bland_after = iterations_ + options_.max_iterations / 2;
+  std::vector<int> below, above;  // Phase-1 infeasible rows.
+  std::vector<double> grad;       // Phase-1 gradient per column.
+  if (phase1) grad.resize(width_);
+
+  for (;;) {
+    if (iterations_ >= iter_budget) return LpStatus::kIterationLimit;
+    if (deadline != nullptr && (iterations_ & 31) == 0 &&
+        deadline->Expired()) {
+      return LpStatus::kIterationLimit;
+    }
+
+    if (phase1) {
+      below.clear();
+      above.clear();
+      for (size_t i = 0; i < m_; ++i) {
+        const int b = basic_[i];
+        if (beta_[i] < lb_[b] - tol) below.push_back(static_cast<int>(i));
+        if (beta_[i] > ub_[b] + tol) above.push_back(static_cast<int>(i));
+      }
+      if (below.empty() && above.empty()) return LpStatus::kOptimal;
+      // Gradient of the total infeasibility w.r.t. each column.
+      std::fill(grad.begin(), grad.end(), 0.0);
+      for (int i : below) {
+        const double* row = &tab_[static_cast<size_t>(i) * width_];
+        for (size_t j = 0; j < width_; ++j) grad[j] += row[j];
+      }
+      for (int i : above) {
+        const double* row = &tab_[static_cast<size_t>(i) * width_];
+        for (size_t j = 0; j < width_; ++j) grad[j] -= row[j];
+      }
+    }
+
+    // Pricing: Dantzig by default, Bland (first eligible) past half the
+    // iteration budget as an anti-cycling safeguard.
+    const bool bland = iterations_ > bland_after;
+    int entering = -1;
+    int dir = 0;
+    double best = tol;
+    for (size_t j = 0; j < width_; ++j) {
+      if (status_[j] == kBasic) continue;
+      if (ub_[j] - lb_[j] <= kFixedTol) continue;  // Fixed: cannot move.
+      const double g = phase1 ? grad[j] : d_[j];
+      double score;
+      int delta;
+      if (status_[j] == kAtLower && g < -tol) {
+        score = -g;
+        delta = 1;
+      } else if (status_[j] == kAtUpper && g > tol) {
+        score = g;
+        delta = -1;
+      } else {
+        continue;
+      }
+      if (bland) {
+        entering = static_cast<int>(j);
+        dir = delta;
+        break;
+      }
+      if (score > best) {
+        best = score;
+        entering = static_cast<int>(j);
+        dir = delta;
+      }
+    }
+    if (entering < 0) {
+      // No improving column: phase 1 still infeasible means the LP is
+      // infeasible; phase 2 means optimal.
+      if (!phase1) return LpStatus::kOptimal;
+      return LpStatus::kInfeasible;
+    }
+
+    // Ratio test. The entering variable moves by t in direction `dir`;
+    // basic variable i changes at rate r_i = -tab[i][entering] * dir.
+    // Phase 1 lets a basic variable that violates a bound run to that
+    // bound (turning feasible) before it blocks.
+    double t = kInf;
+    int block_row = -1;
+    bool block_at_lower = false;
+    const double range = ub_[entering] - lb_[entering];
+    if (std::isfinite(range)) t = range;  // Bound flip.
+    for (size_t i = 0; i < m_; ++i) {
+      const double alpha = Tab(i, entering);
+      if (std::fabs(alpha) <= kPivotTol) continue;
+      const double r = -alpha * static_cast<double>(dir);
+      const int b = basic_[i];
+      double cand;
+      bool at_lower;
+      if (phase1 && beta_[i] < lb_[b] - tol) {
+        if (r <= 0.0) continue;  // Moving further below: no block.
+        cand = (lb_[b] - beta_[i]) / r;
+        at_lower = true;
+      } else if (phase1 && beta_[i] > ub_[b] + tol) {
+        if (r >= 0.0) continue;
+        cand = (beta_[i] - ub_[b]) / (-r);
+        at_lower = false;
+      } else if (r < 0.0 && std::isfinite(lb_[b])) {
+        cand = (beta_[i] - lb_[b]) / (-r);
+        at_lower = true;
+      } else if (r > 0.0 && std::isfinite(ub_[b])) {
+        cand = (ub_[b] - beta_[i]) / r;
+        at_lower = false;
+      } else {
+        continue;
+      }
+      if (cand < 0.0) cand = 0.0;  // Degenerate step.
+      // Deterministic tie-break: smaller limit wins; among equal limits
+      // the row whose basic variable has the smallest column index.
+      if (cand < t - kTieTol ||
+          (cand <= t + kTieTol &&
+           (block_row < 0 || b < basic_[block_row]))) {
+        if (cand < t) t = cand;
+        block_row = static_cast<int>(i);
+        block_at_lower = at_lower;
+      }
+    }
+    if (!std::isfinite(t)) {
+      // Nothing blocks: phase 2 is unbounded. (Phase 1 always blocks on
+      // an improving column; bail out defensively if numerics disagree.)
+      return phase1 ? LpStatus::kIterationLimit : LpStatus::kUnbounded;
+    }
+
+    // Apply the step to the basic values.
+    if (t != 0.0) {
+      for (size_t i = 0; i < m_; ++i) {
+        const double alpha = Tab(i, entering);
+        if (alpha != 0.0) beta_[i] -= alpha * static_cast<double>(dir) * t;
+      }
+    }
+    if (block_row < 0) {
+      // Bound flip: the entering variable runs to its opposite bound.
+      status_[entering] = dir > 0 ? kAtUpper : kAtLower;
+      value_[entering] = dir > 0 ? ub_[entering] : lb_[entering];
+    } else {
+      const int leaving = basic_[block_row];
+      const double entering_value =
+          value_[entering] + static_cast<double>(dir) * t;
+      status_[leaving] = block_at_lower ? kAtLower : kAtUpper;
+      value_[leaving] = block_at_lower ? lb_[leaving] : ub_[leaving];
+      beta_[block_row] = entering_value;
+      const double d_enter = d_[entering];
+      Pivot(static_cast<size_t>(block_row),
+            static_cast<size_t>(entering));
+      if (!phase1 && d_enter != 0.0) {
+        const double* row = &tab_[static_cast<size_t>(block_row) * width_];
+        for (size_t j = 0; j < width_; ++j) d_[j] -= d_enter * row[j];
+      }
+      if (!phase1) d_[entering] = 0.0;
+    }
+    ++iterations_;
+  }
+}
+
+LpStatus LpState::DualLoop(const Deadline* deadline) {
+  const double tol = options_.tolerance;
+  const int64_t iter_budget = iterations_ + options_.max_iterations;
+
+  for (;;) {
+    if (iterations_ >= iter_budget) return LpStatus::kIterationLimit;
+    if (deadline != nullptr && (iterations_ & 31) == 0 &&
+        deadline->Expired()) {
+      return LpStatus::kIterationLimit;
+    }
+
+    // Leaving row: the basic variable with the largest bound violation
+    // (deterministic tie-break on the basic column index).
+    int row = -1;
+    double worst = tol;
+    bool below = false;
+    for (size_t i = 0; i < m_; ++i) {
+      const int b = basic_[i];
+      const double under = lb_[b] - beta_[i];
+      const double over = beta_[i] - ub_[b];
+      const double viol = std::max(under, over);
+      if (viol > worst + kTieTol ||
+          (viol > worst - kTieTol && row >= 0 && b < basic_[row] &&
+           viol > tol)) {
+        worst = viol;
+        row = static_cast<int>(i);
+        below = under >= over;
+      }
+    }
+    if (row < 0) return LpStatus::kOptimal;  // Primal feasible again.
+
+    // Entering column: dual ratio test over sign-eligible nonbasic
+    // columns; the minimum |d_j / alpha_j| keeps the reduced costs dual
+    // feasible. Smallest column index breaks ties (deterministic and
+    // Bland-like).
+    const double* trow = &tab_[static_cast<size_t>(row) * width_];
+    int entering = -1;
+    int dir = 0;
+    double best_ratio = kInf;
+    for (size_t j = 0; j < width_; ++j) {
+      if (status_[j] == kBasic) continue;
+      if (ub_[j] - lb_[j] <= kFixedTol) continue;
+      const double alpha = trow[j];
+      if (std::fabs(alpha) <= kPivotTol) continue;
+      int delta;
+      if (below) {
+        // beta_row must increase: entering moves so that
+        // -alpha * delta > 0.
+        if (status_[j] == kAtLower && alpha < 0.0) {
+          delta = 1;
+        } else if (status_[j] == kAtUpper && alpha > 0.0) {
+          delta = -1;
+        } else {
+          continue;
+        }
+      } else {
+        if (status_[j] == kAtLower && alpha > 0.0) {
+          delta = 1;
+        } else if (status_[j] == kAtUpper && alpha < 0.0) {
+          delta = -1;
+        } else {
+          continue;
+        }
+      }
+      const double ratio = std::fabs(d_[j]) / std::fabs(alpha);
+      if (ratio < best_ratio - kTieTol) {
+        best_ratio = ratio;
+        entering = static_cast<int>(j);
+        dir = delta;
+      }
+    }
+    if (entering < 0) return LpStatus::kInfeasible;
+
+    const int leaving = basic_[row];
+    const double target = below ? lb_[leaving] : ub_[leaving];
+    const double alpha_q = trow[entering];
+    // Step length that brings the leaving variable exactly to `target`:
+    // beta_row - alpha_q * dir * t = target.
+    double t = (beta_[row] - target) /
+               (alpha_q * static_cast<double>(dir));
+    if (t < 0.0) t = 0.0;  // Numerical guard; the signs make t >= 0.
+    for (size_t i = 0; i < m_; ++i) {
+      const double alpha = Tab(i, entering);
+      if (alpha != 0.0) beta_[i] -= alpha * static_cast<double>(dir) * t;
+    }
+    const double entering_value =
+        value_[entering] + static_cast<double>(dir) * t;
+    status_[leaving] = below ? kAtLower : kAtUpper;
+    value_[leaving] = target;
+    beta_[row] = entering_value;
+    const double d_enter = d_[entering];
+    Pivot(static_cast<size_t>(row), static_cast<size_t>(entering));
+    if (d_enter != 0.0) {
+      const double* nrow = &tab_[static_cast<size_t>(row) * width_];
+      for (size_t j = 0; j < width_; ++j) d_[j] -= d_enter * nrow[j];
+    }
+    d_[entering] = 0.0;
+    ++iterations_;
+  }
+}
+
+LpStatus LpState::Finish() {
+  x_.assign(n_, 0.0);
+  for (size_t j = 0; j < n_; ++j) {
+    if (status_[j] != kBasic) x_[j] = value_[j];
+  }
+  for (size_t i = 0; i < m_; ++i) {
+    if (static_cast<size_t>(basic_[i]) < n_) x_[basic_[i]] = beta_[i];
+  }
+  for (size_t j = 0; j < n_; ++j) {
+    x_[j] = std::clamp(x_[j], lb_[j], ub_[j]);
+  }
+  objective_ = core_->model().EvaluateObjective(x_);
+  has_basis_ = true;
+  return LpStatus::kOptimal;
+}
+
+LpStatus LpState::SolveCold(const std::vector<double>& lb,
+                            const std::vector<double>& ub,
+                            const Deadline* deadline) {
+  has_basis_ = false;
+  for (size_t j = 0; j < n_; ++j) {
+    if (ub[j] < lb[j] - options_.tolerance) return LpStatus::kInfeasible;
+  }
+  LoadBounds(lb, ub);
+  ResetBasis();
+  LpStatus status = PrimalLoop(/*phase1=*/true, deadline);
+  if (status != LpStatus::kOptimal) return status;
+  PriceReducedCosts();
+  status = PrimalLoop(/*phase1=*/false, deadline);
+  if (status != LpStatus::kOptimal) return status;
+  return Finish();
+}
+
+LpStatus LpState::Resolve(const std::vector<double>& lb,
+                          const std::vector<double>& ub,
+                          const Deadline* deadline) {
+  if (!has_basis_) return SolveCold(lb, ub, deadline);
+  for (size_t j = 0; j < n_; ++j) {
+    if (ub[j] < lb[j] - options_.tolerance) {
+      has_basis_ = false;
+      return LpStatus::kInfeasible;
+    }
+  }
+  has_basis_ = false;
+  LoadBounds(lb, ub);
+  // Reduced costs depend only on the basis, not on bounds, so they are
+  // still valid — but dual FEASIBILITY ties the sign of d_j to which
+  // bound a nonbasic variable sits at (at-lower needs d >= 0, at-upper
+  // d <= 0). A variable that was fixed at the last solve (where any
+  // sign is legal) and is now unfixed can violate that, so re-align
+  // every nonbasic status with its reduced-cost sign; the bound flips
+  // this causes are harmless (beta is recomputed below). If no finite
+  // bound supports the sign, the basis is not warm-startable.
+  const double tol = options_.tolerance;
+  for (size_t j = 0; j < n_; ++j) {
+    if (status_[j] == kBasic) continue;
+    const bool fixed = ub_[j] - lb_[j] <= tol;
+    bool want_lower;
+    if (fixed || std::fabs(d_[j]) <= tol) {
+      want_lower = status_[j] == kAtLower ? std::isfinite(lb_[j])
+                                          : !std::isfinite(ub_[j]);
+    } else {
+      want_lower = d_[j] > 0.0;
+      if (want_lower ? !std::isfinite(lb_[j]) : !std::isfinite(ub_[j])) {
+        return SolveCold(lb, ub, deadline);
+      }
+    }
+    status_[j] = want_lower ? kAtLower : kAtUpper;
+    value_[j] = want_lower ? lb_[j] : ub_[j];
+  }
+  RecomputeBeta();
+  const LpStatus status = DualLoop(deadline);
+  if (status == LpStatus::kOptimal) return Finish();
+  if (status == LpStatus::kInfeasible) return status;
+  if (deadline != nullptr && deadline->Expired()) {
+    return LpStatus::kIterationLimit;
+  }
+  // Numerical stall: retry from scratch.
+  return SolveCold(lb, ub, deadline);
+}
+
+// ---------------------------------------------------------------------
+// SimplexSolver facade
+// ---------------------------------------------------------------------
 
 LpSolution SimplexSolver::Solve(const Model& model) const {
   std::vector<double> lb(model.num_variables());
@@ -146,202 +532,14 @@ LpSolution SimplexSolver::Solve(const Model& model,
                                 const std::vector<double>& lb,
                                 const std::vector<double>& ub,
                                 const Deadline* deadline) const {
-  const double tol = options_.tolerance;
-  const size_t num_model_vars = model.num_variables();
+  const LpCore core(model);
+  LpState state(&core, options_);
   LpSolution solution;
-
-  // 1. Classify variables: fixed ones are substituted out; free ones are
-  //    shifted by their (finite) lower bound so the LP variable is >= 0.
-  std::vector<int> lp_index(num_model_vars, -1);
-  std::vector<int> model_index;  // lp var -> model var.
-  for (size_t v = 0; v < num_model_vars; ++v) {
-    assert(std::isfinite(lb[v]) && "lower bounds must be finite");
-    if (ub[v] < lb[v] - tol) {
-      solution.status = LpStatus::kInfeasible;
-      return solution;
-    }
-    if (ub[v] - lb[v] > tol) {
-      lp_index[v] = static_cast<int>(model_index.size());
-      model_index.push_back(static_cast<int>(v));
-    }
+  solution.status = state.SolveCold(lb, ub, deadline);
+  if (solution.status == LpStatus::kOptimal) {
+    solution.x = state.x();
+    solution.objective = state.objective();
   }
-  const size_t num_free = model_index.size();
-
-  // 2. Collect rows: model constraints with fixed variables folded into
-  //    the rhs, plus upper-bound rows for free vars with finite ub.
-  struct Row {
-    std::vector<std::pair<int, double>> terms;  // LP variable index.
-    Relation relation;
-    double rhs;
-  };
-  std::vector<Row> rows;
-  rows.reserve(model.num_constraints() + num_free);
-  for (size_t i = 0; i < model.num_constraints(); ++i) {
-    Row row;
-    row.relation = model.relation(i);
-    row.rhs = model.rhs(i);
-    for (const auto& [var, coef] : model.row(i)) {
-      row.rhs -= coef * lb[var];
-      if (lp_index[var] >= 0) {
-        row.terms.emplace_back(lp_index[var], coef);
-      }
-    }
-    rows.push_back(std::move(row));
-  }
-  for (size_t k = 0; k < num_free; ++k) {
-    const int v = model_index[k];
-    if (!std::isfinite(ub[v])) continue;
-    Row row;
-    row.relation = Relation::kLessEqual;
-    row.rhs = ub[v] - lb[v];
-    row.terms.emplace_back(static_cast<int>(k), 1.0);
-    rows.push_back(std::move(row));
-  }
-
-  // 3. Objective in minimize sense over shifted variables.
-  const double sense_factor =
-      model.sense() == Sense::kMinimize ? 1.0 : -1.0;
-  std::vector<double> cost(num_free, 0.0);
-  for (size_t v = 0; v < num_model_vars; ++v) {
-    const double c = model.objective_coefficient(static_cast<int>(v));
-    if (lp_index[v] >= 0) cost[lp_index[v]] = sense_factor * c;
-  }
-
-  // 4. Equality form: structural vars, then one slack per <= / >= row,
-  //    then artificials where needed.
-  const size_t m = rows.size();
-  size_t num_slacks = 0;
-  for (const Row& row : rows) {
-    if (row.relation != Relation::kEqual) ++num_slacks;
-  }
-  const size_t slack_base = num_free;
-  const size_t artificial_base = num_free + num_slacks;
-  size_t num_artificials = 0;
-
-  // A row provides a basic slack when its slack coefficient is +1 after
-  // normalizing the rhs to be non-negative.
-  std::vector<bool> needs_artificial(m, false);
-  for (size_t i = 0; i < m; ++i) {
-    const Row& row = rows[i];
-    const bool negate = row.rhs < 0.0;
-    double slack_coef = 0.0;
-    if (row.relation == Relation::kLessEqual) slack_coef = 1.0;
-    if (row.relation == Relation::kGreaterEqual) slack_coef = -1.0;
-    if (negate) slack_coef = -slack_coef;
-    if (slack_coef != 1.0) {
-      needs_artificial[i] = true;
-      ++num_artificials;
-    }
-  }
-
-  const size_t total_cols = artificial_base + num_artificials;
-  Tableau tableau(m, total_cols);
-
-  {
-    size_t slack_cursor = 0;
-    size_t artificial_cursor = 0;
-    for (size_t i = 0; i < m; ++i) {
-      const Row& row = rows[i];
-      const bool negate = row.rhs < 0.0;
-      const double sign = negate ? -1.0 : 1.0;
-      for (const auto& [var, coef] : row.terms) {
-        tableau.At(i, var) += sign * coef;
-      }
-      tableau.Rhs(i) = sign * row.rhs;
-      if (row.relation != Relation::kEqual) {
-        double slack_coef =
-            row.relation == Relation::kLessEqual ? 1.0 : -1.0;
-        slack_coef *= sign;
-        tableau.At(i, slack_base + slack_cursor) = slack_coef;
-        if (!needs_artificial[i]) {
-          tableau.set_basis(i,
-                            static_cast<int>(slack_base + slack_cursor));
-        }
-        ++slack_cursor;
-      }
-      if (needs_artificial[i]) {
-        const size_t art = artificial_base + artificial_cursor;
-        tableau.At(i, art) = 1.0;
-        tableau.set_basis(i, static_cast<int>(art));
-        ++artificial_cursor;
-      }
-    }
-  }
-
-  int iterations = 0;
-
-  // 5. Phase 1: minimize the sum of artificials.
-  if (num_artificials > 0) {
-    std::vector<double> phase1_cost(total_cols, 0.0);
-    for (size_t j = artificial_base; j < total_cols; ++j) {
-      phase1_cost[j] = 1.0;
-    }
-    tableau.PriceObjective(phase1_cost);
-    const LpStatus status =
-        tableau.Minimize(tol, options_.max_iterations, &iterations,
-                         nullptr, deadline);
-    if (status == LpStatus::kIterationLimit) {
-      solution.status = LpStatus::kIterationLimit;
-      return solution;
-    }
-    double phase1_value = 0.0;
-    for (size_t i = 0; i < m; ++i) {
-      if (static_cast<size_t>(tableau.basis(i)) >= artificial_base) {
-        phase1_value += tableau.Rhs(i);
-      }
-    }
-    if (phase1_value > 1e-6) {
-      solution.status = LpStatus::kInfeasible;
-      return solution;
-    }
-    // Drive remaining (degenerate) artificials out of the basis.
-    for (size_t i = 0; i < m; ++i) {
-      if (static_cast<size_t>(tableau.basis(i)) < artificial_base) continue;
-      int pivot_col = -1;
-      for (size_t j = 0; j < artificial_base; ++j) {
-        if (std::fabs(tableau.At(i, j)) > tol) {
-          pivot_col = static_cast<int>(j);
-          break;
-        }
-      }
-      if (pivot_col >= 0) {
-        tableau.Pivot(i, static_cast<size_t>(pivot_col));
-      }
-      // A remaining all-zero row is redundant; its zero-valued basic
-      // artificial is harmless since artificials cannot re-enter below.
-    }
-  }
-
-  // 6. Phase 2: minimize the real cost; artificial columns may not enter.
-  std::vector<double> phase2_cost(total_cols, 0.0);
-  for (size_t j = 0; j < num_free; ++j) phase2_cost[j] = cost[j];
-  std::vector<bool> disallowed(total_cols, false);
-  for (size_t j = artificial_base; j < total_cols; ++j) disallowed[j] = true;
-  tableau.PriceObjective(phase2_cost);
-  const LpStatus status = tableau.Minimize(
-      tol, options_.max_iterations, &iterations, &disallowed, deadline);
-  if (status == LpStatus::kIterationLimit ||
-      status == LpStatus::kUnbounded) {
-    solution.status = status;
-    return solution;
-  }
-
-  // 7. Extract the solution, undoing shift and substitution.
-  std::vector<double> lp_values(total_cols, 0.0);
-  for (size_t i = 0; i < m; ++i) {
-    lp_values[tableau.basis(i)] = tableau.Rhs(i);
-  }
-  solution.x.resize(num_model_vars);
-  for (size_t v = 0; v < num_model_vars; ++v) {
-    if (lp_index[v] < 0) {
-      solution.x[v] = lb[v];
-    } else {
-      solution.x[v] = lb[v] + lp_values[lp_index[v]];
-      solution.x[v] = std::clamp(solution.x[v], lb[v], ub[v]);
-    }
-  }
-  solution.objective = model.EvaluateObjective(solution.x);
-  solution.status = LpStatus::kOptimal;
   return solution;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MUVE_ILP_SIMPLEX_H_
 #define MUVE_ILP_SIMPLEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/clock.h"
@@ -27,26 +28,152 @@ struct LpSolution {
   double objective = 0.0;
 };
 
-/// Dense two-phase primal simplex solver.
+/// Solver knobs shared by the cold and warm paths.
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double tolerance = 1e-8;
+};
+
+/// Immutable sparse standard form of a model's constraints, built once
+/// per model and shared (read-only) by any number of `LpState`s.
+///
+/// Every constraint is normalized to `a'x + s = b` with `s >= 0` (>=
+/// rows are negated, = rows get a slack fixed at 0), so the columns are
+/// the n structural variables followed by m slacks forming an identity.
+/// Costs are stored in internal minimize sense. Variable bounds are NOT
+/// part of the core: they are per-solve inputs, which is what makes a
+/// branch-and-bound node re-solve a pure bound change.
+class LpCore {
+ public:
+  explicit LpCore(const Model& model);
+
+  size_t num_rows() const { return m_; }
+  size_t num_structural() const { return n_; }
+  size_t num_columns() const { return n_ + m_; }
+  const Model& model() const { return *model_; }
+
+  /// Internal (minimize-sense) cost of structural variable j.
+  double cost(size_t j) const { return cost_[j]; }
+  /// Sparse column of structural variable j: (row, coefficient) pairs.
+  const std::vector<std::pair<int, double>>& column(size_t j) const {
+    return columns_[j];
+  }
+  double rhs(size_t i) const { return rhs_[i]; }
+  /// True when row i came from an equality (its slack is fixed at 0).
+  bool equality(size_t i) const { return equality_[i]; }
+
+ private:
+  const Model* model_;
+  size_t m_ = 0;
+  size_t n_ = 0;
+  std::vector<std::vector<std::pair<int, double>>> columns_;
+  std::vector<double> cost_;
+  std::vector<double> rhs_;
+  std::vector<bool> equality_;
+};
+
+/// One reusable bounded-variable simplex workspace over an `LpCore`.
+///
+/// Dense tableau (B^{-1} A) with explicit nonbasic statuses: a nonbasic
+/// variable sits at its lower or upper bound instead of needing a bound
+/// row, which shrinks the working basis of the MUVE models (hundreds of
+/// binaries) by one row per finite upper bound compared to the previous
+/// formulation-as-rows approach.
+///
+/// Two entry points:
+///  - `SolveCold` starts from the all-slack basis and runs a composite
+///    (infeasibility-minimizing) primal phase 1 followed by primal
+///    phase 2 — no artificial columns needed;
+///  - `Resolve` restarts from the current optimal basis after the caller
+///    changed variable bounds (the branch-and-bound child re-solve):
+///    reduced costs are untouched by bound changes, so the basis stays
+///    dual feasible and a few dual simplex pivots restore primal
+///    feasibility. Falls back to `SolveCold` on stall.
+///
+/// Not thread-safe; parallel tree search gives each worker its own
+/// LpState over the shared LpCore.
+class LpState {
+ public:
+  LpState(const LpCore* core, SimplexOptions options);
+
+  /// Solves from scratch under `lb`/`ub` (one entry per model variable).
+  LpStatus SolveCold(const std::vector<double>& lb,
+                     const std::vector<double>& ub,
+                     const Deadline* deadline);
+
+  /// Warm re-solve after a bound change, from the last optimal basis.
+  /// Requires a previous kOptimal solve on this state; otherwise (or on
+  /// numerical stall) behaves as SolveCold.
+  LpStatus Resolve(const std::vector<double>& lb,
+                   const std::vector<double>& ub, const Deadline* deadline);
+
+  /// Model-variable values of the last kOptimal solve.
+  const std::vector<double>& x() const { return x_; }
+  /// Objective of the last kOptimal solve (model sense, with constant).
+  double objective() const { return objective_; }
+  /// Simplex iterations spent on this state so far (all solves).
+  int64_t iterations() const { return iterations_; }
+
+  /// Reduced cost (internal minimize sense) of structural variable j at
+  /// the last optimal basis. Zero for basic variables. Used for
+  /// reduced-cost bound fixing against the incumbent.
+  double reduced_cost(size_t j) const { return d_[j]; }
+  /// True when variable j is nonbasic at its lower bound.
+  bool at_lower(size_t j) const { return status_[j] == kAtLower; }
+  /// True when variable j is nonbasic at its upper bound.
+  bool at_upper(size_t j) const { return status_[j] == kAtUpper; }
+
+ private:
+  enum ColStatus : uint8_t { kBasic, kAtLower, kAtUpper };
+
+  void LoadBounds(const std::vector<double>& lb,
+                  const std::vector<double>& ub);
+  void ResetBasis();
+  void RecomputeBeta();
+  void PriceReducedCosts();
+  void Pivot(size_t row, size_t col);
+  /// Shared primal loop; phase 1 minimizes total bound infeasibility of
+  /// the basic variables, phase 2 minimizes the real cost.
+  LpStatus PrimalLoop(bool phase1, const Deadline* deadline);
+  LpStatus DualLoop(const Deadline* deadline);
+  LpStatus Finish();
+
+  double& Tab(size_t i, size_t j) { return tab_[i * width_ + j]; }
+  double Tab(size_t i, size_t j) const { return tab_[i * width_ + j]; }
+
+  const LpCore* core_;
+  SimplexOptions options_;
+  size_t m_, n_, width_;
+
+  std::vector<double> lb_, ub_;      ///< Bounds per column (incl. slacks).
+  std::vector<double> tab_;          ///< Dense m x (n + m) tableau.
+  std::vector<double> beta_;         ///< Values of basic variables by row.
+  std::vector<double> d_;            ///< Reduced costs per column.
+  std::vector<ColStatus> status_;    ///< Basic / at-lower / at-upper.
+  std::vector<double> value_;        ///< Values of nonbasic columns.
+  std::vector<int> basic_;           ///< Column basic in each row.
+  int64_t iterations_ = 0;
+  bool has_basis_ = false;
+
+  std::vector<double> x_;
+  double objective_ = 0.0;
+};
+
+/// Dense bounded-variable simplex solver (facade over LpCore/LpState for
+/// one-shot solves).
 ///
 /// Solves the LP relaxation of a `Model` under per-variable bound
 /// overrides (the branch-and-bound layer narrows bounds when branching).
-/// Fixed variables are substituted out; finite upper bounds become rows.
-/// Dantzig pricing with a switch to Bland's rule for anti-cycling.
 class SimplexSolver {
  public:
-  struct Options {
-    int max_iterations = 200000;
-    double tolerance = 1e-8;
-  };
+  using Options = SimplexOptions;
 
   SimplexSolver() = default;
   explicit SimplexSolver(Options options) : options_(options) {}
 
   /// Solves min/max c'x s.t. model constraints, lb <= x <= ub.
   /// `lb`/`ub` must have one entry per model variable and satisfy
-  /// lb[v] >= model lower bound, ub[v] <= model upper bound. All lower
-  /// bounds must be finite.
+  /// lb[v] >= model lower bound, ub[v] <= model upper bound.
   LpSolution Solve(const Model& model, const std::vector<double>& lb,
                    const std::vector<double>& ub) const;
 

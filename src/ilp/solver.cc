@@ -2,152 +2,455 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <utility>
+
+#include "ilp/presolve.h"
 
 namespace muve::ilp {
 
 namespace {
 
-struct Node {
-  std::vector<double> lb;
-  std::vector<double> ub;
-  double parent_bound;  ///< LP bound of the parent (minimize sense).
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Nodes evaluated per deterministic wave. Fixed (NOT derived from the
+/// thread count): batch composition and merge order must be identical
+/// for every pool size, which is what makes the parallel search
+/// reproducible.
+constexpr size_t kWaveSize = 8;
+
+/// Depth cap for the warm-started dive inside one wave item.
+constexpr int kMaxDiveDepth = 50;
+
+/// One open branch-and-bound node. Bounds are full per-variable vectors
+/// (a few hundred doubles for MUVE models), so a node is self-contained
+/// and can be evaluated by any worker.
+struct BbNode {
+  std::vector<double> lb, ub;
+  /// LP bound of the parent (minimize sense): a valid lower bound for
+  /// the whole subtree.
+  double bound = -kInf;
+  /// Deterministic creation index; ties in `bound` break on it.
+  uint64_t id = 0;
+  /// Branching decision that created this node (for pseudo-costs).
+  int branch_var = -1;
+  int branch_dir = 0;       ///< +1 lb raised (up), -1 ub lowered (down).
+  double branch_frac = 0.0; ///< Fractional part at the parent optimum.
 };
 
-/// Rounds near-integral values exactly; returns the index of the most
-/// fractional integer variable, or -1 when integral.
-int MostFractional(const Model& model, const std::vector<double>& x,
-                   double tol) {
+/// Max-heap comparator turned best-first: smallest bound on top,
+/// smallest id among equals.
+struct WorseNode {
+  bool operator()(const BbNode& a, const BbNode& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.id > b.id;
+  }
+};
+
+/// Per-variable branching history: average objective degradation per
+/// unit of fraction, separately for up and down branches.
+struct PseudoCosts {
+  std::vector<double> up_sum, down_sum;
+  std::vector<uint32_t> up_cnt, down_cnt;
+
+  explicit PseudoCosts(size_t n)
+      : up_sum(n, 0.0), down_sum(n, 0.0), up_cnt(n, 0), down_cnt(n, 0) {}
+};
+
+struct PcObservation {
+  int var;
+  int dir;
+  double per_unit;
+};
+
+/// Everything one wave item produces. Items are pure functions of
+/// (node, incumbent snapshot, pseudo-cost snapshot, per-slot LP state),
+/// so merging them sequentially in item order is deterministic.
+struct ItemResult {
+  size_t nodes = 0;
+  bool timed_out = false;
+  bool unbounded = false;
+  bool incomplete = false;  ///< Dive interrupted; `reopen` goes back.
+  BbNode reopen;
+  std::vector<BbNode> children;
+  bool has_incumbent = false;
+  double inc_value = kInf;  ///< Incumbent objective, minimize sense.
+  double inc_objective = 0.0;  ///< Same, model sense.
+  std::vector<double> inc_x;
+  std::vector<PcObservation> observations;
+};
+
+/// Read-only search environment shared by all wave items.
+struct SearchContext {
+  const Model* model = nullptr;  ///< Presolved (or original) model.
+  const MipSolver::Options* opts = nullptr;
+  const Deadline* deadline = nullptr;
+  double sense = 1.0;  ///< +1 minimize, -1 maximize.
+  std::vector<int> int_vars;  ///< Integer variable indices, ascending.
+};
+
+/// Pseudo-cost branching with most-fractional fallback. Among fractional
+/// integer variables, those with observations on both branch directions
+/// compete on the product score; when none is initialized the most
+/// fractional wins. Smaller index breaks every tie.
+int SelectBranch(const SearchContext& ctx, const PseudoCosts& pc,
+                 const std::vector<double>& x, double* frac_out) {
+  const double tol = ctx.opts->integrality_tolerance;
   int best = -1;
-  double best_score = tol;
-  for (size_t v = 0; v < model.num_variables(); ++v) {
-    if (!model.is_integer(static_cast<int>(v))) continue;
+  double best_score = -1.0;
+  bool best_has_pc = false;
+  for (int v : ctx.int_vars) {
     const double frac = x[v] - std::floor(x[v]);
-    const double distance = std::min(frac, 1.0 - frac);
-    if (distance > best_score) {
-      best_score = distance;
-      best = static_cast<int>(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= tol) continue;
+    const bool has_pc = pc.up_cnt[v] > 0 && pc.down_cnt[v] > 0;
+    double score;
+    if (has_pc) {
+      const double down = (pc.down_sum[v] / pc.down_cnt[v]) * frac;
+      const double up = (pc.up_sum[v] / pc.up_cnt[v]) * (1.0 - frac);
+      score = std::max(down, 1e-6) * std::max(up, 1e-6);
+    } else {
+      score = dist;
     }
+    if (has_pc != best_has_pc) {
+      if (!has_pc) continue;  // Initialized estimates outrank fractions.
+    } else if (score <= best_score) {
+      continue;
+    }
+    best = v;
+    best_score = score;
+    best_has_pc = has_pc;
+    *frac_out = x[v] - std::floor(x[v]);
   }
   return best;
+}
+
+/// Tightens integer bounds of nonbasic-at-bound variables whose reduced
+/// cost prices every improving solution past the cutoff. Valid for the
+/// rest of the subtree: the cutoff only tightens as incumbents improve.
+void ReducedCostFix(const SearchContext& ctx, const LpState& lp,
+                    double bound, double cutoff, std::vector<double>* lb,
+                    std::vector<double>* ub) {
+  const double slack = cutoff - bound;
+  if (!std::isfinite(slack) || slack < 0.0) return;
+  for (int v : ctx.int_vars) {
+    if ((*ub)[v] - (*lb)[v] < 0.5) continue;
+    const double d = lp.reduced_cost(v);
+    if (lp.at_lower(v) && d > 1e-9) {
+      // x_v >= lb + t costs at least bound + d * t.
+      const double allowed = std::ceil(slack / d - 1e-9) - 1.0;
+      const double new_ub = (*lb)[v] + std::max(0.0, allowed);
+      if (new_ub < (*ub)[v] - 0.5) (*ub)[v] = new_ub;
+    } else if (lp.at_upper(v) && d < -1e-9) {
+      const double allowed = std::ceil(slack / -d - 1e-9) - 1.0;
+      const double new_lb = (*ub)[v] - std::max(0.0, allowed);
+      if (new_lb > (*lb)[v] + 0.5) (*lb)[v] = new_lb;
+    }
+  }
+}
+
+/// Evaluates one popped node: warm-started LP, reduced-cost fixing,
+/// rounding heuristic, then a dive down the branch nearer the LP value
+/// with the sibling emitted as an open child. Pure function of its
+/// arguments plus the (deterministically assigned) LP slot state.
+ItemResult EvaluateNode(const SearchContext& ctx, LpState& lp, BbNode node,
+                        double cutoff, const PseudoCosts& pc) {
+  const MipSolver::Options& opts = *ctx.opts;
+  ItemResult res;
+  double parent_bound = node.bound;
+  int branch_var = node.branch_var;
+  int branch_dir = node.branch_dir;
+  double branch_frac = node.branch_frac;
+  double local_cutoff = cutoff;
+
+  for (int depth = 0;; ++depth) {
+    const LpStatus st = lp.Resolve(node.lb, node.ub, ctx.deadline);
+    ++res.nodes;
+    if (st == LpStatus::kIterationLimit) {
+      res.timed_out = ctx.deadline != nullptr && ctx.deadline->Expired();
+      res.incomplete = true;
+      node.bound = parent_bound;
+      res.reopen = std::move(node);
+      return res;
+    }
+    if (st == LpStatus::kInfeasible) return res;
+    if (st == LpStatus::kUnbounded) {
+      res.unbounded = true;
+      return res;
+    }
+
+    const double bound = ctx.sense * lp.objective();
+    if (branch_var >= 0 && std::isfinite(parent_bound)) {
+      const double degradation = std::max(0.0, bound - parent_bound);
+      const double width =
+          branch_dir > 0 ? 1.0 - branch_frac : branch_frac;
+      if (width > 1e-9) {
+        res.observations.push_back(
+            {branch_var, branch_dir, degradation / width});
+      }
+    }
+    if (bound >= local_cutoff - opts.gap_tolerance) return res;  // Pruned.
+
+    ReducedCostFix(ctx, lp, bound, local_cutoff - opts.gap_tolerance,
+                   &node.lb, &node.ub);
+
+    const std::vector<double>& x = lp.x();
+    double frac = 0.0;
+    const int bv = SelectBranch(ctx, pc, x, &frac);
+    if (bv < 0) {
+      // Integral: snap and accept as the item-local incumbent.
+      std::vector<double> sol = x;
+      for (int v : ctx.int_vars) sol[v] = std::round(sol[v]);
+      const double objective = ctx.model->EvaluateObjective(sol);
+      const double value = ctx.sense * objective;
+      if (value < local_cutoff - opts.gap_tolerance) {
+        res.has_incumbent = true;
+        res.inc_value = value;
+        res.inc_objective = objective;
+        res.inc_x = std::move(sol);
+        local_cutoff = value;
+      }
+      return res;
+    }
+
+    // Rounding heuristic: nearest integer point of the LP optimum,
+    // checked against the (globally valid) model.
+    {
+      std::vector<double> rounded = x;
+      for (int v : ctx.int_vars) rounded[v] = std::round(rounded[v]);
+      if (ctx.model->IsFeasible(rounded)) {
+        const double objective = ctx.model->EvaluateObjective(rounded);
+        const double value = ctx.sense * objective;
+        if (value < local_cutoff - opts.gap_tolerance) {
+          res.has_incumbent = true;
+          res.inc_value = value;
+          res.inc_objective = objective;
+          res.inc_x = std::move(rounded);
+          local_cutoff = value;
+        }
+      }
+    }
+
+    // Branch. Dive toward the side nearer the LP value; the sibling
+    // becomes an open child carrying this node's LP bound.
+    const double floor_v = std::floor(x[bv]);
+    const bool dive_up = frac > 0.5;
+    BbNode sibling;
+    sibling.lb = node.lb;
+    sibling.ub = node.ub;
+    sibling.bound = bound;
+    sibling.branch_var = bv;
+    sibling.branch_frac = frac;
+    if (dive_up) {
+      sibling.ub[bv] = floor_v;
+      sibling.branch_dir = -1;
+    } else {
+      sibling.lb[bv] = floor_v + 1.0;
+      sibling.branch_dir = 1;
+    }
+
+    if (depth >= kMaxDiveDepth) {
+      // Stop diving: both sides go back to the queue.
+      BbNode dive;
+      dive.lb = std::move(node.lb);
+      dive.ub = std::move(node.ub);
+      dive.bound = bound;
+      dive.branch_var = bv;
+      dive.branch_frac = frac;
+      if (dive_up) {
+        dive.lb[bv] = floor_v + 1.0;
+        dive.branch_dir = 1;
+      } else {
+        dive.ub[bv] = floor_v;
+        dive.branch_dir = -1;
+      }
+      res.children.push_back(std::move(dive));
+      res.children.push_back(std::move(sibling));
+      return res;
+    }
+
+    res.children.push_back(std::move(sibling));
+    if (dive_up) {
+      node.lb[bv] = floor_v + 1.0;
+      branch_dir = 1;
+    } else {
+      node.ub[bv] = floor_v;
+      branch_dir = -1;
+    }
+    parent_bound = bound;
+    branch_var = bv;
+    branch_frac = frac;
+  }
 }
 
 }  // namespace
 
 MipSolution MipSolver::Solve(const Model& model, const Deadline& deadline,
                              const std::vector<double>* warm_start) const {
+  StopWatch watch;
   const bool minimize = model.sense() == Sense::kMinimize;
-  // Internally we compare in minimize sense.
-  auto to_min = [minimize](double v) { return minimize ? v : -v; };
+  const double sense = minimize ? 1.0 : -1.0;
 
   MipSolution best;
   best.status = MipStatus::kInfeasible;
-  double incumbent = std::numeric_limits<double>::infinity();
+  double incumbent = kInf;  // Minimize sense.
 
+  // Warm starts are validated against the ORIGINAL model: presolve may
+  // fix variables onto optimal bounds that a merely-feasible hint
+  // violates, but its objective is still a valid cutoff.
   if (warm_start != nullptr && model.IsFeasible(*warm_start)) {
     best.x = *warm_start;
     best.objective = model.EvaluateObjective(*warm_start);
-    incumbent = to_min(best.objective);
-    best.status = MipStatus::kFeasibleTimeout;  // Refined on return.
+    incumbent = sense * best.objective;
+    best.time_to_first_incumbent_ms = 0.0;
   }
 
-  SimplexSolver lp(options_.lp_options);
-
-  Node root;
-  root.lb.resize(model.num_variables());
-  root.ub.resize(model.num_variables());
-  for (size_t v = 0; v < model.num_variables(); ++v) {
-    root.lb[v] = model.lower_bound(static_cast<int>(v));
-    root.ub[v] = model.upper_bound(static_cast<int>(v));
+  PresolveResult presolved;
+  const Model* work = &model;
+  if (options_.presolve) {
+    presolved = Presolve(model);
+    if (presolved.infeasible) {
+      if (std::isfinite(incumbent)) {
+        // Presolve keeps every optimum; an empty reduction with a
+        // feasible hint means the hint already is one.
+        best.status = MipStatus::kOptimal;
+        best.best_bound = best.objective;
+      }
+      return best;
+    }
+    work = &presolved.model;
   }
-  root.parent_bound = -std::numeric_limits<double>::infinity();
 
-  // Depth-first search; children pushed so the branch suggested by the LP
-  // value is explored first (diving quickly yields incumbents).
-  std::vector<Node> stack;
-  stack.push_back(std::move(root));
+  SearchContext ctx;
+  ctx.model = work;
+  ctx.opts = &options_;
+  ctx.deadline = &deadline;
+  ctx.sense = sense;
+  for (size_t v = 0; v < work->num_variables(); ++v) {
+    if (work->is_integer(static_cast<int>(v))) {
+      ctx.int_vars.push_back(static_cast<int>(v));
+    }
+  }
 
-  double global_bound = -std::numeric_limits<double>::infinity();
-  bool timed_out = false;
-  bool root_unbounded = false;
+  const LpCore core(*work);
+  std::vector<std::unique_ptr<LpState>> slots;
+  slots.reserve(kWaveSize);
+  for (size_t i = 0; i < kWaveSize; ++i) {
+    slots.push_back(std::make_unique<LpState>(&core, options_.lp_options));
+  }
+
+  ThreadPool* pool = options_.pool;
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && options_.num_threads != 1) {
+    const size_t threads =
+        ThreadPool::ResolveThreadCount(options_.num_threads);
+    if (threads > 1) {
+      local_pool = std::make_unique<ThreadPool>(threads);
+      pool = local_pool.get();
+    }
+  }
+
+  PseudoCosts pc(work->num_variables());
+
+  std::vector<BbNode> open;  // Heap under WorseNode.
+  {
+    BbNode root;
+    root.lb.resize(work->num_variables());
+    root.ub.resize(work->num_variables());
+    for (size_t v = 0; v < work->num_variables(); ++v) {
+      root.lb[v] = work->lower_bound(static_cast<int>(v));
+      root.ub[v] = work->upper_bound(static_cast<int>(v));
+    }
+    open.push_back(std::move(root));
+  }
+  uint64_t next_id = 1;
+
   size_t nodes = 0;
+  bool timed_out = false;
+  bool unbounded = false;
+  std::vector<BbNode> batch;
+  std::vector<ItemResult> results;
 
-  while (!stack.empty()) {
+  while (!open.empty()) {
     if (deadline.Expired() || nodes >= options_.max_nodes) {
       timed_out = true;
       break;
     }
-    Node node = std::move(stack.back());
-    stack.pop_back();
 
-    // Bound-based pruning against the incumbent.
-    if (node.parent_bound >= incumbent - options_.gap_tolerance) continue;
-
-    const LpSolution relax = lp.Solve(model, node.lb, node.ub, &deadline);
-    ++nodes;
-    if (relax.status == LpStatus::kInfeasible) continue;
-    if (relax.status == LpStatus::kIterationLimit) {
-      timed_out = true;
-      break;
+    batch.clear();
+    while (batch.size() < kWaveSize && !open.empty()) {
+      std::pop_heap(open.begin(), open.end(), WorseNode());
+      BbNode node = std::move(open.back());
+      open.pop_back();
+      if (node.bound >= incumbent - options_.gap_tolerance) continue;
+      batch.push_back(std::move(node));
     }
-    if (relax.status == LpStatus::kUnbounded) {
-      if (nodes == 1) root_unbounded = true;
-      // An unbounded relaxation at the root makes the MIP unbounded (for
-      // our models this never happens; deeper nodes inherit the issue).
-      break;
-    }
-    const double bound = to_min(relax.objective);
-    if (nodes == 1) global_bound = bound;
-    if (bound >= incumbent - options_.gap_tolerance) continue;
+    if (batch.empty()) break;  // All remaining nodes were pruned.
 
-    const int branch_var =
-        MostFractional(model, relax.x, options_.integrality_tolerance);
-    if (branch_var < 0) {
-      // Integer feasible: snap integers and accept as incumbent.
-      std::vector<double> x = relax.x;
-      for (size_t v = 0; v < model.num_variables(); ++v) {
-        if (model.is_integer(static_cast<int>(v))) {
-          x[v] = std::round(x[v]);
+    // Evaluate the wave. Each item reads only snapshots; per-item LP
+    // states are assigned by batch index, so the outcome is independent
+    // of how chunks land on threads.
+    const double snapshot = incumbent;
+    const PseudoCosts pc_snapshot = pc;
+    results.assign(batch.size(), ItemResult());
+    ParallelFor(pool, batch.size(), /*grain=*/1,
+                [&](size_t, size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    results[i] = EvaluateNode(ctx, *slots[i], batch[i],
+                                              snapshot, pc_snapshot);
+                  }
+                });
+
+    // Merge sequentially in item order — the only place shared state
+    // changes, so the search stays deterministic at any thread count.
+    for (size_t i = 0; i < results.size(); ++i) {
+      ItemResult& r = results[i];
+      nodes += r.nodes;
+      if (r.unbounded) unbounded = true;
+      if (r.timed_out) timed_out = true;
+      for (const PcObservation& ob : r.observations) {
+        if (ob.dir > 0) {
+          pc.up_sum[ob.var] += ob.per_unit;
+          ++pc.up_cnt[ob.var];
+        } else {
+          pc.down_sum[ob.var] += ob.per_unit;
+          ++pc.down_cnt[ob.var];
         }
       }
-      const double objective = model.EvaluateObjective(x);
-      const double value = to_min(objective);
-      if (value < incumbent - options_.gap_tolerance) {
-        incumbent = value;
-        best.x = std::move(x);
-        best.objective = objective;
+      if (r.has_incumbent &&
+          r.inc_value < incumbent - options_.gap_tolerance) {
+        incumbent = r.inc_value;
+        best.objective = r.inc_objective;
+        best.x = std::move(r.inc_x);
+        if (best.time_to_first_incumbent_ms < 0.0) {
+          best.time_to_first_incumbent_ms = watch.ElapsedMillis();
+        }
       }
-      continue;
+      if (r.incomplete) {
+        r.reopen.id = next_id++;
+        open.push_back(std::move(r.reopen));
+        std::push_heap(open.begin(), open.end(), WorseNode());
+      }
+      for (BbNode& child : r.children) {
+        if (child.bound >= incumbent - options_.gap_tolerance) continue;
+        child.id = next_id++;
+        open.push_back(std::move(child));
+        std::push_heap(open.begin(), open.end(), WorseNode());
+      }
     }
-
-    // Branch: floor and ceiling children.
-    const double value = relax.x[branch_var];
-    Node down = node;
-    down.ub[branch_var] = std::floor(value);
-    down.parent_bound = bound;
-    Node up = std::move(node);
-    up.lb[branch_var] = std::ceil(value);
-    up.parent_bound = bound;
-
-    // Explore the branch nearer the LP value first (pushed last).
-    const double frac = value - std::floor(value);
-    if (frac > 0.5) {
-      stack.push_back(std::move(down));
-      stack.push_back(std::move(up));
-    } else {
-      stack.push_back(std::move(up));
-      stack.push_back(std::move(down));
-    }
+    if (unbounded || timed_out) break;
   }
 
   best.nodes_explored = nodes;
   best.timed_out = timed_out;
-  best.best_bound = minimize ? global_bound : -global_bound;
+  for (const auto& slot : slots) best.lp_iterations += slot->iterations();
 
-  if (root_unbounded) {
+  if (unbounded) {
     best.status = MipStatus::kUnbounded;
     return best;
   }
+
   const bool has_incumbent = std::isfinite(incumbent);
   if (!timed_out) {
     best.status =
@@ -156,6 +459,11 @@ MipSolution MipSolver::Solve(const Model& model, const Deadline& deadline,
   } else {
     best.status = has_incumbent ? MipStatus::kFeasibleTimeout
                                 : MipStatus::kNoSolutionTimeout;
+    // True dual bound: the weakest bound still open (satellite fix for
+    // the bound frozen at the root relaxation).
+    double lower = incumbent;
+    for (const BbNode& node : open) lower = std::min(lower, node.bound);
+    best.best_bound = minimize ? lower : -lower;
   }
   return best;
 }

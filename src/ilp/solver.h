@@ -1,9 +1,13 @@
 #ifndef MUVE_ILP_SOLVER_H_
 #define MUVE_ILP_SOLVER_H_
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "ilp/model.h"
 #include "ilp/simplex.h"
 
@@ -26,10 +30,26 @@ struct MipSolution {
   double best_bound = 0.0;    ///< Dual bound at termination.
   size_t nodes_explored = 0;  ///< Branch-and-bound nodes processed.
   bool timed_out = false;     ///< True when the deadline expired.
+  /// Wall-clock milliseconds until the first incumbent was accepted
+  /// (including a feasible warm start, which counts as time 0); negative
+  /// when no incumbent was ever found. Informational only — NOT part of
+  /// the deterministic-output contract.
+  double time_to_first_incumbent_ms = -1.0;
+  /// Total simplex iterations across all node LP solves.
+  int64_t lp_iterations = 0;
 
   bool has_solution() const {
     return status == MipStatus::kOptimal ||
            status == MipStatus::kFeasibleTimeout;
+  }
+
+  /// Relative optimality gap |objective - best_bound| / max(1, |objective|).
+  /// Zero for proven-optimal solves, +inf when there is no incumbent.
+  double gap() const {
+    if (status == MipStatus::kOptimal) return 0.0;
+    if (!has_solution()) return std::numeric_limits<double>::infinity();
+    return std::fabs(objective - best_bound) /
+           std::max(1.0, std::fabs(objective));
   }
 };
 
@@ -38,6 +58,15 @@ struct MipSolution {
 /// relies on: a wall-clock time limit after which the best incumbent found
 /// so far is returned (paper: "in case of a timeout, the ILP approach
 /// still produces a solution").
+///
+/// The search runs in deterministic waves: a fixed-size batch of open
+/// nodes is popped best-first, each node is dived (warm-started dual
+/// simplex re-solves down one branch) as a pure function of the node plus
+/// an incumbent/pseudo-cost snapshot, and the batch results are merged in
+/// batch order. Batch composition and merge order never depend on the
+/// thread count, so for any run that finishes without hitting the
+/// deadline the explored tree — and therefore `x`, `objective`,
+/// `nodes_explored` — is identical at 1, 2, or N threads.
 class MipSolver {
  public:
   struct Options {
@@ -48,6 +77,16 @@ class MipSolver {
     /// Hard cap on explored nodes (safety valve).
     size_t max_nodes = 2'000'000;
     SimplexSolver::Options lp_options;
+    /// Run the root presolve pass (bound tightening, singleton rows,
+    /// redundant-row removal, strict dual fixing) before the search.
+    bool presolve = true;
+    /// Worker threads for the tree search; 1 = serial, 0 = hardware
+    /// concurrency. Ignored when `pool` is set.
+    size_t num_threads = 1;
+    /// Optional externally owned pool to run on (e.g. the engine-wide
+    /// pool). When null and num_threads != 1, the solver creates a
+    /// temporary pool for the solve.
+    ThreadPool* pool = nullptr;
   };
 
   MipSolver() = default;

@@ -114,7 +114,7 @@ Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
       translation.query, translation.confidence, options_.generation);
 
   if (options_.use_ilp) {
-    const core::IlpPlanner planner;
+    const core::IlpPlanner planner(exec_engine_.thread_pool());
     MUVE_ASSIGN_OR_RETURN(answer.plan,
                           planner.Plan(answer.candidates, options_.planner));
   } else {

@@ -9,6 +9,9 @@
 ///     (plans must be structurally identical, costs bitwise equal);
 ///   - greedy vs brute-force reference planner on tiny instances (the
 ///     exhaustive optimum can never be worse than greedy);
+///   - core::IlpPlanner across solver thread counts (1, 2, 8):
+///     byte-identical multiplot, cost, bound, and node count; and
+///     presolve on vs off: equal optimal cost;
 ///   - cached vs uncached execution at every layer (executor, engine,
 ///     full MuveEngine pipeline): cold, warm, and capacity-1 thrash
 ///     replays must be byte-identical to the cache-disabled path,
@@ -38,11 +41,13 @@
 #include "common/thread_pool.h"
 #include "core/brute_force_planner.h"
 #include "core/greedy_planner.h"
+#include "core/ilp_planner.h"
 #include "db/executor.h"
 #include "exec/engine.h"
 #include "muve/muve_engine.h"
 #include "nlq/translator.h"
 #include "testing/random_workload.h"
+#include "testing/sanitizer.h"
 #include "viz/render_ascii.h"
 
 namespace muve {
@@ -329,6 +334,92 @@ TEST_F(DifferentialTest, GreedyNeverBeatsBruteForce) {
   }
   // The suite must not silently degenerate to skipping everything.
   EXPECT_GE(planned, kNumSeeds);
+}
+
+TEST_F(DifferentialTest, IlpPlannerThreadAndPresolveInvariant) {
+  // The branch-and-bound determinism contract: for solves that finish
+  // within the timeout, the ILP planner's output is byte-identical at
+  // any solver thread count — same multiplot, bitwise-equal cost and
+  // bound, identical node count. Presolve rewrites the model (different
+  // tree, different tie-breaking among equal-cost optima — symmetric
+  // templates covering the same candidates do tie exactly), so across
+  // presolve on/off only the optimal cost itself must agree.
+  // Six solver configurations per seed: capped well below kNumSeeds to
+  // keep the tier1 wall clock reasonable. Not skipped under sanitizers
+  // — racing the parallel tree search under TSan is the point of that
+  // pass — but trimmed further, since solves run ~10x slower there.
+  const int seeds =
+      std::min(kNumSeeds, muve::testing::kSanitizerBuild ? 3 : 10);
+  int compared = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(kSeedBase + 800000 + static_cast<uint64_t>(seed));
+    testing::RandomTableOptions table_options;
+    table_options.min_rows = 100;
+    table_options.max_rows = 300;
+    auto table = testing::RandomTable(&rng, table_options);
+    const core::CandidateSet set =
+        testing::RandomCandidateSet(*table, &rng, 8);
+    if (set.empty()) continue;
+    core::PlannerConfig config;
+    config.geometry.max_rows = 1;
+    // Generous for a release build; sanitizer builds may still hit it
+    // on hard seeds, and a timeout legitimately surrenders determinism
+    // — such seeds are skipped, not failed.
+    config.timeout_ms = 10000.0;
+
+    bool have_reference = false;
+    bool timed_out = false;
+    core::PlanResult reference;  // Presolve-on serial run.
+    core::PlanResult presolve_reference;  // Serial run, either setting.
+    for (const bool presolve : {true, false}) {
+      for (const size_t threads : kThreadCounts) {
+        config.ilp.presolve = presolve;
+        config.ilp.num_threads = threads;
+        const core::IlpPlanner planner(PoolFor(threads));
+        const auto plan = planner.Plan(set, config);
+        ASSERT_TRUE(plan.ok()) << "seed " << seed;
+        if (plan->timed_out) {
+          timed_out = true;
+          break;
+        }
+        const std::string context = "seed " + std::to_string(seed) +
+                                    " presolve " + std::to_string(presolve) +
+                                    " threads " + std::to_string(threads);
+        EXPECT_TRUE(plan->multiplot.Validate(config.geometry).ok())
+            << context;
+        if (threads == 1) {
+          presolve_reference = *plan;
+          if (!have_reference) {
+            reference = *plan;
+            have_reference = true;
+          } else {
+            // Presolve on vs off: the optimum value is preserved.
+            const double scale =
+                std::max(1.0, std::fabs(reference.expected_cost));
+            EXPECT_NEAR(reference.expected_cost, plan->expected_cost,
+                        1e-9 * scale)
+                << context;
+          }
+          continue;
+        }
+        // Thread counts at a fixed presolve setting: byte-identical.
+        EXPECT_EQ(PlanSignature(presolve_reference.multiplot),
+                  PlanSignature(plan->multiplot))
+            << context;
+        EXPECT_EQ(presolve_reference.expected_cost, plan->expected_cost)
+            << context;
+        EXPECT_EQ(presolve_reference.best_bound, plan->best_bound)
+            << context;
+        EXPECT_EQ(presolve_reference.nodes_explored, plan->nodes_explored)
+            << context;
+      }
+      if (timed_out) break;
+    }
+    if (have_reference && !timed_out) ++compared;
+  }
+  // The suite must not silently degenerate into empty candidate sets
+  // (or all-timeout seeds).
+  EXPECT_GT(compared, 0);
 }
 
 // ---------------------------------------------------------------------

@@ -1,15 +1,64 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/rng.h"
 #include "ilp/model.h"
+#include "ilp/presolve.h"
 #include "ilp/simplex.h"
 #include "ilp/solver.h"
 
 namespace muve::ilp {
 namespace {
+
+/// A random small pure-integer program: n variables in [0, 2], mixed-sign
+/// objective and coefficients, <= constraints. Small enough to enumerate
+/// all 3^n assignments.
+Model RandomSmallMip(Rng* rng) {
+  Model model;
+  const int n = 4 + static_cast<int>(rng->UniformInt(3));
+  for (int v = 0; v < n; ++v) {
+    model.AddInteger("x" + std::to_string(v), 0.0, 2.0);
+    model.AddObjectiveTerm(v, rng->UniformDouble(-5.0, 5.0));
+  }
+  if (rng->Bernoulli(0.5)) model.SetSense(Sense::kMaximize);
+  const int m = 2 + static_cast<int>(rng->UniformInt(3));
+  for (int c = 0; c < m; ++c) {
+    LinearExpr expr;
+    for (int v = 0; v < n; ++v) {
+      if (rng->Bernoulli(0.7)) expr.Add(v, rng->UniformDouble(-2.0, 3.0));
+    }
+    model.AddConstraint(expr, Relation::kLessEqual,
+                        rng->UniformDouble(-1.0, 8.0));
+  }
+  return model;
+}
+
+/// Brute-force optimum of a RandomSmallMip-shaped model. Returns false
+/// when no assignment is feasible.
+bool EnumerateOptimum(const Model& model, double* best) {
+  const size_t n = model.num_variables();
+  std::vector<double> x(n, 0.0);
+  bool found = false;
+  const bool maximize = model.sense() == Sense::kMaximize;
+  while (true) {
+    if (model.IsFeasible(x)) {
+      const double value = model.EvaluateObjective(x);
+      if (!found || (maximize ? value > *best : value < *best)) {
+        *best = value;
+      }
+      found = true;
+    }
+    size_t carry = 0;
+    while (carry < n && x[carry] == 2.0) x[carry++] = 0.0;
+    if (carry == n) break;
+    x[carry] += 1.0;
+  }
+  return found;
+}
 
 // ---------------------------------------------------------------------
 // Simplex on hand-solved LPs.
@@ -309,6 +358,158 @@ TEST(MipSolverTest, RandomizedKnapsacksMatchDynamicProgramming) {
     const MipSolution solution = MipSolver().Solve(model);
     ASSERT_EQ(solution.status, MipStatus::kOptimal);
     EXPECT_NEAR(solution.objective, dp[capacity], 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(MipSolverTest, RandomizedMipsMatchExhaustiveEnumeration) {
+  // General mixed-sign integer programs (not just knapsacks) against a
+  // brute-force sweep of the full 3^n grid.
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Model model = RandomSmallMip(&rng);
+    double best = 0.0;
+    const bool feasible = EnumerateOptimum(model, &best);
+    const MipSolution solution = MipSolver().Solve(model);
+    if (!feasible) {
+      EXPECT_EQ(solution.status, MipStatus::kInfeasible) << "trial " << trial;
+      continue;
+    }
+    ASSERT_EQ(solution.status, MipStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(solution.objective, best, 1e-6) << "trial " << trial;
+    EXPECT_TRUE(model.IsFeasible(solution.x)) << "trial " << trial;
+  }
+}
+
+TEST(MipSolverTest, ThreadCountDoesNotChangeResults) {
+  // The wave-based parallel search contract: identical solution, node
+  // count, and bound at any thread count (for runs without a timeout).
+  Rng rng(131);
+  Model model;
+  LinearExpr capacity;
+  LinearExpr pairs;
+  for (int i = 0; i < 16; ++i) {
+    const int x = model.AddBinary("x" + std::to_string(i));
+    model.AddObjectiveTerm(x, rng.UniformDouble(1.0, 10.0));
+    capacity.Add(x, rng.UniformDouble(1.0, 10.0));
+    if (i % 2 == 0) pairs.Add(x, 1.0);
+  }
+  model.SetSense(Sense::kMaximize);
+  model.AddConstraint(capacity, Relation::kLessEqual, 35.0);
+  model.AddConstraint(pairs, Relation::kLessEqual, 5.0);
+
+  MipSolver::Options serial;
+  serial.num_threads = 1;
+  const MipSolution base = MipSolver(serial).Solve(model);
+  ASSERT_EQ(base.status, MipStatus::kOptimal);
+  for (size_t threads : {2u, 8u}) {
+    MipSolver::Options options;
+    options.num_threads = threads;
+    const MipSolution solution = MipSolver(options).Solve(model);
+    ASSERT_EQ(solution.status, MipStatus::kOptimal) << threads;
+    EXPECT_EQ(solution.objective, base.objective) << threads;
+    EXPECT_EQ(solution.x, base.x) << threads;
+    EXPECT_EQ(solution.nodes_explored, base.nodes_explored) << threads;
+    EXPECT_EQ(solution.best_bound, base.best_bound) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Presolve.
+// ---------------------------------------------------------------------
+
+TEST(PresolveTest, PreservesOptimaAndIsIdempotent) {
+  Rng rng(101);
+  int reductions = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Model model = RandomSmallMip(&rng);
+    const PresolveResult first = Presolve(model);
+    double best = 0.0;
+    const bool feasible = EnumerateOptimum(model, &best);
+    if (first.infeasible) {
+      // Presolve may only prove infeasibility, never invent it.
+      EXPECT_FALSE(feasible) << "trial " << trial;
+      continue;
+    }
+    reductions += static_cast<int>(first.stats.rows_removed +
+                                   first.stats.bounds_tightened +
+                                   first.stats.variables_fixed);
+    // Same variable count and the same optimum (full optimum set is
+    // preserved, so in particular the optimal value).
+    ASSERT_EQ(first.model.num_variables(), model.num_variables());
+    MipSolver::Options no_presolve;
+    no_presolve.presolve = false;
+    const MipSolution reduced = MipSolver(no_presolve).Solve(first.model);
+    if (!feasible) {
+      EXPECT_EQ(reduced.status, MipStatus::kInfeasible) << "trial " << trial;
+      continue;
+    }
+    ASSERT_EQ(reduced.status, MipStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(reduced.objective, best, 1e-6) << "trial " << trial;
+    EXPECT_TRUE(model.IsFeasible(reduced.x)) << "trial " << trial;
+    // Idempotence: a second pass finds nothing left to do.
+    const PresolveResult second = Presolve(first.model);
+    EXPECT_FALSE(second.infeasible) << "trial " << trial;
+    EXPECT_EQ(second.stats.rows_removed, 0u) << "trial " << trial;
+    EXPECT_EQ(second.stats.bounds_tightened, 0u) << "trial " << trial;
+    EXPECT_EQ(second.stats.variables_fixed, 0u) << "trial " << trial;
+  }
+  // The suite must actually exercise reductions, not vacuously pass.
+  EXPECT_GT(reductions, 0);
+}
+
+// ---------------------------------------------------------------------
+// Warm-started dual simplex.
+// ---------------------------------------------------------------------
+
+TEST(SimplexTest, ResolveMatchesColdSolveOnPerturbedBounds) {
+  // Random bound jumps (as in branch-and-bound slot reuse, where one
+  // LpState serves unrelated nodes): the warm dual re-solve must agree
+  // with a cold solve on status and objective every time.
+  Rng rng(57);
+  for (int trial = 0; trial < 8; ++trial) {
+    Model model;
+    const int n = 5 + static_cast<int>(rng.UniformInt(4));
+    for (int v = 0; v < n; ++v) {
+      model.AddVariable("x" + std::to_string(v), 0.0, 10.0);
+      model.AddObjectiveTerm(v, rng.UniformDouble(-3.0, 3.0));
+    }
+    if (rng.Bernoulli(0.5)) model.SetSense(Sense::kMaximize);
+    const int m = 3 + static_cast<int>(rng.UniformInt(3));
+    for (int c = 0; c < m; ++c) {
+      LinearExpr expr;
+      for (int v = 0; v < n; ++v) {
+        if (rng.Bernoulli(0.6)) expr.Add(v, rng.UniformDouble(-1.0, 2.0));
+      }
+      model.AddConstraint(expr, Relation::kLessEqual,
+                          rng.UniformDouble(2.0, 15.0));
+    }
+
+    const LpCore core(model);
+    const SimplexOptions options;
+    LpState warm(&core, options);
+    LpState cold(&core, options);
+    std::vector<double> lb(n, 0.0);
+    std::vector<double> ub(n, 10.0);
+    ASSERT_EQ(warm.SolveCold(lb, ub, nullptr), LpStatus::kOptimal);
+
+    for (int step = 0; step < 12; ++step) {
+      for (int v = 0; v < n; ++v) {
+        if (!rng.Bernoulli(0.4)) continue;
+        const double lo = std::floor(rng.UniformDouble(0.0, 8.0));
+        const double len = std::floor(rng.UniformDouble(0.0, 5.0));
+        lb[v] = lo;
+        ub[v] = lo + len;  // len 0 fixes the variable.
+      }
+      const LpStatus warm_status = warm.Resolve(lb, ub, nullptr);
+      const LpStatus cold_status = cold.SolveCold(lb, ub, nullptr);
+      EXPECT_EQ(warm_status, cold_status)
+          << "trial " << trial << " step " << step;
+      if (warm_status == LpStatus::kOptimal &&
+          cold_status == LpStatus::kOptimal) {
+        EXPECT_NEAR(warm.objective(), cold.objective(), 1e-6)
+            << "trial " << trial << " step " << step;
+      }
+    }
   }
 }
 
