@@ -4,11 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "cache/query_cache.h"
@@ -510,26 +513,129 @@ int RunIlpJsonReport(const std::string& path) {
   return 0;
 }
 
+/// Serving smoke run behind `--muve_serve_json=PATH`: pushes a request
+/// mix (unbounded, tightly bounded, and already-expired deadlines)
+/// through the end-to-end MuveEngine serving API and writes latency
+/// percentiles, the deadline-hit ratio, and the degradation-rung
+/// histogram (consumed by scripts/check.sh as the tier1 serving
+/// benchmark).
+int RunServeJsonReport(const std::string& path) {
+  Rng rng(77);
+  auto table = workload::Make311Table(20000, &rng);
+  MuveEngine engine(table);
+  const char* utterances[] = {
+      "how many complaints in brooklyn",
+      "average open hours for noise in queens",
+      "how many heating complaints",
+      "how many complaints in queens",
+  };
+  // Budgets (ms) of the bounded request tiers. 0 is already expired at
+  // admission (guaranteed base-only rung); 0.01 expires during the front
+  // half on any hardware; the looser tiers mostly finish exact.
+  const double budgets[] = {0.0, 0.01, 1.0, 5.0, 25.0};
+  constexpr int kRepetitions = 4;
+
+  std::vector<double> latencies;
+  size_t requests = 0;
+  size_t deadline_requests = 0;
+  size_t deadline_met = 0;
+  size_t rung_histogram[3] = {0, 0, 0};
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (const char* utterance : utterances) {
+      for (int tier = -1;
+           tier < static_cast<int>(std::size(budgets)); ++tier) {
+        Request request = Request::Text(utterance);
+        // Bypass the session caches so every request pays (and measures)
+        // the full pipeline; tier -1 is the unbounded reference.
+        request.bypass_cache = true;
+        const bool bounded = tier >= 0;
+        if (bounded) {
+          request.deadline = Deadline::AfterMillis(budgets[tier]);
+        }
+        StopWatch watch;
+        auto answer = engine.Ask(request);
+        const double elapsed = watch.ElapsedMillis();
+        if (!answer.ok()) {
+          std::fprintf(stderr, "serve failed: %s\n",
+                       answer.status().ToString().c_str());
+          return 1;
+        }
+        ++requests;
+        latencies.push_back(elapsed);
+        rung_histogram[static_cast<size_t>(answer->degradation.rung)] += 1;
+        if (bounded) {
+          ++deadline_requests;
+          if (elapsed <= budgets[tier]) ++deadline_met;
+        }
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&latencies](double p) {
+    const size_t index = static_cast<size_t>(
+        p * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[index];
+  };
+  const double hit_ratio =
+      deadline_requests > 0
+          ? static_cast<double>(deadline_met) /
+                static_cast<double>(deadline_requests)
+          : 0.0;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"muve_serve_smoke\",\n"
+      << "  \"requests\": " << requests << ",\n"
+      << "  \"p50_latency_ms\": " << percentile(0.50) << ",\n"
+      << "  \"p99_latency_ms\": " << percentile(0.99) << ",\n"
+      << "  \"deadline_requests\": " << deadline_requests << ",\n"
+      << "  \"deadline_hit_ratio\": " << hit_ratio << ",\n"
+      << "  \"degradation_histogram\": {\n"
+      << "    \"exact\": " << rung_histogram[0] << ",\n"
+      << "    \"degraded_plan\": " << rung_histogram[1] << ",\n"
+      << "    \"base_only\": " << rung_histogram[2] << "\n"
+      << "  }\n"
+      << "}\n";
+  std::printf(
+      "BENCH_serve: %zu requests, p50 %.2f ms, p99 %.2f ms, deadline hit "
+      "ratio %.2f, rungs exact/degraded/base-only %zu/%zu/%zu -> %s\n",
+      requests, percentile(0.50), percentile(0.99), hit_ratio,
+      rung_histogram[0], rung_histogram[1], rung_histogram[2],
+      path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace muve
 
-/// BENCHMARK_MAIN with one extra flag: `--muve_ilp_json=PATH` skips the
-/// google-benchmark suite and emits the solver smoke report instead. The
-/// flag is stripped before benchmark::Initialize, which rejects unknown
-/// arguments.
+/// BENCHMARK_MAIN with two extra flags: `--muve_ilp_json=PATH` skips the
+/// google-benchmark suite and emits the solver smoke report instead;
+/// `--muve_serve_json=PATH` likewise emits the serving smoke report. The
+/// flags are stripped before benchmark::Initialize, which rejects
+/// unknown arguments.
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string serve_path;
   int kept = 1;
   const char* kFlag = "--muve_ilp_json=";
+  const char* kServeFlag = "--muve_serve_json=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       json_path = argv[i] + std::strlen(kFlag);
+    } else if (std::strncmp(argv[i], kServeFlag, std::strlen(kServeFlag)) ==
+               0) {
+      serve_path = argv[i] + std::strlen(kServeFlag);
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
   if (!json_path.empty()) return muve::RunIlpJsonReport(json_path);
+  if (!serve_path.empty()) return muve::RunServeJsonReport(serve_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

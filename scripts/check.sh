@@ -38,6 +38,13 @@ if [[ -f build/BENCH_ilp.json ]]; then
   cat build/BENCH_ilp.json
 fi
 
+# The bench_serve_smoke tier1 test wrote serving-latency stats (p50/p99,
+# deadline-hit ratio, degradation-rung histogram); surface them.
+if [[ -f build/BENCH_serve.json ]]; then
+  echo "==> Serving smoke stats (build/BENCH_serve.json)"
+  cat build/BENCH_serve.json
+fi
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> Skipping ThreadSanitizer pass (--skip-tsan)"
   exit 0

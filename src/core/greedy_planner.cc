@@ -289,6 +289,16 @@ Result<PlanResult> GreedyPlanner::Plan(const CandidateSet& candidates,
   std::vector<SelectedPlot> selected;
   double current_cost = empty_cost;
 
+  // Anytime behavior under a request deadline: the selection loop checks
+  // the deadline before each greedy step and keeps the plots selected so
+  // far on expiry (flagged via PlanResult::timed_out). The default
+  // infinite deadline never expires, so the selection below is the exact
+  // unbounded greedy algorithm. Within one step the deadline is not
+  // polled, so a plan is never torn mid-decision and, on a frozen test
+  // clock, truncation happens at the same step for every thread count.
+  const Deadline& deadline = config.deadline;
+  bool truncated = false;
+
   enum class Rule { kGainPerWidth, kGain };
   auto run_greedy = [&](Rule rule, std::vector<SelectedPlot>* out) {
     State state;
@@ -298,6 +308,10 @@ Result<PlanResult> GreedyPlanner::Plan(const CandidateSet& candidates,
     std::vector<char> group_used(groups.size(), 0);
     double cost = empty_cost;
     for (;;) {
+      if (deadline.Expired()) {
+        truncated = true;
+        break;
+      }
       // Scores one index range of candidate plots against the current
       // state (read-only during the scan).
       auto evaluate = [&](size_t begin, size_t end) {
@@ -366,20 +380,35 @@ Result<PlanResult> GreedyPlanner::Plan(const CandidateSet& candidates,
   } else {
     std::vector<SelectedPlot> by_ratio;
     const double ratio_cost = run_greedy(Rule::kGainPerWidth, &by_ratio);
-    std::vector<SelectedPlot> by_gain;
-    const double gain_cost = run_greedy(Rule::kGain, &by_gain);
-    if (gain_cost <= ratio_cost) {
-      selected = std::move(by_gain);
-      current_cost = gain_cost;
-    } else {
+    if (deadline.Expired()) {
+      // No budget for the second rule: keep the (possibly truncated)
+      // first run's result.
+      truncated = true;
       selected = std::move(by_ratio);
       current_cost = ratio_cost;
+    } else {
+      std::vector<SelectedPlot> by_gain;
+      const double gain_cost = run_greedy(Rule::kGain, &by_gain);
+      if (gain_cost <= ratio_cost) {
+        selected = std::move(by_gain);
+        current_cost = gain_cost;
+      } else {
+        selected = std::move(by_ratio);
+        current_cost = ratio_cost;
+      }
     }
   }
 
   // Guarantee-preserving comparison against the best single plot
   // (standard for greedy knapsack-constrained submodular maximization).
-  if (options_.enable_singleton_comparison) {
+  // Skipped on expiry: it is an improvement step, so skipping keeps the
+  // current (best-so-far) selection valid.
+  const bool run_singleton =
+      options_.enable_singleton_comparison && !deadline.Expired();
+  if (options_.enable_singleton_comparison && !run_singleton) {
+    truncated = true;
+  }
+  if (run_singleton) {
     State fresh;
     fresh.shown.assign(candidates.size(), 0);
     fresh.highlighted.assign(candidates.size(), 0);
@@ -417,7 +446,7 @@ Result<PlanResult> GreedyPlanner::Plan(const CandidateSet& candidates,
                                     num_rows, options_.enable_polish);
   result.expected_cost = model.ExpectedCost(result.multiplot, candidates);
   result.optimize_millis = watch.ElapsedMillis();
-  result.timed_out = false;
+  result.timed_out = truncated;
   return result;
 }
 

@@ -450,8 +450,11 @@ Result<PlanResult> IlpPlanner::PlanWithHint(const CandidateSet& candidates,
   solver_options.num_threads = config.ilp.num_threads;
   solver_options.pool = config.ilp.num_threads != 1 ? pool_ : nullptr;
   ilp::MipSolver solver(solver_options);
-  const ilp::MipSolution solution = solver.Solve(
-      formulation.model, Deadline::AfterMillis(config.timeout_ms), &warm);
+  // The planner's timeout_ms and the request-scoped config.deadline
+  // resolve to one solve budget (tightest wins); Solve() folds in the
+  // solver-level Options deadline through the same helper.
+  const ilp::MipSolution solution =
+      solver.Solve(formulation.model, ResolveSolveDeadline(config), &warm);
 
   result.optimize_millis = watch.ElapsedMillis();
   result.timed_out = solution.timed_out;
@@ -486,7 +489,8 @@ IlpPlanner::PlanIncremental(
   StopWatch watch;
   double sequence_ms = initial_timeout_ms;
   double best_cost = std::numeric_limits<double>::infinity();
-  while (watch.ElapsedMillis() < config.timeout_ms) {
+  while (watch.ElapsedMillis() < config.timeout_ms &&
+         !config.deadline.Expired()) {
     PlannerConfig sequence_config = config;
     sequence_config.timeout_ms =
         std::min(sequence_ms, config.timeout_ms - watch.ElapsedMillis());

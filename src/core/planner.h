@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "core/candidate.h"
 #include "core/cost_model.h"
@@ -58,10 +59,29 @@ struct PlannerConfig {
   ScreenGeometry geometry;
   UserCostModel cost_model;
   /// Optimization wall-clock budget in milliseconds (paper §9.2 uses 1 s).
+  /// Governs the ILP solve; combined with `deadline` via
+  /// ResolveSolveDeadline (tightest wins).
   double timeout_ms = 1000.0;
+  /// Request-scoped deadline for the whole planning stage. The default
+  /// infinite deadline is the exact pre-deadline planner behavior: the
+  /// greedy planner runs unbounded and the ILP is limited by `timeout_ms`
+  /// alone. A finite deadline makes the greedy planner anytime (it
+  /// returns the best plan selected so far on expiry, flagged via
+  /// PlanResult::timed_out) and tightens the ILP budget.
+  Deadline deadline;
   ProcessingCostConfig processing;
   IlpSolverConfig ilp;
 };
+
+/// Resolves the planner's two time knobs — the optimization budget
+/// `timeout_ms` and the request-scoped `deadline` — into the single
+/// deadline an ILP solve must respect (tightest wins). Built on the
+/// request deadline's clock so an injected FakeClock governs both knobs.
+inline Deadline ResolveSolveDeadline(const PlannerConfig& config) {
+  return Deadline::Tightest(
+      config.deadline,
+      Deadline::AfterMillis(config.timeout_ms, config.deadline.clock()));
+}
 
 /// Planner outputs.
 struct PlanResult {

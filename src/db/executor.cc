@@ -1,6 +1,7 @@
 #include "db/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
@@ -223,23 +224,51 @@ Result<AggregateResult> Executor::Execute(const Table& table,
       MakeAccumulator(table, query.function, query.aggregate_column));
 
   const size_t n = table.num_rows();
+  const size_t grain = std::max<size_t>(1, options.parallel_grain);
   AggregateResult out;
   if (!options.ShouldParallelize(n)) {
-    for (size_t row = 0; row < n; ++row) {
-      if (MatchesAll(compiled, row)) acc.Accept(row);
+    if (!options.deadline.IsFinite()) {
+      for (size_t row = 0; row < n; ++row) {
+        if (MatchesAll(compiled, row)) acc.Accept(row);
+      }
+    } else {
+      // Deadline-bounded serial scan: same row order in grain-sized
+      // blocks, with a cancellation check per block.
+      for (size_t begin = 0; begin < n; begin += grain) {
+        if (options.deadline.Expired()) {
+          return Status::Timeout("aggregate scan cancelled at row " +
+                                 std::to_string(begin) + "/" +
+                                 std::to_string(n));
+        }
+        const size_t end = std::min(n, begin + grain);
+        for (size_t row = begin; row < end; ++row) {
+          if (MatchesAll(compiled, row)) acc.Accept(row);
+        }
+      }
     }
     out = acc.Finish();
   } else {
-    const size_t grain = std::max<size_t>(1, options.parallel_grain);
     const size_t num_chunks = (n + grain - 1) / grain;
     std::vector<Accumulator> partials(num_chunks, acc);
+    // Workers skip partitions not yet started when the deadline expires;
+    // a partial scan never merges into a result (Timeout below).
+    std::atomic<bool> cancelled{false};
+    const bool finite = options.deadline.IsFinite();
     ParallelFor(options.pool, n, grain,
                 [&](size_t chunk, size_t begin, size_t end) {
+                  if (finite && options.deadline.Expired()) {
+                    cancelled.store(true, std::memory_order_relaxed);
+                    return;
+                  }
                   Accumulator& partial = partials[chunk];
                   for (size_t row = begin; row < end; ++row) {
                     if (MatchesAll(compiled, row)) partial.Accept(row);
                   }
                 });
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Timeout("parallel aggregate scan cancelled (" +
+                             std::to_string(n) + " rows)");
+    }
     for (const Accumulator& partial : partials) acc.Merge(partial);
     out = acc.Finish();
   }
@@ -291,23 +320,48 @@ Result<GroupByResult> Executor::ExecuteGrouped(
   }
 
   const size_t n = table.num_rows();
+  const size_t grain = std::max<size_t>(1, options.parallel_grain);
   const std::vector<uint32_t>& codes = group_column->codes();
   if (!options.ShouldParallelize(n)) {
-    for (size_t row = 0; row < n; ++row) {
-      auto it = group_of_code.find(codes[row]);
-      if (it == group_of_code.end()) continue;
-      if (!MatchesAll(compiled, row)) continue;
-      for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
+    if (!options.deadline.IsFinite()) {
+      for (size_t row = 0; row < n; ++row) {
+        auto it = group_of_code.find(codes[row]);
+        if (it == group_of_code.end()) continue;
+        if (!MatchesAll(compiled, row)) continue;
+        for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
+      }
+    } else {
+      for (size_t begin = 0; begin < n; begin += grain) {
+        if (options.deadline.Expired()) {
+          return Status::Timeout("grouped scan cancelled at row " +
+                                 std::to_string(begin) + "/" +
+                                 std::to_string(n));
+        }
+        const size_t end = std::min(n, begin + grain);
+        for (size_t row = begin; row < end; ++row) {
+          auto it = group_of_code.find(codes[row]);
+          if (it == group_of_code.end()) continue;
+          if (!MatchesAll(compiled, row)) continue;
+          for (Accumulator& acc : accumulators[it->second]) {
+            acc.Accept(row);
+          }
+        }
+      }
     }
   } else {
     // Per-partition replicas of the (group x aggregate) accumulator grid,
     // merged cell-wise in partition order.
-    const size_t grain = std::max<size_t>(1, options.parallel_grain);
     const size_t num_chunks = (n + grain - 1) / grain;
     std::vector<std::vector<std::vector<Accumulator>>> partials(
         num_chunks, accumulators);
+    std::atomic<bool> cancelled{false};
+    const bool finite = options.deadline.IsFinite();
     ParallelFor(options.pool, n, grain,
                 [&](size_t chunk, size_t begin, size_t end) {
+                  if (finite && options.deadline.Expired()) {
+                    cancelled.store(true, std::memory_order_relaxed);
+                    return;
+                  }
                   std::vector<std::vector<Accumulator>>& grid =
                       partials[chunk];
                   for (size_t row = begin; row < end; ++row) {
@@ -319,6 +373,10 @@ Result<GroupByResult> Executor::ExecuteGrouped(
                     }
                   }
                 });
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Timeout("parallel grouped scan cancelled (" +
+                             std::to_string(n) + " rows)");
+    }
     for (const auto& grid : partials) {
       for (size_t g = 0; g < accumulators.size(); ++g) {
         for (size_t a = 0; a < accumulators[g].size(); ++a) {

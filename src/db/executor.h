@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/query.h"
@@ -31,6 +32,14 @@ struct ExecutorOptions {
   /// per-partition aggregate states and their in-order merge — and hence
   /// the floating-point result — are identical for every pool size.
   size_t parallel_grain = 16384;
+  /// Cooperative cancellation, checked at partition granularity: every
+  /// `parallel_grain` rows on the serial path, at the start of each
+  /// partition on the parallel path. On expiry the scan stops and the
+  /// executor returns Status::Timeout; a partition already underway runs
+  /// to completion, so a cancelled scan overshoots the deadline by at
+  /// most one partition grain. The default infinite deadline keeps the
+  /// original check-free scan loops (byte-identical results and timing).
+  Deadline deadline;
 
   /// True when this configuration parallelizes a scan of `num_rows` rows.
   bool ShouldParallelize(size_t num_rows) const {

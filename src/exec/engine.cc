@@ -105,6 +105,17 @@ std::shared_ptr<const db::Table> Engine::SampleTable(double fraction) {
 Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
                                   const std::vector<size_t>& subset,
                                   double sample_fraction) {
+  ExecControls controls;
+  controls.sample_fraction = sample_fraction;
+  return Execute(candidates, subset, controls);
+}
+
+Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
+                                  const std::vector<size_t>& subset,
+                                  const ExecControls& controls) {
+  cache::QueryCache* cache =
+      controls.bypass_cache ? nullptr : result_cache_.get();
+  const double sample_fraction = controls.sample_fraction;
   Execution out;
   out.values.assign(candidates.size(), std::nan(""));
   if (subset.empty()) return out;
@@ -120,7 +131,10 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
       EstimateUnitsCost(units, *target, estimator_, candidates);
 
   StopWatch watch;
-  if (pool_ != nullptr && units.size() >= 2) {
+  if (controls.deadline.IsFinite()) {
+    MUVE_RETURN_NOT_OK(ExecuteUnitsBounded(units, *target, candidates,
+                                           sampled, controls, cache, &out));
+  } else if (pool_ != nullptr && units.size() >= 2) {
     // Independent units run concurrently with serial per-unit scans:
     // never both unit- and row-level parallelism at once, so pool tasks
     // never wait on sub-tasks of the same pool.
@@ -130,7 +144,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     // internally); two units never answer the same candidate, and equal
     // keys racing a miss compute identical values.
     db::ExecutorOptions unit_options;
-    unit_options.cache = result_cache_.get();
+    unit_options.cache = cache;
     for (const MergeUnit& unit : units) {
       futures.push_back(pool_->Submit([&unit, &target, &candidates,
                                        sampled, sample_fraction,
@@ -156,7 +170,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     // Serial across units; a lone unit may still partition its scan by
     // rows when a pool exists.
     db::ExecutorOptions db_options;
-    db_options.cache = result_cache_.get();
+    db_options.cache = cache;
     if (units.size() == 1) {
       db_options.pool = pool_.get();
       db_options.min_parallel_rows = options_.min_parallel_rows;
@@ -177,9 +191,105 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
   return out;
 }
 
+Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
+                                   const db::Table& target,
+                                   const core::CandidateSet& candidates,
+                                   bool sampled,
+                                   const ExecControls& controls,
+                                   cache::QueryCache* cache,
+                                   Execution* out) {
+  // The unit answering the base candidate (index 0) is protected: it
+  // runs without cancellation so the bottom rung of the degradation
+  // ladder — a base-query-only plot — always materializes. Every other
+  // unit checks the deadline before it starts and its scan cancels at
+  // partition granularity; a unit cut either way is dropped (its
+  // candidates keep NaN) instead of blocking the answer, bounding the
+  // overshoot past the deadline to one partition grain.
+  size_t base_unit = units.size();
+  for (size_t u = 0; u < units.size() && base_unit == units.size(); ++u) {
+    if (units[u].merged) {
+      for (const auto& row : units[u].cell_candidate) {
+        for (size_t idx : row) {
+          if (idx == 0) base_unit = u;
+        }
+      }
+    } else if (units[u].candidate == 0) {
+      base_unit = u;
+    }
+  }
+
+  db::ExecutorOptions base_options;  // No deadline: uncancellable.
+  base_options.cache = cache;
+  db::ExecutorOptions rest_options = base_options;
+  rest_options.deadline = controls.deadline;
+  if (units.size() == 1) {
+    base_options.pool = pool_.get();
+    base_options.min_parallel_rows = options_.min_parallel_rows;
+  }
+
+  const double sample_fraction = controls.sample_fraction;
+  auto run_unit = [&](size_t u) -> UnitOutcome {
+    if (u != base_unit && controls.deadline.Expired()) {
+      UnitOutcome skipped;
+      skipped.status =
+          Status::Timeout("merge unit skipped: deadline expired");
+      return skipped;
+    }
+    return ExecuteUnit(units[u], target, candidates, sampled,
+                       sample_fraction,
+                       u == base_unit ? base_options : rest_options);
+  };
+
+  std::vector<UnitOutcome> outcomes(units.size());
+  if (pool_ != nullptr && units.size() >= 2) {
+    // The base unit is submitted first so it starts as early as possible.
+    std::vector<std::future<UnitOutcome>> futures(units.size());
+    if (base_unit < units.size()) {
+      futures[base_unit] =
+          pool_->Submit([&run_unit, base_unit] { return run_unit(base_unit); });
+    }
+    for (size_t u = 0; u < units.size(); ++u) {
+      if (u == base_unit) continue;
+      futures[u] = pool_->Submit([&run_unit, u] { return run_unit(u); });
+    }
+    for (size_t u = 0; u < units.size(); ++u) {
+      outcomes[u] = futures[u].get();
+    }
+  } else {
+    if (base_unit < units.size()) outcomes[base_unit] = run_unit(base_unit);
+    for (size_t u = 0; u < units.size(); ++u) {
+      if (u != base_unit) outcomes[u] = run_unit(u);
+    }
+  }
+
+  for (size_t u = 0; u < units.size(); ++u) {
+    const UnitOutcome& outcome = outcomes[u];
+    if (!outcome.status.ok()) {
+      if (outcome.status.code() == StatusCode::kTimeout && u != base_unit) {
+        ++out->units_dropped;
+        out->deadline_hit = true;
+        continue;
+      }
+      return outcome.status;
+    }
+    for (const auto& [idx, value] : outcome.values) {
+      out->values[idx] = value;
+    }
+  }
+  return Status::OK();
+}
+
 Result<Execution> Engine::ExecuteMultiplot(
     const core::CandidateSet& candidates, core::Multiplot* multiplot,
     double sample_fraction) {
+  ExecControls controls;
+  controls.sample_fraction = sample_fraction;
+  return ExecuteMultiplot(candidates, multiplot, controls);
+}
+
+Result<Execution> Engine::ExecuteMultiplot(
+    const core::CandidateSet& candidates, core::Multiplot* multiplot,
+    const ExecControls& controls) {
   std::vector<size_t> subset;
   multiplot->ForEachPlot([&](const core::Plot& plot) {
     for (const core::PlotBar& bar : plot.bars) {
@@ -187,13 +297,39 @@ Result<Execution> Engine::ExecuteMultiplot(
     }
   });
   MUVE_ASSIGN_OR_RETURN(Execution execution,
-                        Execute(candidates, subset, sample_fraction));
+                        Execute(candidates, subset, controls));
   multiplot->ForEachPlotMutable([&](core::Plot& plot) {
     for (core::PlotBar& bar : plot.bars) {
       bar.value = execution.values[bar.candidate_index];
-      bar.approximate = sample_fraction < 1.0;
+      bar.approximate = controls.sample_fraction < 1.0;
     }
   });
+  if (execution.deadline_hit) {
+    // Drop unexecuted (dropped-unit) bars — their values are still NaN,
+    // since every requested candidate whose unit completed got a value —
+    // and plots that lose all bars. A partial answer beats a stale or
+    // blocking one; the counts tell the caller what was cut.
+    for (auto& row : multiplot->rows) {
+      for (core::Plot& plot : row) {
+        std::vector<core::PlotBar> kept;
+        kept.reserve(plot.bars.size());
+        for (core::PlotBar& bar : plot.bars) {
+          if (std::isnan(bar.value)) {
+            ++execution.bars_dropped;
+          } else {
+            kept.push_back(std::move(bar));
+          }
+        }
+        plot.bars = std::move(kept);
+      }
+      const auto empty = [&](const core::Plot& plot) {
+        if (!plot.bars.empty()) return false;
+        ++execution.plots_dropped;
+        return true;
+      };
+      row.erase(std::remove_if(row.begin(), row.end(), empty), row.end());
+    }
+  }
   return execution;
 }
 

@@ -7,6 +7,7 @@
 
 #include "cache/query_cache.h"
 #include "cache/stats.h"
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/candidate.h"
@@ -46,6 +47,24 @@ struct EngineOptions {
   size_t cache_capacity = 256;
 };
 
+/// Per-call execution controls (request-scoped), the deadline-aware
+/// entry into the engine. Default-constructed controls reproduce the
+/// original Execute/ExecuteMultiplot behavior exactly.
+struct ExecControls {
+  /// Budget for the batch. Cancellation is cooperative: the merge unit
+  /// answering the base candidate (index 0) always executes to
+  /// completion — the degradation ladder bottoms out at a base-query-only
+  /// plot, so the base value must always materialize — while every other
+  /// unit is checked before it starts and its scan cancelled at partition
+  /// granularity; units cut either way are dropped (their candidates'
+  /// values stay NaN) rather than blocking the answer.
+  Deadline deadline;
+  /// Skip the session result cache for this call (reads and writes).
+  bool bypass_cache = false;
+  /// See Engine::Execute.
+  double sample_fraction = 1.0;
+};
+
 /// Result of executing a batch of candidate queries.
 struct Execution {
   /// values[i] answers candidate `i` of the set; NaN when not requested.
@@ -58,6 +77,14 @@ struct Execution {
   size_t queries_issued = 0;
   /// Optimizer cost units of the issued queries.
   double estimated_cost = 0.0;
+  /// Merge units skipped or cancelled because the deadline expired
+  /// (deadline-bounded calls only); their candidates' values stay NaN.
+  size_t units_dropped = 0;
+  /// Bars / plots ExecuteMultiplot pruned because their unit was dropped.
+  size_t bars_dropped = 0;
+  size_t plots_dropped = 0;
+  /// True when the deadline cut this execution short.
+  bool deadline_hit = false;
 };
 
 /// Executes candidate queries against a table, with query merging and
@@ -80,11 +107,25 @@ class Engine {
                             const std::vector<size_t>& subset,
                             double sample_fraction = 1.0);
 
+  /// As above with request-scoped controls. An infinite deadline without
+  /// cache bypass takes the exact code path of the overload above.
+  Result<Execution> Execute(const core::CandidateSet& candidates,
+                            const std::vector<size_t>& subset,
+                            const ExecControls& controls);
+
   /// Executes every candidate appearing in `multiplot` and fills in the
   /// bar values.
   Result<Execution> ExecuteMultiplot(const core::CandidateSet& candidates,
                                      core::Multiplot* multiplot,
                                      double sample_fraction = 1.0);
+
+  /// As above with request-scoped controls. When the deadline dropped
+  /// merge units, the affected bars (still NaN) are pruned from the
+  /// multiplot — along with plots losing every bar — so the answer shows
+  /// only executed results; counts land in the returned Execution.
+  Result<Execution> ExecuteMultiplot(const core::CandidateSet& candidates,
+                                     core::Multiplot* multiplot,
+                                     const ExecControls& controls);
 
   /// Predicted execution time (ms) for the candidates in `subset`,
   /// derived from the cost model and a calibration probe.
@@ -114,6 +155,15 @@ class Engine {
   }
 
  private:
+  /// Deadline-bounded unit execution (finite-deadline path of Execute):
+  /// protects the base-candidate unit, drops the rest on expiry, and
+  /// records the drops in `out`.
+  Status ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
+                             const db::Table& target,
+                             const core::CandidateSet& candidates,
+                             bool sampled, const ExecControls& controls,
+                             cache::QueryCache* cache, Execution* out);
+
   std::shared_ptr<const db::Table> table_;
   EngineOptions options_;
   db::CostEstimator estimator_;

@@ -289,6 +289,10 @@ ItemResult EvaluateNode(const SearchContext& ctx, LpState& lp, BbNode node,
 MipSolution MipSolver::Solve(const Model& model, const Deadline& deadline,
                              const std::vector<double>* warm_start) const {
   StopWatch watch;
+  // The solver-level deadline (Options) and the per-call deadline resolve
+  // through the one tightest-wins helper; all polling below reads the
+  // resolved deadline.
+  const Deadline effective = Deadline::Tightest(options_.deadline, deadline);
   const bool minimize = model.sense() == Sense::kMinimize;
   const double sense = minimize ? 1.0 : -1.0;
 
@@ -325,7 +329,7 @@ MipSolution MipSolver::Solve(const Model& model, const Deadline& deadline,
   SearchContext ctx;
   ctx.model = work;
   ctx.opts = &options_;
-  ctx.deadline = &deadline;
+  ctx.deadline = &effective;
   ctx.sense = sense;
   for (size_t v = 0; v < work->num_variables(); ++v) {
     if (work->is_integer(static_cast<int>(v))) {
@@ -373,7 +377,7 @@ MipSolution MipSolver::Solve(const Model& model, const Deadline& deadline,
   std::vector<ItemResult> results;
 
   while (!open.empty()) {
-    if (deadline.Expired() || nodes >= options_.max_nodes) {
+    if (effective.Expired() || nodes >= options_.max_nodes) {
       timed_out = true;
       break;
     }

@@ -87,6 +87,11 @@ class MipSolver {
     /// pool). When null and num_threads != 1, the solver creates a
     /// temporary pool for the solve.
     ThreadPool* pool = nullptr;
+    /// Solver-level deadline, resolved against the per-call deadline
+    /// passed to Solve() via Deadline::Tightest (whichever has less
+    /// budget left wins). The default infinite deadline leaves the
+    /// per-call deadline in sole control.
+    Deadline deadline;
   };
 
   MipSolver() = default;

@@ -1,14 +1,65 @@
 #include "muve/muve_engine.h"
 
 #include <cctype>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/strings.h"
 #include "core/greedy_planner.h"
 #include "core/ilp_planner.h"
+#include "core/query_template.h"
 #include "workload/datasets.h"
 
 namespace muve {
+namespace {
+
+/// Splits the request deadline across the front-half stages: each stage
+/// receives `weight / remaining_weight` of the budget still left when it
+/// starts (translate 10/100, generate 15/90, plan 35/75), so a stage that
+/// finishes early rolls its savings forward and execution always gets the
+/// full remaining deadline. Built on the request deadline's clock so an
+/// injected FakeClock governs the stage budgets too.
+Deadline StageBudget(const Deadline& deadline, double weight,
+                     double remaining_weight) {
+  if (!deadline.IsFinite()) return Deadline::Infinite();
+  const double slice =
+      deadline.RemainingMillis() * (weight / remaining_weight);
+  return Deadline::Tightest(
+      deadline, Deadline::AfterMillis(slice, deadline.clock()));
+}
+
+}  // namespace
+
+std::string Degradation::Describe() const {
+  std::string text;
+  switch (rung) {
+    case Rung::kExact:
+      text = "exact";
+      break;
+    case Rung::kDegradedPlan:
+      text = "degraded-plan";
+      break;
+    case Rung::kBaseOnly:
+      text = "base-only";
+      break;
+  }
+  std::vector<const char*> flags;
+  if (candidates_capped) flags.push_back("candidates-capped");
+  if (plan_truncated) flags.push_back("plan-truncated");
+  if (ilp_fell_back) flags.push_back("ilp-fell-back");
+  if (base_only_fallback) flags.push_back("base-only-fallback");
+  if (units_dropped > 0) flags.push_back("units-dropped");
+  if (!flags.empty()) {
+    text += " [";
+    for (size_t i = 0; i < flags.size(); ++i) {
+      if (i > 0) text += ',';
+      text += flags[i];
+    }
+    text += ']';
+  }
+  return text;
+}
 
 MuveOptions MuveEngine::SyncCacheOptions(MuveOptions options) {
   options.execution.cache_capacity = options.cache_capacity;
@@ -40,6 +91,33 @@ std::string MuveEngine::NormalizedTranscriptKey(std::string_view text) {
     key += token;
   }
   return key;
+}
+
+core::Multiplot MuveEngine::BaseOnlyMultiplot(
+    const core::CandidateSet& candidates) {
+  core::Multiplot multiplot;
+  // Reuse the template grouping (Algorithm 2) so the plot carries the
+  // same template/title/label the full planner would have shown for the
+  // base query. Groups are ordered by descending member mass, so the
+  // first group containing candidate #0 is its most representative home.
+  const std::vector<core::TemplateGroup> groups =
+      core::GroupByTemplate(candidates);
+  for (const core::TemplateGroup& group : groups) {
+    for (size_t m = 0; m < group.member_queries.size(); ++m) {
+      if (group.member_queries[m] != 0) continue;
+      core::Plot plot;
+      plot.query_template = group.query_template;
+      core::PlotBar bar;
+      bar.candidate_index = 0;
+      bar.label = group.member_labels[m];
+      bar.highlighted = true;
+      plot.bars.push_back(std::move(bar));
+      multiplot.rows.resize(1);
+      multiplot.rows[0].push_back(std::move(plot));
+      return multiplot;
+    }
+  }
+  return multiplot;
 }
 
 MuveEngine::MuveEngine(std::shared_ptr<const db::Table> table,
@@ -77,58 +155,170 @@ void MuveEngine::ClearCaches() {
   plan_memo_.Clear();
 }
 
-Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
+Result<MuveEngine::Answer> MuveEngine::Ask(const Request& request) {
+  const auto observe = [&request](Request::Stage stage) {
+    if (request.stage_observer) request.stage_observer(stage);
+  };
   Answer answer;
-  answer.transcript = std::string(text);
-  StopWatch watch;
+  Degradation& degradation = answer.degradation;
+  const Deadline& deadline = request.deadline;
+
+  if (request.voice) {
+    observe(Request::Stage::kAsr);
+    StopWatch asr_watch;
+    answer.transcript =
+        speech_->Transcribe(request.utterance, request.rng, request.noise);
+    answer.timings.asr_millis = asr_watch.ElapsedMillis();
+  } else {
+    answer.transcript = request.transcript;
+  }
+
+  const bool use_ilp = request.use_ilp.value_or(options_.use_ilp);
+  // A request overriding the session planner must neither replay nor fill
+  // the compiled-plan memo: its plans would not match what the session
+  // default computes for the same transcript.
+  const bool memo_eligible = plan_memo_.enabled() &&
+                             !request.bypass_cache &&
+                             use_ilp == options_.use_ilp;
 
   // Compiled-plan memo: a repeated (normalized) transcript skips
-  // translation, candidate generation, and planning. Only successful
-  // pipelines are memoized, and the pipeline up to execution is
-  // deterministic in the transcript, so a hit replays exactly what a
-  // fresh run would compute. Execution always reruns so answers reflect
-  // the table's current contents.
+  // translation, candidate generation, and planning. Only successful,
+  // undegraded pipelines are memoized, and the pipeline up to execution
+  // is deterministic in the transcript, so a hit replays exactly what a
+  // fresh unconstrained run would compute. Execution always reruns so
+  // answers reflect the table's current contents.
+  bool replayed = false;
   std::string memo_key;
-  if (plan_memo_.enabled()) {
-    memo_key = NormalizedTranscriptKey(text);
+  if (memo_eligible) {
+    memo_key = NormalizedTranscriptKey(answer.transcript);
     PlanMemoEntry memo;
     if (plan_memo_.Get(memo_key, &memo)) {
       answer.base_query = std::move(memo.base_query);
       answer.base_confidence = memo.base_confidence;
       answer.candidates = std::move(memo.candidates);
       answer.plan = std::move(memo.plan);
-      MUVE_ASSIGN_OR_RETURN(
-          answer.execution,
-          exec_engine_.ExecuteMultiplot(answer.candidates,
-                                        &answer.plan.multiplot));
-      answer.pipeline_millis = watch.ElapsedMillis();
-      return answer;
+      replayed = true;
     }
   }
 
-  MUVE_ASSIGN_OR_RETURN(nlq::Translation translation,
-                        translator_.Translate(text));
-  answer.base_query = translation.query;
-  answer.base_confidence = translation.confidence;
-  answer.candidates = generator_.Generate(
-      translation.query, translation.confidence, options_.generation);
+  if (!replayed) {
+    // Translation always runs to completion — every rung of the ladder
+    // needs the base query — so its overrun flag only documents that the
+    // later stages will see already-expired budgets.
+    observe(Request::Stage::kTranslate);
+    StopWatch translate_watch;
+    bool translate_overrun = false;
+    MUVE_ASSIGN_OR_RETURN(
+        nlq::Translation translation,
+        translator_.Translate(answer.transcript,
+                              StageBudget(deadline, 10.0, 100.0),
+                              &translate_overrun));
+    answer.timings.translate_millis = translate_watch.ElapsedMillis();
+    answer.base_query = translation.query;
+    answer.base_confidence = translation.confidence;
 
-  if (options_.use_ilp) {
-    const core::IlpPlanner planner(exec_engine_.thread_pool());
-    MUVE_ASSIGN_OR_RETURN(answer.plan,
-                          planner.Plan(answer.candidates, options_.planner));
-  } else {
-    core::GreedyPlanner::Options greedy_options;
-    greedy_options.pool = exec_engine_.thread_pool();
-    const core::GreedyPlanner planner(greedy_options);
-    MUVE_ASSIGN_OR_RETURN(answer.plan,
-                          planner.Plan(answer.candidates, options_.planner));
+    observe(Request::Stage::kGenerate);
+    StopWatch generate_watch;
+    nlq::CandidateGenerator::GenerationConstraints constraints;
+    constraints.deadline = StageBudget(deadline, 15.0, 90.0);
+    constraints.bypass_cache = request.bypass_cache;
+    bool capped = false;
+    answer.candidates =
+        generator_.Generate(translation.query, translation.confidence,
+                            options_.generation, constraints, &capped);
+    degradation.candidates_capped = capped;
+    answer.timings.generate_millis = generate_watch.ElapsedMillis();
+
+    observe(Request::Stage::kPlan);
+    StopWatch plan_watch;
+    core::PlannerConfig planner_config = options_.planner;
+    planner_config.deadline = StageBudget(deadline, 35.0, 75.0);
+    if (use_ilp) {
+      const core::IlpPlanner planner(exec_engine_.thread_pool());
+      if (!planner_config.deadline.IsFinite()) {
+        // Unbounded request: the exact pre-deadline ILP path (the solve
+        // is still limited by PlannerConfig::timeout_ms alone).
+        MUVE_ASSIGN_OR_RETURN(
+            answer.plan, planner.Plan(answer.candidates, planner_config));
+      } else {
+        // Deadline-bounded: compute the anytime greedy plan first, then
+        // spend what is left of the stage budget improving it with the
+        // ILP. A solver timeout falls back to (at worst) greedy quality
+        // instead of an empty screen.
+        core::GreedyPlanner::Options greedy_options;
+        greedy_options.pool = exec_engine_.thread_pool();
+        const core::GreedyPlanner greedy(greedy_options);
+        MUVE_ASSIGN_OR_RETURN(
+            core::PlanResult incumbent,
+            greedy.Plan(answer.candidates, planner_config));
+        degradation.plan_truncated = incumbent.timed_out;
+        if (planner_config.deadline.Expired()) {
+          answer.plan = std::move(incumbent);
+          answer.plan.timed_out = true;
+          degradation.ilp_fell_back = true;
+        } else {
+          MUVE_ASSIGN_OR_RETURN(
+              answer.plan,
+              planner.PlanWithHint(answer.candidates, planner_config,
+                                   &incumbent.multiplot));
+          degradation.ilp_fell_back = answer.plan.timed_out;
+        }
+      }
+    } else {
+      core::GreedyPlanner::Options greedy_options;
+      greedy_options.pool = exec_engine_.thread_pool();
+      const core::GreedyPlanner planner(greedy_options);
+      MUVE_ASSIGN_OR_RETURN(
+          answer.plan, planner.Plan(answer.candidates, planner_config));
+      degradation.plan_truncated = answer.plan.timed_out;
+    }
+    answer.timings.plan_millis = plan_watch.ElapsedMillis();
+
+    // Bottom rung: planning ran out of time before selecting anything, so
+    // synthesize a base-query-only plot — the user still sees the most
+    // likely answer rather than an empty screen.
+    if (deadline.IsFinite() && answer.plan.multiplot.empty() &&
+        answer.candidates.size() > 0 &&
+        (degradation.plan_truncated || degradation.ilp_fell_back)) {
+      answer.plan.multiplot = BaseOnlyMultiplot(answer.candidates);
+      if (!answer.plan.multiplot.empty()) {
+        answer.plan.expected_cost = options_.planner.cost_model.ExpectedCost(
+            answer.plan.multiplot, answer.candidates);
+        degradation.base_only_fallback = true;
+      }
+    }
   }
+
+  observe(Request::Stage::kExecute);
+  StopWatch execute_watch;
+  exec::ExecControls controls;
+  controls.deadline = deadline;  // Full remaining budget, no stage split.
+  controls.bypass_cache = request.bypass_cache;
   MUVE_ASSIGN_OR_RETURN(
       answer.execution,
       exec_engine_.ExecuteMultiplot(answer.candidates,
-                                    &answer.plan.multiplot));
-  if (plan_memo_.enabled()) {
+                                    &answer.plan.multiplot, controls));
+  answer.timings.execute_millis = execute_watch.ElapsedMillis();
+  degradation.units_dropped = answer.execution.units_dropped;
+  degradation.bars_dropped = answer.execution.bars_dropped;
+  degradation.plots_dropped = answer.execution.plots_dropped;
+
+  const bool front_degraded =
+      degradation.candidates_capped || degradation.plan_truncated ||
+      degradation.ilp_fell_back || degradation.base_only_fallback;
+  if (degradation.base_only_fallback || answer.execution.deadline_hit) {
+    degradation.rung = Degradation::Rung::kBaseOnly;
+  } else if (front_degraded) {
+    degradation.rung = Degradation::Rung::kDegradedPlan;
+  } else {
+    degradation.rung = Degradation::Rung::kExact;
+  }
+
+  // Degraded front halves are never memoized (a later unconstrained
+  // request must not replay them); execution drops also skip the store
+  // because ExecuteMultiplot pruned the plan's unexecuted bars in place.
+  if (!replayed && memo_eligible && !front_degraded &&
+      !answer.execution.deadline_hit) {
     PlanMemoEntry memo;
     memo.base_query = answer.base_query;
     memo.base_confidence = answer.base_confidence;
@@ -136,18 +326,18 @@ Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
     memo.plan = answer.plan;
     plan_memo_.Put(memo_key, std::move(memo));
   }
-  answer.pipeline_millis = watch.ElapsedMillis();
+  answer.pipeline_millis = answer.timings.PipelineMillis();
   return answer;
+}
+
+Result<MuveEngine::Answer> MuveEngine::AskText(std::string_view text) {
+  return Ask(Request::Text(text));
 }
 
 Result<MuveEngine::Answer> MuveEngine::AskVoice(
     std::string_view utterance, Rng* rng,
     const speech::SpeechNoiseOptions& noise) {
-  const std::string transcript =
-      speech_->Transcribe(utterance, rng, noise);
-  MUVE_ASSIGN_OR_RETURN(Answer answer, AskText(transcript));
-  answer.transcript = transcript;
-  return answer;
+  return Ask(Request::Voice(utterance, rng, noise));
 }
 
 }  // namespace muve

@@ -1,12 +1,15 @@
 #ifndef MUVE_MUVE_MUVE_ENGINE_H_
 #define MUVE_MUVE_MUVE_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "cache/lru_cache.h"
 #include "cache/stats.h"
+#include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/candidate.h"
@@ -55,15 +58,117 @@ struct PipelineCacheStats {
   }
 };
 
+/// One serving request: the input (recognized text, or a clean utterance
+/// routed through the simulated recognizer) plus request-scoped controls.
+/// Default-constructed controls — infinite deadline, no overrides — make
+/// Ask() byte-identical to the classic AskText/AskVoice pipeline.
+struct Request {
+  /// Pipeline stages, in execution order. kAsr runs only for voice
+  /// requests; kTranslate/kGenerate/kPlan are skipped on a plan-memo hit.
+  enum class Stage { kAsr, kTranslate, kGenerate, kPlan, kExecute };
+
+  /// Recognized text (text mode; ignored when `voice`).
+  std::string transcript;
+  /// Voice mode: `utterance` passes through the simulated recognizer
+  /// (driven by `rng` + `noise`) before translation.
+  bool voice = false;
+  std::string utterance;
+  speech::SpeechNoiseOptions noise;
+  Rng* rng = nullptr;  ///< Required in voice mode; non-owning.
+
+  /// End-to-end answer deadline. Infinite (the default) runs the exact
+  /// unbounded pipeline; a finite deadline is split across stages and the
+  /// answer degrades down the ladder exact -> degraded plan -> base-only
+  /// plot rather than running late (Answer::degradation reports the rung).
+  Deadline deadline;
+  /// Per-request planner override; unset inherits MuveOptions::use_ilp.
+  /// An overriding request never reads or fills the compiled-plan memo
+  /// (its plans would not replay for the session default).
+  std::optional<bool> use_ilp;
+  /// Skip every session cache (results, candidates, plan memo) for this
+  /// request, reads and writes alike.
+  bool bypass_cache = false;
+  /// Test hook, invoked at entry of each stage that runs (before any of
+  /// its work). Deadline tests advance a FakeClock here to force expiry
+  /// inside an exact stage.
+  std::function<void(Stage)> stage_observer;
+
+  /// A text request with default controls.
+  static Request Text(std::string_view text) {
+    Request request;
+    request.transcript = std::string(text);
+    return request;
+  }
+
+  /// A voice request with default controls.
+  static Request Voice(std::string_view utterance, Rng* rng,
+                       const speech::SpeechNoiseOptions& noise = {}) {
+    Request request;
+    request.voice = true;
+    request.utterance = std::string(utterance);
+    request.rng = rng;
+    request.noise = noise;
+    return request;
+  }
+};
+
+/// Wall-clock milliseconds spent in each pipeline stage of one request.
+/// Stages that did not run (ASR for text requests, the front half on a
+/// plan-memo hit) report 0.
+struct StageTimings {
+  double asr_millis = 0.0;
+  double translate_millis = 0.0;
+  double generate_millis = 0.0;
+  double plan_millis = 0.0;
+  double execute_millis = 0.0;
+
+  /// Sum over the core pipeline (ASR excluded — it is upstream of the
+  /// pipeline proper, mirroring a deployed recognizer).
+  double PipelineMillis() const {
+    return translate_millis + generate_millis + plan_millis +
+           execute_millis;
+  }
+};
+
+/// How (and how far) one answer degraded under its deadline.
+struct Degradation {
+  /// The degradation ladder, best rung first.
+  enum class Rung {
+    kExact = 0,         ///< Full pipeline, nothing cut.
+    kDegradedPlan = 1,  ///< Reduced candidates and/or truncated planning.
+    kBaseOnly = 2,      ///< Only the base query's result is guaranteed.
+  };
+
+  Rung rung = Rung::kExact;
+  /// Candidate expansion stopped early (distribution is a capped subset).
+  bool candidates_capped = false;
+  /// Greedy planning returned its best-so-far plan on expiry.
+  bool plan_truncated = false;
+  /// ILP ran out of budget and the greedy incumbent (or less) was kept.
+  bool ilp_fell_back = false;
+  /// Planning produced no multiplot in time; a base-query-only plot was
+  /// synthesized so the user still sees the most likely answer.
+  bool base_only_fallback = false;
+  /// Execution-stage drops (see exec::Execution).
+  size_t units_dropped = 0;
+  size_t bars_dropped = 0;
+  size_t plots_dropped = 0;
+
+  bool degraded() const { return rung != Rung::kExact; }
+
+  /// e.g. "exact", "degraded-plan [plan-truncated]",
+  /// "base-only [candidates-capped,units-dropped]".
+  std::string Describe() const;
+};
+
 /// The complete MUVE pipeline (paper Fig. 1) over one table:
 /// (noisy) text -> base SQL (text-to-SQL) -> probability distribution over
 /// candidate queries (text-to-multi-SQL) -> multiplot selection
 /// (visualization planner) -> merged query execution -> multiplot with
 /// results.
 ///
-/// Speech recognition happens upstream: callers either pass recognized
-/// text to AskText(), or pass a clean utterance plus noise options to
-/// AskVoice(), which simulates the recognizer.
+/// Ask() serves one Request end to end under its deadline; AskText() and
+/// AskVoice() are thin wrappers over default-control requests.
 class MuveEngine {
  public:
   /// The full answer to one voice query.
@@ -74,17 +179,31 @@ class MuveEngine {
     core::CandidateSet candidates;  ///< Probability distribution.
     core::PlanResult plan;          ///< Multiplot with filled-in values.
     exec::Execution execution;
-    double pipeline_millis = 0.0;   ///< Planning + execution time.
+    StageTimings timings;           ///< Per-stage wall-clock breakdown.
+    Degradation degradation;        ///< Deadline degradation report.
+    /// Core pipeline time (= timings.PipelineMillis(); ASR excluded).
+    double pipeline_millis = 0.0;
   };
 
   explicit MuveEngine(std::shared_ptr<const db::Table> table,
                       MuveOptions options = {});
 
-  /// Answers a (recognized) text query.
+  /// Serves one request end to end. With an infinite deadline and default
+  /// controls the answer is byte-identical to the classic AskText /
+  /// AskVoice pipeline at every thread count; under a finite deadline the
+  /// answer returns within the deadline plus at most one executor
+  /// partition grain, degraded down the ladder
+  /// exact -> degraded plan -> base-query-only plot as needed
+  /// (Answer::degradation says which rung and why).
+  Result<Answer> Ask(const Request& request);
+
+  /// Answers a (recognized) text query. Equivalent to
+  /// `Ask(Request::Text(text))`.
   Result<Answer> AskText(std::string_view text);
 
   /// Answers a voice query: the utterance passes through the simulated
-  /// recognizer before translation.
+  /// recognizer before translation. Equivalent to
+  /// `Ask(Request::Voice(utterance, rng, noise))`.
   Result<Answer> AskVoice(std::string_view utterance, Rng* rng,
                           const speech::SpeechNoiseOptions& noise = {});
 
@@ -102,10 +221,12 @@ class MuveEngine {
   void ClearCaches();
 
  private:
-  /// One memoized pipeline front half: everything AskText computes before
+  /// One memoized pipeline front half: everything Ask computes before
   /// execution, keyed on the normalized transcript. Replaying a hit skips
   /// translation, candidate generation, and planning; execution always
   /// reruns (against the result cache) so answers reflect current data.
+  /// Degraded front halves are never memoized — a later unconstrained
+  /// request must not replay a capped distribution or truncated plan.
   struct PlanMemoEntry {
     db::AggregateQuery base_query;
     double base_confidence = 0.0;
@@ -121,6 +242,12 @@ class MuveEngine {
   /// Returns `options` with the master cache knob copied into the layers
   /// it governs (called in the init list before members that read it).
   static MuveOptions SyncCacheOptions(MuveOptions options);
+
+  /// Bottom rung of the ladder: a single plot showing only the base
+  /// query's bar (candidate #0, highlighted), synthesized when planning
+  /// ran out of time before selecting any multiplot.
+  static core::Multiplot BaseOnlyMultiplot(
+      const core::CandidateSet& candidates);
 
   MuveOptions options_;
   std::shared_ptr<const nlq::SchemaIndex> schema_index_;

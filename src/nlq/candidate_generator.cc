@@ -168,19 +168,47 @@ std::string CandidateCacheKey(const db::AggregateQuery& base,
 core::CandidateSet CandidateGenerator::Generate(
     const db::AggregateQuery& base, double base_confidence,
     const CandidateGeneratorOptions& options) const {
+  return Generate(base, base_confidence, options, GenerationConstraints{});
+}
+
+core::CandidateSet CandidateGenerator::Generate(
+    const db::AggregateQuery& base, double base_confidence,
+    const CandidateGeneratorOptions& options,
+    const GenerationConstraints& constraints, bool* capped) const {
   std::string cache_key;
-  if (cache_ != nullptr && cache_->enabled()) {
+  const bool use_cache =
+      cache_ != nullptr && cache_->enabled() && !constraints.bypass_cache;
+  if (capped != nullptr) *capped = false;
+  if (use_cache) {
     cache_key = CandidateCacheKey(base, base_confidence, options);
     core::CandidateSet cached;
+    // A hit replays a full (never capped) expansion — byte-identical to
+    // recomputation and effectively free, so it is served even when the
+    // deadline already expired.
     if (cache_->Get(cache_key, &cached)) return cached;
   }
+
+  // Deadline polling between enumeration sites: once out of budget, the
+  // remaining sites (and pair enumeration) are skipped and the set is
+  // flagged capped. With the default infinite deadline `out_of_time`
+  // never trips and the expansion below is exactly the unconstrained
+  // one.
+  bool expansion_capped = false;
+  const bool finite_deadline = constraints.deadline.IsFinite();
+  auto out_of_time = [&]() {
+    if (!finite_deadline) return false;
+    if (!expansion_capped && constraints.deadline.Expired()) {
+      expansion_capped = true;
+    }
+    return expansion_capped;
+  };
 
   std::vector<Replacement> replacements;
   int next_site_id = 0;
 
   // Site: aggregate function (only meaningful when a column is
   // aggregated; COUNT(*) has no alternative target).
-  if (!base.aggregate_column.empty()) {
+  if (!out_of_time() && !base.aggregate_column.empty()) {
     const int site = next_site_id++;
     const std::string base_name =
         ToLower(db::AggregateFunctionName(base.function));
@@ -201,7 +229,7 @@ core::CandidateSet CandidateGenerator::Generate(
 
   // Site: COUNT(*) bases may stem from a misrecognized aggregate
   // keyword — propose every (function, numeric column) combination.
-  if (base.aggregate_column.empty() &&
+  if (!out_of_time() && base.aggregate_column.empty() &&
       base.function == db::AggregateFunction::kCount &&
       options.count_star_alternative_weight > 0.0) {
     const int site = next_site_id++;
@@ -234,7 +262,7 @@ core::CandidateSet CandidateGenerator::Generate(
   }
 
   // Site: aggregate column.
-  if (!base.aggregate_column.empty()) {
+  if (!out_of_time() && !base.aggregate_column.empty()) {
     const int site = next_site_id++;
     for (const ColumnMatch& match : index_->TopColumns(
              base.aggregate_column, options.k_similar + 1,
@@ -251,6 +279,7 @@ core::CandidateSet CandidateGenerator::Generate(
 
   // Sites: predicate values and predicate columns.
   for (size_t p = 0; p < base.predicates.size(); ++p) {
+    if (out_of_time()) break;
     const db::Predicate& predicate = base.predicates[p];
     if (predicate.op != db::PredicateOp::kEq || predicate.values.empty() ||
         !predicate.values.front().is_string()) {
@@ -292,7 +321,7 @@ core::CandidateSet CandidateGenerator::Generate(
   }
 
   // Sites: dropping one of multiple predicates (spurious insertions).
-  if (base.predicates.size() >= 2 &&
+  if (!out_of_time() && base.predicates.size() >= 2 &&
       options.drop_predicate_weight > 0.0) {
     for (const db::Predicate& predicate : base.predicates) {
       Replacement r;
@@ -315,7 +344,7 @@ core::CandidateSet CandidateGenerator::Generate(
     candidates.Add(std::move(query), base_confidence * r.weight);
   }
 
-  if (options.include_pairs && !replacements.empty()) {
+  if (options.include_pairs && !replacements.empty() && !out_of_time()) {
     // Use only the strongest alternatives per site for pair enumeration.
     std::vector<size_t> order(replacements.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -355,9 +384,12 @@ core::CandidateSet CandidateGenerator::Generate(
     candidates = core::CandidateSet(std::move(trimmed));
   }
   candidates.Normalize();
-  if (cache_ != nullptr && cache_->enabled()) {
+  // Capped sets are never cached: a later unconstrained call must not
+  // replay a degraded distribution from the session cache.
+  if (use_cache && !expansion_capped) {
     cache_->Put(cache_key, candidates);
   }
+  if (capped != nullptr) *capped = expansion_capped;
   return candidates;
 }
 

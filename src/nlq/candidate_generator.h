@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cache/lru_cache.h"
+#include "common/clock.h"
 #include "core/candidate.h"
 #include "db/query.h"
 #include "nlq/schema_index.h"
@@ -65,6 +66,21 @@ class CandidateGenerator {
   /// must outlive the generator's Generate calls.
   void set_cache(Cache* cache) { cache_ = cache; }
 
+  /// Request-scoped constraints on one Generate call.
+  struct GenerationConstraints {
+    /// Budget for the phonetic expansion, checked between enumeration
+    /// sites and before pair enumeration: on expiry the remaining
+    /// expansion is skipped and the (still deduplicated, sorted, and
+    /// normalized) set is flagged capped. The base query is always
+    /// produced — candidate #0 exists on every rung of the serving
+    /// degradation ladder. The default infinite deadline is the exact
+    /// unconstrained expansion.
+    Deadline deadline;
+    /// Skip the session candidate cache for this call (reads and
+    /// writes).
+    bool bypass_cache = false;
+  };
+
   /// Generates the candidate set (normalized to total probability 1,
   /// sorted by descending probability, duplicates merged). The base query
   /// itself is always candidate #0. `base_confidence` scales how dominant
@@ -72,6 +88,16 @@ class CandidateGenerator {
   core::CandidateSet Generate(
       const db::AggregateQuery& base, double base_confidence = 1.0,
       const CandidateGeneratorOptions& options = {}) const;
+
+  /// As above with request-scoped constraints. `*capped` (optional) is
+  /// set to true when the deadline cut the expansion short; capped sets
+  /// are never stored in the session cache — a later unconstrained call
+  /// must not replay a degraded distribution.
+  core::CandidateSet Generate(const db::AggregateQuery& base,
+                              double base_confidence,
+                              const CandidateGeneratorOptions& options,
+                              const GenerationConstraints& constraints,
+                              bool* capped = nullptr) const;
 
  private:
   std::shared_ptr<const SchemaIndex> index_;

@@ -104,6 +104,16 @@ double BlendedSimilarity(const std::string& window,
 
 }  // namespace
 
+Result<Translation> Translator::Translate(std::string_view text,
+                                          const Deadline& deadline,
+                                          bool* deadline_overrun) const {
+  // The full translation runs regardless of the deadline (see header);
+  // only the overrun is reported so downstream stages can degrade.
+  Result<Translation> translation = Translate(text);
+  if (deadline_overrun != nullptr) *deadline_overrun = deadline.Expired();
+  return translation;
+}
+
 Result<Translation> Translator::Translate(std::string_view text) const {
   std::vector<std::string> tokens = TokenizeUtterance(text);
   if (tokens.empty()) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "db/query.h"
 #include "nlq/schema_index.h"
@@ -39,6 +40,16 @@ class Translator {
   /// Translates an utterance. Fails when no predicate or aggregate target
   /// can be linked to the schema at all.
   Result<Translation> Translate(std::string_view text) const;
+
+  /// As Translate(), recording whether `deadline` expired while (or
+  /// before) translating. Translation always runs to completion even on
+  /// an expired deadline: every rung of the serving degradation ladder —
+  /// including the bottom base-query-only answer — needs the base query,
+  /// so this stage is the pipeline's irreducible floor. The overrun flag
+  /// lets the caller degrade every later stage immediately.
+  Result<Translation> Translate(std::string_view text,
+                                const Deadline& deadline,
+                                bool* deadline_overrun) const;
 
  private:
   std::shared_ptr<const SchemaIndex> index_;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -244,6 +245,55 @@ TEST(ClockTest, InfiniteDeadlineNeverExpires) {
 TEST(ClockTest, NonPositiveBudgetExpiresImmediately) {
   EXPECT_TRUE(Deadline::AfterMillis(0.0).Expired());
   EXPECT_TRUE(Deadline::AfterMillis(-5.0).Expired());
+}
+
+TEST(ClockTest, FakeClockControlsDeadline) {
+  FakeClock clock;
+  clock.SetMillis(100.0);
+  Deadline deadline = Deadline::AfterMillis(10.0, &clock);
+  EXPECT_TRUE(deadline.IsFinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingMillis(), 10.0);
+
+  clock.AdvanceMillis(9.0);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingMillis(), 1.0);
+
+  clock.AdvanceMillis(1.0);  // Exactly at expiry: now >= expiry.
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMillis(), 0.0);
+
+  // A frozen clock never expires an unexpired deadline on its own.
+  Deadline fresh = Deadline::AfterMillis(5.0, &clock);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fresh.Expired());
+}
+
+TEST(ClockTest, FakeClockInfiniteBudgetStaysInfinite) {
+  FakeClock clock;
+  Deadline deadline = Deadline::AfterMillis(
+      std::numeric_limits<double>::infinity(), &clock);
+  EXPECT_FALSE(deadline.IsFinite());
+  clock.AdvanceMillis(1e12);
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(ClockTest, TightestPicksSmallerRemaining) {
+  FakeClock clock;
+  clock.SetMillis(50.0);
+  Deadline near = Deadline::AfterMillis(5.0, &clock);
+  Deadline far = Deadline::AfterMillis(500.0, &clock);
+  Deadline infinite = Deadline::Infinite();
+
+  EXPECT_DOUBLE_EQ(Deadline::Tightest(near, far).RemainingMillis(), 5.0);
+  EXPECT_DOUBLE_EQ(Deadline::Tightest(far, near).RemainingMillis(), 5.0);
+  // Any finite deadline beats infinite; both infinite stays infinite.
+  EXPECT_TRUE(Deadline::Tightest(far, infinite).IsFinite());
+  EXPECT_TRUE(Deadline::Tightest(infinite, near).IsFinite());
+  EXPECT_FALSE(Deadline::Tightest(infinite, Deadline::Infinite()).IsFinite());
+  // The winner keeps its own clock so later Expired() calls track it.
+  Deadline winner = Deadline::Tightest(infinite, near);
+  clock.AdvanceMillis(5.0);
+  EXPECT_TRUE(winner.Expired());
 }
 
 }  // namespace

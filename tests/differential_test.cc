@@ -664,5 +664,101 @@ TEST_F(DifferentialTest, MuvePipelineCachedVsUncachedReplay) {
   EXPECT_GT(plan_hits, 0u);
 }
 
+TEST_F(DifferentialTest, DeadlineRequestVsClassicPipeline) {
+  // The serving API's deadline machinery must be invisible when time
+  // never runs out. Three implementations of the same ask must agree
+  // byte-for-byte at every thread count:
+  //   - AskText (classic wrapper, infinite deadline, cached engine);
+  //   - Ask with a generous *finite* real-clock deadline — this takes
+  //     every deadline-aware code path (stage budgets, grain-checked
+  //     scans, protected-base unit scheduling, seeded ILP-free greedy)
+  //     without any of them firing;
+  //   - Ask with bypass_cache on the cached engine vs a cache-disabled
+  //     engine (a bypass request must equal the uncached pipeline and
+  //     leave the session caches untouched).
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 800000 + static_cast<uint64_t>(seed));
+    testing::RandomTableOptions table_options;
+    table_options.min_rows = 150;
+    table_options.max_rows = 400;
+    auto table = testing::RandomTable(&rng, table_options);
+    db::AggregateQuery target = testing::RandomAggregateQuery(*table, &rng);
+    if (target.predicates.empty()) {
+      target.predicates.push_back(
+          testing::RandomPredicate(*table, &rng, 0.0));
+    }
+    const std::string utterance = nlq::VerbalizeQuery(target);
+
+    const size_t threads = kThreadCounts[seed % 3];
+    MuveOptions options;
+    options.execution.num_threads = threads;
+    MuveOptions uncached_options = options;
+    uncached_options.cache_capacity = 0;
+    MuveEngine classic(table, options);
+    MuveEngine bounded(table, options);
+    MuveEngine uncached(table, uncached_options);
+
+    for (const char* phase : {"cold", "warm"}) {
+      const std::string context = "seed " + std::to_string(seed) + " " +
+                                  phase + " threads " +
+                                  std::to_string(threads) + " \"" +
+                                  utterance + "\"";
+      const auto expected = classic.AskText(utterance);
+
+      Request request = Request::Text(utterance);
+      request.deadline = Deadline::AfterMillis(1e9);  // Never expires.
+      const auto finite = bounded.Ask(request);
+
+      Request bypass = Request::Text(utterance);
+      bypass.bypass_cache = true;
+      const auto bypassed = classic.Ask(bypass);
+      const auto reference = uncached.AskText(utterance);
+
+      ASSERT_EQ(expected.ok(), finite.ok()) << context;
+      ASSERT_EQ(reference.ok(), bypassed.ok()) << context;
+      if (!expected.ok()) break;
+
+      const MuveEngine::Answer* comparisons[][2] = {
+          {&*expected, &*finite}, {&*reference, &*bypassed}};
+      for (const auto& pair : comparisons) {
+        const MuveEngine::Answer& lhs = *pair[0];
+        const MuveEngine::Answer& rhs = *pair[1];
+        EXPECT_EQ(lhs.base_query.CanonicalKey(),
+                  rhs.base_query.CanonicalKey())
+            << context;
+        EXPECT_EQ(lhs.base_confidence, rhs.base_confidence) << context;
+        ASSERT_EQ(lhs.candidates.size(), rhs.candidates.size()) << context;
+        for (size_t i = 0; i < lhs.candidates.size(); ++i) {
+          EXPECT_EQ(lhs.candidates[i].query.CanonicalKey(),
+                    rhs.candidates[i].query.CanonicalKey())
+              << context << " candidate " << i;
+          EXPECT_EQ(lhs.candidates[i].probability,
+                    rhs.candidates[i].probability)
+              << context << " candidate " << i;
+        }
+        EXPECT_EQ(PlanSignature(lhs.plan.multiplot),
+                  PlanSignature(rhs.plan.multiplot))
+            << context;
+        ASSERT_EQ(lhs.execution.values.size(), rhs.execution.values.size())
+            << context;
+        for (size_t i = 0; i < lhs.execution.values.size(); ++i) {
+          const bool both_nan = std::isnan(lhs.execution.values[i]) &&
+                                std::isnan(rhs.execution.values[i]);
+          EXPECT_TRUE(both_nan ||
+                      lhs.execution.values[i] == rhs.execution.values[i])
+              << context << " value " << i;
+        }
+      }
+      // The generous finite deadline never actually degraded anything.
+      EXPECT_FALSE(finite->degradation.degraded()) << context;
+      EXPECT_EQ(finite->degradation.Describe(), "exact") << context;
+    }
+    // Bypass requests left the cache-disabled engine's caches silent and
+    // never wrote through the classic engine's memo on their own.
+    EXPECT_EQ(uncached.cache_stats().Total().lookups(), 0u)
+        << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace muve

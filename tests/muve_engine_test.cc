@@ -188,5 +188,117 @@ TEST(MuveEngineTest, AmbiguousQueryCoversMultipleInterpretations) {
   EXPECT_TRUE(heeding_shown);
 }
 
+// ---------------------------------------------------------------------
+// Request serving API.
+// ---------------------------------------------------------------------
+
+TEST(MuveEngineTest, AskTextEqualsAskWithDefaultRequest) {
+  // Fresh engine per path so session caches cannot couple the runs.
+  MuveEngine classic(Table311());
+  MuveEngine served(Table311());
+  auto expected = classic.AskText("how many complaints in brooklyn");
+  auto actual = served.Ask(Request::Text("how many complaints in brooklyn"));
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(expected->transcript, actual->transcript);
+  EXPECT_EQ(expected->base_query.CanonicalKey(),
+            actual->base_query.CanonicalKey());
+  ASSERT_EQ(expected->execution.values.size(),
+            actual->execution.values.size());
+  for (size_t i = 0; i < expected->execution.values.size(); ++i) {
+    const bool both_nan = std::isnan(expected->execution.values[i]) &&
+                          std::isnan(actual->execution.values[i]);
+    EXPECT_TRUE(both_nan || expected->execution.values[i] ==
+                                actual->execution.values[i])
+        << "candidate " << i;
+  }
+  EXPECT_FALSE(actual->degradation.degraded());
+  EXPECT_EQ(actual->degradation.Describe(), "exact");
+}
+
+TEST(MuveEngineTest, AskVoiceEqualsAskWithVoiceRequest) {
+  MuveEngine classic(Table311());
+  MuveEngine served(Table311());
+  speech::SpeechNoiseOptions noise;
+  noise.substitution_rate = 0.2;
+  // Identical seeds: the recognizer must consume the rng identically.
+  Rng classic_rng(99);
+  Rng served_rng(99);
+  auto expected = classic.AskVoice("how many noise complaints in brooklyn",
+                                   &classic_rng, noise);
+  auto actual = served.Ask(Request::Voice(
+      "how many noise complaints in brooklyn", &served_rng, noise));
+  ASSERT_EQ(expected.ok(), actual.ok());
+  if (!expected.ok()) return;
+  EXPECT_EQ(expected->transcript, actual->transcript);
+  EXPECT_EQ(expected->base_query.CanonicalKey(),
+            actual->base_query.CanonicalKey());
+}
+
+TEST(MuveEngineTest, StageTimingsSumToPipelineMillis) {
+  MuveEngine engine(Table311());
+  auto answer = engine.AskText("how many complaints in brooklyn");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->timings.asr_millis, 0.0);  // Text request: no ASR.
+  EXPECT_GT(answer->timings.translate_millis, 0.0);
+  EXPECT_GT(answer->timings.execute_millis, 0.0);
+  EXPECT_DOUBLE_EQ(answer->pipeline_millis,
+                   answer->timings.PipelineMillis());
+
+  Rng rng(7);
+  auto voiced = engine.AskVoice("how many complaints in brooklyn", &rng);
+  ASSERT_TRUE(voiced.ok());
+  EXPECT_GE(voiced->timings.asr_millis, 0.0);
+  // ASR stays out of the pipeline figure (it is upstream of MUVE).
+  EXPECT_DOUBLE_EQ(voiced->pipeline_millis,
+                   voiced->timings.PipelineMillis());
+}
+
+TEST(MuveEngineTest, UseIlpOverrideNeverTouchesPlanMemo) {
+  MuveOptions options;
+  options.planner.timeout_ms = 1500.0;
+  options.generation.max_candidates = 12;
+  MuveEngine engine(Table311(), options);  // Session default: greedy.
+
+  Request request = Request::Text("how many complaints in brooklyn");
+  request.use_ilp = true;
+  auto first = engine.Ask(request);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Ask(request);
+  ASSERT_TRUE(second.ok());
+  // Overriding requests neither probe nor fill the memo: its plans
+  // would not replay correctly for the session's default planner.
+  EXPECT_EQ(engine.cache_stats().plans.lookups(), 0u);
+
+  // The session default still memoizes as before.
+  auto classic = engine.AskText("how many complaints in brooklyn");
+  ASSERT_TRUE(classic.ok());
+  auto replay = engine.AskText("how many complaints in brooklyn");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(engine.cache_stats().plans.hits, 1u);
+}
+
+TEST(MuveEngineTest, BypassCacheLeavesSessionCachesCold) {
+  MuveEngine engine(Table311());
+  Request request = Request::Text("how many complaints in brooklyn");
+  request.bypass_cache = true;
+  auto first = engine.Ask(request);
+  auto second = engine.Ask(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.cache_stats().Total().lookups(), 0u);
+  // Both runs took the exact uncached path: identical answers.
+  EXPECT_EQ(first->base_query.CanonicalKey(),
+            second->base_query.CanonicalKey());
+  ASSERT_EQ(first->execution.values.size(),
+            second->execution.values.size());
+  for (size_t i = 0; i < first->execution.values.size(); ++i) {
+    const bool both_nan = std::isnan(first->execution.values[i]) &&
+                          std::isnan(second->execution.values[i]);
+    EXPECT_TRUE(both_nan ||
+                first->execution.values[i] == second->execution.values[i]);
+  }
+}
+
 }  // namespace
 }  // namespace muve
