@@ -45,6 +45,14 @@ if [[ -f build/BENCH_serve.json ]]; then
   cat build/BENCH_serve.json
 fi
 
+# The bench_server_smoke tier1 test wrote concurrent-server stats
+# (offered vs sustained QPS, shed ratio, single-flight hit ratio,
+# deadline-hit ratio); surface them.
+if [[ -f build/BENCH_server.json ]]; then
+  echo "==> Concurrent server smoke stats (build/BENCH_server.json)"
+  cat build/BENCH_server.json
+fi
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> Skipping ThreadSanitizer pass (--skip-tsan)"
   exit 0

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Infeasible";
     case StatusCode::kUnbounded:
       return "Unbounded";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kParseError,
   kInfeasible,
   kUnbounded,
+  kOverloaded,
 };
 
 /// Returns a human-readable name for a status code ("Ok", "Timeout", ...).
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Unbounded(std::string msg) {
     return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

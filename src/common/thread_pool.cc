@@ -10,15 +10,23 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  live_threads_.store(n, std::memory_order_release);
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  // Claim the worker vector under the lock so concurrent Shutdown calls
+  // (or Shutdown racing the destructor) join each thread exactly once.
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    workers.swap(workers_);
   }
   cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers) worker.join();
+  live_threads_.store(0, std::memory_order_release);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -23,26 +24,45 @@ namespace muve {
 /// thread count is a single configuration knob (`num_threads` in
 /// `EngineOptions` / `MuveOptions`).
 ///
-/// Lifetime: workers start in the constructor and are joined in the
-/// destructor after finishing every task already queued (graceful
-/// shutdown); Submit after shutdown began is rejected with a broken
-/// future-less no-op and must not happen in correct code.
+/// Lifetime: workers start in the constructor and are joined by
+/// Shutdown() — explicit or from the destructor — after finishing every
+/// task already queued (graceful drain). Submit after shutdown began
+/// throws std::runtime_error rather than returning a future that would
+/// never become ready (a caller blocking on such a future hangs
+/// forever; serving drain paths must see the error immediately).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains the queue, then joins all workers.
+  /// Calls Shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Worker count; 0 once Shutdown() completed. Lock-free (ParallelFor
+  /// reads it on hot paths).
+  size_t num_threads() const {
+    return live_threads_.load(std::memory_order_acquire);
+  }
+
+  /// Stops accepting tasks, drains everything already queued, and joins
+  /// the workers. Idempotent and safe to race with other Shutdown calls;
+  /// after it returns num_threads() is 0 and every Submit throws.
+  void Shutdown();
+
+  /// True once Shutdown() has begun: Submit will throw.
+  bool shutdown_started() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stop_;
+  }
 
   /// Enqueues `fn` and returns a future for its result. The future's
   /// get() rethrows any exception thrown by `fn` (std::packaged_task
-  /// semantics).
+  /// semantics). Throws std::runtime_error when called at or after
+  /// Shutdown() — the task can never run, so an immediately visible
+  /// error beats a future whose get() would hang.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -53,7 +73,11 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!stop_) queue_.emplace_back([task] { (*task)(); });
+      if (stop_) {
+        throw std::runtime_error(
+            "ThreadPool::Submit called after Shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
     return future;
@@ -66,11 +90,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // Guarded by mutex_ after ctor.
+  std::atomic<size_t> live_threads_{0};
 };
 
 /// Runs `body(chunk, begin, end)` for every chunk of [0, n) cut into

@@ -95,6 +95,7 @@ Engine::Engine(std::shared_ptr<const db::Table> table, EngineOptions options)
 
 std::shared_ptr<const db::Table> Engine::SampleTable(double fraction) {
   if (fraction >= 1.0) return table_;
+  std::lock_guard<std::mutex> lock(samples_mutex_);
   auto it = samples_.find(fraction);
   if (it != samples_.end()) return it->second;
   std::shared_ptr<const db::Table> sample = table_->Sample(fraction);

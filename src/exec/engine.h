@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cache/query_cache.h"
@@ -170,6 +171,9 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<cache::QueryCache> result_cache_;
   double cost_units_per_ms_ = 1.0;
+  /// Lazily materialized row samples, keyed by fraction. Guarded by
+  /// `samples_mutex_`: concurrent serving requests may share one engine.
+  std::mutex samples_mutex_;
   std::map<double, std::shared_ptr<const db::Table>> samples_;
 };
 

@@ -220,6 +220,15 @@ class MuveEngine {
   /// resetting counters — subsequent queries recompute from scratch.
   void ClearCaches();
 
+  /// Whitespace-normalized lowercase token stream of a transcript,
+  /// mirroring the translator's own input normalization: transcripts with
+  /// equal keys translate (and therefore plan) identically. Public
+  /// because the serving layer keys shared-work coalescing on it — two
+  /// concurrent requests with equal keys compute identical answers over
+  /// the same table and engine options, so one pipeline execution can
+  /// serve both.
+  static std::string NormalizedTranscriptKey(std::string_view text);
+
  private:
   /// One memoized pipeline front half: everything Ask computes before
   /// execution, keyed on the normalized transcript. Replaying a hit skips
@@ -233,11 +242,6 @@ class MuveEngine {
     core::CandidateSet candidates;
     core::PlanResult plan;
   };
-
-  /// Whitespace-normalized lowercase token stream of a transcript,
-  /// mirroring the translator's own input normalization: transcripts with
-  /// equal keys translate (and therefore plan) identically.
-  static std::string NormalizedTranscriptKey(std::string_view text);
 
   /// Returns `options` with the master cache knob copied into the layers
   /// it governs (called in the init list before members that read it).

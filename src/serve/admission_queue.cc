@@ -1,0 +1,15 @@
+#include "serve/admission_queue.h"
+
+namespace muve::serve {
+
+const char* RequestClassName(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kInteractive:
+      return "interactive";
+    case RequestClass::kReplay:
+      return "replay";
+  }
+  return "unknown";
+}
+
+}  // namespace muve::serve

@@ -1,0 +1,167 @@
+#ifndef MUVE_SERVE_ADMISSION_QUEUE_H_
+#define MUVE_SERVE_ADMISSION_QUEUE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace muve::serve {
+
+/// Scheduling class of one serving request. Classes are a *strict*
+/// priority: every queued interactive request dispatches before any
+/// replay request — replay traffic (bulk re-runs, warmers, analytics)
+/// may starve under interactive load, never the other way around.
+enum class RequestClass {
+  kInteractive = 0,  ///< A user is waiting on the answer.
+  kReplay = 1,       ///< Background replay / bulk traffic.
+};
+
+inline constexpr size_t kNumRequestClasses = 2;
+
+/// "interactive" / "replay".
+const char* RequestClassName(RequestClass cls);
+
+/// Bounded admission queue with deadline-aware dispatch order:
+/// requests pop in (class, earliest absolute deadline, arrival) order —
+/// strict class priority, earliest-deadline-first within a class,
+/// FIFO among equal deadlines (infinite deadlines sort last, so bounded
+/// requests always overtake unbounded ones of the same class).
+///
+/// Admission is the server's backpressure point: Push on a full queue
+/// fails fast with Status::Overloaded instead of queueing unboundedly —
+/// the caller rejects the request rather than letting it time out deep
+/// in the pipeline.
+///
+/// The EDF key is the request deadline's absolute expiry projected onto
+/// its own clock at push time (`clock->NowMillis() + remaining`), so
+/// ordering is stable while entries wait. Requests on different clocks
+/// (a FakeClock test mixed with real traffic) compare by raw key; in
+/// production everything shares the monotonic clock and the order is
+/// exact EDF.
+///
+/// Thread-safe; Pop blocks until an entry arrives or Close() is called.
+/// T must be movable (move-only types like std::unique_ptr work).
+template <typename T>
+class AdmissionQueue {
+ public:
+  /// `max_depth` bounds queued-but-undispatched entries (at least 1).
+  explicit AdmissionQueue(size_t max_depth)
+      : max_depth_(std::max<size_t>(1, max_depth)) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  size_t max_depth() const { return max_depth_; }
+
+  /// Enqueues `item`. Fails with Overloaded when the queue is full and
+  /// FailedPrecondition once closed; on failure the caller's object is
+  /// not moved from (rejection paths still own their request and can
+  /// resolve its promise).
+  Status Push(T&& item, const Deadline& deadline, RequestClass cls) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return Status::FailedPrecondition("admission queue closed");
+      }
+      if (heap_.size() >= max_depth_) {
+        ++rejected_full_;
+        return Status::Overloaded("admission queue full");
+      }
+      Entry entry;
+      entry.item = std::move(item);
+      entry.cls = static_cast<int>(cls);
+      entry.edf_key =
+          deadline.IsFinite()
+              ? deadline.clock()->NowMillis() + deadline.RemainingMillis()
+              : std::numeric_limits<double>::infinity();
+      entry.seq = next_seq_++;
+      heap_.push_back(std::move(entry));
+      std::push_heap(heap_.begin(), heap_.end(), LaterFirst);
+      ++pushed_;
+    }
+    cv_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until an entry is available and moves the scheduled-first
+  /// one into `*out`, or returns false when the queue is closed and
+  /// drained (entries pushed before Close still pop).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), LaterFirst);
+    *out = std::move(heap_.back().item);
+    heap_.pop_back();
+    return true;
+  }
+
+  /// Stops admissions and wakes every blocked Pop. Entries already
+  /// queued still drain; once empty, Pop returns false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Entries currently queued (admitted, not yet popped).
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+  }
+
+  uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushed_;
+  }
+
+  /// Pushes rejected because the queue was at max_depth.
+  uint64_t rejected_full() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_full_;
+  }
+
+ private:
+  struct Entry {
+    T item;
+    int cls = 0;
+    double edf_key = 0.0;
+    uint64_t seq = 0;
+  };
+
+  /// std::push_heap comparator for a min-ordered pop: "a schedules
+  /// *later* than b" puts the earliest (class, deadline, seq) on top.
+  static bool LaterFirst(const Entry& a, const Entry& b) {
+    if (a.cls != b.cls) return a.cls > b.cls;
+    if (a.edf_key != b.edf_key) return a.edf_key > b.edf_key;
+    return a.seq > b.seq;
+  }
+
+  const size_t max_depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> heap_;
+  bool closed_ = false;
+  uint64_t next_seq_ = 0;
+  uint64_t pushed_ = 0;
+  uint64_t rejected_full_ = 0;
+};
+
+}  // namespace muve::serve
+
+#endif  // MUVE_SERVE_ADMISSION_QUEUE_H_

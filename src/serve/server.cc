@@ -1,0 +1,332 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace muve::serve {
+
+Server::Server(std::shared_ptr<const db::Table> table,
+               ServerOptions options)
+    : options_(options),
+      sessions_(std::move(table), options.sessions),
+      queue_(options.max_queue_depth),
+      max_in_flight_(options.max_in_flight > 0
+                         ? options.max_in_flight
+                         : std::max<size_t>(1, options.num_workers)) {
+  const size_t workers = std::max<size_t>(1, options_.num_workers);
+  pool_ = std::make_unique<ThreadPool>(workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.push_back(pool_->Submit([this] { WorkerLoop(); }));
+  }
+}
+
+Server::~Server() { Drain(); }
+
+double Server::NowMillis() const {
+  return MonotonicClock::Instance()->NowMillis();
+}
+
+std::future<Result<ServedAnswer>> Server::Submit(
+    const std::string& session_id, Request request,
+    RequestClass request_class) {
+  auto task = std::make_unique<Task>();
+  task->session_id = session_id;
+  task->request = std::move(request);
+  task->request_class = request_class;
+  std::future<Result<ServedAnswer>> future = task->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+    ++stats_.class_submitted[static_cast<size_t>(request_class)];
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!accepting_) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.rejected_stopped;
+      task->promise.set_value(
+          Status::FailedPrecondition("server is draining"));
+      return future;
+    }
+  }
+
+  // Feasibility floor: a request that cannot possibly be answered in
+  // its remaining budget is rejected now — cheaply, at admission —
+  // instead of occupying queue and worker capacity to deliver a
+  // bottom-rung answer after its deadline anyway.
+  const Deadline& deadline = task->request.deadline;
+  if (options_.feasibility_floor_millis > 0.0 && deadline.IsFinite() &&
+      deadline.RemainingMillis() < options_.feasibility_floor_millis) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected_infeasible;
+    task->promise.set_value(Status::Overloaded(
+        "remaining deadline budget below feasibility floor"));
+    return future;
+  }
+
+  // Single-flight admission: when an identical coalescible request is
+  // already queued or executing, attach this one to its flight instead
+  // of spending a queue slot and a dispatch on duplicated work. The
+  // leader's worker resolves the promise when it fans its answer out.
+  if (options_.enable_single_flight && Coalescible(task->request)) {
+    task->admitted_millis = NowMillis();
+    const std::string key =
+        MuveEngine::NormalizedTranscriptKey(task->request.transcript);
+    FlightTicket ticket = single_flight_.LeadOrAttach(key, &task);
+    if (!ticket.led) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.admitted;
+      return future;
+    }
+    task->flight = std::move(ticket);
+  }
+
+  task->admitted_millis = NowMillis();
+  const Status pushed =
+      queue_.Push(std::move(task), deadline, request_class);
+  if (!pushed.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (pushed.code() == StatusCode::kOverloaded) {
+        ++stats_.rejected_queue_full;
+      } else {
+        ++stats_.rejected_stopped;
+      }
+    }
+    // Push rejections leave the caller's object intact; release any
+    // followers that attached in the window since LeadOrAttach.
+    std::vector<TaskPtr> orphans = single_flight_.Close(task->flight);
+    for (TaskPtr& orphan : orphans) {
+      ShedTask(*orphan, pushed, &ServerStats::shed_at_dispatch);
+    }
+    task->promise.set_value(pushed);
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.admitted;
+  }
+  return future;
+}
+
+Result<ServedAnswer> Server::Ask(const std::string& session_id,
+                                 Request request,
+                                 RequestClass request_class) {
+  return Submit(session_id, std::move(request), request_class).get();
+}
+
+void Server::WorkerLoop() {
+  TaskPtr task;
+  while (queue_.Pop(&task)) {
+    ProcessTask(std::move(task));
+  }
+}
+
+void Server::ShedTask(Task& task, const Status& status,
+                      uint64_t ServerStats::*counter) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++(stats_.*counter);
+  }
+  task.promise.set_value(status);
+}
+
+void Server::ProcessTask(TaskPtr task) {
+  if (shed_queued_.load(std::memory_order_acquire)) {
+    const Status status =
+        Status::Overloaded("server stopped before dispatch");
+    std::vector<TaskPtr> members = single_flight_.Close(task->flight);
+    for (TaskPtr& member : members) {
+      ShedTask(*member, status, &ServerStats::rejected_stopped);
+    }
+    ShedTask(*task, status, &ServerStats::rejected_stopped);
+    return;
+  }
+
+  const double queue_millis =
+      std::max(0.0, NowMillis() - task->admitted_millis);
+
+  const auto below_floor = [this](const Deadline& d) {
+    return options_.feasibility_floor_millis > 0.0 && d.IsFinite() &&
+           d.RemainingMillis() < options_.feasibility_floor_millis;
+  };
+
+  // Re-check feasibility at dispatch: the budget may have drained while
+  // the request waited behind earlier deadlines. Followers have budgets
+  // of their own, so a shed leader closes its flight and promotes the
+  // first follower that can still make its deadline; the rest ride on
+  // the promoted execution or are shed with it.
+  std::vector<TaskPtr> carried;
+  if (below_floor(task->request.deadline)) {
+    const Status status = Status::Overloaded(
+        "deadline budget drained below feasibility floor in queue");
+    std::vector<TaskPtr> members = single_flight_.Close(task->flight);
+    ShedTask(*task, status, &ServerStats::shed_at_dispatch);
+    task.reset();
+    for (TaskPtr& member : members) {
+      if (below_floor(member->request.deadline)) {
+        ShedTask(*member, status, &ServerStats::shed_at_dispatch);
+      } else if (task == nullptr) {
+        task = std::move(member);
+      } else {
+        carried.push_back(std::move(member));
+      }
+    }
+    if (task == nullptr) return;
+  }
+
+  InFlightSlot slot(this);
+  const double service_start = NowMillis();
+  Result<MuveEngine::Answer> result = Execute(*task);
+  const double now = NowMillis();
+
+  // Take everything that attached while this task was queued and
+  // executing (plus any promoted survivors); they all resolve from this
+  // one execution.
+  std::vector<TaskPtr> followers = std::move(carried);
+  {
+    std::vector<TaskPtr> late = single_flight_.Close(task->flight);
+    for (TaskPtr& member : late) followers.push_back(std::move(member));
+  }
+
+  if (!result.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.failed += 1 + followers.size();
+    }
+    for (TaskPtr& member : followers) {
+      member->promise.set_value(result.status());
+    }
+    task->promise.set_value(result.status());
+    return;
+  }
+
+  ServedAnswer served;
+  served.answer = std::move(result).value();
+  served.request_class = task->request_class;
+  served.shared = false;
+  served.queue_millis = queue_millis;
+  served.service_millis = std::max(0.0, now - service_start);
+  served.total_millis = std::max(0.0, now - task->admitted_millis);
+  const Deadline& deadline = task->request.deadline;
+  served.deadline_met = !deadline.IsFinite() || !deadline.Expired();
+
+  for (TaskPtr& member : followers) {
+    ServedAnswer fanned;
+    fanned.answer = served.answer;
+    fanned.request_class = member->request_class;
+    fanned.shared = true;
+    // A follower never queued or executed: its whole life was waiting
+    // on the leader's flight, accounted as queueing.
+    fanned.total_millis =
+        std::max(0.0, now - member->admitted_millis);
+    fanned.queue_millis = fanned.total_millis;
+    fanned.service_millis = 0.0;
+    const Deadline& member_deadline = member->request.deadline;
+    fanned.deadline_met =
+        !member_deadline.IsFinite() || !member_deadline.Expired();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.completed;
+      if (member_deadline.IsFinite()) {
+        if (fanned.deadline_met) {
+          ++stats_.deadline_met;
+        } else {
+          ++stats_.deadline_missed;
+        }
+      }
+    }
+    member->promise.set_value(std::move(fanned));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.completed;
+    if (deadline.IsFinite()) {
+      if (served.deadline_met) {
+        ++stats_.deadline_met;
+      } else {
+        ++stats_.deadline_missed;
+      }
+    }
+  }
+  task->promise.set_value(std::move(served));
+}
+
+bool Server::Coalescible(const Request& request) {
+  // Only requests whose answer is a pure function of the transcript may
+  // share work: voice noise is per-session-random, bypass/override
+  // requests intentionally diverge from the session default, and stage
+  // observers must see their own pipeline run.
+  return !request.voice && !request.bypass_cache &&
+         !request.use_ilp.has_value() && !request.stage_observer;
+}
+
+Result<MuveEngine::Answer> Server::Execute(Task& task) {
+  SessionManager::Handle session = sessions_.Acquire(task.session_id);
+  Request& request = task.request;
+  Rng request_rng(0);
+  if (request.voice && request.rng == nullptr) {
+    // Derive a per-request seed from the session's voice-noise stream:
+    // concurrent requests of one session never race on one Rng, and a
+    // sequentially processed workload replays bit-identically.
+    request_rng.Seed(session->DrawRngSeed());
+    request.rng = &request_rng;
+  }
+  Result<MuveEngine::Answer> result = session->engine.Ask(request);
+  session->queries_served.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Server::InFlightSlot::InFlightSlot(Server* server) : server_(server) {
+  std::unique_lock<std::mutex> lock(server_->in_flight_mutex_);
+  server_->in_flight_cv_.wait(lock, [this] {
+    return server_->in_flight_ < server_->max_in_flight_;
+  });
+  ++server_->in_flight_;
+}
+
+Server::InFlightSlot::~InFlightSlot() {
+  {
+    std::lock_guard<std::mutex> lock(server_->in_flight_mutex_);
+    --server_->in_flight_;
+  }
+  server_->in_flight_cv_.notify_one();
+}
+
+void Server::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    accepting_ = false;
+    if (joined_) return;
+    joined_ = true;
+  }
+  queue_.Close();
+  for (std::future<void>& worker : workers_) {
+    if (worker.valid()) worker.get();
+  }
+  workers_.clear();
+  pool_->Shutdown();
+}
+
+void Server::Stop() {
+  shed_queued_.store(true, std::memory_order_release);
+  Drain();
+}
+
+ServerStats Server::stats() const {
+  ServerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.single_flight_leaders = single_flight_.flights_led();
+  snapshot.single_flight_followers = single_flight_.attached();
+  return snapshot;
+}
+
+}  // namespace muve::serve

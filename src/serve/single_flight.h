@@ -1,0 +1,127 @@
+#ifndef MUVE_SERVE_SINGLE_FLIGHT_H_
+#define MUVE_SERVE_SINGLE_FLIGHT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace muve::serve {
+
+/// Identifies one open flight to its leader. Obtained from
+/// SingleFlight::LeadOrAttach (engaged only on the lead outcome) and
+/// spent by SingleFlight::Close. The generation disambiguates flights
+/// that reuse a key: closing a stale ticket never touches a newer
+/// flight opened under the same key.
+struct FlightTicket {
+  std::string key;
+  uint64_t generation = 0;
+  bool led = false;
+};
+
+/// Admission-time shared-work coalescing for identical requests.
+///
+/// A *flight* opens when the first request with a given key (the
+/// *leader*) is admitted, and stays open while that request waits in
+/// the queue and executes. Identical requests arriving meanwhile
+/// *attach* to the open flight instead of being queued and executed
+/// themselves; when the leader's worker finishes, it Close()s the
+/// flight, takes every attached item, and fans the one answer out.
+///
+/// Attaching at admission rather than at execution has two properties
+/// the serving path relies on:
+///  - followers never consume queue slots or worker dispatches, so
+///    coalescing *adds* capacity under a burst of identical queries
+///    instead of merely deduplicating executions already dispatched;
+///  - the coalescing window is the whole queued-plus-executing
+///    lifetime of the leader, independent of whether two workers ever
+///    overlap in time — it works the same on one core as on sixteen.
+///
+/// T is the attached item (the serving layer uses its owning task
+/// pointer). All methods are thread-safe; attached items are owned by
+/// the registry until Close returns them, so a leader that is shed
+/// must still Close its flight and dispose of the followers.
+template <typename T>
+class SingleFlight {
+ public:
+  SingleFlight() = default;
+  SingleFlight(const SingleFlight&) = delete;
+  SingleFlight& operator=(const SingleFlight&) = delete;
+
+  /// Leads or attaches. When no flight for `key` is open, opens one and
+  /// returns an engaged ticket (`led` true); `*item` is untouched and
+  /// the caller proceeds to queue it. When a flight is open, moves
+  /// `*item` into it and returns a disengaged ticket — the caller's
+  /// request now rides on the leader's execution.
+  FlightTicket LeadOrAttach(const std::string& key, T* item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      FlightTicket ticket;
+      ticket.key = key;
+      ticket.generation = ++next_generation_;
+      ticket.led = true;
+      flights_.emplace(key, Flight{ticket.generation, {}});
+      ++flights_led_;
+      return ticket;
+    }
+    it->second.followers.push_back(std::move(*item));
+    ++attached_;
+    return FlightTicket{};
+  }
+
+  /// Closes the flight `ticket` opened and returns the followers
+  /// attached so far, in attach order. Idempotent: a disengaged or
+  /// already-spent ticket (or one whose key was since reopened by a
+  /// newer flight) returns an empty vector and changes nothing. After
+  /// Close, the next LeadOrAttach on the key opens a fresh flight.
+  std::vector<T> Close(FlightTicket& ticket) {
+    std::vector<T> followers;
+    if (!ticket.led) return followers;
+    ticket.led = false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = flights_.find(ticket.key);
+    if (it == flights_.end() || it->second.generation != ticket.generation) {
+      return followers;
+    }
+    followers = std::move(it->second.followers);
+    flights_.erase(it);
+    return followers;
+  }
+
+  /// Flights currently open (leaders queued or executing).
+  size_t open_flights() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flights_.size();
+  }
+
+  /// Flights ever opened (= coalescible leaders admitted).
+  uint64_t flights_led() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flights_led_;
+  }
+
+  /// Items ever attached to an open flight.
+  uint64_t attached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return attached_;
+  }
+
+ private:
+  struct Flight {
+    uint64_t generation = 0;
+    std::vector<T> followers;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Flight> flights_;
+  uint64_t next_generation_ = 0;
+  uint64_t flights_led_ = 0;
+  uint64_t attached_ = 0;
+};
+
+}  // namespace muve::serve
+
+#endif  // MUVE_SERVE_SINGLE_FLIGHT_H_

@@ -1,0 +1,333 @@
+#include "workload/load_generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "nlq/translator.h"
+
+namespace muve::workload {
+
+namespace {
+
+struct PlannedRequest {
+  std::string session_id;
+  std::string utterance;
+  serve::RequestClass request_class = serve::RequestClass::kInteractive;
+};
+
+/// Pre-plans the whole campaign so the request mix is deterministic in
+/// the seed regardless of how threads later interleave.
+Result<std::vector<PlannedRequest>> PlanRequests(const db::Table& table,
+                                                 const LoadOptions& options,
+                                                 Rng* rng) {
+  std::vector<PlannedRequest> planned;
+  planned.reserve(options.num_requests);
+  std::vector<std::string> utterance_pool;
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    PlannedRequest request;
+    request.session_id =
+        "session-" +
+        std::to_string(rng->UniformInt(std::max<size_t>(1, options.num_sessions)));
+    if (!utterance_pool.empty() &&
+        rng->Bernoulli(options.repeat_probability)) {
+      request.utterance = rng->Choice(utterance_pool);
+    } else {
+      Result<db::AggregateQuery> truth =
+          RandomQuery(table, rng, options.query);
+      if (!truth.ok()) return truth.status();
+      request.utterance = nlq::VerbalizeQuery(truth.value());
+      utterance_pool.push_back(request.utterance);
+    }
+    request.request_class = rng->Bernoulli(options.replay_fraction)
+                                ? serve::RequestClass::kReplay
+                                : serve::RequestClass::kInteractive;
+    planned.push_back(std::move(request));
+  }
+  return planned;
+}
+
+/// Per-request outcome recorded by the drivers.
+struct Outcome {
+  bool completed = false;
+  bool shed = false;
+  bool error = false;
+  bool shared = false;
+  bool finite_deadline = false;
+  bool deadline_met = false;
+  int rung = -1;
+  double latency_ms = 0.0;
+};
+
+Outcome RecordOutcome(const Result<serve::ServedAnswer>& result,
+                      bool finite_deadline) {
+  Outcome outcome;
+  outcome.finite_deadline = finite_deadline;
+  if (result.ok()) {
+    const serve::ServedAnswer& served = result.value();
+    outcome.completed = true;
+    outcome.shared = served.shared;
+    outcome.deadline_met = served.deadline_met;
+    outcome.latency_ms = served.total_millis;
+    outcome.rung = static_cast<int>(served.answer.degradation.rung);
+  } else if (result.status().code() == StatusCode::kOverloaded) {
+    outcome.shed = true;
+  } else {
+    outcome.error = true;
+  }
+  return outcome;
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const double rank = p * static_cast<double>(sorted_in_place->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_in_place->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted_in_place)[lo] * (1.0 - frac) +
+         (*sorted_in_place)[hi] * frac;
+}
+
+Request MakeRequest(const PlannedRequest& planned,
+                    const LoadOptions& options) {
+  Request request = Request::Text(planned.utterance);
+  if (std::isfinite(options.deadline_millis)) {
+    request.deadline = Deadline::AfterMillis(options.deadline_millis);
+  }
+  return request;
+}
+
+}  // namespace
+
+Result<LoadReport> RunLoad(serve::Server* server, const db::Table& table,
+                           const LoadOptions& options) {
+  Rng rng(options.seed);
+  Result<std::vector<PlannedRequest>> planned =
+      PlanRequests(table, options, &rng);
+  if (!planned.ok()) return planned.status();
+  const std::vector<PlannedRequest>& requests = planned.value();
+  const bool finite_deadline = std::isfinite(options.deadline_millis);
+
+  const serve::ServerStats stats_before = server->stats();
+
+  std::mutex outcomes_mutex;
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(requests.size());
+  auto record = [&](const Result<serve::ServedAnswer>& result) {
+    Outcome outcome = RecordOutcome(result, finite_deadline);
+    std::lock_guard<std::mutex> lock(outcomes_mutex);
+    outcomes.push_back(outcome);
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (options.mode == LoadOptions::Mode::kClosedLoop) {
+    // Closed loop: each client keeps one request in flight. The shared
+    // cursor hands out planned requests in order.
+    std::atomic<size_t> next{0};
+    const size_t clients =
+        std::max<size_t>(1, std::min(options.num_clients, requests.size()));
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests.size()) return;
+          const PlannedRequest& planned_request = requests[i];
+          record(server->Ask(planned_request.session_id,
+                             MakeRequest(planned_request, options),
+                             planned_request.request_class));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  } else {
+    // Open loop: submit on the arrival schedule no matter how the server
+    // is doing, then harvest every future. Deadlines start at submit
+    // time, so the schedule is honored even when the queue pushes back.
+    std::vector<double> arrivals_ms(requests.size());
+    double t = 0.0;
+    const double rate = std::max(options.offered_qps, 1e-6);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      arrivals_ms[i] = t;
+      if (options.poisson_arrivals) {
+        double u = rng.UniformDouble();
+        if (u <= 0.0) u = 0x1.0p-53;
+        t += -std::log(u) * 1000.0 / rate;
+      } else {
+        t += 1000.0 / rate;
+      }
+    }
+    std::vector<std::future<Result<serve::ServedAnswer>>> futures;
+    futures.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      std::this_thread::sleep_until(
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               arrivals_ms[i])));
+      const PlannedRequest& planned_request = requests[i];
+      futures.push_back(server->Submit(planned_request.session_id,
+                                       MakeRequest(planned_request, options),
+                                       planned_request.request_class));
+    }
+    for (std::future<Result<serve::ServedAnswer>>& future : futures) {
+      record(future.get());
+    }
+  }
+
+  const double duration_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  LoadReport report;
+  report.requests = requests.size();
+  report.duration_seconds = duration_seconds;
+  std::vector<double> latencies;
+  size_t finite_completed = 0;
+  size_t finite_met = 0;
+  double latency_sum = 0.0;
+  for (const Outcome& outcome : outcomes) {
+    if (outcome.completed) {
+      ++report.completed;
+      latencies.push_back(outcome.latency_ms);
+      latency_sum += outcome.latency_ms;
+      if (outcome.shared) ++report.shared_answers;
+      if (outcome.rung >= 0 && outcome.rung < 3) {
+        ++report.rung_histogram[outcome.rung];
+      }
+      if (outcome.finite_deadline) {
+        ++finite_completed;
+        if (outcome.deadline_met) ++finite_met;
+      }
+    } else if (outcome.shed) {
+      ++report.shed;
+    } else {
+      ++report.errors;
+    }
+  }
+  if (duration_seconds > 0.0) {
+    report.sustained_qps =
+        static_cast<double>(report.completed) / duration_seconds;
+  }
+  report.offered_qps =
+      options.mode == LoadOptions::Mode::kOpenLoop
+          ? options.offered_qps
+          : (duration_seconds > 0.0
+                 ? static_cast<double>(report.requests) / duration_seconds
+                 : 0.0);
+  report.p50_latency_ms = Percentile(&latencies, 0.50);
+  report.p95_latency_ms = Percentile(&latencies, 0.95);
+  report.p99_latency_ms = Percentile(&latencies, 0.99);
+  report.mean_latency_ms =
+      report.completed > 0
+          ? latency_sum / static_cast<double>(report.completed)
+          : 0.0;
+  report.shed_ratio =
+      report.requests > 0
+          ? static_cast<double>(report.shed) /
+                static_cast<double>(report.requests)
+          : 0.0;
+  report.deadline_hit_ratio =
+      finite_completed > 0 ? static_cast<double>(finite_met) /
+                                 static_cast<double>(finite_completed)
+                           : 1.0;
+  report.single_flight_hit_ratio =
+      report.completed > 0
+          ? static_cast<double>(report.shared_answers) /
+                static_cast<double>(report.completed)
+          : 0.0;
+
+  // Server funnel deltas over this campaign.
+  const serve::ServerStats after = server->stats();
+  serve::ServerStats delta;
+  delta.submitted = after.submitted - stats_before.submitted;
+  delta.admitted = after.admitted - stats_before.admitted;
+  delta.rejected_queue_full =
+      after.rejected_queue_full - stats_before.rejected_queue_full;
+  delta.rejected_infeasible =
+      after.rejected_infeasible - stats_before.rejected_infeasible;
+  delta.rejected_stopped =
+      after.rejected_stopped - stats_before.rejected_stopped;
+  delta.shed_at_dispatch =
+      after.shed_at_dispatch - stats_before.shed_at_dispatch;
+  delta.completed = after.completed - stats_before.completed;
+  delta.failed = after.failed - stats_before.failed;
+  delta.single_flight_leaders =
+      after.single_flight_leaders - stats_before.single_flight_leaders;
+  delta.single_flight_followers =
+      after.single_flight_followers - stats_before.single_flight_followers;
+  delta.deadline_met = after.deadline_met - stats_before.deadline_met;
+  delta.deadline_missed =
+      after.deadline_missed - stats_before.deadline_missed;
+  for (size_t i = 0; i < serve::kNumRequestClasses; ++i) {
+    delta.class_submitted[i] =
+        after.class_submitted[i] - stats_before.class_submitted[i];
+  }
+  report.server = delta;
+  return report;
+}
+
+std::string LoadReport::ToJson(const std::string& indent) const {
+  std::ostringstream out;
+  const std::string inner = indent + "  ";
+  out << "{\n";
+  out << inner << "\"requests\": " << requests << ",\n";
+  out << inner << "\"completed\": " << completed << ",\n";
+  out << inner << "\"shed\": " << shed << ",\n";
+  out << inner << "\"errors\": " << errors << ",\n";
+  out << inner << "\"duration_seconds\": " << duration_seconds << ",\n";
+  out << inner << "\"offered_qps\": " << offered_qps << ",\n";
+  out << inner << "\"sustained_qps\": " << sustained_qps << ",\n";
+  out << inner << "\"p50_latency_ms\": " << p50_latency_ms << ",\n";
+  out << inner << "\"p95_latency_ms\": " << p95_latency_ms << ",\n";
+  out << inner << "\"p99_latency_ms\": " << p99_latency_ms << ",\n";
+  out << inner << "\"mean_latency_ms\": " << mean_latency_ms << ",\n";
+  out << inner << "\"shed_ratio\": " << shed_ratio << ",\n";
+  out << inner << "\"deadline_hit_ratio\": " << deadline_hit_ratio << ",\n";
+  out << inner << "\"shared_answers\": " << shared_answers << ",\n";
+  out << inner << "\"single_flight_hit_ratio\": " << single_flight_hit_ratio
+      << ",\n";
+  out << inner << "\"rung_histogram\": {\"exact\": " << rung_histogram[0]
+      << ", \"degraded_plan\": " << rung_histogram[1]
+      << ", \"base_only\": " << rung_histogram[2] << "},\n";
+  out << inner << "\"server\": {\n";
+  const std::string deep = inner + "  ";
+  out << deep << "\"submitted\": " << server.submitted << ",\n";
+  out << deep << "\"admitted\": " << server.admitted << ",\n";
+  out << deep << "\"rejected_queue_full\": " << server.rejected_queue_full
+      << ",\n";
+  out << deep << "\"rejected_infeasible\": " << server.rejected_infeasible
+      << ",\n";
+  out << deep << "\"rejected_stopped\": " << server.rejected_stopped
+      << ",\n";
+  out << deep << "\"shed_at_dispatch\": " << server.shed_at_dispatch
+      << ",\n";
+  out << deep << "\"completed\": " << server.completed << ",\n";
+  out << deep << "\"failed\": " << server.failed << ",\n";
+  out << deep << "\"single_flight_leaders\": "
+      << server.single_flight_leaders << ",\n";
+  out << deep << "\"single_flight_followers\": "
+      << server.single_flight_followers << ",\n";
+  out << deep << "\"deadline_met\": " << server.deadline_met << ",\n";
+  out << deep << "\"deadline_missed\": " << server.deadline_missed << ",\n";
+  out << deep << "\"interactive_submitted\": " << server.class_submitted[0]
+      << ",\n";
+  out << deep << "\"replay_submitted\": " << server.class_submitted[1]
+      << "\n";
+  out << inner << "}\n";
+  out << indent << "}";
+  return out.str();
+}
+
+}  // namespace muve::workload

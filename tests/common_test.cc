@@ -1,15 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace muve {
 namespace {
@@ -294,6 +299,72 @@ TEST(ClockTest, TightestPicksSmallerRemaining) {
   Deadline winner = Deadline::Tightest(infinite, near);
   clock.AdvanceMillis(5.0);
   EXPECT_TRUE(winner.Expired());
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool lifetime.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_TRUE(pool.shutdown_started());
+  EXPECT_EQ(pool.num_threads(), 0u);
+  // A future from a post-shutdown Submit could never become ready
+  // (no worker will ever run the task), so the call must fail loudly
+  // instead of handing back a guaranteed hang.
+  EXPECT_THROW(pool.Submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAlreadyQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(ran.load(), 64);
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentShutdownIsSafe) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] {});
+  }
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&pool] { pool.Shutdown(); });
+  }
+  for (std::thread& closer : closers) closer.join();
+  EXPECT_EQ(pool.num_threads(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // num_threads() is 0 now; ParallelFor must degrade to the calling
+  // thread rather than submitting to the dead pool.
+  std::vector<int> hits(100, 0);
+  ParallelFor(&pool, hits.size(), 7,
+              [&hits](size_t, size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) hits[i] += 1;
+              });
+  for (int hit : hits) EXPECT_EQ(hit, 1);
 }
 
 }  // namespace

@@ -46,6 +46,7 @@
 #include "exec/engine.h"
 #include "muve/muve_engine.h"
 #include "nlq/translator.h"
+#include "serve/server.h"
 #include "testing/random_workload.h"
 #include "testing/sanitizer.h"
 #include "viz/render_ascii.h"
@@ -757,6 +758,148 @@ TEST_F(DifferentialTest, DeadlineRequestVsClassicPipeline) {
     // never wrote through the classic engine's memo on their own.
     EXPECT_EQ(uncached.cache_stats().Total().lookups(), 0u)
         << "seed " << seed;
+  }
+}
+
+/// Full byte-identity check between two answers (query keys,
+/// probabilities, plan structure, executed values, rendered multiplot).
+void ExpectAnswersIdentical(const MuveEngine::Answer& lhs,
+                            const MuveEngine::Answer& rhs,
+                            const std::string& context) {
+  EXPECT_EQ(lhs.base_query.CanonicalKey(), rhs.base_query.CanonicalKey())
+      << context;
+  EXPECT_EQ(lhs.base_confidence, rhs.base_confidence) << context;
+  ASSERT_EQ(lhs.candidates.size(), rhs.candidates.size()) << context;
+  for (size_t i = 0; i < lhs.candidates.size(); ++i) {
+    EXPECT_EQ(lhs.candidates[i].query.CanonicalKey(),
+              rhs.candidates[i].query.CanonicalKey())
+        << context << " candidate " << i;
+    EXPECT_EQ(lhs.candidates[i].probability, rhs.candidates[i].probability)
+        << context << " candidate " << i;
+  }
+  EXPECT_EQ(PlanSignature(lhs.plan.multiplot),
+            PlanSignature(rhs.plan.multiplot))
+      << context;
+  ASSERT_EQ(lhs.execution.values.size(), rhs.execution.values.size())
+      << context;
+  for (size_t i = 0; i < lhs.execution.values.size(); ++i) {
+    const bool both_nan = std::isnan(lhs.execution.values[i]) &&
+                          std::isnan(rhs.execution.values[i]);
+    EXPECT_TRUE(both_nan ||
+                lhs.execution.values[i] == rhs.execution.values[i])
+        << context << " value " << i;
+  }
+  viz::AsciiRenderOptions render_options;
+  EXPECT_EQ(viz::RenderMultiplot(lhs.plan.multiplot, render_options),
+            viz::RenderMultiplot(rhs.plan.multiplot, render_options))
+      << context;
+}
+
+TEST_F(DifferentialTest, ServerDepthOneReplaysSequentialAsk) {
+  // The serving front end must be a pure wrapper when stripped of all
+  // concurrency: one worker, queue depth 1, infinite deadlines, requests
+  // submitted one at a time. Replaying a workload through that server
+  // must be byte-identical to calling MuveEngine::Ask directly on one
+  // engine per session built with the server's own engine options —
+  // admission, EDF queueing, single-flight, and session management may
+  // add bookkeeping but never change an answer.
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 900000 + static_cast<uint64_t>(seed));
+    testing::RandomTableOptions table_options;
+    table_options.min_rows = 150;
+    table_options.max_rows = 400;
+    auto table = testing::RandomTable(&rng, table_options);
+
+    // A short session-tagged workload with repeats (repeats replay the
+    // session caches, which must also behave identically both ways).
+    std::vector<std::pair<std::string, std::string>> workload;
+    for (int q = 0; q < 4; ++q) {
+      db::AggregateQuery target =
+          testing::RandomAggregateQuery(*table, &rng);
+      if (target.predicates.empty()) {
+        target.predicates.push_back(
+            testing::RandomPredicate(*table, &rng, 0.0));
+      }
+      const std::string session = q % 2 == 0 ? "alice" : "bob";
+      const std::string utterance = nlq::VerbalizeQuery(target);
+      workload.emplace_back(session, utterance);
+      workload.emplace_back(session, utterance);  // Warm replay.
+    }
+
+    serve::ServerOptions server_options;
+    server_options.num_workers = 1;
+    server_options.max_queue_depth = 1;
+    serve::Server server(table, server_options);
+
+    std::unordered_map<std::string, std::unique_ptr<MuveEngine>> reference;
+    for (const auto& [session, utterance] : workload) {
+      auto& engine = reference[session];
+      if (engine == nullptr) {
+        engine = std::make_unique<MuveEngine>(
+            table, server.options().sessions.engine);
+      }
+      const auto expected = engine->Ask(Request::Text(utterance));
+      const auto served =
+          server.Ask(session, Request::Text(utterance));
+      const std::string context = "seed " + std::to_string(seed) +
+                                  " session " + session + " \"" +
+                                  utterance + "\"";
+      ASSERT_EQ(expected.ok(), served.ok()) << context;
+      if (!expected.ok()) continue;
+      ExpectAnswersIdentical(*expected, served->answer, context);
+      EXPECT_FALSE(served->shared) << context;
+      EXPECT_TRUE(served->deadline_met) << context;
+    }
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.shed_total(), 0u) << "seed " << seed;
+    EXPECT_EQ(stats.failed + stats.completed, stats.admitted)
+        << "seed " << seed;
+  }
+}
+
+TEST_F(DifferentialTest, IdenticallySeededServersReplayVoiceIdentically) {
+  // Voice noise is per-session pseudo-random, derived from the session
+  // manager's base seed and the session id. Two identically configured
+  // servers replaying the same sequential voice workload must therefore
+  // produce byte-identical transcripts and answers — the property that
+  // makes production incidents replayable offline.
+  const int voice_seeds = std::max(1, kNumSeeds / 10);
+  for (int seed = 0; seed < voice_seeds; ++seed) {
+    Rng rng(kSeedBase + 950000 + static_cast<uint64_t>(seed));
+    testing::RandomTableOptions table_options;
+    table_options.min_rows = 150;
+    table_options.max_rows = 400;
+    auto table = testing::RandomTable(&rng, table_options);
+
+    serve::ServerOptions server_options;
+    server_options.num_workers = 1;
+    server_options.max_queue_depth = 1;
+    serve::Server first(table, server_options);
+    serve::Server second(table, server_options);
+
+    speech::SpeechNoiseOptions noise;
+    noise.substitution_rate = 0.15;
+    for (int q = 0; q < 6; ++q) {
+      db::AggregateQuery target =
+          testing::RandomAggregateQuery(*table, &rng);
+      if (target.predicates.empty()) {
+        target.predicates.push_back(
+            testing::RandomPredicate(*table, &rng, 0.0));
+      }
+      const std::string session = q % 2 == 0 ? "alice" : "bob";
+      const std::string utterance = nlq::VerbalizeQuery(target);
+      const auto lhs =
+          first.Ask(session, Request::Voice(utterance, nullptr, noise));
+      const auto rhs =
+          second.Ask(session, Request::Voice(utterance, nullptr, noise));
+      const std::string context = "seed " + std::to_string(seed) +
+                                  " session " + session + " \"" +
+                                  utterance + "\"";
+      ASSERT_EQ(lhs.ok(), rhs.ok()) << context;
+      if (!lhs.ok()) continue;
+      EXPECT_EQ(lhs->answer.transcript, rhs->answer.transcript) << context;
+      ExpectAnswersIdentical(lhs->answer, rhs->answer, context);
+    }
   }
 }
 

@@ -1,12 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "muve/muve_engine.h"
+#include "nlq/translator.h"
 #include "testing/sanitizer.h"
 #include "viz/render_ascii.h"
 #include "workload/datasets.h"
+#include "workload/query_generator.h"
 
 namespace muve {
 namespace {
@@ -298,6 +308,157 @@ TEST(MuveEngineTest, BypassCacheLeavesSessionCachesCold) {
     EXPECT_TRUE(both_nan ||
                 first->execution.values[i] == second->execution.values[i]);
   }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: Ask must be safe from many threads, against one shared
+// engine (one serving session) and against per-thread engines over one
+// shared table (distinct sessions). scripts/check.sh reruns this suite
+// under ThreadSanitizer, which is where these tests earn their keep.
+// ---------------------------------------------------------------------
+
+/// Answer digest rich enough to catch cross-thread corruption: the base
+/// translation plus the fully rendered multiplot (which bakes in plan
+/// structure and every executed value).
+std::string AnswerDigest(const MuveEngine::Answer& answer) {
+  std::ostringstream out;
+  out << answer.base_query.CanonicalKey() << "|"
+      << answer.candidates.size() << "|"
+      << viz::RenderMultiplot(answer.plan.multiplot, viz::AsciiRenderOptions());
+  return out.str();
+}
+
+/// Utterances guaranteed translatable: verbalizations of random queries
+/// against the table itself.
+std::vector<std::string> StressUtterances(const db::Table& table,
+                                          size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> utterances;
+  while (utterances.size() < count) {
+    auto query = workload::RandomQuery(table, &rng);
+    if (!query.ok()) continue;
+    utterances.push_back(nlq::VerbalizeQuery(query.value()));
+  }
+  return utterances;
+}
+
+/// Runs `num_threads` callers against `make_engine(thread)` (shared or
+/// per-thread engines) and checks every answer against the serial
+/// reference digests. gtest assertions are not thread-safe, so workers
+/// record mismatches and the main thread asserts.
+void StressAsk(const std::vector<std::string>& utterances,
+               const std::vector<std::string>& expected,
+               size_t num_threads, size_t iters,
+               const std::function<MuveEngine*(size_t)>& engine_for) {
+  std::mutex failures_mutex;
+  std::vector<std::string> failures;
+  std::vector<std::thread> callers;
+  callers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    callers.emplace_back([&, t] {
+      MuveEngine* engine = engine_for(t);
+      for (size_t i = 0; i < iters; ++i) {
+        const size_t pick = (t + i) % utterances.size();
+        auto answer = engine->AskText(utterances[pick]);
+        std::string failure;
+        if (!answer.ok()) {
+          failure = "thread " + std::to_string(t) + ": " +
+                    answer.status().ToString();
+        } else if (AnswerDigest(*answer) != expected[pick]) {
+          failure = "thread " + std::to_string(t) + ": digest mismatch on \"" +
+                    utterances[pick] + "\"";
+        }
+        if (!failure.empty()) {
+          std::lock_guard<std::mutex> lock(failures_mutex);
+          failures.push_back(std::move(failure));
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (const std::string& failure : failures) ADD_FAILURE() << failure;
+}
+
+TEST(MuveEngineConcurrencyTest, SharedEngineConcurrentAskMatchesSerial) {
+  auto table = Table311();
+  MuveOptions options;
+  options.execution.num_threads = 2;  // Nested pool under concurrent callers.
+  const auto utterances = StressUtterances(*table, 5, 42);
+
+  MuveEngine reference(table, options);
+  std::vector<std::string> expected;
+  for (const std::string& utterance : utterances) {
+    auto answer = reference.AskText(utterance);
+    ASSERT_TRUE(answer.ok()) << utterance;
+    expected.push_back(AnswerDigest(*answer));
+  }
+
+  const size_t iters = testing::kSanitizerBuild ? 3 : 6;
+  for (size_t num_threads : {size_t{2}, size_t{8}}) {
+    // One engine = one serving session: all callers share its caches,
+    // plan memo, and executor.
+    MuveEngine shared(table, options);
+    StressAsk(utterances, expected, num_threads, iters,
+              [&shared](size_t) { return &shared; });
+  }
+}
+
+TEST(MuveEngineConcurrencyTest, DistinctEnginesConcurrentAskMatchesSerial) {
+  auto table = Table311();
+  MuveOptions options;
+  options.execution.num_threads = 1;  // Serving-style serial sessions.
+  const auto utterances = StressUtterances(*table, 5, 43);
+
+  MuveEngine reference(table, options);
+  std::vector<std::string> expected;
+  for (const std::string& utterance : utterances) {
+    auto answer = reference.AskText(utterance);
+    ASSERT_TRUE(answer.ok()) << utterance;
+    expected.push_back(AnswerDigest(*answer));
+  }
+
+  const size_t iters = testing::kSanitizerBuild ? 3 : 6;
+  for (size_t num_threads : {size_t{2}, size_t{8}}) {
+    // One engine per caller, all over one shared (read-only) table —
+    // the distinct-sessions shape the serving front end runs.
+    std::vector<std::unique_ptr<MuveEngine>> engines;
+    for (size_t t = 0; t < num_threads; ++t) {
+      engines.push_back(std::make_unique<MuveEngine>(table, options));
+    }
+    StressAsk(utterances, expected, num_threads, iters,
+              [&engines](size_t t) { return engines[t].get(); });
+  }
+}
+
+TEST(MuveEngineConcurrencyTest, SharedEngineConcurrentVoiceAsk) {
+  // Voice requests with per-thread RNGs against one shared engine: the
+  // ASR stage must not race across callers. Noise makes answers
+  // caller-dependent, so this checks safety, not byte-identity.
+  auto table = Table311();
+  MuveOptions options;
+  options.execution.num_threads = 2;
+  MuveEngine shared(table, options);
+  speech::SpeechNoiseOptions noise;
+  noise.substitution_rate = 0.2;
+
+  std::atomic<int> answered{0};
+  std::vector<std::thread> callers;
+  const size_t num_threads = 4;
+  const size_t iters = testing::kSanitizerBuild ? 3 : 6;
+  for (size_t t = 0; t < num_threads; ++t) {
+    callers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (size_t i = 0; i < iters; ++i) {
+        auto answer = shared.AskVoice(
+            "how many noise complaints in brooklyn", &rng, noise);
+        if (answer.ok()) answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  // Noise occasionally destroys the utterance; most asks must succeed.
+  EXPECT_GE(answered.load(),
+            static_cast<int>(num_threads * iters / 2));
 }
 
 }  // namespace

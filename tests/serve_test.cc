@@ -1,0 +1,634 @@
+/// Unit and concurrency tests for the serving front end (src/serve/):
+/// the bounded EDF admission queue with priority classes, LRU session
+/// management with pinning, single-flight coalescing, and the Server
+/// dispatch loop (admission control, load shedding, backpressure,
+/// drain/stop semantics). scripts/check.sh reruns this suite under
+/// ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "serve/admission_queue.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+#include "serve/single_flight.h"
+#include "testing/sanitizer.h"
+#include "workload/datasets.h"
+#include "workload/load_generator.h"
+
+namespace muve::serve {
+namespace {
+
+std::shared_ptr<db::Table> Table311(size_t rows = 2000) {
+  Rng rng(777);
+  return workload::Make311Table(rows, &rng);
+}
+
+// ---------------------------------------------------------------------
+// AdmissionQueue.
+// ---------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, PopsEarliestDeadlineFirst) {
+  FakeClock clock;
+  AdmissionQueue<int> queue(8);
+  ASSERT_TRUE(queue
+                  .Push(1, Deadline::AfterMillis(500.0, &clock),
+                        RequestClass::kInteractive)
+                  .ok());
+  ASSERT_TRUE(queue
+                  .Push(2, Deadline::AfterMillis(100.0, &clock),
+                        RequestClass::kInteractive)
+                  .ok());
+  ASSERT_TRUE(queue
+                  .Push(3, Deadline::AfterMillis(300.0, &clock),
+                        RequestClass::kInteractive)
+                  .ok());
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(AdmissionQueueTest, InfiniteDeadlinesSortLastFifoAmongThemselves) {
+  FakeClock clock;
+  AdmissionQueue<int> queue(8);
+  ASSERT_TRUE(
+      queue.Push(1, Deadline::Infinite(), RequestClass::kInteractive).ok());
+  ASSERT_TRUE(
+      queue.Push(2, Deadline::Infinite(), RequestClass::kInteractive).ok());
+  ASSERT_TRUE(queue
+                  .Push(3, Deadline::AfterMillis(1000.0, &clock),
+                        RequestClass::kInteractive)
+                  .ok());
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);  // Any finite deadline beats unbounded requests.
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);  // FIFO among equal (infinite) keys.
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(AdmissionQueueTest, InteractiveStrictlyOutranksReplay) {
+  FakeClock clock;
+  AdmissionQueue<int> queue(8);
+  // A replay request with a *tighter* deadline still loses to any
+  // interactive request: class priority is strict.
+  ASSERT_TRUE(queue
+                  .Push(1, Deadline::AfterMillis(1.0, &clock),
+                        RequestClass::kReplay)
+                  .ok());
+  ASSERT_TRUE(queue
+                  .Push(2, Deadline::AfterMillis(9999.0, &clock),
+                        RequestClass::kInteractive)
+                  .ok());
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(AdmissionQueueTest, FullQueueRejectsWithOverloaded) {
+  AdmissionQueue<int> queue(2);
+  EXPECT_TRUE(
+      queue.Push(1, Deadline::Infinite(), RequestClass::kInteractive).ok());
+  EXPECT_TRUE(
+      queue.Push(2, Deadline::Infinite(), RequestClass::kInteractive).ok());
+  const Status rejected =
+      queue.Push(3, Deadline::Infinite(), RequestClass::kInteractive);
+  EXPECT_EQ(rejected.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.pushed(), 2u);
+  EXPECT_EQ(queue.rejected_full(), 1u);
+}
+
+TEST(AdmissionQueueTest, RejectedMoveOnlyItemStaysWithCaller) {
+  AdmissionQueue<std::unique_ptr<int>> queue(1);
+  auto first = std::make_unique<int>(1);
+  ASSERT_TRUE(queue
+                  .Push(std::move(first), Deadline::Infinite(),
+                        RequestClass::kInteractive)
+                  .ok());
+  auto second = std::make_unique<int>(2);
+  const Status rejected = queue.Push(std::move(second), Deadline::Infinite(),
+                                     RequestClass::kInteractive);
+  EXPECT_EQ(rejected.code(), StatusCode::kOverloaded);
+  // The rejected object was not moved from — the caller can still
+  // resolve its promise / report the error against it.
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(AdmissionQueueTest, CloseDrainsThenUnblocksPop) {
+  AdmissionQueue<int> queue(4);
+  ASSERT_TRUE(
+      queue.Push(7, Deadline::Infinite(), RequestClass::kInteractive).ok());
+  queue.Close();
+  EXPECT_EQ(queue.Push(8, Deadline::Infinite(), RequestClass::kInteractive)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));  // Entries queued before Close drain.
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(queue.Pop(&out));  // Closed and empty.
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedPoppers) {
+  AdmissionQueue<int> queue(4);
+  std::thread popper([&queue] {
+    int out = 0;
+    EXPECT_FALSE(queue.Pop(&out));
+  });
+  queue.Close();
+  popper.join();
+}
+
+// ---------------------------------------------------------------------
+// SessionManager.
+// ---------------------------------------------------------------------
+
+SessionManagerOptions SmallSessions(size_t max_sessions) {
+  SessionManagerOptions options;
+  options.max_sessions = max_sessions;
+  // Cheap engines: tiny caches, serial execution.
+  options.engine.cache_capacity = 4;
+  return options;
+}
+
+TEST(SessionManagerTest, AcquireCreatesOncePerIdAndPins) {
+  SessionManager manager(Table311(), SmallSessions(4));
+  SessionManager::Handle alice = manager.Acquire("alice");
+  ASSERT_TRUE(static_cast<bool>(alice));
+  EXPECT_EQ(alice->id, "alice");
+  EXPECT_EQ(alice->pins.load(), 1u);
+  {
+    SessionManager::Handle again = manager.Acquire("alice");
+    EXPECT_EQ(again.get(), alice.get());  // Same session object.
+    EXPECT_EQ(alice->pins.load(), 2u);
+  }
+  EXPECT_EQ(alice->pins.load(), 1u);  // RAII unpin.
+  EXPECT_EQ(manager.sessions_created(), 1u);
+  EXPECT_EQ(manager.live_sessions(), 1u);
+}
+
+TEST(SessionManagerTest, EvictsLeastRecentlyUsedIdleSession) {
+  SessionManager manager(Table311(), SmallSessions(2));
+  manager.Acquire("a");
+  manager.Acquire("b");
+  manager.Acquire("a");  // "a" is now most recently used.
+  manager.Acquire("c");  // Evicts "b", the LRU idle session.
+  EXPECT_EQ(manager.live_sessions(), 2u);
+  EXPECT_EQ(manager.sessions_evicted(), 1u);
+  // "a" survived: re-acquiring it creates nothing new.
+  manager.Acquire("a");
+  EXPECT_EQ(manager.sessions_created(), 3u);
+  // "b" is gone: re-acquiring recreates it.
+  manager.Acquire("b");
+  EXPECT_EQ(manager.sessions_created(), 4u);
+}
+
+TEST(SessionManagerTest, PinnedSessionsAreNeverEvicted) {
+  SessionManager manager(Table311(), SmallSessions(2));
+  SessionManager::Handle a = manager.Acquire("a");
+  SessionManager::Handle b = manager.Acquire("b");
+  // Both candidates are pinned: the manager overflows past capacity
+  // instead of evicting in-use state out from under a request.
+  SessionManager::Handle c = manager.Acquire("c");
+  EXPECT_EQ(manager.live_sessions(), 3u);
+  EXPECT_EQ(manager.sessions_evicted(), 0u);
+  // Releasing a pin makes that session evictable again.
+  { SessionManager::Handle drop = std::move(a); }
+  manager.Acquire("d");
+  EXPECT_EQ(manager.sessions_evicted(), 1u);
+  EXPECT_LE(manager.live_sessions(), 3u);
+}
+
+TEST(SessionManagerTest, RngStreamsDifferPerSessionAndReplay) {
+  auto table = Table311();
+  SessionManager first(table, SmallSessions(8));
+  SessionManager::Handle alice = first.Acquire("alice");
+  SessionManager::Handle bob = first.Acquire("bob");
+  // Distinct sessions draw from distinct streams.
+  EXPECT_NE(alice->DrawRngSeed(), bob->DrawRngSeed());
+  // The same session id under the same base seed replays the same
+  // stream in a fresh manager — the replayability guarantee.
+  SessionManager second(table, SmallSessions(8));
+  SessionManager::Handle replayed = second.Acquire("alice");
+  SessionManager third(table, SmallSessions(8));
+  SessionManager::Handle replayed_again = third.Acquire("alice");
+  EXPECT_EQ(replayed->DrawRngSeed(), replayed_again->DrawRngSeed());
+  EXPECT_EQ(replayed->DrawRngSeed(), replayed_again->DrawRngSeed());
+  // A different base seed shifts the stream.
+  SessionManagerOptions reseeded = SmallSessions(8);
+  reseeded.seed = 123;
+  SessionManager fourth(table, reseeded);
+  SessionManager fifth(table, SmallSessions(8));
+  EXPECT_NE(fourth.Acquire("alice")->DrawRngSeed(),
+            fifth.Acquire("alice")->DrawRngSeed());
+}
+
+TEST(SessionManagerTest, ConcurrentAcquireSameIdYieldsOneSession) {
+  auto table = Table311();
+  SessionManager manager(table, SmallSessions(8));
+  constexpr size_t kThreads = 8;
+  std::vector<SessionManager::Session*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&manager, &seen, t] {
+      SessionManager::Handle handle = manager.Acquire("shared");
+      seen[t] = handle.get();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  EXPECT_EQ(manager.live_sessions(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// SingleFlight.
+// ---------------------------------------------------------------------
+
+TEST(SingleFlightTest, FirstCallerLeadsCloseRetiresFlight) {
+  SingleFlight<int> flight;
+  int leader_item = 1;
+  FlightTicket ticket = flight.LeadOrAttach("k", &leader_item);
+  ASSERT_TRUE(ticket.led);
+  EXPECT_EQ(flight.open_flights(), 1u);
+  EXPECT_TRUE(flight.Close(ticket).empty());
+  EXPECT_EQ(flight.open_flights(), 0u);
+  // The flight retired: the next request leads anew (no stale reuse).
+  int fresh_item = 2;
+  FlightTicket fresh = flight.LeadOrAttach("k", &fresh_item);
+  EXPECT_TRUE(fresh.led);
+  flight.Close(fresh);
+  EXPECT_EQ(flight.flights_led(), 2u);
+  EXPECT_EQ(flight.attached(), 0u);
+}
+
+TEST(SingleFlightTest, AttachersRideTheOpenFlightInOrder) {
+  SingleFlight<int> flight;
+  int leader_item = 0;
+  FlightTicket ticket = flight.LeadOrAttach("k", &leader_item);
+  ASSERT_TRUE(ticket.led);
+  for (int i = 1; i <= 4; ++i) {
+    int item = i * 10;
+    FlightTicket follower = flight.LeadOrAttach("k", &item);
+    EXPECT_FALSE(follower.led);
+  }
+  EXPECT_EQ(flight.open_flights(), 1u);  // Attaching opens nothing new.
+  std::vector<int> followers = flight.Close(ticket);
+  EXPECT_EQ(followers, (std::vector<int>{10, 20, 30, 40}));
+  EXPECT_EQ(flight.flights_led(), 1u);
+  EXPECT_EQ(flight.attached(), 4u);
+}
+
+TEST(SingleFlightTest, DistinctKeysFlySeparately) {
+  SingleFlight<int> flight;
+  int a_item = 1, b_item = 2, rider = 3;
+  FlightTicket a = flight.LeadOrAttach("a", &a_item);
+  FlightTicket b = flight.LeadOrAttach("b", &b_item);
+  EXPECT_TRUE(a.led);
+  EXPECT_TRUE(b.led);
+  EXPECT_EQ(flight.open_flights(), 2u);
+  EXPECT_FALSE(flight.LeadOrAttach("a", &rider).led);
+  EXPECT_TRUE(flight.Close(b).empty());
+  EXPECT_EQ(flight.Close(a), std::vector<int>{3});
+  EXPECT_EQ(flight.open_flights(), 0u);
+}
+
+TEST(SingleFlightTest, StaleTicketCannotCloseAReopenedFlight) {
+  SingleFlight<int> flight;
+  int first = 1;
+  FlightTicket stale = flight.LeadOrAttach("k", &first);
+  ASSERT_TRUE(stale.led);
+  flight.Close(stale);
+  // Same key reopened by a newer leader with a follower aboard.
+  int second = 2, rider = 3;
+  FlightTicket fresh = flight.LeadOrAttach("k", &second);
+  ASSERT_TRUE(fresh.led);
+  EXPECT_FALSE(flight.LeadOrAttach("k", &rider).led);
+  // Closing the spent ticket again must not disturb the new flight.
+  EXPECT_TRUE(flight.Close(stale).empty());
+  EXPECT_EQ(flight.open_flights(), 1u);
+  EXPECT_EQ(flight.Close(fresh), std::vector<int>{3});
+}
+
+TEST(SingleFlightTest, DisengagedTicketClosesNothing) {
+  SingleFlight<int> flight;
+  int leader_item = 1, rider = 2;
+  FlightTicket ticket = flight.LeadOrAttach("k", &leader_item);
+  FlightTicket follower = flight.LeadOrAttach("k", &rider);
+  ASSERT_FALSE(follower.led);
+  EXPECT_TRUE(flight.Close(follower).empty());
+  EXPECT_EQ(flight.open_flights(), 1u);
+  EXPECT_EQ(flight.Close(ticket), std::vector<int>{2});
+}
+
+TEST(SingleFlightTest, ConcurrentAttachersAllLandOnOneFlight) {
+  SingleFlight<int> flight;
+  int leader_item = 0;
+  FlightTicket ticket = flight.LeadOrAttach("k", &leader_item);
+  ASSERT_TRUE(ticket.led);
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> led{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&flight, &led, t] {
+      int item = static_cast<int>(t);
+      FlightTicket outcome = flight.LeadOrAttach("k", &item);
+      if (outcome.led) led.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(led.load(), 0);
+  std::vector<int> followers = flight.Close(ticket);
+  EXPECT_EQ(followers.size(), kThreads);
+  EXPECT_EQ(flight.attached(), kThreads);
+}
+
+// ---------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------
+
+ServerOptions SmallServer(size_t workers, size_t depth) {
+  ServerOptions options;
+  options.num_workers = workers;
+  options.max_queue_depth = depth;
+  options.sessions.engine.cache_capacity = 8;
+  return options;
+}
+
+TEST(ServerTest, ServesTextRequestsAcrossSessions) {
+  Server server(Table311(), SmallServer(2, 8));
+  auto first =
+      server.Ask("alice", Request::Text("how many complaints in brooklyn"));
+  auto second =
+      server.Ask("bob", Request::Text("how many complaints in queens"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(first->answer.plan.multiplot.empty());
+  EXPECT_TRUE(first->deadline_met);
+  EXPECT_EQ(server.live_sessions(), 2u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.shed_total(), 0u);
+}
+
+TEST(ServerTest, UntranslatableRequestFailsWithoutPoisoningServer) {
+  Server server(Table311(), SmallServer(1, 4));
+  auto bad = server.Ask("alice", Request::Text("xyzzy plugh"));
+  EXPECT_FALSE(bad.ok());
+  auto good =
+      server.Ask("alice", Request::Text("how many complaints in brooklyn"));
+  EXPECT_TRUE(good.ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServerTest, InfeasibleDeadlineIsShedAtAdmission) {
+  ServerOptions options = SmallServer(1, 4);
+  options.feasibility_floor_millis = 10.0;
+  Server server(Table311(), options);
+  Request request = Request::Text("how many complaints in brooklyn");
+  request.deadline = Deadline::AfterMillis(1.0);  // Below the floor.
+  auto result = server.Ask("alice", request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(server.stats().rejected_infeasible, 1u);
+  EXPECT_EQ(server.stats().admitted, 0u);
+}
+
+TEST(ServerTest, FullQueueShedsInsteadOfQueueingUnboundedly) {
+  // One worker, depth 1, and a long-running first request: a burst must
+  // produce fast Overloaded rejections, not a growing queue.
+  // Single-flight is off so the identical burst exercises the queue
+  // bound itself instead of coalescing onto one flight.
+  ServerOptions options = SmallServer(1, 1);
+  options.enable_single_flight = false;
+  Server server(Table311(), options);
+  std::vector<std::future<Result<ServedAnswer>>> futures;
+  const size_t burst = 16;
+  for (size_t i = 0; i < burst; ++i) {
+    futures.push_back(server.Submit(
+        "alice", Request::Text("how many complaints in brooklyn")));
+  }
+  size_t ok = 0;
+  size_t overloaded = 0;
+  for (auto& future : futures) {
+    Result<ServedAnswer> result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else if (result.status().code() == StatusCode::kOverloaded) {
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, burst);
+  EXPECT_GE(ok, 1u);          // The worker made progress.
+  EXPECT_GE(overloaded, 1u);  // And the queue pushed back.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_queue_full, overloaded);
+  EXPECT_LE(server.queue_depth(), 1u);
+}
+
+TEST(ServerTest, DrainFinishesQueuedWorkThenRejectsNewRequests) {
+  Server server(Table311(), SmallServer(2, 8));
+  std::vector<std::future<Result<ServedAnswer>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.Submit(
+        "alice", Request::Text("how many complaints in brooklyn")));
+  }
+  server.Drain();
+  for (auto& future : futures) {
+    Result<ServedAnswer> result = future.get();
+    // Admitted requests completed; none were abandoned by Drain.
+    EXPECT_TRUE(result.ok() ||
+                result.status().code() == StatusCode::kOverloaded)
+        << result.status().ToString();
+  }
+  auto late =
+      server.Ask("alice", Request::Text("how many complaints in brooklyn"));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_GE(server.stats().rejected_stopped, 1u);
+}
+
+TEST(ServerTest, SingleFlightCoalescesConcurrentIdenticalRequests) {
+  // Many concurrent submissions of one transcript against one slow-ish
+  // worker pool: single-flight must fan most of them out from shared
+  // executions instead of running the pipeline once per request.
+  ServerOptions options = SmallServer(2, 64);
+  Server server(Table311(4000), options);
+  const std::string utterance = "how many complaints in brooklyn";
+  std::vector<std::future<Result<ServedAnswer>>> futures;
+  const size_t burst = 24;
+  for (size_t i = 0; i < burst; ++i) {
+    futures.push_back(server.Submit("alice", Request::Text(utterance)));
+  }
+  size_t shared = 0;
+  for (auto& future : futures) {
+    Result<ServedAnswer> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (result->shared) ++shared;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, burst);
+  EXPECT_EQ(stats.single_flight_followers, shared);
+  // At least the very first request led a flight.
+  EXPECT_GE(stats.single_flight_leaders, 1u);
+  // Coalescing actually happened for this colliding burst: attaching
+  // happens at admission, while the leader is still queued or
+  // executing, so it does not depend on two workers ever overlapping
+  // in time (this holds even on a single-core host).
+  EXPECT_GE(shared, 1u);
+  EXPECT_EQ(stats.single_flight_leaders + stats.single_flight_followers,
+            burst);
+}
+
+TEST(ServerTest, SingleFlightOffRunsEveryRequestItself) {
+  ServerOptions options = SmallServer(2, 64);
+  options.enable_single_flight = false;
+  Server server(Table311(), options);
+  std::vector<std::future<Result<ServedAnswer>>> futures;
+  for (size_t i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(
+        "alice", Request::Text("how many complaints in brooklyn")));
+  }
+  for (auto& future : futures) {
+    Result<ServedAnswer> result = future.get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->shared);
+  }
+  EXPECT_EQ(server.stats().single_flight_followers, 0u);
+}
+
+TEST(ServerTest, StopShedsQueuedRequests) {
+  // One worker and a deep queue of requests; Stop() while they are
+  // queued must resolve the tail with Overloaded rather than running it.
+  Server server(Table311(4000), SmallServer(1, 32));
+  std::vector<std::future<Result<ServedAnswer>>> futures;
+  for (size_t i = 0; i < 16; ++i) {
+    futures.push_back(server.Submit(
+        "alice", Request::Text("how many complaints in borough " +
+                               std::to_string(i))));
+  }
+  server.Stop();
+  size_t resolved = 0;
+  for (auto& future : futures) {
+    future.get();  // Every future resolves; none hang.
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, futures.size());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.failed + stats.shed_total() +
+                stats.rejected_stopped,
+            stats.submitted);
+}
+
+TEST(ServerTest, ConcurrentMixedSessionLoadCompletesConsistently) {
+  const size_t submitters = testing::kSanitizerBuild ? 4 : 8;
+  const size_t per_submitter = testing::kSanitizerBuild ? 4 : 8;
+  ServerOptions options = SmallServer(4, 64);
+  Server server(Table311(), options);
+  std::vector<std::thread> threads;
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> rejected{0};
+  for (size_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < per_submitter; ++i) {
+        const std::string session = "s" + std::to_string((t + i) % 3);
+        const RequestClass cls = (t + i) % 4 == 0
+                                     ? RequestClass::kReplay
+                                     : RequestClass::kInteractive;
+        auto result = server.Ask(
+            session, Request::Text("how many complaints in brooklyn"),
+            cls);
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(ok.load() + rejected.load(), submitters * per_submitter);
+  EXPECT_EQ(stats.submitted, submitters * per_submitter);
+  EXPECT_EQ(stats.completed + stats.failed + stats.shed_total() +
+                stats.rejected_stopped,
+            stats.submitted);
+  EXPECT_GE(ok.load(), 1u);
+  EXPECT_LE(server.live_sessions(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Load generator.
+// ---------------------------------------------------------------------
+
+TEST(LoadGeneratorTest, ClosedLoopCompletesAllRequests) {
+  auto table = Table311();
+  Server server(table, SmallServer(2, 16));
+  workload::LoadOptions load;
+  load.mode = workload::LoadOptions::Mode::kClosedLoop;
+  load.num_requests = 12;
+  load.num_clients = 3;
+  load.num_sessions = 2;
+  load.seed = 5;
+  Result<workload::LoadReport> report =
+      workload::RunLoad(&server, *table, load);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->requests, 12u);
+  EXPECT_EQ(report->completed, 12u);  // Closed loop never overruns.
+  EXPECT_EQ(report->shed, 0u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_GT(report->sustained_qps, 0.0);
+  EXPECT_GE(report->p99_latency_ms, report->p50_latency_ms);
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"sustained_qps\""), std::string::npos);
+  EXPECT_NE(json.find("\"single_flight_hit_ratio\""), std::string::npos);
+}
+
+TEST(LoadGeneratorTest, OpenLoopOverdriveShedsButNeverErrors) {
+  auto table = Table311();
+  ServerOptions options = SmallServer(1, 2);
+  options.feasibility_floor_millis = 0.5;
+  Server server(table, options);
+  workload::LoadOptions load;
+  load.mode = workload::LoadOptions::Mode::kOpenLoop;
+  load.offered_qps = 500.0;  // Far beyond one serial worker.
+  load.num_requests = 40;
+  load.num_sessions = 2;
+  load.deadline_millis = 2000.0;
+  load.seed = 6;
+  Result<workload::LoadReport> report =
+      workload::RunLoad(&server, *table, load);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->requests, 40u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->completed + report->shed, 40u);
+  EXPECT_GT(report->completed, 0u);
+  // The overdriven server shed load instead of queueing it all.
+  EXPECT_GT(report->shed, 0u);
+  EXPECT_EQ(report->server.submitted, 40u);
+}
+
+}  // namespace
+}  // namespace muve::serve
