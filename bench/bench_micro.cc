@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -112,6 +114,25 @@ void BM_ScanAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanAggregate)->Arg(10000)->Arg(100000)->Arg(1000000);
 
+/// Scalar-oracle counterpart of BM_ScanAggregate (vectorize = false):
+/// the value-at-a-time loop the differential suite compares against.
+/// The gap between the two is the batch executor's speedup.
+void BM_ScanAggregateScalar(benchmark::State& state) {
+  auto table = Flights(static_cast<size_t>(state.range(0)));
+  db::ExecutorOptions options;
+  options.vectorize = false;
+  db::AggregateQuery query;
+  query.table = "flights";
+  query.function = db::AggregateFunction::kAvg;
+  query.aggregate_column = "arr_delay";
+  query.predicates = {db::Predicate::Equals("origin", db::Value("boston"))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Executor::Execute(*table, query, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanAggregateScalar)->Arg(100000)->Arg(1000000);
+
 void BM_GroupedScan(benchmark::State& state) {
   auto table = Flights(static_cast<size_t>(state.range(0)));
   db::GroupByQuery query;
@@ -126,6 +147,26 @@ void BM_GroupedScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GroupedScan)->Arg(100000)->Arg(1000000);
+
+/// Scalar-oracle counterpart of BM_GroupedScan (hash-map group lookup
+/// per row instead of the dense dictionary table).
+void BM_GroupedScanScalar(benchmark::State& state) {
+  auto table = Flights(static_cast<size_t>(state.range(0)));
+  db::ExecutorOptions options;
+  options.vectorize = false;
+  db::GroupByQuery query;
+  query.table = "flights";
+  query.group_column = "origin";
+  query.group_values = table->FindColumn("origin")->dictionary();
+  query.aggregates = {{db::AggregateFunction::kCount, ""},
+                      {db::AggregateFunction::kAvg, "arr_delay"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db::Executor::ExecuteGrouped(*table, query, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupedScanScalar)->Arg(100000)->Arg(1000000);
 
 /// Serial vs. parallel scans at fixed table size: range(0) is the row
 /// count, range(1) the thread count (1 = serial executor path). On a
@@ -609,26 +650,147 @@ int RunServeJsonReport(const std::string& path) {
   return 0;
 }
 
+/// Vectorized-executor smoke run behind `--muve_vec_json=PATH`: times
+/// the scalar and batch paths on identical scan+aggregate and grouped
+/// workloads at 100k and 1M rows (best of several repetitions each),
+/// verifies the two paths return bitwise-identical values, and writes
+/// the per-workload times and speedups (consumed by scripts/check.sh as
+/// the tier1 vectorization benchmark).
+int RunVecJsonReport(const std::string& path) {
+  struct Entry {
+    std::string name;
+    size_t rows;
+    double scalar_ms;
+    double vec_ms;
+  };
+  constexpr size_t kRowCounts[] = {100000, 1000000};
+  std::vector<Entry> entries;
+
+  const auto best_of = [](int reps, const auto& fn) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      StopWatch watch;
+      fn();
+      best = std::min(best, watch.ElapsedMillis());
+    }
+    return best;
+  };
+
+  for (const size_t rows : kRowCounts) {
+    auto table = Flights(rows);
+    const int reps = rows >= 1000000 ? 5 : 9;
+    db::ExecutorOptions scalar;
+    scalar.vectorize = false;
+    db::ExecutorOptions vec;  // vectorize defaults to true.
+
+    db::AggregateQuery count;
+    count.table = "flights";
+    count.function = db::AggregateFunction::kCount;
+    count.predicates = {
+        db::Predicate::Equals("origin", db::Value("boston"))};
+    db::AggregateQuery avg = count;
+    avg.function = db::AggregateFunction::kAvg;
+    avg.aggregate_column = "arr_delay";
+    db::GroupByQuery grouped;
+    grouped.table = "flights";
+    grouped.group_column = "origin";
+    grouped.group_values = table->FindColumn("origin")->dictionary();
+    grouped.aggregates = {{db::AggregateFunction::kCount, ""},
+                          {db::AggregateFunction::kAvg, "arr_delay"}};
+
+    // The smoke run doubles as a sanity check: both paths must return
+    // bitwise-identical values (the differential suite's invariant).
+    const auto check = [](const Result<db::AggregateResult>& a,
+                          const Result<db::AggregateResult>& b) {
+      if (!a.ok() || !b.ok() || a->value != b->value ||
+          a->rows_matched != b->rows_matched) {
+        std::fprintf(stderr, "scalar/vector mismatch\n");
+        std::exit(1);
+      }
+    };
+    check(db::Executor::Execute(*table, count, scalar),
+          db::Executor::Execute(*table, count, vec));
+    check(db::Executor::Execute(*table, avg, scalar),
+          db::Executor::Execute(*table, avg, vec));
+
+    const auto time_pair = [&](const std::string& name, const auto& run) {
+      Entry e;
+      e.name = name;
+      e.rows = rows;
+      e.scalar_ms = best_of(reps, [&] { run(scalar); });
+      e.vec_ms = best_of(reps, [&] { run(vec); });
+      entries.push_back(e);
+    };
+    time_pair("count_eq", [&](const db::ExecutorOptions& options) {
+      auto r = db::Executor::Execute(*table, count, options);
+      benchmark::DoNotOptimize(r);
+    });
+    time_pair("avg_eq", [&](const db::ExecutorOptions& options) {
+      auto r = db::Executor::Execute(*table, avg, options);
+      benchmark::DoNotOptimize(r);
+    });
+    time_pair("grouped_count_avg", [&](const db::ExecutorOptions& options) {
+      auto r = db::Executor::ExecuteGrouped(*table, grouped, options);
+      benchmark::DoNotOptimize(r);
+    });
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"vectorized_executor_smoke\",\n"
+      << "  \"batch_size\": 2048,\n"
+      << "  \"workloads\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    const double speedup = e.vec_ms > 0.0 ? e.scalar_ms / e.vec_ms : 0.0;
+    out << "    {\"name\": \"" << e.name << "\", \"rows\": " << e.rows
+        << ", \"scalar_ms\": " << e.scalar_ms
+        << ", \"vector_ms\": " << e.vec_ms
+        << ", \"speedup\": " << speedup << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("BENCH_vec:\n");
+  for (const Entry& e : entries) {
+    std::printf(
+        "BENCH_vec: %-18s %8zu rows  scalar %7.3f ms  vector %7.3f ms  "
+        "speedup %.2fx\n",
+        e.name.c_str(), e.rows, e.scalar_ms, e.vec_ms,
+        e.vec_ms > 0.0 ? e.scalar_ms / e.vec_ms : 0.0);
+  }
+  std::printf("BENCH_vec: -> %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace muve
 
-/// BENCHMARK_MAIN with two extra flags: `--muve_ilp_json=PATH` skips the
-/// google-benchmark suite and emits the solver smoke report instead;
-/// `--muve_serve_json=PATH` likewise emits the serving smoke report. The
+/// BENCHMARK_MAIN with three extra flags: `--muve_ilp_json=PATH` skips
+/// the google-benchmark suite and emits the solver smoke report instead;
+/// `--muve_serve_json=PATH` likewise emits the serving smoke report and
+/// `--muve_vec_json=PATH` the scalar-vs-vectorized executor report. The
 /// flags are stripped before benchmark::Initialize, which rejects
 /// unknown arguments.
 int main(int argc, char** argv) {
   std::string json_path;
   std::string serve_path;
+  std::string vec_path;
   int kept = 1;
   const char* kFlag = "--muve_ilp_json=";
   const char* kServeFlag = "--muve_serve_json=";
+  const char* kVecFlag = "--muve_vec_json=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       json_path = argv[i] + std::strlen(kFlag);
     } else if (std::strncmp(argv[i], kServeFlag, std::strlen(kServeFlag)) ==
                0) {
       serve_path = argv[i] + std::strlen(kServeFlag);
+    } else if (std::strncmp(argv[i], kVecFlag, std::strlen(kVecFlag)) == 0) {
+      vec_path = argv[i] + std::strlen(kVecFlag);
     } else {
       argv[kept++] = argv[i];
     }
@@ -636,6 +798,7 @@ int main(int argc, char** argv) {
   argc = kept;
   if (!json_path.empty()) return muve::RunIlpJsonReport(json_path);
   if (!serve_path.empty()) return muve::RunServeJsonReport(serve_path);
+  if (!vec_path.empty()) return muve::RunVecJsonReport(vec_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

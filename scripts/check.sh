@@ -45,6 +45,14 @@ if [[ -f build/BENCH_serve.json ]]; then
   cat build/BENCH_serve.json
 fi
 
+# The bench_vec_smoke tier1 test wrote scalar-vs-vectorized executor
+# stats (per-workload scan times and speedups at 100k/1M rows); surface
+# them.
+if [[ -f build/BENCH_vec.json ]]; then
+  echo "==> Vectorized executor smoke stats (build/BENCH_vec.json)"
+  cat build/BENCH_vec.json
+fi
+
 # The bench_server_smoke tier1 test wrote concurrent-server stats
 # (offered vs sustained QPS, shed ratio, single-flight hit ratio,
 # deadline-hit ratio); surface them.

@@ -60,6 +60,15 @@ uint32_t Column::CodeFor(const std::string& text) const {
   return it == dictionary_lookup_.end() ? kInvalidCode : it->second;
 }
 
+std::vector<uint8_t> Column::AcceptMask(
+    const std::vector<uint32_t>& accepted) const {
+  std::vector<uint8_t> mask(dictionary_.size(), 0);
+  for (const uint32_t code : accepted) {
+    if (code < mask.size()) mask[code] = 1;
+  }
+  return mask;
+}
+
 size_t Column::DistinctCount() const {
   if (type_ == ValueType::kString) return dictionary_.size();
   if (cached_distinct_at_size_ == size()) return cached_distinct_;

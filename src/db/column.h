@@ -54,9 +54,28 @@ class Column {
   const std::vector<uint32_t>& codes() const { return codes_; }
   const std::vector<std::string>& dictionary() const { return dictionary_; }
 
+  // Raw typed views for the vectorized kernels (src/db/vec/): one base
+  // pointer per scan instead of a bounds-checked vector access per row.
+  // The pointers are stable only while no Append runs (appends may
+  // reallocate) — the single-writer contract documented on db::Table.
+  const int64_t* int_raw() const { return int_data_.data(); }
+  const double* double_raw() const { return double_data_.data(); }
+  const uint32_t* codes_raw() const { return codes_.data(); }
+
+  /// Dictionary size of a string column (0 for numeric columns).
+  size_t dictionary_size() const { return dictionary_.size(); }
+
   /// Dictionary code for `text`, or kInvalidCode when absent. Only valid
   /// for string columns.
   uint32_t CodeFor(const std::string& text) const;
+
+  /// Dense accept mask over this column's dictionary for an equality/IN
+  /// predicate: mask[code] is 1 iff `code` is in `accepted`. Lets the
+  /// vectorized filter kernels answer an arbitrarily long IN list with a
+  /// single table load per row. Codes >= dictionary_size() (including
+  /// kInvalidCode) are ignored. Only valid for string columns.
+  std::vector<uint8_t> AcceptMask(
+      const std::vector<uint32_t>& accepted) const;
 
   /// Numeric view of row `row` (int64 widened to double). Only valid for
   /// numeric columns.

@@ -4,8 +4,15 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "db/vec/aggregate_kernels.h"
+#include "db/vec/batch.h"
+#include "db/vec/filter_kernels.h"
+#include "db/vec/group_kernels.h"
 
 namespace muve::db {
 
@@ -178,6 +185,269 @@ bool MatchesAll(const std::vector<CompiledPredicate>& compiled, size_t row) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized scan machinery (options.vectorize). Same row order, partition
+// boundaries, accumulation order, cancellation points and cache interaction
+// as the scalar loops above — the batch path only changes *how* each row
+// range is traversed, so results are byte-identical (the differential suite
+// pins this down with the scalar path as oracle).
+// ---------------------------------------------------------------------------
+
+/// One compiled predicate lowered to a kernel dispatch: a kind tag, the
+/// column's raw data pointer, and the constant(s) in kernel-ready form
+/// (single key, dictionary accept mask, or a pointer into the compiled
+/// predicate's value list). `keys` pointers alias the CompiledPredicate
+/// vectors, so the compiled predicates must outlive the filters.
+struct VecFilter {
+  enum class Kind {
+    kNever,      // String constant(s) absent from the dictionary. Kept as
+                 // a per-batch kernel (not hoisted out of the scan loop)
+                 // so deadline checks fire exactly as in the scalar path.
+    kCodeEq,     // Dictionary code == single accepted code.
+    kCodeMask,   // Dictionary code accepted by a mask (IN list).
+    kIntEq,
+    kIntIn,
+    kDoubleEq,
+    kDoubleIn,
+  };
+
+  Kind kind = Kind::kNever;
+  const uint32_t* codes = nullptr;
+  const int64_t* ints = nullptr;
+  const double* doubles = nullptr;
+  uint32_t code = 0;
+  int64_t int_key = 0;
+  double double_key = 0.0;
+  std::vector<uint8_t> mask;
+  const int64_t* int_keys = nullptr;
+  const double* double_keys = nullptr;
+  size_t num_keys = 0;
+};
+
+std::vector<VecFilter> VectorizeFilters(
+    const std::vector<CompiledPredicate>& compiled) {
+  std::vector<VecFilter> filters;
+  filters.reserve(compiled.size());
+  for (const CompiledPredicate& p : compiled) {
+    VecFilter f;
+    switch (p.column->type()) {
+      case ValueType::kString:
+        f.codes = p.column->codes_raw();
+        if (p.accepted_codes.empty()) {
+          f.kind = VecFilter::Kind::kNever;
+        } else if (p.accepted_codes.size() == 1) {
+          f.kind = VecFilter::Kind::kCodeEq;
+          f.code = p.accepted_codes[0];
+        } else {
+          f.kind = VecFilter::Kind::kCodeMask;
+          f.mask = p.column->AcceptMask(p.accepted_codes);
+        }
+        break;
+      case ValueType::kInt64:
+        f.ints = p.column->int_raw();
+        if (p.accepted_ints.size() == 1) {
+          f.kind = VecFilter::Kind::kIntEq;
+          f.int_key = p.accepted_ints[0];
+        } else {
+          f.kind = VecFilter::Kind::kIntIn;
+          f.int_keys = p.accepted_ints.data();
+          f.num_keys = p.accepted_ints.size();
+        }
+        break;
+      case ValueType::kDouble:
+        f.doubles = p.column->double_raw();
+        if (p.accepted_doubles.size() == 1) {
+          f.kind = VecFilter::Kind::kDoubleEq;
+          f.double_key = p.accepted_doubles[0];
+        } else {
+          f.kind = VecFilter::Kind::kDoubleIn;
+          f.double_keys = p.accepted_doubles.data();
+          f.num_keys = p.accepted_doubles.size();
+        }
+        break;
+    }
+    filters.push_back(std::move(f));
+  }
+  return filters;
+}
+
+/// Applies every filter to the batch [base, base + count), alternating the
+/// scratch selection buffers. Returns the surviving row count; `*sel` is
+/// the surviving selection, or nullptr when all `count` rows survived (the
+/// identity selection — callers use the dense aggregate fast path).
+size_t RunFilters(const std::vector<VecFilter>& filters, size_t base,
+                  size_t count, vec::BatchScratch* scratch,
+                  const uint32_t** sel) {
+  *sel = nullptr;
+  if (filters.empty()) return count;
+  uint32_t* cur = scratch->a;
+  uint32_t* next = scratch->b;
+  size_t n = count;
+  bool have_sel = false;
+  for (const VecFilter& f : filters) {
+    switch (f.kind) {
+      case VecFilter::Kind::kNever:
+        return 0;
+      case VecFilter::Kind::kCodeEq:
+        n = have_sel
+                ? vec::RefineEqU32(f.codes + base, cur, n, f.code, next)
+                : vec::FilterEqU32(f.codes + base, count, f.code, cur);
+        break;
+      case VecFilter::Kind::kCodeMask:
+        n = have_sel ? vec::RefineMaskU32(f.codes + base, cur, n,
+                                          f.mask.data(), next)
+                     : vec::FilterMaskU32(f.codes + base, count,
+                                          f.mask.data(), cur);
+        break;
+      case VecFilter::Kind::kIntEq:
+        n = have_sel
+                ? vec::RefineEqI64(f.ints + base, cur, n, f.int_key, next)
+                : vec::FilterEqI64(f.ints + base, count, f.int_key, cur);
+        break;
+      case VecFilter::Kind::kIntIn:
+        n = have_sel ? vec::RefineInI64(f.ints + base, cur, n, f.int_keys,
+                                        f.num_keys, next)
+                     : vec::FilterInI64(f.ints + base, count, f.int_keys,
+                                        f.num_keys, cur);
+        break;
+      case VecFilter::Kind::kDoubleEq:
+        n = have_sel ? vec::RefineEqF64(f.doubles + base, cur, n,
+                                        f.double_key, next)
+                     : vec::FilterEqF64(f.doubles + base, count,
+                                        f.double_key, cur);
+        break;
+      case VecFilter::Kind::kDoubleIn:
+        n = have_sel ? vec::RefineInF64(f.doubles + base, cur, n,
+                                        f.double_keys, f.num_keys, next)
+                     : vec::FilterInF64(f.doubles + base, count,
+                                        f.double_keys, f.num_keys, cur);
+        break;
+    }
+    if (have_sel) std::swap(cur, next);
+    have_sel = true;
+    if (n == 0) return 0;
+  }
+  // A selection that kept every row is the identity — report it as the
+  // all-selected fast path so aggregates skip the gather indirection.
+  if (n == count) return count;
+  *sel = cur;
+  return n;
+}
+
+/// Folds one batch's selection into an accumulator. `sel == nullptr` means
+/// all `n` rows of the batch matched (dense fast path). Matches
+/// Accumulator::Accept per row exactly: count always advances; SUM/MIN/MAX
+/// state only for column-bearing aggregates, in ascending row order.
+void AccumulateBatch(size_t base, const uint32_t* sel, size_t n,
+                     Accumulator* acc) {
+  acc->count += n;
+  if (acc->column == nullptr || n == 0) return;
+  // Accept() updates sum, min and max together regardless of `fn`;
+  // replicate that so merged partial states stay bitwise identical.
+  if (acc->column->type() == ValueType::kInt64) {
+    const int64_t* data = acc->column->int_raw() + base;
+    if (sel == nullptr) {
+      acc->sum = vec::SumDenseI64(data, n, acc->sum);
+      acc->min = vec::MinDenseI64(data, n, acc->min);
+      acc->max = vec::MaxDenseI64(data, n, acc->max);
+    } else {
+      acc->sum = vec::SumGatherI64(data, sel, n, acc->sum);
+      acc->min = vec::MinGatherI64(data, sel, n, acc->min);
+      acc->max = vec::MaxGatherI64(data, sel, n, acc->max);
+    }
+  } else {
+    const double* data = acc->column->double_raw() + base;
+    if (sel == nullptr) {
+      acc->sum = vec::SumDenseF64(data, n, acc->sum);
+      acc->min = vec::MinDenseF64(data, n, acc->min);
+      acc->max = vec::MaxDenseF64(data, n, acc->max);
+    } else {
+      acc->sum = vec::SumGatherF64(data, sel, n, acc->sum);
+      acc->min = vec::MinGatherF64(data, sel, n, acc->min);
+      acc->max = vec::MaxGatherF64(data, sel, n, acc->max);
+    }
+  }
+}
+
+/// Vectorized scan of [begin, end): tiles the range into kBatchSize
+/// batches, filters each into a selection vector and folds it into `acc`.
+void VecScanRange(const std::vector<VecFilter>& filters, size_t begin,
+                  size_t end, vec::BatchScratch* scratch, Accumulator* acc) {
+  for (size_t base = begin; base < end; base += vec::kBatchSize) {
+    const size_t count = std::min(vec::kBatchSize, end - base);
+    const uint32_t* sel = nullptr;
+    const size_t n = RunFilters(filters, base, count, scratch, &sel);
+    if (n == 0) continue;
+    AccumulateBatch(base, sel, n, acc);
+  }
+}
+
+/// Folds one group-mapped batch into the accumulator grid for aggregate
+/// slot `a`: sel/groups are parallel arrays from MapGroups (ascending row
+/// offsets plus each row's group index). Per-row work matches
+/// Accumulator::Accept for the scalar grouped loop exactly.
+void AccumulateGroupedBatch(size_t base, const uint32_t* sel,
+                            const uint32_t* groups, size_t n, size_t a,
+                            std::vector<std::vector<Accumulator>>* grid) {
+  const Accumulator& proto = (*grid)[0][a];
+  if (proto.column == nullptr) {
+    for (size_t i = 0; i < n; ++i) ++(*grid)[groups[i]][a].count;
+    return;
+  }
+  if (proto.column->type() == ValueType::kInt64) {
+    const int64_t* data = proto.column->int_raw() + base;
+    for (size_t i = 0; i < n; ++i) {
+      Accumulator& acc = (*grid)[groups[i]][a];
+      const double v = static_cast<double>(data[sel[i]]);
+      ++acc.count;
+      acc.sum += v;
+      acc.min = v < acc.min ? v : acc.min;
+      acc.max = acc.max < v ? v : acc.max;
+    }
+  } else {
+    const double* data = proto.column->double_raw() + base;
+    for (size_t i = 0; i < n; ++i) {
+      Accumulator& acc = (*grid)[groups[i]][a];
+      const double v = data[sel[i]];
+      ++acc.count;
+      acc.sum += v;
+      acc.min = v < acc.min ? v : acc.min;
+      acc.max = acc.max < v ? v : acc.max;
+    }
+  }
+}
+
+/// Vectorized grouped scan of [begin, end): filter each batch on the
+/// shared predicates, map survivors to groups through the dense dictionary
+/// lookup, then fold each aggregate column over the compacted selection.
+/// The scalar loop tests group membership before the predicates and this
+/// path tests predicates first; both are conjunctive on the same row, so
+/// the accepted row set — and every accumulator update — is identical.
+void VecGroupedScanRange(const std::vector<VecFilter>& filters,
+                         const uint32_t* codes,
+                         const std::vector<uint32_t>& lookup, size_t begin,
+                         size_t end, vec::BatchScratch* scratch,
+                         std::vector<std::vector<Accumulator>>* grid) {
+  if (grid->empty()) return;  // No groups: nothing can accumulate.
+  const size_t num_aggregates = (*grid)[0].size();
+  for (size_t base = begin; base < end; base += vec::kBatchSize) {
+    const size_t count = std::min(vec::kBatchSize, end - base);
+    const uint32_t* sel = nullptr;
+    const size_t n = RunFilters(filters, base, count, scratch, &sel);
+    if (n == 0) continue;
+    const size_t m =
+        sel == nullptr
+            ? vec::MapGroupsDense(codes + base, n, lookup.data(),
+                                  scratch->c, scratch->groups)
+            : vec::MapGroups(codes + base, sel, n, lookup.data(),
+                             scratch->c, scratch->groups);
+    if (m == 0) continue;
+    for (size_t a = 0; a < num_aggregates; ++a) {
+      AccumulateGroupedBatch(base, scratch->c, scratch->groups, m, a, grid);
+    }
+  }
+}
+
 }  // namespace
 
 std::string GroupByQuery::ToSql() const {
@@ -225,11 +495,23 @@ Result<AggregateResult> Executor::Execute(const Table& table,
 
   const size_t n = table.num_rows();
   const size_t grain = std::max<size_t>(1, options.parallel_grain);
+  // Predicates lowered once per scan; the batch loops below dispatch per
+  // batch instead of per row.
+  std::vector<VecFilter> filters;
+  if (options.vectorize) filters = VectorizeFilters(compiled);
   AggregateResult out;
   if (!options.ShouldParallelize(n)) {
+    std::unique_ptr<vec::BatchScratch> scratch;
+    if (options.vectorize && n > 0) {
+      scratch = std::make_unique<vec::BatchScratch>();
+    }
     if (!options.deadline.IsFinite()) {
-      for (size_t row = 0; row < n; ++row) {
-        if (MatchesAll(compiled, row)) acc.Accept(row);
+      if (options.vectorize) {
+        VecScanRange(filters, 0, n, scratch.get(), &acc);
+      } else {
+        for (size_t row = 0; row < n; ++row) {
+          if (MatchesAll(compiled, row)) acc.Accept(row);
+        }
       }
     } else {
       // Deadline-bounded serial scan: same row order in grain-sized
@@ -241,8 +523,12 @@ Result<AggregateResult> Executor::Execute(const Table& table,
                                  std::to_string(n));
         }
         const size_t end = std::min(n, begin + grain);
-        for (size_t row = begin; row < end; ++row) {
-          if (MatchesAll(compiled, row)) acc.Accept(row);
+        if (options.vectorize) {
+          VecScanRange(filters, begin, end, scratch.get(), &acc);
+        } else {
+          for (size_t row = begin; row < end; ++row) {
+            if (MatchesAll(compiled, row)) acc.Accept(row);
+          }
         }
       }
     }
@@ -261,6 +547,12 @@ Result<AggregateResult> Executor::Execute(const Table& table,
                     return;
                   }
                   Accumulator& partial = partials[chunk];
+                  if (options.vectorize) {
+                    auto scratch = std::make_unique<vec::BatchScratch>();
+                    VecScanRange(filters, begin, end, scratch.get(),
+                                 &partial);
+                    return;
+                  }
                   for (size_t row = begin; row < end; ++row) {
                     if (MatchesAll(compiled, row)) partial.Accept(row);
                   }
@@ -300,11 +592,18 @@ Result<GroupByResult> Executor::ExecuteGrouped(
     compiled.push_back(std::move(c));
   }
 
-  // Map dictionary code -> group index for the IN list.
+  // Map dictionary code -> group index for the IN list: a dense lookup
+  // table indexed by code on the vectorized path, a hash map on the
+  // scalar path. Both resolve duplicate group values first-wins.
   std::unordered_map<uint32_t, size_t> group_of_code;
-  for (size_t g = 0; g < query.group_values.size(); ++g) {
-    const uint32_t code = group_column->CodeFor(query.group_values[g]);
-    if (code != kInvalidCode) group_of_code.emplace(code, g);
+  std::vector<uint32_t> group_lookup;
+  if (options.vectorize) {
+    group_lookup = vec::BuildGroupLookup(*group_column, query.group_values);
+  } else {
+    for (size_t g = 0; g < query.group_values.size(); ++g) {
+      const uint32_t code = group_column->CodeFor(query.group_values[g]);
+      if (code != kInvalidCode) group_of_code.emplace(code, g);
+    }
   }
 
   // One accumulator per (group, aggregate).
@@ -322,13 +621,24 @@ Result<GroupByResult> Executor::ExecuteGrouped(
   const size_t n = table.num_rows();
   const size_t grain = std::max<size_t>(1, options.parallel_grain);
   const std::vector<uint32_t>& codes = group_column->codes();
+  std::vector<VecFilter> filters;
+  if (options.vectorize) filters = VectorizeFilters(compiled);
   if (!options.ShouldParallelize(n)) {
+    std::unique_ptr<vec::BatchScratch> scratch;
+    if (options.vectorize && n > 0) {
+      scratch = std::make_unique<vec::BatchScratch>();
+    }
     if (!options.deadline.IsFinite()) {
-      for (size_t row = 0; row < n; ++row) {
-        auto it = group_of_code.find(codes[row]);
-        if (it == group_of_code.end()) continue;
-        if (!MatchesAll(compiled, row)) continue;
-        for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
+      if (options.vectorize) {
+        VecGroupedScanRange(filters, codes.data(), group_lookup, 0, n,
+                            scratch.get(), &accumulators);
+      } else {
+        for (size_t row = 0; row < n; ++row) {
+          auto it = group_of_code.find(codes[row]);
+          if (it == group_of_code.end()) continue;
+          if (!MatchesAll(compiled, row)) continue;
+          for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
+        }
       }
     } else {
       for (size_t begin = 0; begin < n; begin += grain) {
@@ -338,6 +648,11 @@ Result<GroupByResult> Executor::ExecuteGrouped(
                                  std::to_string(n));
         }
         const size_t end = std::min(n, begin + grain);
+        if (options.vectorize) {
+          VecGroupedScanRange(filters, codes.data(), group_lookup, begin,
+                              end, scratch.get(), &accumulators);
+          continue;
+        }
         for (size_t row = begin; row < end; ++row) {
           auto it = group_of_code.find(codes[row]);
           if (it == group_of_code.end()) continue;
@@ -364,6 +679,12 @@ Result<GroupByResult> Executor::ExecuteGrouped(
                   }
                   std::vector<std::vector<Accumulator>>& grid =
                       partials[chunk];
+                  if (options.vectorize) {
+                    auto scratch = std::make_unique<vec::BatchScratch>();
+                    VecGroupedScanRange(filters, codes.data(), group_lookup,
+                                        begin, end, scratch.get(), &grid);
+                    return;
+                  }
                   for (size_t row = begin; row < end; ++row) {
                     auto it = group_of_code.find(codes[row]);
                     if (it == group_of_code.end()) continue;

@@ -39,7 +39,19 @@ struct ExecutorOptions {
   /// to completion, so a cancelled scan overshoots the deadline by at
   /// most one partition grain. The default infinite deadline keeps the
   /// original check-free scan loops (byte-identical results and timing).
+  /// A timed-out scan never stores into `cache`.
   Deadline deadline;
+  /// Batch-at-a-time columnar execution (src/db/vec/ kernels): each
+  /// partition is tiled into vec::kBatchSize-row batches, predicates
+  /// fill selection vectors with branch-light kernels (dictionary-code
+  /// compares for strings, accept masks for long IN lists), and
+  /// aggregates run tight gather/dense loops over the selected offsets.
+  /// Row order, partition boundaries, accumulation order, cancellation
+  /// points, and cache interaction are all identical to the scalar
+  /// loop, so results are byte-identical — `false` keeps the original
+  /// value-at-a-time scan, which the differential suite uses as the
+  /// oracle for the vectorized path.
+  bool vectorize = true;
 
   /// True when this configuration parallelizes a scan of `num_rows` rows.
   bool ShouldParallelize(size_t num_rows) const {

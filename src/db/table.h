@@ -20,6 +20,15 @@ struct ColumnSpec {
 /// An in-memory, columnar, single relation. MUVE queries a single table
 /// per voice query (paper §3), so the engine is a single-table engine
 /// with no join support.
+///
+/// Concurrency contract (single writer, no write/scan overlap): scans —
+/// scalar and vectorized alike — capture raw column array pointers
+/// (Column::*_raw()) for their duration, and AppendRow may reallocate
+/// those arrays, so a table must never be appended to while a query is
+/// scanning it. Every caller already works this way: serving paths scan
+/// shared tables that are only appended to between requests, and an
+/// append bumps `version()` so result caches can never resurrect a
+/// pre-append answer.
 class Table {
  public:
   /// Creates a table with the given schema. Column names must be unique

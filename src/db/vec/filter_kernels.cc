@@ -1,0 +1,124 @@
+#include "db/vec/filter_kernels.h"
+
+namespace muve::db::vec {
+
+namespace {
+
+/// Shared dense-filter shape: store the offset unconditionally, advance
+/// the write cursor by the predicate result. No per-row branch, so the
+/// loop's cost is independent of selectivity.
+template <typename T, typename Pred>
+size_t FilterDense(const T* data, size_t n, uint32_t* sel, Pred pred) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sel[count] = static_cast<uint32_t>(i);
+    count += pred(data[i]) ? 1 : 0;
+  }
+  return count;
+}
+
+/// Shared refine shape over an existing selection.
+template <typename T, typename Pred>
+size_t FilterSparse(const T* data, const uint32_t* sel_in, size_t n,
+                    uint32_t* sel_out, Pred pred) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t offset = sel_in[i];
+    sel_out[count] = offset;
+    count += pred(data[offset]) ? 1 : 0;
+  }
+  return count;
+}
+
+/// OR over an IN list. Bitwise-accumulated so short lists stay
+/// branch-free; correctness does not depend on list length.
+template <typename T>
+bool MatchesAny(T value, const T* keys, size_t num_keys) {
+  bool match = false;
+  for (size_t k = 0; k < num_keys; ++k) {
+    match |= value == keys[k];
+  }
+  return match;
+}
+
+}  // namespace
+
+size_t FilterEqU32(const uint32_t* data, size_t n, uint32_t key,
+                   uint32_t* sel) {
+  return FilterDense(data, n, sel,
+                     [key](uint32_t v) { return v == key; });
+}
+
+size_t RefineEqU32(const uint32_t* data, const uint32_t* sel_in, size_t n,
+                   uint32_t key, uint32_t* sel_out) {
+  return FilterSparse(data, sel_in, n, sel_out,
+                      [key](uint32_t v) { return v == key; });
+}
+
+size_t FilterMaskU32(const uint32_t* data, size_t n, const uint8_t* mask,
+                     uint32_t* sel) {
+  return FilterDense(data, n, sel,
+                     [mask](uint32_t v) { return mask[v] != 0; });
+}
+
+size_t RefineMaskU32(const uint32_t* data, const uint32_t* sel_in,
+                     size_t n, const uint8_t* mask, uint32_t* sel_out) {
+  return FilterSparse(data, sel_in, n, sel_out,
+                      [mask](uint32_t v) { return mask[v] != 0; });
+}
+
+size_t FilterEqI64(const int64_t* data, size_t n, int64_t key,
+                   uint32_t* sel) {
+  return FilterDense(data, n, sel, [key](int64_t v) { return v == key; });
+}
+
+size_t RefineEqI64(const int64_t* data, const uint32_t* sel_in, size_t n,
+                   int64_t key, uint32_t* sel_out) {
+  return FilterSparse(data, sel_in, n, sel_out,
+                      [key](int64_t v) { return v == key; });
+}
+
+size_t FilterInI64(const int64_t* data, size_t n, const int64_t* keys,
+                   size_t num_keys, uint32_t* sel) {
+  return FilterDense(data, n, sel, [keys, num_keys](int64_t v) {
+    return MatchesAny(v, keys, num_keys);
+  });
+}
+
+size_t RefineInI64(const int64_t* data, const uint32_t* sel_in, size_t n,
+                   const int64_t* keys, size_t num_keys,
+                   uint32_t* sel_out) {
+  return FilterSparse(data, sel_in, n, sel_out,
+                      [keys, num_keys](int64_t v) {
+                        return MatchesAny(v, keys, num_keys);
+                      });
+}
+
+size_t FilterEqF64(const double* data, size_t n, double key,
+                   uint32_t* sel) {
+  return FilterDense(data, n, sel, [key](double v) { return v == key; });
+}
+
+size_t RefineEqF64(const double* data, const uint32_t* sel_in, size_t n,
+                   double key, uint32_t* sel_out) {
+  return FilterSparse(data, sel_in, n, sel_out,
+                      [key](double v) { return v == key; });
+}
+
+size_t FilterInF64(const double* data, size_t n, const double* keys,
+                   size_t num_keys, uint32_t* sel) {
+  return FilterDense(data, n, sel, [keys, num_keys](double v) {
+    return MatchesAny(v, keys, num_keys);
+  });
+}
+
+size_t RefineInF64(const double* data, const uint32_t* sel_in, size_t n,
+                   const double* keys, size_t num_keys,
+                   uint32_t* sel_out) {
+  return FilterSparse(data, sel_in, n, sel_out,
+                      [keys, num_keys](double v) {
+                        return MatchesAny(v, keys, num_keys);
+                      });
+}
+
+}  // namespace muve::db::vec

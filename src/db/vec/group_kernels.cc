@@ -1,0 +1,44 @@
+#include "db/vec/group_kernels.h"
+
+namespace muve::db::vec {
+
+std::vector<uint32_t> BuildGroupLookup(
+    const Column& column, const std::vector<std::string>& group_values) {
+  std::vector<uint32_t> lookup(column.dictionary_size(), kNoGroup);
+  for (size_t g = 0; g < group_values.size(); ++g) {
+    const uint32_t code = column.CodeFor(group_values[g]);
+    if (code != kInvalidCode && lookup[code] == kNoGroup) {
+      lookup[code] = static_cast<uint32_t>(g);
+    }
+  }
+  return lookup;
+}
+
+size_t MapGroups(const uint32_t* codes, const uint32_t* sel_in, size_t n,
+                 const uint32_t* lookup, uint32_t* sel_out,
+                 uint32_t* groups) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t offset = sel_in[i];
+    const uint32_t group = lookup[codes[offset]];
+    sel_out[count] = offset;
+    groups[count] = group;
+    count += group != kNoGroup ? 1 : 0;
+  }
+  return count;
+}
+
+size_t MapGroupsDense(const uint32_t* codes, size_t n,
+                      const uint32_t* lookup, uint32_t* sel_out,
+                      uint32_t* groups) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t group = lookup[codes[i]];
+    sel_out[count] = static_cast<uint32_t>(i);
+    groups[count] = group;
+    count += group != kNoGroup ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace muve::db::vec

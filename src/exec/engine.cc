@@ -83,8 +83,10 @@ Engine::Engine(std::shared_ptr<const db::Table> table, EngineOptions options)
   db::AggregateQuery probe;
   probe.table = table_->name();
   probe.function = db::AggregateFunction::kCount;
+  db::ExecutorOptions probe_options;
+  probe_options.vectorize = options_.vectorize;
   StopWatch watch;
-  auto result = db::Executor::Execute(*table_, probe);
+  auto result = db::Executor::Execute(*table_, probe, probe_options);
   const double millis = std::max(1e-3, watch.ElapsedMillis());
   if (result.ok()) {
     if (auto estimate = estimator_.Estimate(*table_, probe); estimate.ok()) {
@@ -146,6 +148,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     // keys racing a miss compute identical values.
     db::ExecutorOptions unit_options;
     unit_options.cache = cache;
+    unit_options.vectorize = options_.vectorize;
     for (const MergeUnit& unit : units) {
       futures.push_back(pool_->Submit([&unit, &target, &candidates,
                                        sampled, sample_fraction,
@@ -172,6 +175,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     // rows when a pool exists.
     db::ExecutorOptions db_options;
     db_options.cache = cache;
+    db_options.vectorize = options_.vectorize;
     if (units.size() == 1) {
       db_options.pool = pool_.get();
       db_options.min_parallel_rows = options_.min_parallel_rows;
@@ -221,6 +225,7 @@ Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
 
   db::ExecutorOptions base_options;  // No deadline: uncancellable.
   base_options.cache = cache;
+  base_options.vectorize = options_.vectorize;
   db::ExecutorOptions rest_options = base_options;
   rest_options.deadline = controls.deadline;
   if (units.size() == 1) {

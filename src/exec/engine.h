@@ -46,6 +46,10 @@ struct EngineOptions {
   /// path. Cached results are the executor's raw output, so hits are
   /// byte-identical to recomputation at the same thread configuration.
   size_t cache_capacity = 256;
+  /// Batch-at-a-time columnar scans (forwarded to
+  /// db::ExecutorOptions::vectorize). Byte-identical results either way;
+  /// `false` runs the scalar value-at-a-time oracle path.
+  bool vectorize = true;
 };
 
 /// Per-call execution controls (request-scoped), the deadline-aware

@@ -21,12 +21,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -99,6 +101,27 @@ std::string PlanSignature(const core::Multiplot& multiplot) {
 Deadline ExpiredDeadline(const FakeClock* clock) {
   return Deadline::AfterMillis(0.0, clock);
 }
+
+/// Clock that advances one fixed step on every read. Because the
+/// executor reads the clock exactly once per cancellation point (one
+/// `AfterMillis` at deadline construction, then one `Expired()` per
+/// partition grain), a budget of k + 0.5 steps expires on the (k+1)-th
+/// grain check — making "cancelled mid-scan after exactly k grains" a
+/// deterministic property of the check cadence, independent of machine
+/// speed. Thread-safe: parallel workers each consume distinct reads.
+class SteppingClock : public ClockSource {
+ public:
+  explicit SteppingClock(double step_millis = 1.0) : step_(step_millis) {}
+
+  double NowMillis() const override {
+    return step_ * static_cast<double>(
+                       reads_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+ private:
+  const double step_;
+  mutable std::atomic<uint64_t> reads_{0};
+};
 
 // ---------------------------------------------------------------------
 // db::Executor cooperative cancellation.
@@ -183,6 +206,122 @@ TEST(DeadlineExecutorTest, UnexpiredFiniteDeadlineMatchesUnbounded) {
     EXPECT_EQ(expected->rows_matched, actual->rows_matched);
     EXPECT_EQ(expected->empty_input, actual->empty_input);
   }
+}
+
+// The vectorized batch path keeps the scalar path's cancellation
+// cadence exactly: one deadline check per partition grain, batches
+// tiling each grain from its start. A SteppingClock whose budget covers
+// 2.5 checks therefore cancels both paths mid-scan at the identical
+// row — the start of the third grain — proving batching neither skips
+// nor adds cancellation points.
+TEST(DeadlineExecutorTest, BatchPathCancelsMidScanAtSameGrainAsScalar) {
+  auto table = Table311(5000);
+  const db::AggregateQuery query = Query311(
+      db::AggregateFunction::kCount, "", "borough", "brooklyn");
+  for (const bool vectorize : {true, false}) {
+    SteppingClock clock;
+    db::ExecutorOptions options;
+    options.vectorize = vectorize;
+    options.parallel_grain = 256;
+    // Read 1 anchors the deadline; reads 2 and 3 (grain checks at rows
+    // 0 and 256) pass; read 4 (row 512) expires.
+    options.deadline = Deadline::AfterMillis(2.5, &clock);
+    const auto result = db::Executor::Execute(*table, query, options);
+    ASSERT_FALSE(result.ok()) << (vectorize ? "vector" : "scalar");
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+        << (vectorize ? "vector" : "scalar");
+    EXPECT_EQ(result.status().message(),
+              "aggregate scan cancelled at row 512/5000")
+        << (vectorize ? "vector" : "scalar");
+  }
+}
+
+TEST(DeadlineExecutorTest, BatchPathCancelsMidScanParallel) {
+  auto table = Table311(5000);
+  ThreadPool pool(4);
+  SteppingClock clock;
+  db::ExecutorOptions options;
+  options.pool = &pool;
+  options.min_parallel_rows = 100;
+  options.parallel_grain = 256;  // 20 chunks; only 10 checks can pass.
+  options.deadline = Deadline::AfterMillis(10.5, &clock);
+  const auto result = db::Executor::Execute(
+      *table,
+      Query311(db::AggregateFunction::kCount, "", "borough", "brooklyn"),
+      options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(result.status().message(),
+            "parallel aggregate scan cancelled (5000 rows)");
+}
+
+TEST(DeadlineExecutorTest, BatchPathCancelsGroupedScanMidScan) {
+  auto table = Table311(5000);
+  db::GroupByQuery query;
+  query.table = "nyc311";
+  query.group_column = "borough";
+  query.group_values = {"brooklyn", "bronx"};
+  query.aggregates = {{db::AggregateFunction::kCount, ""},
+                      {db::AggregateFunction::kAvg, "open_hours"}};
+  {
+    SteppingClock clock;
+    db::ExecutorOptions options;
+    options.parallel_grain = 256;
+    options.deadline = Deadline::AfterMillis(2.5, &clock);
+    const auto result = db::Executor::ExecuteGrouped(*table, query, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+    EXPECT_EQ(result.status().message(),
+              "grouped scan cancelled at row 512/5000");
+  }
+  {
+    ThreadPool pool(4);
+    SteppingClock clock;
+    db::ExecutorOptions options;
+    options.pool = &pool;
+    options.min_parallel_rows = 100;
+    options.parallel_grain = 256;
+    options.deadline = Deadline::AfterMillis(10.5, &clock);
+    const auto result = db::Executor::ExecuteGrouped(*table, query, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+    EXPECT_EQ(result.status().message(),
+              "parallel grouped scan cancelled (5000 rows)");
+  }
+}
+
+// A scan cancelled mid-flight never stores its partial state: the cache
+// stays empty, a later unbounded run populates it, and only then does a
+// repeat replay from the cache — bitwise identical to the computed run.
+TEST(DeadlineExecutorTest, TimedOutBatchScanNeverPopulatesCache) {
+  auto table = Table311(5000);
+  cache::QueryCache cache(64);
+  const db::AggregateQuery query = Query311(
+      db::AggregateFunction::kAvg, "open_hours", "borough", "brooklyn");
+
+  SteppingClock clock;
+  db::ExecutorOptions bounded;
+  bounded.cache = &cache;
+  bounded.parallel_grain = 256;
+  bounded.deadline = Deadline::AfterMillis(2.5, &clock);
+  const auto timed_out = db::Executor::Execute(*table, query, bounded);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  db::ExecutorOptions unbounded;
+  unbounded.cache = &cache;
+  const auto computed = db::Executor::Execute(*table, query, unbounded);
+  ASSERT_TRUE(computed.ok());
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto replayed = db::Executor::Execute(*table, query, unbounded);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(computed->value, replayed->value);
+  EXPECT_EQ(computed->rows_matched, replayed->rows_matched);
+  EXPECT_EQ(computed->empty_input, replayed->empty_input);
 }
 
 // ---------------------------------------------------------------------

@@ -32,6 +32,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -206,6 +207,173 @@ TEST_F(DifferentialTest, ExecutorSerialVsParallelGroupedScans) {
         }
       }
       if (threads == 2) at2 = *parallel;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Layer 1b: db::Executor — vectorized batch scans vs the scalar oracle.
+//
+// The batch path (ExecutorOptions::vectorize, the default) promises
+// byte-identical results to the value-at-a-time loop: same row order,
+// same accumulation order, same partition boundaries. So unlike the
+// serial-vs-parallel comparison above, every field — including SUM/AVG —
+// is compared with EXPECT_EQ, across thread counts, cached and uncached
+// replays, and full vs sampled tables. Row counts sweep the batch
+// boundaries (0, 1, 2047, 2048, 2049, 4099 rows around the 2048-row
+// batch) on a third of the seeds.
+// ---------------------------------------------------------------------
+
+/// Batch-boundary row counts: empty table, single row, one batch +/- 1,
+/// and a multi-batch size that is a multiple of neither the batch nor
+/// any test grain.
+constexpr size_t kBatchBoundaryRows[] = {0, 1, 2047, 2048, 2049, 4099};
+
+testing::RandomTableOptions VecTableOptions(int seed) {
+  testing::RandomTableOptions options;
+  if (seed % 3 == 0) {
+    const size_t rows =
+        kBatchBoundaryRows[static_cast<size_t>(seed / 3) %
+                           std::size(kBatchBoundaryRows)];
+    options.min_rows = rows;
+    options.max_rows = rows;
+  }
+  return options;
+}
+
+void ExpectBitwiseEqual(const db::AggregateResult& scalar,
+                        const db::AggregateResult& vec,
+                        const std::string& context) {
+  EXPECT_EQ(scalar.value, vec.value) << context;
+  EXPECT_EQ(scalar.rows_matched, vec.rows_matched) << context;
+  EXPECT_EQ(scalar.empty_input, vec.empty_input) << context;
+}
+
+TEST_F(DifferentialTest, ExecutorVectorizedVsScalarScans) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 1000000 + static_cast<uint64_t>(seed));
+    auto table = testing::RandomTable(&rng, VecTableOptions(seed));
+    // Sampled execution composes with vectorization: the batch path must
+    // agree on the sample too, and scaled values must match exactly.
+    auto sample = table->Sample(0.37);
+    const bool use_cache = (seed % 2) == 1;
+
+    for (int q = 0; q < 3; ++q) {
+      const db::AggregateQuery query =
+          testing::RandomVecAggregateQuery(*table, &rng);
+      for (const db::Table* target : {table.get(), sample.get()}) {
+        for (const size_t threads : kThreadCounts) {
+          // Odd grain + forced parallelism: batches tile each partition
+          // from its start, so awkward partition cuts must not move any
+          // batch boundary's effect across partitions.
+          db::ExecutorOptions scalar_options;
+          scalar_options.vectorize = false;  // The oracle.
+          scalar_options.min_parallel_rows = 1;
+          scalar_options.parallel_grain = 193;
+          scalar_options.pool = PoolFor(threads);
+          db::ExecutorOptions vec_options = scalar_options;
+          vec_options.vectorize = true;
+          // Fresh per-configuration caches: the cold run must store the
+          // same bytes, the warm run must replay them.
+          cache::QueryCache scalar_cache(64);
+          cache::QueryCache vec_cache(64);
+          if (use_cache) {
+            scalar_options.cache = &scalar_cache;
+            vec_options.cache = &vec_cache;
+          }
+          const std::string context =
+              "seed " + std::to_string(seed) + " threads " +
+              std::to_string(threads) +
+              (target == sample.get() ? " sampled " : " full ") +
+              (use_cache ? "cached " : "uncached ") + query.ToSql();
+          const auto scalar =
+              db::Executor::Execute(*target, query, scalar_options);
+          const auto vec =
+              db::Executor::Execute(*target, query, vec_options);
+          ASSERT_TRUE(scalar.ok()) << context;
+          ASSERT_TRUE(vec.ok()) << context;
+          ExpectBitwiseEqual(*scalar, *vec, context);
+          EXPECT_EQ(
+              db::Executor::ScaleSampledValue(query.function,
+                                              scalar->value, 0.37),
+              db::Executor::ScaleSampledValue(query.function, vec->value,
+                                              0.37))
+              << context;
+          if (use_cache) {
+            const auto scalar_warm =
+                db::Executor::Execute(*target, query, scalar_options);
+            const auto vec_warm =
+                db::Executor::Execute(*target, query, vec_options);
+            ASSERT_TRUE(scalar_warm.ok() && vec_warm.ok()) << context;
+            ExpectBitwiseEqual(*scalar_warm, *vec_warm,
+                               "warm " + context);
+            ExpectBitwiseEqual(*vec, *vec_warm, "cold-vs-warm " + context);
+            EXPECT_GT(vec_cache.stats().hits, 0u) << context;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialTest, ExecutorVectorizedVsScalarGroupedScans) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(kSeedBase + 1100000 + static_cast<uint64_t>(seed));
+    auto table = testing::RandomTable(&rng, VecTableOptions(seed));
+    auto sample = table->Sample(0.37);
+    const bool use_cache = (seed % 2) == 1;
+    const db::GroupByQuery query =
+        testing::RandomVecGroupByQuery(*table, &rng);
+
+    for (const db::Table* target : {table.get(), sample.get()}) {
+      for (const size_t threads : kThreadCounts) {
+        db::ExecutorOptions scalar_options;
+        scalar_options.vectorize = false;  // The oracle.
+        scalar_options.min_parallel_rows = 1;
+        scalar_options.parallel_grain = 311;
+        scalar_options.pool = PoolFor(threads);
+        db::ExecutorOptions vec_options = scalar_options;
+        vec_options.vectorize = true;
+        cache::QueryCache scalar_cache(64);
+        cache::QueryCache vec_cache(64);
+        if (use_cache) {
+          scalar_options.cache = &scalar_cache;
+          vec_options.cache = &vec_cache;
+        }
+        const std::string context =
+            "seed " + std::to_string(seed) + " threads " +
+            std::to_string(threads) +
+            (target == sample.get() ? " sampled " : " full ") +
+            (use_cache ? "cached " : "uncached ") + query.ToSql();
+        const auto scalar =
+            db::Executor::ExecuteGrouped(*target, query, scalar_options);
+        const auto vec =
+            db::Executor::ExecuteGrouped(*target, query, vec_options);
+        ASSERT_TRUE(scalar.ok()) << context;
+        ASSERT_TRUE(vec.ok()) << context;
+        EXPECT_EQ(scalar->rows_scanned, vec->rows_scanned) << context;
+        ASSERT_EQ(scalar->cells.size(), vec->cells.size()) << context;
+        for (size_t g = 0; g < scalar->cells.size(); ++g) {
+          ASSERT_EQ(scalar->cells[g].size(), vec->cells[g].size());
+          for (size_t a = 0; a < scalar->cells[g].size(); ++a) {
+            ExpectBitwiseEqual(scalar->cells[g][a], vec->cells[g][a],
+                               context + " cell " + std::to_string(g) +
+                                   "/" + std::to_string(a));
+          }
+        }
+        if (use_cache) {
+          const auto vec_warm =
+              db::Executor::ExecuteGrouped(*target, query, vec_options);
+          ASSERT_TRUE(vec_warm.ok()) << context;
+          for (size_t g = 0; g < vec->cells.size(); ++g) {
+            for (size_t a = 0; a < vec->cells[g].size(); ++a) {
+              ExpectBitwiseEqual(vec->cells[g][a], vec_warm->cells[g][a],
+                                 "cold-vs-warm " + context);
+            }
+          }
+          EXPECT_GT(vec_cache.stats().hits, 0u) << context;
+        }
+      }
     }
   }
 }
@@ -426,15 +594,8 @@ TEST_F(DifferentialTest, IlpPlannerThreadAndPresolveInvariant) {
 // ---------------------------------------------------------------------
 // Layer 4: caching — cached vs uncached must be byte-identical at every
 // layer, for cold, warm, and capacity-1 thrash replays.
+// (ExpectBitwiseEqual is shared with the vectorized-vs-scalar layer.)
 // ---------------------------------------------------------------------
-
-void ExpectBitwiseEqual(const db::AggregateResult& expected,
-                        const db::AggregateResult& actual,
-                        const std::string& context) {
-  EXPECT_EQ(expected.value, actual.value) << context;
-  EXPECT_EQ(expected.rows_matched, actual.rows_matched) << context;
-  EXPECT_EQ(expected.empty_input, actual.empty_input) << context;
-}
 
 TEST_F(DifferentialTest, ExecutorCachedVsUncachedScans) {
   for (int seed = 0; seed < kNumSeeds; ++seed) {

@@ -118,6 +118,128 @@ inline db::Predicate RandomPredicate(const db::Table& table, Rng* rng,
                                db::Value(rng->Choice(col->dictionary())));
 }
 
+/// Random equality/IN predicate over any column type — the workload the
+/// vectorized filter kernels cover: dictionary-code compares and accept
+/// masks for string columns, single-key compares and IN loops for int64
+/// and double columns. Each value independently misses the column's
+/// active domain with probability `miss_probability` (on an empty table
+/// every value misses), so scans legally match zero rows.
+inline db::Predicate RandomVecPredicate(const db::Table& table, Rng* rng,
+                                        double miss_probability = 0.15) {
+  const size_t column_index = static_cast<size_t>(rng->UniformInRange(
+      0, static_cast<int64_t>(table.num_columns()) - 1));
+  const db::Column& column = table.column(column_index);
+  const size_t list_size =
+      rng->Bernoulli(0.5) ? 1
+                          : static_cast<size_t>(rng->UniformInRange(2, 6));
+  const auto random_row = [&] {
+    return static_cast<size_t>(rng->UniformInRange(
+        0, static_cast<int64_t>(column.size()) - 1));
+  };
+  std::vector<db::Value> values;
+  values.reserve(list_size);
+  for (size_t k = 0; k < list_size; ++k) {
+    const bool miss =
+        column.size() == 0 || rng->Bernoulli(miss_probability);
+    switch (column.type()) {
+      case db::ValueType::kString:
+        values.emplace_back(miss ? "absent_value_" + std::to_string(k)
+                                 : rng->Choice(column.dictionary()));
+        break;
+      case db::ValueType::kInt64:
+        values.emplace_back(miss ? static_cast<int64_t>(1000000 + k)
+                                 : column.int_data()[random_row()]);
+        break;
+      case db::ValueType::kDouble:
+        values.emplace_back(miss ? 1.0e6 + static_cast<double>(k)
+                                 : column.double_data()[random_row()]);
+        break;
+    }
+  }
+  return values.size() == 1
+             ? db::Predicate::Equals(column.name(), values[0])
+             : db::Predicate::In(column.name(), std::move(values));
+}
+
+/// Random single-aggregate query whose predicates span every vectorized
+/// filter kernel: equality and IN over string, int64 and double columns,
+/// possibly several on the same column (chained refine kernels over the
+/// same data).
+inline db::AggregateQuery RandomVecAggregateQuery(const db::Table& table,
+                                                  Rng* rng) {
+  db::AggregateQuery query;
+  query.table = table.name();
+  std::vector<std::string> numeric =
+      table.ColumnNamesOfType(db::ValueType::kInt64);
+  const std::vector<std::string> numeric_double =
+      table.ColumnNamesOfType(db::ValueType::kDouble);
+  numeric.insert(numeric.end(), numeric_double.begin(),
+                 numeric_double.end());
+  if (numeric.empty() || rng->Bernoulli(0.25)) {
+    query.function = db::AggregateFunction::kCount;
+  } else {
+    query.function = rng->Choice(db::AllAggregateFunctions());
+    if (query.function != db::AggregateFunction::kCount) {
+      query.aggregate_column = rng->Choice(numeric);
+    }
+  }
+  const size_t num_predicates =
+      static_cast<size_t>(rng->UniformInRange(0, 3));
+  for (size_t p = 0; p < num_predicates; ++p) {
+    query.predicates.push_back(RandomVecPredicate(table, rng));
+  }
+  return query;
+}
+
+/// Random merged (GROUP BY) query whose shared predicates span the
+/// vectorized kernels (any column type, equality and IN), instead of
+/// RandomGroupByQuery's string-equality-only shared predicate. Safe on
+/// empty tables (where RandomGroupByQuery's predicate choice is not):
+/// the group list degenerates to the always-absent group value.
+inline db::GroupByQuery RandomVecGroupByQuery(const db::Table& table,
+                                              Rng* rng) {
+  db::GroupByQuery query;
+  query.table = table.name();
+  const std::vector<std::string> string_columns =
+      table.ColumnNamesOfType(db::ValueType::kString);
+  query.group_column = rng->Choice(string_columns);
+  const db::Column* group_col = table.FindColumn(query.group_column);
+  for (const std::string& value : group_col->dictionary()) {
+    if (rng->Bernoulli(0.8)) query.group_values.push_back(value);
+  }
+  // An absent group value: its cells must come back empty, not zeroed.
+  query.group_values.push_back("absent_group");
+  const size_t num_predicates =
+      static_cast<size_t>(rng->UniformInRange(0, 2));
+  for (size_t p = 0; p < num_predicates; ++p) {
+    db::Predicate predicate = RandomVecPredicate(table, rng);
+    if (predicate.column != query.group_column) {
+      query.shared_predicates.push_back(std::move(predicate));
+    }
+  }
+  std::vector<std::string> numeric =
+      table.ColumnNamesOfType(db::ValueType::kInt64);
+  const std::vector<std::string> numeric_double =
+      table.ColumnNamesOfType(db::ValueType::kDouble);
+  numeric.insert(numeric.end(), numeric_double.begin(),
+                 numeric_double.end());
+  const size_t num_aggregates =
+      static_cast<size_t>(rng->UniformInRange(1, 3));
+  for (size_t a = 0; a < num_aggregates; ++a) {
+    db::AggregateSpec spec;
+    if (numeric.empty() || rng->Bernoulli(0.3)) {
+      spec.function = db::AggregateFunction::kCount;
+    } else {
+      spec.function = rng->Choice(db::AllAggregateFunctions());
+      if (spec.function != db::AggregateFunction::kCount) {
+        spec.column = rng->Choice(numeric);
+      }
+    }
+    query.aggregates.push_back(std::move(spec));
+  }
+  return query;
+}
+
 /// Random single-aggregate query: uniformly chosen aggregate function
 /// (COUNT(*) or SUM/AVG/MIN/MAX over a numeric column) plus 0-3
 /// predicates on distinct string columns.
