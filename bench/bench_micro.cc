@@ -138,7 +138,7 @@ void BM_GroupedScan(benchmark::State& state) {
   db::GroupByQuery query;
   query.table = "flights";
   query.group_column = "origin";
-  query.group_values = table->FindColumn("origin")->dictionary();
+  query.group_values = table->StringValues("origin");
   query.aggregates = {{db::AggregateFunction::kCount, ""},
                       {db::AggregateFunction::kAvg, "arr_delay"}};
   for (auto _ : state) {
@@ -157,7 +157,7 @@ void BM_GroupedScanScalar(benchmark::State& state) {
   db::GroupByQuery query;
   query.table = "flights";
   query.group_column = "origin";
-  query.group_values = table->FindColumn("origin")->dictionary();
+  query.group_values = table->StringValues("origin");
   query.aggregates = {{db::AggregateFunction::kCount, ""},
                       {db::AggregateFunction::kAvg, "arr_delay"}};
   for (auto _ : state) {
@@ -209,7 +209,7 @@ void BM_GroupedScanParallel(benchmark::State& state) {
   db::GroupByQuery query;
   query.table = "flights";
   query.group_column = "origin";
-  query.group_values = table->FindColumn("origin")->dictionary();
+  query.group_values = table->StringValues("origin");
   query.aggregates = {{db::AggregateFunction::kCount, ""},
                       {db::AggregateFunction::kAvg, "arr_delay"}};
   for (auto _ : state) {
@@ -694,7 +694,7 @@ int RunVecJsonReport(const std::string& path) {
     db::GroupByQuery grouped;
     grouped.table = "flights";
     grouped.group_column = "origin";
-    grouped.group_values = table->FindColumn("origin")->dictionary();
+    grouped.group_values = table->StringValues("origin");
     grouped.aggregates = {{db::AggregateFunction::kCount, ""},
                           {db::AggregateFunction::kAvg, "arr_delay"}};
 

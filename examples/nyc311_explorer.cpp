@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
 
   std::printf("Schema: nyc311(");
   for (size_t c = 0; c < table->num_columns(); ++c) {
-    std::printf("%s%s", c > 0 ? ", " : "", table->column(c).name().c_str());
+    std::printf("%s%s", c > 0 ? ", " : "", table->spec(c).name.c_str());
   }
   std::printf(")\n");
   std::printf("Ask things like: \"how many heating complaints in "

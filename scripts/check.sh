@@ -61,6 +61,14 @@ if [[ -f build/BENCH_server.json ]]; then
   cat build/BENCH_server.json
 fi
 
+# The bench_ingest_smoke tier1 test wrote live-ingest stats (achieved
+# append rate, read p99 under ingest vs baseline, result-cache hit
+# ratio across appends); surface them.
+if [[ -f build/BENCH_ingest.json ]]; then
+  echo "==> Live-ingest smoke stats (build/BENCH_ingest.json)"
+  cat build/BENCH_ingest.json
+fi
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> Skipping ThreadSanitizer pass (--skip-tsan)"
   exit 0

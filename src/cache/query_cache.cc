@@ -1,6 +1,7 @@
 #include "cache/query_cache.h"
 
 #include <cstdio>
+#include <vector>
 
 #include "common/strings.h"
 #include "db/value.h"
@@ -43,16 +44,23 @@ void AppendPredicate(const db::Predicate& predicate, std::string* key) {
   *key += ';';
 }
 
-/// "t<id>@<version>|" — every key starts with this, which is what makes
-/// a version bump an implicit whole-table invalidation.
-std::string TablePrefix(const db::Table& table) {
-  return "t" + std::to_string(table.id()) + "@" +
-         std::to_string(table.version()) + "|";
+/// "t<id>#" — every key of this table starts with this (the
+/// whole-table sweep prefix).
+std::string TableIdPrefix(const db::Table& table) {
+  return "t" + std::to_string(table.id()) + "#";
 }
 
-std::string AggregateKey(const db::Table& table,
+/// "t<id>#r<run>|" — every key starts with this. No table version: a
+/// run is immutable, so its partials stay valid across appends; run ids
+/// are process-unique, so a retired id can never be revived by a later
+/// run.
+std::string RunPrefix(const db::Table& table, uint64_t run_id) {
+  return TableIdPrefix(table) + "r" + std::to_string(run_id) + "|";
+}
+
+std::string AggregateKey(const db::Table& table, uint64_t run_id,
                          const db::AggregateQuery& query) {
-  std::string key = TablePrefix(table);
+  std::string key = RunPrefix(table, run_id);
   key += "a|";
   key += db::AggregateFunctionName(query.function);
   key += '(';
@@ -68,13 +76,13 @@ std::string AggregateKey(const db::Table& table,
   return key;
 }
 
-std::string GroupedKey(const db::Table& table,
+std::string GroupedKey(const db::Table& table, uint64_t run_id,
                        const db::GroupByQuery& query) {
-  std::string key = TablePrefix(table);
+  std::string key = RunPrefix(table, run_id);
   key += "g|";
   key += ToLower(query.group_column);
   key += '|';
-  // Group values stay in order: result cells are indexed by position.
+  // Group values stay in order: partial cells are indexed by position.
   for (const std::string& value : query.group_values) {
     key += std::to_string(value.size());
     key += ':';
@@ -102,69 +110,84 @@ QueryCache::QueryCache(size_t capacity)
     : aggregate_cache_(capacity, &stats_),
       grouped_cache_(capacity, &stats_) {}
 
-void QueryCache::SweepStaleVersions(const db::Table& table) {
+void QueryCache::SweepRetired(const db::Table& table) {
   if (!enabled()) return;
+  std::vector<uint64_t> retired;
+  bool sweep_all = false;
   {
-    std::lock_guard<std::mutex> lock(version_mutex_);
-    auto it = seen_version_.find(table.id());
-    if (it != seen_version_.end() && it->second == table.version()) return;
-    seen_version_[table.id()] = table.version();
-    // First sight of a table has nothing to sweep.
-    if (it == seen_version_.end()) return;
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    const uint64_t seq = table.retired_seq();
+    auto it = retired_cursor_.find(table.id());
+    const uint64_t cursor = it == retired_cursor_.end() ? 0 : it->second;
+    if (cursor == seq) return;  // Fast path: nothing retired since.
+    sweep_all = !table.RetiredRunsSince(cursor, &retired);
+    retired_cursor_[table.id()] = seq;
   }
-  const std::string id_prefix = "t" + std::to_string(table.id()) + "@";
-  const std::string live_prefix = TablePrefix(table);
-  const auto stale = [&](const std::string& key) {
-    return StartsWith(key, id_prefix) && !StartsWith(key, live_prefix);
-  };
-  const size_t swept =
-      aggregate_cache_.EraseIf(stale) + grouped_cache_.EraseIf(stale);
+  size_t swept = 0;
+  if (sweep_all) {
+    // The bounded feed trimmed history we never saw: the precise set of
+    // retired runs is unknown, so drop everything under this table.
+    const std::string prefix = TableIdPrefix(table);
+    const auto stale = [&](const std::string& key) {
+      return StartsWith(key, prefix);
+    };
+    swept = aggregate_cache_.EraseIf(stale) + grouped_cache_.EraseIf(stale);
+  } else {
+    for (const uint64_t run_id : retired) {
+      const std::string prefix = RunPrefix(table, run_id);
+      const auto stale = [&](const std::string& key) {
+        return StartsWith(key, prefix);
+      };
+      swept +=
+          aggregate_cache_.EraseIf(stale) + grouped_cache_.EraseIf(stale);
+    }
+  }
   if (swept > 0) stats_.RecordInvalidations(swept);
 }
 
-bool QueryCache::Lookup(const db::Table& table,
-                        const db::AggregateQuery& query,
-                        db::AggregateResult* out) {
+bool QueryCache::LookupRun(const db::Table& table, uint64_t run_id,
+                           const db::AggregateQuery& query,
+                           db::AggregatePartial* out) {
   if (!enabled()) {  // Skip key construction; still a counted miss.
     stats_.RecordMiss();
     return false;
   }
-  SweepStaleVersions(table);
-  return aggregate_cache_.Get(AggregateKey(table, query), out);
+  SweepRetired(table);
+  return aggregate_cache_.Get(AggregateKey(table, run_id, query), out);
 }
 
-void QueryCache::Store(const db::Table& table,
-                       const db::AggregateQuery& query,
-                       const db::AggregateResult& result) {
+void QueryCache::StoreRun(const db::Table& table, uint64_t run_id,
+                          const db::AggregateQuery& query,
+                          const db::AggregatePartial& partial) {
   if (!enabled()) return;
-  SweepStaleVersions(table);
-  aggregate_cache_.Put(AggregateKey(table, query), result);
+  SweepRetired(table);
+  aggregate_cache_.Put(AggregateKey(table, run_id, query), partial);
 }
 
-bool QueryCache::Lookup(const db::Table& table,
-                        const db::GroupByQuery& query,
-                        db::GroupByResult* out) {
+bool QueryCache::LookupRun(const db::Table& table, uint64_t run_id,
+                           const db::GroupByQuery& query,
+                           db::GroupedPartial* out) {
   if (!enabled()) {
     stats_.RecordMiss();
     return false;
   }
-  SweepStaleVersions(table);
-  return grouped_cache_.Get(GroupedKey(table, query), out);
+  SweepRetired(table);
+  return grouped_cache_.Get(GroupedKey(table, run_id, query), out);
 }
 
-void QueryCache::Store(const db::Table& table,
-                       const db::GroupByQuery& query,
-                       const db::GroupByResult& result) {
+void QueryCache::StoreRun(const db::Table& table, uint64_t run_id,
+                          const db::GroupByQuery& query,
+                          const db::GroupedPartial& partial) {
   if (!enabled()) return;
-  SweepStaleVersions(table);
-  grouped_cache_.Put(GroupedKey(table, query), result);
+  SweepRetired(table);
+  grouped_cache_.Put(GroupedKey(table, run_id, query), partial);
 }
 
 void QueryCache::Clear() {
   aggregate_cache_.Clear();
   grouped_cache_.Clear();
-  std::lock_guard<std::mutex> lock(version_mutex_);
-  seen_version_.clear();
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  retired_cursor_.clear();
 }
 
 }  // namespace muve::cache

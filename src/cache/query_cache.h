@@ -12,25 +12,35 @@
 
 namespace muve::cache {
 
-/// Session-scoped LRU cache of `db::Executor` results implementing
-/// `db::ResultCache`: one LRU map for single-aggregate results, one for
-/// grouped (merged) results, sharing one `Stats` block and one capacity.
+/// Session-scoped LRU cache of `db::Executor` per-run partial aggregates
+/// implementing `db::ResultCache`: one LRU map for single-aggregate
+/// partials, one for grouped (merged) partials, sharing one `Stats`
+/// block and one capacity.
 ///
-/// Keys combine the table's process-unique id, its content version, and
-/// an exact serialization of the query (aggregate spec, predicate set,
-/// group column + ordered IN list). Doubles are serialized at full
-/// precision (%.17g) so two queries differing anywhere past the display
-/// precision can never alias. Predicate *order* participates in the key:
-/// reordered-but-equivalent queries recompute rather than risk a stale
-/// mapping — a deliberate trade of hit rate for an obviously sound key.
+/// Keys combine the table's process-unique id, the run's process-unique
+/// id, and an exact serialization of the query (aggregate spec,
+/// predicate set, group column + ordered IN list). Doubles are
+/// serialized at full precision (%.17g) so two queries differing
+/// anywhere past the display precision can never alias. Predicate
+/// *order* participates in the key: reordered-but-equivalent queries
+/// recompute rather than risk a stale mapping — a deliberate trade of
+/// hit rate for an obviously sound key.
 ///
-/// Invalidation: a table version bump makes every outstanding key for
-/// that table unreachable (keys embed the version). On the next lookup
-/// or store against the bumped table the stale entries are also swept
-/// out eagerly — freeing their capacity — and counted as invalidations.
+/// Invalidation is run-granular: a run is immutable and its id is never
+/// reused, so appends to the table invalidate *nothing* — the new rows
+/// land in the memtable (never cached) and later in new runs with fresh
+/// ids, while entries for untouched runs keep hitting. The only entries
+/// that ever go stale-for-capacity are those of runs retired by
+/// compaction; `SweepRetired` drains the table's retired-run feed
+/// (`db::Table::RetiredRunsSince`) and erases exactly those runs' keys,
+/// falling back to a whole-table sweep only when the bounded feed has
+/// trimmed history this cache has not seen yet. Every lookup and store
+/// sweeps first, so stale entries never serve hits from a dropped run
+/// id anyway — the sweep reclaims capacity and keeps the invalidation
+/// counters honest.
 ///
 /// Thread-safety: safe for concurrent use by ThreadPool workers; the two
-/// LRUs lock internally and the version sweep holds its own mutex.
+/// LRUs lock internally and the retirement sweep holds its own mutex.
 class QueryCache : public db::ResultCache {
  public:
   /// `capacity` bounds each of the two internal maps; 0 disables the
@@ -38,15 +48,25 @@ class QueryCache : public db::ResultCache {
   /// path).
   explicit QueryCache(size_t capacity);
 
-  bool Lookup(const db::Table& table, const db::AggregateQuery& query,
-              db::AggregateResult* out) override;
-  void Store(const db::Table& table, const db::AggregateQuery& query,
-             const db::AggregateResult& result) override;
+  bool LookupRun(const db::Table& table, uint64_t run_id,
+                 const db::AggregateQuery& query,
+                 db::AggregatePartial* out) override;
+  void StoreRun(const db::Table& table, uint64_t run_id,
+                const db::AggregateQuery& query,
+                const db::AggregatePartial& partial) override;
 
-  bool Lookup(const db::Table& table, const db::GroupByQuery& query,
-              db::GroupByResult* out) override;
-  void Store(const db::Table& table, const db::GroupByQuery& query,
-             const db::GroupByResult& result) override;
+  bool LookupRun(const db::Table& table, uint64_t run_id,
+                 const db::GroupByQuery& query,
+                 db::GroupedPartial* out) override;
+  void StoreRun(const db::Table& table, uint64_t run_id,
+                const db::GroupByQuery& query,
+                const db::GroupedPartial& partial) override;
+
+  /// Erases the entries of runs `table` has retired since the last
+  /// sweep (run-granular; whole-table fallback when the retired-run
+  /// feed was trimmed). Called implicitly by every lookup/store; public
+  /// so owners can reclaim capacity right after an explicit Compact().
+  void SweepRetired(const db::Table& table);
 
   size_t capacity() const { return aggregate_cache_.capacity(); }
   bool enabled() const { return aggregate_cache_.enabled(); }
@@ -62,14 +82,12 @@ class QueryCache : public db::ResultCache {
   void Clear();
 
  private:
-  /// Detects a version bump of `table` and sweeps its stale entries.
-  void SweepStaleVersions(const db::Table& table);
-
   Stats stats_;
-  LruCache<std::string, db::AggregateResult> aggregate_cache_;
-  LruCache<std::string, db::GroupByResult> grouped_cache_;
-  std::mutex version_mutex_;
-  std::unordered_map<uint64_t, uint64_t> seen_version_;
+  LruCache<std::string, db::AggregatePartial> aggregate_cache_;
+  LruCache<std::string, db::GroupedPartial> grouped_cache_;
+  std::mutex retired_mutex_;
+  /// Per-table cursor into its retired-run sequence.
+  std::unordered_map<uint64_t, uint64_t> retired_cursor_;
 };
 
 }  // namespace muve::cache

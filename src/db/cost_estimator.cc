@@ -19,12 +19,12 @@ double CostEstimator::ScanCost(size_t rows, size_t num_predicates,
 
 Result<double> CostEstimator::PredicateSelectivity(
     const Table& table, const Predicate& predicate) const {
-  const Column* column = table.FindColumn(predicate.column);
-  if (column == nullptr) {
+  auto index = table.ColumnIndex(predicate.column);
+  if (!index.ok()) {
     return Status::NotFound("predicate column '" + predicate.column +
                             "' not in table");
   }
-  const size_t distinct = std::max<size_t>(1, column->DistinctCount());
+  const size_t distinct = std::max<size_t>(1, table.DistinctCount(*index));
   // Uniform-distribution assumption, like Postgres without MCV stats:
   // each accepted constant selects 1/ndv of the rows.
   const double per_value = 1.0 / static_cast<double>(distinct);

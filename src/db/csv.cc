@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "db/snapshot.h"
+
 namespace muve::db {
 
 namespace {
@@ -78,9 +80,8 @@ bool LooksLikeDouble(const std::string& text) {
 
 /// Doubles keep an explicit decimal point so a round-trip re-infers the
 /// column as DOUBLE even when every value happens to be integral.
-std::string FormatField(const Column& column, size_t row) {
-  const Value value = column.Get(row);
-  if (column.type() != ValueType::kDouble) return value.ToString();
+std::string FormatField(const Value& value, ValueType type) {
+  if (type != ValueType::kDouble) return value.ToString();
   std::string text = value.ToString();
   if (text.find('.') == std::string::npos &&
       text.find('e') == std::string::npos &&
@@ -98,15 +99,19 @@ Status WriteCsv(const Table& table, const std::string& path) {
   if (!out) {
     return Status::Internal("cannot open '" + path + "' for writing");
   }
+  // One snapshot for the whole file: a writer racing the export cannot
+  // tear the row set mid-write.
+  const TableSnapshot snapshot = table.Snapshot();
   for (size_t c = 0; c < table.num_columns(); ++c) {
     if (c > 0) out << ',';
-    out << QuoteField(table.column(c).name());
+    out << QuoteField(table.spec(c).name);
   }
   out << '\n';
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+  for (size_t r = 0; r < snapshot.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_columns(); ++c) {
       if (c > 0) out << ',';
-      out << QuoteField(FormatField(table.column(c), r));
+      out << QuoteField(
+          FormatField(snapshot.ValueAt(r, c), table.spec(c).type));
     }
     out << '\n';
   }

@@ -5,10 +5,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
+#include "db/lsm/memtable.h"
+#include "db/lsm/run.h"
+#include "db/snapshot.h"
 #include "db/vec/aggregate_kernels.h"
 #include "db/vec/batch.h"
 #include "db/vec/filter_kernels.h"
@@ -18,34 +21,41 @@ namespace muve::db {
 
 namespace {
 
-/// Compiled form of one predicate: matches row indices against typed data.
-struct CompiledPredicate {
-  const Column* column = nullptr;
-  // String columns: set of dictionary codes to accept. Empty set means the
-  // predicate can never match (constant absent from the dictionary).
-  std::vector<uint32_t> accepted_codes;
-  // Numeric columns: accepted values.
+// ---------------------------------------------------------------------------
+// Logical compilation: predicates and aggregates resolved against the
+// schema once per query. Runs dictionary-encode strings independently, so
+// string constants stay as strings here and are re-bound to each run's
+// dictionary at scan time (BindPredicates below).
+// ---------------------------------------------------------------------------
+
+struct LogicalPredicate {
+  size_t column = 0;
+  ValueType type = ValueType::kInt64;
+  std::vector<std::string> accepted_strings;
   std::vector<int64_t> accepted_ints;
   std::vector<double> accepted_doubles;
 
-  bool Matches(size_t row) const {
-    switch (column->type()) {
+  /// Row match against a materialized value (the memtable path). The
+  /// accepted sets are value sets, so this is the same boolean the
+  /// code-compare path computes for run rows.
+  bool MatchesValue(const Value& value) const {
+    switch (type) {
       case ValueType::kString: {
-        const uint32_t code = column->codes()[row];
-        for (uint32_t accepted : accepted_codes) {
-          if (code == accepted) return true;
+        const std::string& v = value.AsString();
+        for (const std::string& accepted : accepted_strings) {
+          if (v == accepted) return true;
         }
         return false;
       }
       case ValueType::kInt64: {
-        const int64_t v = column->int_data()[row];
+        const int64_t v = value.AsInt64();
         for (int64_t accepted : accepted_ints) {
           if (v == accepted) return true;
         }
         return false;
       }
       case ValueType::kDouble: {
-        const double v = column->double_data()[row];
+        const double v = value.AsDouble();
         for (double accepted : accepted_doubles) {
           if (v == accepted) return true;
         }
@@ -56,28 +66,28 @@ struct CompiledPredicate {
   }
 };
 
-Result<CompiledPredicate> Compile(const Table& table,
-                                  const Predicate& predicate) {
-  CompiledPredicate compiled;
-  compiled.column = table.FindColumn(predicate.column);
-  if (compiled.column == nullptr) {
+Result<LogicalPredicate> Compile(const Table& table,
+                                 const Predicate& predicate) {
+  LogicalPredicate compiled;
+  auto index = table.ColumnIndex(predicate.column);
+  if (!index.ok()) {
     return Status::NotFound("predicate column '" + predicate.column +
                             "' not in table '" + table.name() + "'");
   }
+  compiled.column = *index;
+  compiled.type = table.spec(*index).type;
   if (predicate.values.empty()) {
     return Status::InvalidArgument("predicate without values");
   }
   for (const Value& value : predicate.values) {
-    switch (compiled.column->type()) {
-      case ValueType::kString: {
+    switch (compiled.type) {
+      case ValueType::kString:
         if (!value.is_string()) {
           return Status::InvalidArgument(
               "type mismatch in predicate on '" + predicate.column + "'");
         }
-        const uint32_t code = compiled.column->CodeFor(value.AsString());
-        if (code != kInvalidCode) compiled.accepted_codes.push_back(code);
+        compiled.accepted_strings.push_back(value.AsString());
         break;
-      }
       case ValueType::kInt64:
         if (!value.is_int64()) {
           return Status::InvalidArgument(
@@ -97,112 +107,227 @@ Result<CompiledPredicate> Compile(const Table& table,
   return compiled;
 }
 
-/// Streaming accumulator for one aggregate.
-struct Accumulator {
-  AggregateFunction fn;
-  const Column* column = nullptr;  // nullptr for COUNT(*).
-  double sum = 0.0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  size_t count = 0;
-
-  void Accept(size_t row) {
-    ++count;
-    if (column == nullptr) return;
-    const double v = column->NumericAt(row);
-    sum += v;
-    min = std::min(min, v);
-    max = std::max(max, v);
-  }
-
-  /// Folds another partition's partial state into this one. An all-empty
-  /// partition contributes count 0 and +/-inf extrema, so it cannot leak
-  /// a 0 identity into AVG/MIN/MAX; Finish() decides emptiness from the
-  /// merged count alone.
-  void Merge(const Accumulator& other) {
-    count += other.count;
-    sum += other.sum;
-    min = std::min(min, other.min);
-    max = std::max(max, other.max);
-  }
-
-  AggregateResult Finish() const {
-    AggregateResult out;
-    out.rows_matched = count;
-    out.empty_input = count == 0;
-    switch (fn) {
-      case AggregateFunction::kCount:
-        out.value = static_cast<double>(count);
-        out.empty_input = false;  // COUNT of empty input is a valid 0.
-        break;
-      case AggregateFunction::kSum:
-        out.value = sum;
-        break;
-      case AggregateFunction::kAvg:
-        out.value = count > 0 ? sum / static_cast<double>(count) : 0.0;
-        break;
-      case AggregateFunction::kMin:
-        out.value = count > 0 ? min : 0.0;
-        break;
-      case AggregateFunction::kMax:
-        out.value = count > 0 ? max : 0.0;
-        break;
-    }
-    return out;
-  }
+/// One aggregate resolved against the schema. `column` is SIZE_MAX for
+/// COUNT (COUNT(col) counts matched rows like COUNT(*), matching SQL on
+/// tables without NULLs).
+struct CompiledAggregate {
+  AggregateFunction fn = AggregateFunction::kCount;
+  size_t column = SIZE_MAX;
 };
 
-Result<Accumulator> MakeAccumulator(const Table& table,
-                                    AggregateFunction fn,
-                                    const std::string& column_name) {
-  Accumulator acc;
-  acc.fn = fn;
+Result<CompiledAggregate> CompileAggregate(const Table& table,
+                                           AggregateFunction fn,
+                                           const std::string& column_name) {
+  CompiledAggregate agg;
+  agg.fn = fn;
   if (fn == AggregateFunction::kCount && column_name.empty()) {
-    return acc;
+    return agg;
   }
   if (column_name.empty()) {
     return Status::InvalidArgument("aggregate needs a column");
   }
-  acc.column = table.FindColumn(column_name);
-  if (acc.column == nullptr) {
+  auto index = table.ColumnIndex(column_name);
+  if (!index.ok()) {
     return Status::NotFound("aggregate column '" + column_name +
                             "' not in table '" + table.name() + "'");
   }
-  if (acc.column->type() == ValueType::kString &&
+  if (table.spec(*index).type == ValueType::kString &&
       fn != AggregateFunction::kCount) {
     return Status::InvalidArgument("cannot aggregate string column '" +
                                    column_name + "' with " +
                                    AggregateFunctionName(fn));
   }
-  if (fn == AggregateFunction::kCount) acc.column = nullptr;
-  return acc;
+  if (fn != AggregateFunction::kCount) agg.column = *index;
+  return agg;
 }
 
-bool MatchesAll(const std::vector<CompiledPredicate>& compiled, size_t row) {
-  for (const CompiledPredicate& predicate : compiled) {
+// ---------------------------------------------------------------------------
+// Partial-state arithmetic. Accept* updates sum, min and max together
+// regardless of the aggregate function (exactly what the pre-snapshot
+// executor's Accumulator::Accept did), so partials merged from any mix of
+// cache hits and fresh scans stay bitwise identical to an uncached scan
+// with the same partition structure.
+// ---------------------------------------------------------------------------
+
+inline void AcceptCount(AggregatePartial* p) { ++p->count; }
+
+inline void AcceptNumeric(double v, AggregatePartial* p) {
+  ++p->count;
+  p->sum += v;
+  p->min = std::min(p->min, v);
+  p->max = std::max(p->max, v);
+}
+
+/// Folds another segment's partial into this one, in segment order. An
+/// all-empty segment contributes count 0 and +/-inf extrema, so it
+/// cannot leak a 0 identity into AVG/MIN/MAX; FinishPartial decides
+/// emptiness from the merged count alone.
+inline void MergeInto(const AggregatePartial& src, AggregatePartial* dst) {
+  dst->count += src.count;
+  dst->sum += src.sum;
+  dst->min = std::min(dst->min, src.min);
+  dst->max = std::max(dst->max, src.max);
+}
+
+AggregateResult FinishPartial(AggregateFunction fn,
+                              const AggregatePartial& p) {
+  AggregateResult out;
+  out.rows_matched = p.count;
+  out.empty_input = p.count == 0;
+  switch (fn) {
+    case AggregateFunction::kCount:
+      out.value = static_cast<double>(p.count);
+      out.empty_input = false;  // COUNT of empty input is a valid 0.
+      break;
+    case AggregateFunction::kSum:
+      out.value = p.sum;
+      break;
+    case AggregateFunction::kAvg:
+      out.value =
+          p.count > 0 ? p.sum / static_cast<double>(p.count) : 0.0;
+      break;
+    case AggregateFunction::kMin:
+      out.value = p.count > 0 ? p.min : 0.0;
+      break;
+    case AggregateFunction::kMax:
+      out.value = p.count > 0 ? p.max : 0.0;
+      break;
+  }
+  return out;
+}
+
+GroupedPartial MakeGrid(size_t groups, size_t aggregates) {
+  GroupedPartial grid;
+  grid.cells.assign(groups, std::vector<AggregatePartial>(aggregates));
+  return grid;
+}
+
+void MergeGrids(const GroupedPartial& src, GroupedPartial* dst) {
+  for (size_t g = 0; g < dst->cells.size(); ++g) {
+    for (size_t a = 0; a < dst->cells[g].size(); ++a) {
+      MergeInto(src.cells[g][a], &dst->cells[g][a]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage segments: the scan units of one snapshot. Runs in logical
+// order, then the frozen memtable prefix. Row indices inside a segment
+// are segment-local; `begin` maps them back to global row numbers for
+// deadline diagnostics.
+// ---------------------------------------------------------------------------
+
+struct Segment {
+  std::shared_ptr<const lsm::Run> run;  ///< null for the memtable tail.
+  size_t begin = 0;
+  size_t rows = 0;
+};
+
+std::vector<Segment> MakeSegments(const TableSnapshot& snapshot) {
+  std::vector<Segment> segments;
+  size_t offset = 0;
+  for (const auto& run : snapshot.runs()) {
+    if (run->num_rows() == 0) continue;
+    segments.push_back({run, offset, run->num_rows()});
+    offset += run->num_rows();
+  }
+  if (snapshot.memtable().rows > 0) {
+    segments.push_back({nullptr, offset, snapshot.memtable().rows});
+  }
+  return segments;
+}
+
+// ---------------------------------------------------------------------------
+// Per-run binding: predicates lowered to this run's dictionary codes and
+// column pointers.
+// ---------------------------------------------------------------------------
+
+struct BoundPredicate {
+  const Column* column = nullptr;
+  // String columns: this run's dictionary codes for the accepted
+  // strings. Empty means no accepted constant appears in this run.
+  std::vector<uint32_t> accepted_codes;
+  // Numeric columns: the logical value lists (stable for the scan).
+  const std::vector<int64_t>* ints = nullptr;
+  const std::vector<double>* doubles = nullptr;
+
+  bool Matches(size_t row) const {
+    switch (column->type()) {
+      case ValueType::kString: {
+        const uint32_t code = column->codes()[row];
+        for (uint32_t accepted : accepted_codes) {
+          if (code == accepted) return true;
+        }
+        return false;
+      }
+      case ValueType::kInt64: {
+        const int64_t v = column->int_data()[row];
+        for (int64_t accepted : *ints) {
+          if (v == accepted) return true;
+        }
+        return false;
+      }
+      case ValueType::kDouble: {
+        const double v = column->double_data()[row];
+        for (double accepted : *doubles) {
+          if (v == accepted) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+};
+
+std::vector<BoundPredicate> BindPredicates(
+    const std::vector<LogicalPredicate>& logical, const lsm::Run& run) {
+  std::vector<BoundPredicate> bound;
+  bound.reserve(logical.size());
+  for (const LogicalPredicate& p : logical) {
+    BoundPredicate b;
+    b.column = &run.column(p.column);
+    b.ints = &p.accepted_ints;
+    b.doubles = &p.accepted_doubles;
+    if (p.type == ValueType::kString) {
+      for (const std::string& text : p.accepted_strings) {
+        const uint32_t code = b.column->CodeFor(text);
+        if (code != kInvalidCode) b.accepted_codes.push_back(code);
+      }
+    }
+    bound.push_back(std::move(b));
+  }
+  return bound;
+}
+
+bool MatchesAll(const std::vector<BoundPredicate>& bound, size_t row) {
+  for (const BoundPredicate& predicate : bound) {
     if (!predicate.Matches(row)) return false;
   }
   return true;
 }
 
 // ---------------------------------------------------------------------------
-// Vectorized scan machinery (options.vectorize). Same row order, partition
-// boundaries, accumulation order, cancellation points and cache interaction
-// as the scalar loops above — the batch path only changes *how* each row
-// range is traversed, so results are byte-identical (the differential suite
-// pins this down with the scalar path as oracle).
+// Vectorized scan machinery (options.vectorize), applied to run segments
+// only — the memtable tail is row-oriented and always scanned
+// value-at-a-time. Same row order, partition boundaries, accumulation
+// order, cancellation points and cache interaction as the scalar loops —
+// the batch path only changes *how* each row range is traversed, so
+// results are byte-identical (the differential suite pins this down with
+// the scalar path as oracle).
 // ---------------------------------------------------------------------------
 
-/// One compiled predicate lowered to a kernel dispatch: a kind tag, the
+/// One bound predicate lowered to a kernel dispatch: a kind tag, the run
 /// column's raw data pointer, and the constant(s) in kernel-ready form
-/// (single key, dictionary accept mask, or a pointer into the compiled
-/// predicate's value list). `keys` pointers alias the CompiledPredicate
-/// vectors, so the compiled predicates must outlive the filters.
+/// (single key, dictionary accept mask, or a pointer into the logical
+/// predicate's value list). `int_keys`/`double_keys` alias the logical
+/// predicate vectors, so the compiled predicates must outlive the
+/// filters; everything else is self-contained.
 struct VecFilter {
   enum class Kind {
-    kNever,      // String constant(s) absent from the dictionary. Kept as
-                 // a per-batch kernel (not hoisted out of the scan loop)
-                 // so deadline checks fire exactly as in the scalar path.
+    kNever,      // String constant(s) absent from this run's dictionary.
+                 // Kept as a per-batch kernel (not hoisted out of the
+                 // scan loop) so deadline checks fire exactly as in the
+                 // scalar path.
     kCodeEq,     // Dictionary code == single accepted code.
     kCodeMask,   // Dictionary code accepted by a mask (IN list).
     kIntEq,
@@ -225,10 +350,10 @@ struct VecFilter {
 };
 
 std::vector<VecFilter> VectorizeFilters(
-    const std::vector<CompiledPredicate>& compiled) {
+    const std::vector<BoundPredicate>& bound) {
   std::vector<VecFilter> filters;
-  filters.reserve(compiled.size());
-  for (const CompiledPredicate& p : compiled) {
+  filters.reserve(bound.size());
+  for (const BoundPredicate& p : bound) {
     VecFilter f;
     switch (p.column->type()) {
       case ValueType::kString:
@@ -245,24 +370,24 @@ std::vector<VecFilter> VectorizeFilters(
         break;
       case ValueType::kInt64:
         f.ints = p.column->int_raw();
-        if (p.accepted_ints.size() == 1) {
+        if (p.ints->size() == 1) {
           f.kind = VecFilter::Kind::kIntEq;
-          f.int_key = p.accepted_ints[0];
+          f.int_key = (*p.ints)[0];
         } else {
           f.kind = VecFilter::Kind::kIntIn;
-          f.int_keys = p.accepted_ints.data();
-          f.num_keys = p.accepted_ints.size();
+          f.int_keys = p.ints->data();
+          f.num_keys = p.ints->size();
         }
         break;
       case ValueType::kDouble:
         f.doubles = p.column->double_raw();
-        if (p.accepted_doubles.size() == 1) {
+        if (p.doubles->size() == 1) {
           f.kind = VecFilter::Kind::kDoubleEq;
-          f.double_key = p.accepted_doubles[0];
+          f.double_key = (*p.doubles)[0];
         } else {
           f.kind = VecFilter::Kind::kDoubleIn;
-          f.double_keys = p.accepted_doubles.data();
-          f.num_keys = p.accepted_doubles.size();
+          f.double_keys = p.doubles->data();
+          f.num_keys = p.doubles->size();
         }
         break;
     }
@@ -334,102 +459,146 @@ size_t RunFilters(const std::vector<VecFilter>& filters, size_t base,
   return n;
 }
 
-/// Folds one batch's selection into an accumulator. `sel == nullptr` means
+/// Folds one batch's selection into a partial. `sel == nullptr` means
 /// all `n` rows of the batch matched (dense fast path). Matches
-/// Accumulator::Accept per row exactly: count always advances; SUM/MIN/MAX
+/// AcceptNumeric per row exactly: count always advances; SUM/MIN/MAX
 /// state only for column-bearing aggregates, in ascending row order.
-void AccumulateBatch(size_t base, const uint32_t* sel, size_t n,
-                     Accumulator* acc) {
-  acc->count += n;
-  if (acc->column == nullptr || n == 0) return;
-  // Accept() updates sum, min and max together regardless of `fn`;
-  // replicate that so merged partial states stay bitwise identical.
-  if (acc->column->type() == ValueType::kInt64) {
-    const int64_t* data = acc->column->int_raw() + base;
+void AccumulateBatch(const Column* column, size_t base, const uint32_t* sel,
+                     size_t n, AggregatePartial* p) {
+  p->count += n;
+  if (column == nullptr || n == 0) return;
+  if (column->type() == ValueType::kInt64) {
+    const int64_t* data = column->int_raw() + base;
     if (sel == nullptr) {
-      acc->sum = vec::SumDenseI64(data, n, acc->sum);
-      acc->min = vec::MinDenseI64(data, n, acc->min);
-      acc->max = vec::MaxDenseI64(data, n, acc->max);
+      p->sum = vec::SumDenseI64(data, n, p->sum);
+      p->min = vec::MinDenseI64(data, n, p->min);
+      p->max = vec::MaxDenseI64(data, n, p->max);
     } else {
-      acc->sum = vec::SumGatherI64(data, sel, n, acc->sum);
-      acc->min = vec::MinGatherI64(data, sel, n, acc->min);
-      acc->max = vec::MaxGatherI64(data, sel, n, acc->max);
+      p->sum = vec::SumGatherI64(data, sel, n, p->sum);
+      p->min = vec::MinGatherI64(data, sel, n, p->min);
+      p->max = vec::MaxGatherI64(data, sel, n, p->max);
     }
   } else {
-    const double* data = acc->column->double_raw() + base;
+    const double* data = column->double_raw() + base;
     if (sel == nullptr) {
-      acc->sum = vec::SumDenseF64(data, n, acc->sum);
-      acc->min = vec::MinDenseF64(data, n, acc->min);
-      acc->max = vec::MaxDenseF64(data, n, acc->max);
+      p->sum = vec::SumDenseF64(data, n, p->sum);
+      p->min = vec::MinDenseF64(data, n, p->min);
+      p->max = vec::MaxDenseF64(data, n, p->max);
     } else {
-      acc->sum = vec::SumGatherF64(data, sel, n, acc->sum);
-      acc->min = vec::MinGatherF64(data, sel, n, acc->min);
-      acc->max = vec::MaxGatherF64(data, sel, n, acc->max);
+      p->sum = vec::SumGatherF64(data, sel, n, p->sum);
+      p->min = vec::MinGatherF64(data, sel, n, p->min);
+      p->max = vec::MaxGatherF64(data, sel, n, p->max);
     }
   }
 }
 
-/// Vectorized scan of [begin, end): tiles the range into kBatchSize
-/// batches, filters each into a selection vector and folds it into `acc`.
-void VecScanRange(const std::vector<VecFilter>& filters, size_t begin,
-                  size_t end, vec::BatchScratch* scratch, Accumulator* acc) {
+/// Vectorized scan of run rows [begin, end): tiles the range into
+/// kBatchSize batches, filters each into a selection vector and folds it
+/// into the partial.
+void VecScanRange(const std::vector<VecFilter>& filters,
+                  const Column* agg_column, size_t begin, size_t end,
+                  vec::BatchScratch* scratch, AggregatePartial* p) {
   for (size_t base = begin; base < end; base += vec::kBatchSize) {
     const size_t count = std::min(vec::kBatchSize, end - base);
     const uint32_t* sel = nullptr;
     const size_t n = RunFilters(filters, base, count, scratch, &sel);
     if (n == 0) continue;
-    AccumulateBatch(base, sel, n, acc);
+    AccumulateBatch(agg_column, base, sel, n, p);
   }
 }
 
-/// Folds one group-mapped batch into the accumulator grid for aggregate
-/// slot `a`: sel/groups are parallel arrays from MapGroups (ascending row
-/// offsets plus each row's group index). Per-row work matches
-/// Accumulator::Accept for the scalar grouped loop exactly.
-void AccumulateGroupedBatch(size_t base, const uint32_t* sel,
-                            const uint32_t* groups, size_t n, size_t a,
-                            std::vector<std::vector<Accumulator>>* grid) {
-  const Accumulator& proto = (*grid)[0][a];
-  if (proto.column == nullptr) {
-    for (size_t i = 0; i < n; ++i) ++(*grid)[groups[i]][a].count;
+/// Scalar scan of run rows [begin, end).
+void ScalarScanRange(const std::vector<BoundPredicate>& bound,
+                     const Column* agg_column, size_t begin, size_t end,
+                     AggregatePartial* p) {
+  for (size_t row = begin; row < end; ++row) {
+    if (!MatchesAll(bound, row)) continue;
+    if (agg_column == nullptr) {
+      AcceptCount(p);
+    } else {
+      AcceptNumeric(agg_column->NumericAt(row), p);
+    }
+  }
+}
+
+/// Row-at-a-time scan of memtable rows [begin, end). Identical in both
+/// vectorize modes: the memtable holds materialized values, not columnar
+/// arrays, so there is nothing for the kernels to run over — and the
+/// sequential fold makes the result independent of the traversal shape
+/// anyway.
+void MemScanRange(const std::vector<LogicalPredicate>& logical,
+                  const CompiledAggregate& agg,
+                  const lsm::MemTable::View& mem, size_t begin, size_t end,
+                  AggregatePartial* p) {
+  for (size_t row = begin; row < end; ++row) {
+    bool matched = true;
+    for (const LogicalPredicate& predicate : logical) {
+      if (!predicate.MatchesValue(mem.At(row, predicate.column))) {
+        matched = false;
+        break;
+      }
+    }
+    if (!matched) continue;
+    if (agg.column == SIZE_MAX) {
+      AcceptCount(p);
+    } else {
+      AcceptNumeric(mem.At(row, agg.column).AsDouble(), p);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grouped-scan counterparts.
+// ---------------------------------------------------------------------------
+
+/// Folds one group-mapped batch into the grid for aggregate slot `a`:
+/// sel/groups are parallel arrays from MapGroups (ascending row offsets
+/// plus each row's group index). Per-row work matches AcceptNumeric for
+/// the scalar grouped loop exactly.
+void AccumulateGroupedBatch(const Column* column, size_t base,
+                            const uint32_t* sel, const uint32_t* groups,
+                            size_t n, size_t a, GroupedPartial* grid) {
+  if (column == nullptr) {
+    for (size_t i = 0; i < n; ++i) ++grid->cells[groups[i]][a].count;
     return;
   }
-  if (proto.column->type() == ValueType::kInt64) {
-    const int64_t* data = proto.column->int_raw() + base;
+  if (column->type() == ValueType::kInt64) {
+    const int64_t* data = column->int_raw() + base;
     for (size_t i = 0; i < n; ++i) {
-      Accumulator& acc = (*grid)[groups[i]][a];
+      AggregatePartial& p = grid->cells[groups[i]][a];
       const double v = static_cast<double>(data[sel[i]]);
-      ++acc.count;
-      acc.sum += v;
-      acc.min = v < acc.min ? v : acc.min;
-      acc.max = acc.max < v ? v : acc.max;
+      ++p.count;
+      p.sum += v;
+      p.min = v < p.min ? v : p.min;
+      p.max = p.max < v ? v : p.max;
     }
   } else {
-    const double* data = proto.column->double_raw() + base;
+    const double* data = column->double_raw() + base;
     for (size_t i = 0; i < n; ++i) {
-      Accumulator& acc = (*grid)[groups[i]][a];
+      AggregatePartial& p = grid->cells[groups[i]][a];
       const double v = data[sel[i]];
-      ++acc.count;
-      acc.sum += v;
-      acc.min = v < acc.min ? v : acc.min;
-      acc.max = acc.max < v ? v : acc.max;
+      ++p.count;
+      p.sum += v;
+      p.min = v < p.min ? v : p.min;
+      p.max = p.max < v ? v : p.max;
     }
   }
 }
 
-/// Vectorized grouped scan of [begin, end): filter each batch on the
-/// shared predicates, map survivors to groups through the dense dictionary
-/// lookup, then fold each aggregate column over the compacted selection.
-/// The scalar loop tests group membership before the predicates and this
-/// path tests predicates first; both are conjunctive on the same row, so
-/// the accepted row set — and every accumulator update — is identical.
+/// Vectorized grouped scan of run rows [begin, end): filter each batch on
+/// the shared predicates, map survivors to groups through the dense
+/// dictionary lookup, then fold each aggregate column over the compacted
+/// selection. The scalar loop tests group membership before the
+/// predicates and this path tests predicates first; both are conjunctive
+/// on the same row, so the accepted row set — and every accumulator
+/// update — is identical.
 void VecGroupedScanRange(const std::vector<VecFilter>& filters,
                          const uint32_t* codes,
-                         const std::vector<uint32_t>& lookup, size_t begin,
-                         size_t end, vec::BatchScratch* scratch,
-                         std::vector<std::vector<Accumulator>>* grid) {
-  if (grid->empty()) return;  // No groups: nothing can accumulate.
-  const size_t num_aggregates = (*grid)[0].size();
+                         const std::vector<uint32_t>& lookup,
+                         const std::vector<const Column*>& agg_columns,
+                         size_t begin, size_t end,
+                         vec::BatchScratch* scratch, GroupedPartial* grid) {
+  if (grid->cells.empty()) return;  // No groups: nothing can accumulate.
   for (size_t base = begin; base < end; base += vec::kBatchSize) {
     const size_t count = std::min(vec::kBatchSize, end - base);
     const uint32_t* sel = nullptr;
@@ -442,11 +611,77 @@ void VecGroupedScanRange(const std::vector<VecFilter>& filters,
             : vec::MapGroups(codes + base, sel, n, lookup.data(),
                              scratch->c, scratch->groups);
     if (m == 0) continue;
-    for (size_t a = 0; a < num_aggregates; ++a) {
-      AccumulateGroupedBatch(base, scratch->c, scratch->groups, m, a, grid);
+    for (size_t a = 0; a < agg_columns.size(); ++a) {
+      AccumulateGroupedBatch(agg_columns[a], base, scratch->c,
+                             scratch->groups, m, a, grid);
     }
   }
 }
+
+/// Scalar grouped scan of run rows [begin, end).
+void ScalarGroupedScanRange(
+    const std::vector<BoundPredicate>& bound,
+    const std::vector<uint32_t>& codes,
+    const std::unordered_map<uint32_t, size_t>& group_of_code,
+    const std::vector<const Column*>& agg_columns, size_t begin, size_t end,
+    GroupedPartial* grid) {
+  for (size_t row = begin; row < end; ++row) {
+    auto it = group_of_code.find(codes[row]);
+    if (it == group_of_code.end()) continue;
+    if (!MatchesAll(bound, row)) continue;
+    for (size_t a = 0; a < agg_columns.size(); ++a) {
+      AggregatePartial& p = grid->cells[it->second][a];
+      if (agg_columns[a] == nullptr) {
+        AcceptCount(&p);
+      } else {
+        AcceptNumeric(agg_columns[a]->NumericAt(row), &p);
+      }
+    }
+  }
+}
+
+/// Row-at-a-time grouped scan of memtable rows [begin, end); identical
+/// in both vectorize modes (see MemScanRange).
+void MemGroupedScanRange(
+    const std::vector<LogicalPredicate>& logical,
+    const std::vector<CompiledAggregate>& aggs, size_t group_column,
+    const std::unordered_map<std::string, size_t>& group_of_value,
+    const lsm::MemTable::View& mem, size_t begin, size_t end,
+    GroupedPartial* grid) {
+  for (size_t row = begin; row < end; ++row) {
+    auto it = group_of_value.find(mem.At(row, group_column).AsString());
+    if (it == group_of_value.end()) continue;
+    bool matched = true;
+    for (const LogicalPredicate& predicate : logical) {
+      if (!predicate.MatchesValue(mem.At(row, predicate.column))) {
+        matched = false;
+        break;
+      }
+    }
+    if (!matched) continue;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggregatePartial& p = grid->cells[it->second][a];
+      if (aggs[a].column == SIZE_MAX) {
+        AcceptCount(&p);
+      } else {
+        AcceptNumeric(mem.At(row, aggs[a].column).AsDouble(), &p);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slice planning for the parallel path: every uncached segment is cut
+// into fixed grain-sized slices (relative to the segment start), and one
+// ParallelFor covers the global slice list — cross-run parallelism with
+// no barrier at run boundaries.
+// ---------------------------------------------------------------------------
+
+struct Slice {
+  size_t ctx = 0;   ///< Index into the per-segment context list.
+  size_t begin = 0; ///< Segment-local row range.
+  size_t end = 0;
+};
 
 }  // namespace
 
@@ -471,253 +706,404 @@ std::string GroupByQuery::ToSql() const {
   return sql;
 }
 
-Result<AggregateResult> Executor::Execute(const Table& table,
+Result<AggregateResult> Executor::Execute(const TableSnapshot& snapshot,
                                           const AggregateQuery& query,
                                           const ExecutorOptions& options) {
-  // Cache probe before any compilation work: a hit can only exist for a
-  // query that previously compiled and ran successfully against this
-  // exact table version, so skipping validation cannot mask an error the
-  // uncached path would report.
-  if (options.cache != nullptr) {
-    AggregateResult cached;
-    if (options.cache->Lookup(table, query, &cached)) return cached;
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("executor needs a valid snapshot");
   }
+  const Table& table = snapshot.table();
 
-  std::vector<CompiledPredicate> compiled;
+  std::vector<LogicalPredicate> compiled;
   compiled.reserve(query.predicates.size());
   for (const Predicate& predicate : query.predicates) {
-    MUVE_ASSIGN_OR_RETURN(CompiledPredicate c, Compile(table, predicate));
+    MUVE_ASSIGN_OR_RETURN(LogicalPredicate c, Compile(table, predicate));
     compiled.push_back(std::move(c));
   }
   MUVE_ASSIGN_OR_RETURN(
-      Accumulator acc,
-      MakeAccumulator(table, query.function, query.aggregate_column));
+      CompiledAggregate agg,
+      CompileAggregate(table, query.function, query.aggregate_column));
 
-  const size_t n = table.num_rows();
+  const size_t n = snapshot.num_rows();
   const size_t grain = std::max<size_t>(1, options.parallel_grain);
-  // Predicates lowered once per scan; the batch loops below dispatch per
-  // batch instead of per row.
-  std::vector<VecFilter> filters;
-  if (options.vectorize) filters = VectorizeFilters(compiled);
-  AggregateResult out;
+  const std::vector<Segment> segments = MakeSegments(snapshot);
+
+  // Per-segment partials: cache hits fill immediately, the rest scan.
+  std::vector<AggregatePartial> seg_partials(segments.size());
+  std::vector<char> cached(segments.size(), 0);
+  if (options.cache != nullptr) {
+    for (size_t s = 0; s < segments.size(); ++s) {
+      if (segments[s].run == nullptr) continue;  // Memtable never cached.
+      cached[s] = options.cache->LookupRun(table, segments[s].run->id(),
+                                           query, &seg_partials[s])
+                      ? 1
+                      : 0;
+    }
+  }
+
+  const bool finite = options.deadline.IsFinite();
   if (!options.ShouldParallelize(n)) {
     std::unique_ptr<vec::BatchScratch> scratch;
     if (options.vectorize && n > 0) {
       scratch = std::make_unique<vec::BatchScratch>();
     }
-    if (!options.deadline.IsFinite()) {
-      if (options.vectorize) {
-        VecScanRange(filters, 0, n, scratch.get(), &acc);
-      } else {
-        for (size_t row = 0; row < n; ++row) {
-          if (MatchesAll(compiled, row)) acc.Accept(row);
-        }
+    for (size_t s = 0; s < segments.size(); ++s) {
+      if (cached[s]) continue;
+      const Segment& seg = segments[s];
+      AggregatePartial* p = &seg_partials[s];
+      std::vector<BoundPredicate> bound;
+      std::vector<VecFilter> filters;
+      const Column* agg_column = nullptr;
+      if (seg.run != nullptr) {
+        bound = BindPredicates(compiled, *seg.run);
+        if (agg.column != SIZE_MAX) agg_column = &seg.run->column(agg.column);
+        if (options.vectorize) filters = VectorizeFilters(bound);
       }
-    } else {
-      // Deadline-bounded serial scan: same row order in grain-sized
-      // blocks, with a cancellation check per block.
-      for (size_t begin = 0; begin < n; begin += grain) {
-        if (options.deadline.Expired()) {
+      for (size_t begin = 0; begin < seg.rows; begin += grain) {
+        if (finite && options.deadline.Expired()) {
           return Status::Timeout("aggregate scan cancelled at row " +
-                                 std::to_string(begin) + "/" +
+                                 std::to_string(seg.begin + begin) + "/" +
                                  std::to_string(n));
         }
-        const size_t end = std::min(n, begin + grain);
-        if (options.vectorize) {
-          VecScanRange(filters, begin, end, scratch.get(), &acc);
+        const size_t end = std::min(seg.rows, begin + grain);
+        if (seg.run == nullptr) {
+          MemScanRange(compiled, agg, snapshot.memtable(), begin, end, p);
+        } else if (options.vectorize) {
+          VecScanRange(filters, agg_column, begin, end, scratch.get(), p);
         } else {
-          for (size_t row = begin; row < end; ++row) {
-            if (MatchesAll(compiled, row)) acc.Accept(row);
-          }
+          ScalarScanRange(bound, agg_column, begin, end, p);
         }
       }
     }
-    out = acc.Finish();
   } else {
-    const size_t num_chunks = (n + grain - 1) / grain;
-    std::vector<Accumulator> partials(num_chunks, acc);
-    // Workers skip partitions not yet started when the deadline expires;
-    // a partial scan never merges into a result (Timeout below).
+    // Per-segment scan contexts (bound predicates, lowered filters) plus
+    // the global slice list.
+    struct SliceCtx {
+      size_t seg_index = 0;
+      std::vector<BoundPredicate> bound;
+      std::vector<VecFilter> filters;
+      const Column* agg_column = nullptr;
+      size_t first_slice = 0;
+      size_t num_slices = 0;
+    };
+    std::vector<SliceCtx> ctxs;
+    std::vector<Slice> slices;
+    for (size_t s = 0; s < segments.size(); ++s) {
+      if (cached[s]) continue;
+      const Segment& seg = segments[s];
+      SliceCtx ctx;
+      ctx.seg_index = s;
+      if (seg.run != nullptr) {
+        ctx.bound = BindPredicates(compiled, *seg.run);
+        if (agg.column != SIZE_MAX) {
+          ctx.agg_column = &seg.run->column(agg.column);
+        }
+        if (options.vectorize) ctx.filters = VectorizeFilters(ctx.bound);
+      }
+      ctx.first_slice = slices.size();
+      for (size_t begin = 0; begin < seg.rows; begin += grain) {
+        slices.push_back(
+            {ctxs.size(), begin, std::min(seg.rows, begin + grain)});
+      }
+      ctx.num_slices = slices.size() - ctx.first_slice;
+      ctxs.push_back(std::move(ctx));
+    }
+    std::vector<AggregatePartial> slice_partials(slices.size());
+    // Workers skip slices not yet started when the deadline expires; a
+    // partial scan never merges into a result (Timeout below).
     std::atomic<bool> cancelled{false};
-    const bool finite = options.deadline.IsFinite();
-    ParallelFor(options.pool, n, grain,
-                [&](size_t chunk, size_t begin, size_t end) {
-                  if (finite && options.deadline.Expired()) {
-                    cancelled.store(true, std::memory_order_relaxed);
-                    return;
-                  }
-                  Accumulator& partial = partials[chunk];
-                  if (options.vectorize) {
-                    auto scratch = std::make_unique<vec::BatchScratch>();
-                    VecScanRange(filters, begin, end, scratch.get(),
-                                 &partial);
-                    return;
-                  }
-                  for (size_t row = begin; row < end; ++row) {
-                    if (MatchesAll(compiled, row)) partial.Accept(row);
-                  }
-                });
+    if (!slices.empty()) {
+      ParallelFor(options.pool, slices.size(), 1,
+                  [&](size_t chunk, size_t sbegin, size_t send) {
+                    (void)chunk;
+                    for (size_t i = sbegin; i < send; ++i) {
+                      if (finite && options.deadline.Expired()) {
+                        cancelled.store(true, std::memory_order_relaxed);
+                        return;
+                      }
+                      const Slice& slice = slices[i];
+                      const SliceCtx& ctx = ctxs[slice.ctx];
+                      const Segment& seg = segments[ctx.seg_index];
+                      AggregatePartial* p = &slice_partials[i];
+                      if (seg.run == nullptr) {
+                        MemScanRange(compiled, agg, snapshot.memtable(),
+                                     slice.begin, slice.end, p);
+                      } else if (options.vectorize) {
+                        auto scratch = std::make_unique<vec::BatchScratch>();
+                        VecScanRange(ctx.filters, ctx.agg_column,
+                                     slice.begin, slice.end, scratch.get(),
+                                     p);
+                      } else {
+                        ScalarScanRange(ctx.bound, ctx.agg_column,
+                                        slice.begin, slice.end, p);
+                      }
+                    }
+                  });
+    }
     if (cancelled.load(std::memory_order_relaxed)) {
       return Status::Timeout("parallel aggregate scan cancelled (" +
                              std::to_string(n) + " rows)");
     }
-    for (const Accumulator& partial : partials) acc.Merge(partial);
-    out = acc.Finish();
+    for (const SliceCtx& ctx : ctxs) {
+      AggregatePartial seg_total;
+      for (size_t i = ctx.first_slice;
+           i < ctx.first_slice + ctx.num_slices; ++i) {
+        MergeInto(slice_partials[i], &seg_total);
+      }
+      seg_partials[ctx.seg_index] = seg_total;
+    }
   }
-  if (options.cache != nullptr) options.cache->Store(table, query, out);
+
+  AggregatePartial total;
+  for (const AggregatePartial& partial : seg_partials) {
+    MergeInto(partial, &total);
+  }
+  if (options.cache != nullptr) {
+    // Store only after the whole scan succeeded: a timed-out execution
+    // never populates the cache, even for runs it finished.
+    for (size_t s = 0; s < segments.size(); ++s) {
+      if (segments[s].run == nullptr || cached[s]) continue;
+      options.cache->StoreRun(table, segments[s].run->id(), query,
+                              seg_partials[s]);
+    }
+  }
+  return FinishPartial(agg.fn, total);
+}
+
+Result<AggregateResult> Executor::Execute(const Table& table,
+                                          const AggregateQuery& query,
+                                          const ExecutorOptions& options) {
+  return Execute(table.Snapshot(), query, options);
+}
+
+Result<GroupByResult> Executor::ExecuteGrouped(
+    const TableSnapshot& snapshot, const GroupByQuery& query,
+    const ExecutorOptions& options) {
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("executor needs a valid snapshot");
+  }
+  const Table& table = snapshot.table();
+
+  auto group_index = table.ColumnIndex(query.group_column);
+  if (!group_index.ok()) {
+    return Status::NotFound("group column '" + query.group_column +
+                            "' not in table '" + table.name() + "'");
+  }
+  if (table.spec(*group_index).type != ValueType::kString) {
+    return Status::InvalidArgument("GROUP BY requires a string column");
+  }
+
+  std::vector<LogicalPredicate> compiled;
+  compiled.reserve(query.shared_predicates.size());
+  for (const Predicate& predicate : query.shared_predicates) {
+    MUVE_ASSIGN_OR_RETURN(LogicalPredicate c, Compile(table, predicate));
+    compiled.push_back(std::move(c));
+  }
+
+  std::vector<CompiledAggregate> aggs;
+  aggs.reserve(query.aggregates.size());
+  for (const AggregateSpec& spec : query.aggregates) {
+    MUVE_ASSIGN_OR_RETURN(
+        CompiledAggregate agg,
+        CompileAggregate(table, spec.function, spec.column));
+    aggs.push_back(agg);
+  }
+
+  // Group value -> group index for the memtable path; duplicate group
+  // values resolve first-wins, matching the per-run code maps.
+  std::unordered_map<std::string, size_t> group_of_value;
+  for (size_t g = 0; g < query.group_values.size(); ++g) {
+    group_of_value.emplace(query.group_values[g], g);
+  }
+
+  const size_t n = snapshot.num_rows();
+  const size_t grain = std::max<size_t>(1, options.parallel_grain);
+  const std::vector<Segment> segments = MakeSegments(snapshot);
+  const size_t num_groups = query.group_values.size();
+  const size_t num_aggs = aggs.size();
+
+  std::vector<GroupedPartial> seg_partials(segments.size());
+  std::vector<char> cached(segments.size(), 0);
+  for (size_t s = 0; s < segments.size(); ++s) {
+    bool hit = false;
+    if (options.cache != nullptr && segments[s].run != nullptr) {
+      hit = options.cache->LookupRun(table, segments[s].run->id(), query,
+                                     &seg_partials[s]);
+    }
+    cached[s] = hit ? 1 : 0;
+    if (!hit) seg_partials[s] = MakeGrid(num_groups, num_aggs);
+  }
+
+  /// Per-run grouped scan context: the group column binding on top of
+  /// the shared predicate binding.
+  struct GroupedCtx {
+    size_t seg_index = 0;
+    std::vector<BoundPredicate> bound;
+    std::vector<VecFilter> filters;
+    const Column* group_column = nullptr;
+    std::unordered_map<uint32_t, size_t> group_of_code;
+    std::vector<uint32_t> group_lookup;
+    std::vector<const Column*> agg_columns;
+    size_t first_slice = 0;
+    size_t num_slices = 0;
+  };
+  auto bind_ctx = [&](size_t s) {
+    GroupedCtx ctx;
+    ctx.seg_index = s;
+    const Segment& seg = segments[s];
+    if (seg.run == nullptr) return ctx;
+    ctx.bound = BindPredicates(compiled, *seg.run);
+    ctx.group_column = &seg.run->column(*group_index);
+    // Map this run's dictionary code -> group index for the IN list: a
+    // dense lookup table indexed by code on the vectorized path, a hash
+    // map on the scalar path. Both resolve duplicate group values
+    // first-wins.
+    if (options.vectorize) {
+      ctx.filters = VectorizeFilters(ctx.bound);
+      ctx.group_lookup =
+          vec::BuildGroupLookup(*ctx.group_column, query.group_values);
+    } else {
+      for (size_t g = 0; g < query.group_values.size(); ++g) {
+        const uint32_t code =
+            ctx.group_column->CodeFor(query.group_values[g]);
+        if (code != kInvalidCode) ctx.group_of_code.emplace(code, g);
+      }
+    }
+    ctx.agg_columns.reserve(aggs.size());
+    for (const CompiledAggregate& agg : aggs) {
+      ctx.agg_columns.push_back(
+          agg.column == SIZE_MAX ? nullptr : &seg.run->column(agg.column));
+    }
+    return ctx;
+  };
+
+  const bool finite = options.deadline.IsFinite();
+  if (!options.ShouldParallelize(n)) {
+    std::unique_ptr<vec::BatchScratch> scratch;
+    if (options.vectorize && n > 0) {
+      scratch = std::make_unique<vec::BatchScratch>();
+    }
+    for (size_t s = 0; s < segments.size(); ++s) {
+      if (cached[s]) continue;
+      const Segment& seg = segments[s];
+      GroupedPartial* grid = &seg_partials[s];
+      const GroupedCtx ctx = bind_ctx(s);
+      for (size_t begin = 0; begin < seg.rows; begin += grain) {
+        if (finite && options.deadline.Expired()) {
+          return Status::Timeout("grouped scan cancelled at row " +
+                                 std::to_string(seg.begin + begin) + "/" +
+                                 std::to_string(n));
+        }
+        const size_t end = std::min(seg.rows, begin + grain);
+        if (seg.run == nullptr) {
+          MemGroupedScanRange(compiled, aggs, *group_index, group_of_value,
+                              snapshot.memtable(), begin, end, grid);
+        } else if (options.vectorize) {
+          VecGroupedScanRange(ctx.filters, ctx.group_column->codes_raw(),
+                              ctx.group_lookup, ctx.agg_columns, begin, end,
+                              scratch.get(), grid);
+        } else {
+          ScalarGroupedScanRange(ctx.bound, ctx.group_column->codes(),
+                                 ctx.group_of_code, ctx.agg_columns, begin,
+                                 end, grid);
+        }
+      }
+    }
+  } else {
+    std::vector<GroupedCtx> ctxs;
+    std::vector<Slice> slices;
+    for (size_t s = 0; s < segments.size(); ++s) {
+      if (cached[s]) continue;
+      GroupedCtx ctx = bind_ctx(s);
+      ctx.first_slice = slices.size();
+      for (size_t begin = 0; begin < segments[s].rows; begin += grain) {
+        slices.push_back(
+            {ctxs.size(), begin, std::min(segments[s].rows, begin + grain)});
+      }
+      ctx.num_slices = slices.size() - ctx.first_slice;
+      ctxs.push_back(std::move(ctx));
+    }
+    // Per-slice replicas of the (group x aggregate) grid, merged
+    // cell-wise slices-then-segments in order.
+    std::vector<GroupedPartial> slice_partials(slices.size());
+    for (auto& grid : slice_partials) grid = MakeGrid(num_groups, num_aggs);
+    std::atomic<bool> cancelled{false};
+    if (!slices.empty()) {
+      ParallelFor(
+          options.pool, slices.size(), 1,
+          [&](size_t chunk, size_t sbegin, size_t send) {
+            (void)chunk;
+            for (size_t i = sbegin; i < send; ++i) {
+              if (finite && options.deadline.Expired()) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+              }
+              const Slice& slice = slices[i];
+              const GroupedCtx& ctx = ctxs[slice.ctx];
+              const Segment& seg = segments[ctx.seg_index];
+              GroupedPartial* grid = &slice_partials[i];
+              if (seg.run == nullptr) {
+                MemGroupedScanRange(compiled, aggs, *group_index,
+                                    group_of_value, snapshot.memtable(),
+                                    slice.begin, slice.end, grid);
+              } else if (options.vectorize) {
+                auto scratch = std::make_unique<vec::BatchScratch>();
+                VecGroupedScanRange(ctx.filters,
+                                    ctx.group_column->codes_raw(),
+                                    ctx.group_lookup, ctx.agg_columns,
+                                    slice.begin, slice.end, scratch.get(),
+                                    grid);
+              } else {
+                ScalarGroupedScanRange(ctx.bound, ctx.group_column->codes(),
+                                       ctx.group_of_code, ctx.agg_columns,
+                                       slice.begin, slice.end, grid);
+              }
+            }
+          });
+    }
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Timeout("parallel grouped scan cancelled (" +
+                             std::to_string(n) + " rows)");
+    }
+    for (const GroupedCtx& ctx : ctxs) {
+      GroupedPartial seg_total = MakeGrid(num_groups, num_aggs);
+      for (size_t i = ctx.first_slice;
+           i < ctx.first_slice + ctx.num_slices; ++i) {
+        MergeGrids(slice_partials[i], &seg_total);
+      }
+      seg_partials[ctx.seg_index] = std::move(seg_total);
+    }
+  }
+
+  GroupedPartial total = MakeGrid(num_groups, num_aggs);
+  for (const GroupedPartial& partial : seg_partials) {
+    MergeGrids(partial, &total);
+  }
+  if (options.cache != nullptr) {
+    // Store only after the whole scan succeeded (see Execute).
+    for (size_t s = 0; s < segments.size(); ++s) {
+      if (segments[s].run == nullptr || cached[s]) continue;
+      options.cache->StoreRun(table, segments[s].run->id(), query,
+                              seg_partials[s]);
+    }
+  }
+
+  GroupByResult out;
+  out.rows_scanned = n;
+  out.cells.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    out.cells[g].reserve(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      out.cells[g].push_back(FinishPartial(aggs[a].fn, total.cells[g][a]));
+    }
+  }
   return out;
 }
 
 Result<GroupByResult> Executor::ExecuteGrouped(
     const Table& table, const GroupByQuery& query,
     const ExecutorOptions& options) {
-  if (options.cache != nullptr) {
-    GroupByResult cached;
-    if (options.cache->Lookup(table, query, &cached)) return cached;
-  }
-
-  const Column* group_column = table.FindColumn(query.group_column);
-  if (group_column == nullptr) {
-    return Status::NotFound("group column '" + query.group_column +
-                            "' not in table '" + table.name() + "'");
-  }
-  if (group_column->type() != ValueType::kString) {
-    return Status::InvalidArgument("GROUP BY requires a string column");
-  }
-
-  std::vector<CompiledPredicate> compiled;
-  compiled.reserve(query.shared_predicates.size());
-  for (const Predicate& predicate : query.shared_predicates) {
-    MUVE_ASSIGN_OR_RETURN(CompiledPredicate c, Compile(table, predicate));
-    compiled.push_back(std::move(c));
-  }
-
-  // Map dictionary code -> group index for the IN list: a dense lookup
-  // table indexed by code on the vectorized path, a hash map on the
-  // scalar path. Both resolve duplicate group values first-wins.
-  std::unordered_map<uint32_t, size_t> group_of_code;
-  std::vector<uint32_t> group_lookup;
-  if (options.vectorize) {
-    group_lookup = vec::BuildGroupLookup(*group_column, query.group_values);
-  } else {
-    for (size_t g = 0; g < query.group_values.size(); ++g) {
-      const uint32_t code = group_column->CodeFor(query.group_values[g]);
-      if (code != kInvalidCode) group_of_code.emplace(code, g);
-    }
-  }
-
-  // One accumulator per (group, aggregate).
-  std::vector<std::vector<Accumulator>> accumulators(
-      query.group_values.size());
-  for (auto& per_group : accumulators) {
-    per_group.reserve(query.aggregates.size());
-    for (const AggregateSpec& agg : query.aggregates) {
-      MUVE_ASSIGN_OR_RETURN(Accumulator acc,
-                            MakeAccumulator(table, agg.function, agg.column));
-      per_group.push_back(std::move(acc));
-    }
-  }
-
-  const size_t n = table.num_rows();
-  const size_t grain = std::max<size_t>(1, options.parallel_grain);
-  const std::vector<uint32_t>& codes = group_column->codes();
-  std::vector<VecFilter> filters;
-  if (options.vectorize) filters = VectorizeFilters(compiled);
-  if (!options.ShouldParallelize(n)) {
-    std::unique_ptr<vec::BatchScratch> scratch;
-    if (options.vectorize && n > 0) {
-      scratch = std::make_unique<vec::BatchScratch>();
-    }
-    if (!options.deadline.IsFinite()) {
-      if (options.vectorize) {
-        VecGroupedScanRange(filters, codes.data(), group_lookup, 0, n,
-                            scratch.get(), &accumulators);
-      } else {
-        for (size_t row = 0; row < n; ++row) {
-          auto it = group_of_code.find(codes[row]);
-          if (it == group_of_code.end()) continue;
-          if (!MatchesAll(compiled, row)) continue;
-          for (Accumulator& acc : accumulators[it->second]) acc.Accept(row);
-        }
-      }
-    } else {
-      for (size_t begin = 0; begin < n; begin += grain) {
-        if (options.deadline.Expired()) {
-          return Status::Timeout("grouped scan cancelled at row " +
-                                 std::to_string(begin) + "/" +
-                                 std::to_string(n));
-        }
-        const size_t end = std::min(n, begin + grain);
-        if (options.vectorize) {
-          VecGroupedScanRange(filters, codes.data(), group_lookup, begin,
-                              end, scratch.get(), &accumulators);
-          continue;
-        }
-        for (size_t row = begin; row < end; ++row) {
-          auto it = group_of_code.find(codes[row]);
-          if (it == group_of_code.end()) continue;
-          if (!MatchesAll(compiled, row)) continue;
-          for (Accumulator& acc : accumulators[it->second]) {
-            acc.Accept(row);
-          }
-        }
-      }
-    }
-  } else {
-    // Per-partition replicas of the (group x aggregate) accumulator grid,
-    // merged cell-wise in partition order.
-    const size_t num_chunks = (n + grain - 1) / grain;
-    std::vector<std::vector<std::vector<Accumulator>>> partials(
-        num_chunks, accumulators);
-    std::atomic<bool> cancelled{false};
-    const bool finite = options.deadline.IsFinite();
-    ParallelFor(options.pool, n, grain,
-                [&](size_t chunk, size_t begin, size_t end) {
-                  if (finite && options.deadline.Expired()) {
-                    cancelled.store(true, std::memory_order_relaxed);
-                    return;
-                  }
-                  std::vector<std::vector<Accumulator>>& grid =
-                      partials[chunk];
-                  if (options.vectorize) {
-                    auto scratch = std::make_unique<vec::BatchScratch>();
-                    VecGroupedScanRange(filters, codes.data(), group_lookup,
-                                        begin, end, scratch.get(), &grid);
-                    return;
-                  }
-                  for (size_t row = begin; row < end; ++row) {
-                    auto it = group_of_code.find(codes[row]);
-                    if (it == group_of_code.end()) continue;
-                    if (!MatchesAll(compiled, row)) continue;
-                    for (Accumulator& acc : grid[it->second]) {
-                      acc.Accept(row);
-                    }
-                  }
-                });
-    if (cancelled.load(std::memory_order_relaxed)) {
-      return Status::Timeout("parallel grouped scan cancelled (" +
-                             std::to_string(n) + " rows)");
-    }
-    for (const auto& grid : partials) {
-      for (size_t g = 0; g < accumulators.size(); ++g) {
-        for (size_t a = 0; a < accumulators[g].size(); ++a) {
-          accumulators[g][a].Merge(grid[g][a]);
-        }
-      }
-    }
-  }
-
-  GroupByResult out;
-  out.rows_scanned = n;
-  out.cells.resize(accumulators.size());
-  for (size_t g = 0; g < accumulators.size(); ++g) {
-    out.cells[g].reserve(accumulators[g].size());
-    for (const Accumulator& acc : accumulators[g]) {
-      out.cells[g].push_back(acc.Finish());
-    }
-  }
-  if (options.cache != nullptr) options.cache->Store(table, query, out);
-  return out;
+  return ExecuteGrouped(table.Snapshot(), query, options);
 }
 
 double Executor::ScaleSampledValue(AggregateFunction fn, double value,

@@ -1,6 +1,8 @@
 #ifndef MUVE_DB_EXECUTOR_H_
 #define MUVE_DB_EXECUTOR_H_
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -8,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/query.h"
+#include "db/snapshot.h"
 #include "db/table.h"
 
 namespace muve::db {
@@ -19,10 +22,11 @@ struct ExecutorOptions {
   /// Worker pool for partitioned scans; nullptr runs the exact serial
   /// scan loop (the pre-threading code path, byte-identical results).
   ThreadPool* pool = nullptr;
-  /// Session result cache consulted before scanning and filled after;
-  /// nullptr (or a disabled cache) is the exact uncached path. The cache
-  /// stores the executor's raw output, so a hit is byte-identical to the
-  /// scan that populated it. Must be thread-safe when `pool` is set
+  /// Session result cache of per-run partial aggregates, consulted
+  /// before scanning each immutable run and filled after; nullptr (or a
+  /// disabled cache) is the exact uncached path. A run partial stores
+  /// the executor's raw per-run state, so a hit reproduces the scan that
+  /// populated it byte-for-byte. Must be thread-safe when `pool` is set
   /// (cache::QueryCache is).
   ResultCache* cache = nullptr;
   /// Tables smaller than this stay on the serial path even with a pool —
@@ -41,16 +45,18 @@ struct ExecutorOptions {
   /// original check-free scan loops (byte-identical results and timing).
   /// A timed-out scan never stores into `cache`.
   Deadline deadline;
-  /// Batch-at-a-time columnar execution (src/db/vec/ kernels): each
-  /// partition is tiled into vec::kBatchSize-row batches, predicates
-  /// fill selection vectors with branch-light kernels (dictionary-code
-  /// compares for strings, accept masks for long IN lists), and
-  /// aggregates run tight gather/dense loops over the selected offsets.
-  /// Row order, partition boundaries, accumulation order, cancellation
-  /// points, and cache interaction are all identical to the scalar
-  /// loop, so results are byte-identical — `false` keeps the original
-  /// value-at-a-time scan, which the differential suite uses as the
-  /// oracle for the vectorized path.
+  /// Batch-at-a-time columnar execution (src/db/vec/ kernels) over the
+  /// immutable runs: each partition is tiled into vec::kBatchSize-row
+  /// batches, predicates fill selection vectors with branch-light
+  /// kernels (dictionary-code compares for strings, accept masks for
+  /// long IN lists), and aggregates run tight gather/dense loops over
+  /// the selected offsets. The row-oriented memtable tail is always
+  /// scanned value-at-a-time (identically in both modes). Row order,
+  /// partition boundaries, accumulation order, cancellation points, and
+  /// cache interaction are all identical to the scalar loop, so results
+  /// are byte-identical — `false` keeps the original value-at-a-time
+  /// scan, which the differential suite uses as the oracle for the
+  /// vectorized path.
   bool vectorize = true;
 
   /// True when this configuration parallelizes a scan of `num_rows` rows.
@@ -98,51 +104,92 @@ struct GroupByResult {
   size_t rows_scanned = 0;
 };
 
-/// Cache of executor results, keyed by the storage layer on the exact
-/// (table identity + version, query) pair. Defined here so `db` stays
-/// independent of the cache library; `cache::QueryCache` (src/cache/)
-/// implements it with capacity-bounded LRU maps and hit/miss counters.
+/// Partial aggregate state of one query over one storage segment (an
+/// immutable run or a slice of one). COUNT/SUM/MIN/MAX merge directly;
+/// AVG is carried as the sum+count pair until Finish. The zero value is
+/// the merge identity (count 0, +/-inf extrema), so an all-empty segment
+/// can never leak a 0 into AVG/MIN/MAX.
+struct AggregatePartial {
+  size_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// Partial state of a grouped query over one segment: cell (g, a) is the
+/// a-th aggregate's partial for group g.
+struct GroupedPartial {
+  std::vector<std::vector<AggregatePartial>> cells;
+};
+
+/// Cache of per-run partial aggregates, keyed by the storage layer on
+/// the exact (table identity, run identity, query) triple. Defined here
+/// so `db` stays independent of the cache library; `cache::QueryCache`
+/// (src/cache/) implements it with capacity-bounded LRU maps and
+/// hit/miss counters.
 ///
-/// Contract: Lookup may return true only for a result previously passed
-/// to Store for an equivalent query against the same table id *and*
-/// version — implementations must never serve a result computed against
-/// other table contents. Only successful executions are stored, so the
-/// cached path reproduces the uncached path's errors exactly (a query
-/// that would fail never has an entry to hit). Implementations must be
-/// safe for concurrent calls from ThreadPool workers.
+/// Because a run is immutable, a stored partial is a permanent fact
+/// about that run — appends to the table never invalidate it, and run
+/// ids are process-unique so a retired run's id is never reused.
+/// Retiring entries after compaction (see QueryCache::SweepRetired) is
+/// capacity hygiene, not a correctness requirement.
+///
+/// Contract: LookupRun may return true only for a partial previously
+/// passed to StoreRun for an equivalent query against the same (table
+/// id, run id). Only fully scanned runs of successful executions are
+/// stored, so the cached path reproduces the uncached path's errors and
+/// timeouts exactly. Implementations must be safe for concurrent calls
+/// from ThreadPool workers.
 class ResultCache {
  public:
   virtual ~ResultCache() = default;
 
   /// Returns true and fills `*out` on a hit.
-  virtual bool Lookup(const Table& table, const AggregateQuery& query,
-                      AggregateResult* out) = 0;
-  virtual void Store(const Table& table, const AggregateQuery& query,
-                     const AggregateResult& result) = 0;
+  virtual bool LookupRun(const Table& table, uint64_t run_id,
+                         const AggregateQuery& query,
+                         AggregatePartial* out) = 0;
+  virtual void StoreRun(const Table& table, uint64_t run_id,
+                        const AggregateQuery& query,
+                        const AggregatePartial& partial) = 0;
 
-  virtual bool Lookup(const Table& table, const GroupByQuery& query,
-                      GroupByResult* out) = 0;
-  virtual void Store(const Table& table, const GroupByQuery& query,
-                     const GroupByResult& result) = 0;
+  virtual bool LookupRun(const Table& table, uint64_t run_id,
+                         const GroupByQuery& query, GroupedPartial* out) = 0;
+  virtual void StoreRun(const Table& table, uint64_t run_id,
+                        const GroupByQuery& query,
+                        const GroupedPartial& partial) = 0;
 };
 
-/// Scan-based query executor over in-memory tables.
+/// Scan-based query executor over versioned in-memory tables.
 ///
-/// With `options.pool` set, scans are partitioned into fixed-size row
-/// ranges executed by the pool; each partition accumulates a private
-/// aggregate state (COUNT/SUM/MIN/MAX merge directly, AVG as a
-/// sum+count pair, GROUP BY as a per-partition accumulator grid) and the
-/// partial states are merged in partition order. Empty-input detection
-/// happens after the merge: a partition that matched nothing contributes
+/// Scans run against a TableSnapshot — one consistent table version —
+/// segment by segment: the immutable runs in logical order, then the
+/// frozen memtable prefix. Each segment accumulates a private partial
+/// state (COUNT/SUM/MIN/MAX merge directly, AVG as a sum+count pair,
+/// GROUP BY as a per-segment accumulator grid) and the partials are
+/// merged in segment order, so the result is independent of which run
+/// partials came from the cache. With `options.pool` set, uncached
+/// segments are further cut into fixed-size slices executed by the pool
+/// and merged slices-then-segments in order. Empty-input detection
+/// happens after the merge: a segment that matched nothing contributes
 /// a zero-count state, never a 0 identity value.
+///
+/// The Table& overloads snapshot the table themselves; callers scanning
+/// the same version more than once (or needing the version id) take the
+/// snapshot explicitly.
 class Executor {
  public:
   /// Executes a single aggregation query with equality/IN predicates.
+  static Result<AggregateResult> Execute(const TableSnapshot& snapshot,
+                                         const AggregateQuery& query,
+                                         const ExecutorOptions& options = {});
   static Result<AggregateResult> Execute(const Table& table,
                                          const AggregateQuery& query,
                                          const ExecutorOptions& options = {});
 
   /// Executes a merged query in one scan.
+  static Result<GroupByResult> ExecuteGrouped(
+      const TableSnapshot& snapshot, const GroupByQuery& query,
+      const ExecutorOptions& options = {});
   static Result<GroupByResult> ExecuteGrouped(
       const Table& table, const GroupByQuery& query,
       const ExecutorOptions& options = {});

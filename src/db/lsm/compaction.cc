@@ -1,0 +1,47 @@
+#include "db/lsm/compaction.h"
+
+#include <algorithm>
+
+namespace muve::db::lsm {
+
+std::vector<CompactionWindow> PlanCompaction(
+    const std::vector<size_t>& run_rows, const CompactionPolicy& policy) {
+  // Working list of (window over original indices, combined rows).
+  struct Piece {
+    size_t begin;
+    size_t end;
+    size_t rows;
+  };
+  std::vector<Piece> pieces;
+  pieces.reserve(run_rows.size());
+  for (size_t i = 0; i < run_rows.size(); ++i) {
+    pieces.push_back({i, i + 1, run_rows[i]});
+  }
+  const size_t target = std::max<size_t>(1, policy.target_runs);
+  while (pieces.size() > target) {
+    // Cheapest adjacent merge under the size cap; ties break to the
+    // leftmost pair so the plan is deterministic.
+    size_t best = pieces.size();
+    size_t best_rows = policy.max_merged_rows + 1;
+    for (size_t i = 0; i + 1 < pieces.size(); ++i) {
+      const size_t combined = pieces[i].rows + pieces[i + 1].rows;
+      if (combined <= policy.max_merged_rows && combined < best_rows) {
+        best = i;
+        best_rows = combined;
+      }
+    }
+    if (best == pieces.size()) break;  // Every merge would exceed the cap.
+    pieces[best].end = pieces[best + 1].end;
+    pieces[best].rows = best_rows;
+    pieces.erase(pieces.begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+  std::vector<CompactionWindow> windows;
+  for (const Piece& piece : pieces) {
+    if (piece.end - piece.begin >= 2) {
+      windows.push_back({piece.begin, piece.end});
+    }
+  }
+  return windows;
+}
+
+}  // namespace muve::db::lsm

@@ -1,0 +1,38 @@
+#ifndef MUVE_DB_LSM_COMPACTION_H_
+#define MUVE_DB_LSM_COMPACTION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace muve::db::lsm {
+
+/// Limits for one compaction round.
+struct CompactionPolicy {
+  /// Compact until at most this many runs remain (or no merge is legal).
+  size_t target_runs = 4;
+  /// Never build a merged run with more rows than this: bounds the work
+  /// of any single compaction and prevents quadratic rewrite churn under
+  /// sustained ingest (old big runs stop participating once they reach
+  /// the cap).
+  size_t max_merged_rows = 1 << 20;
+};
+
+/// One planned merge: replace original runs [begin, end) with their
+/// ordered concatenation.
+struct CompactionWindow {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Plans a size-tiered, order-preserving compaction over runs with the
+/// given row counts: repeatedly merge the adjacent pair with the fewest
+/// combined rows (subject to `max_merged_rows`) until `target_runs`
+/// remain or nothing can merge. Deterministic in its inputs. Returns
+/// non-overlapping windows in ascending order; windows of width one are
+/// never emitted.
+std::vector<CompactionWindow> PlanCompaction(
+    const std::vector<size_t>& run_rows, const CompactionPolicy& policy);
+
+}  // namespace muve::db::lsm
+
+#endif  // MUVE_DB_LSM_COMPACTION_H_

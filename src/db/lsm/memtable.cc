@@ -1,0 +1,35 @@
+#include "db/lsm/memtable.h"
+
+#include <algorithm>
+
+namespace muve::db::lsm {
+
+MemTable::MemTable(size_t num_columns, size_t chunk_rows)
+    : num_columns_(std::max<size_t>(1, num_columns)),
+      chunk_rows_(std::max<size_t>(1, chunk_rows)) {}
+
+void MemTable::Append(const std::vector<Value>& row) {
+  const size_t chunk = size_ / chunk_rows_;
+  if (chunk == chunks_.size()) {
+    chunks_.push_back(
+        std::make_unique<Value[]>(chunk_rows_ * num_columns_));
+  }
+  Value* cells = chunks_[chunk].get() + (size_ % chunk_rows_) * num_columns_;
+  for (size_t c = 0; c < num_columns_; ++c) cells[c] = row[c];
+  ++size_;
+}
+
+MemTable::View MemTable::ViewOf(size_t rows) const {
+  View view;
+  view.chunk_rows = chunk_rows_;
+  view.num_columns = num_columns_;
+  view.rows = std::min(rows, size_);
+  const size_t chunks = (view.rows + chunk_rows_ - 1) / chunk_rows_;
+  view.chunks.reserve(chunks);
+  for (size_t i = 0; i < chunks; ++i) {
+    view.chunks.push_back(chunks_[i].get());
+  }
+  return view;
+}
+
+}  // namespace muve::db::lsm

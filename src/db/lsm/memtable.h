@@ -1,0 +1,71 @@
+#ifndef MUVE_DB_LSM_MEMTABLE_H_
+#define MUVE_DB_LSM_MEMTABLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "db/value.h"
+
+namespace muve::db::lsm {
+
+/// The row-oriented write buffer of a versioned table: AppendRow lands
+/// here, and the table seals the memtable into an immutable columnar Run
+/// once it reaches the flush threshold.
+///
+/// Storage is a list of fixed-size row chunks. Chunks are preallocated
+/// and never reallocated, so a cell written once is never moved — that
+/// is what makes the snapshot protocol safe: a snapshot freezes a row
+/// count under the table mutex and copies the chunk pointers into a
+/// View; concurrent appends only touch rows (and possibly chunks) past
+/// the frozen prefix, which the View never reads. The table mutex
+/// ordering the append and the snapshot provides the happens-before
+/// edge for the frozen prefix.
+///
+/// Writer calls (Append) are externally serialized by the owning table.
+class MemTable {
+ public:
+  MemTable(size_t num_columns, size_t chunk_rows);
+
+  size_t num_columns() const { return num_columns_; }
+  size_t size() const { return size_; }
+
+  /// Appends one row of `num_columns()` values, already validated and
+  /// normalized (int widened to double for DOUBLE columns) by the table.
+  void Append(const std::vector<Value>& row);
+
+  /// Cell access for the writer side (flush) or under the table mutex.
+  const Value& At(size_t row, size_t col) const {
+    return chunks_[row / chunk_rows_][(row % chunk_rows_) * num_columns_ +
+                                      col];
+  }
+
+  /// An immutable view of the first `rows` rows, safe to read while the
+  /// writer keeps appending past them. Copyable and cheap (one pointer
+  /// per chunk).
+  struct View {
+    std::vector<const Value*> chunks;
+    size_t chunk_rows = 0;
+    size_t num_columns = 0;
+    size_t rows = 0;
+
+    const Value& At(size_t row, size_t col) const {
+      return chunks[row / chunk_rows][(row % chunk_rows) * num_columns +
+                                      col];
+    }
+  };
+
+  /// Freezes the first `rows` rows (callers pass a row count they read
+  /// under the table mutex).
+  View ViewOf(size_t rows) const;
+
+ private:
+  size_t num_columns_;
+  size_t chunk_rows_;
+  size_t size_ = 0;
+  std::vector<std::unique_ptr<Value[]>> chunks_;
+};
+
+}  // namespace muve::db::lsm
+
+#endif  // MUVE_DB_LSM_MEMTABLE_H_

@@ -1,0 +1,20 @@
+#ifndef MUVE_DB_SCHEMA_H_
+#define MUVE_DB_SCHEMA_H_
+
+#include <string>
+
+#include "db/value.h"
+
+namespace muve::db {
+
+/// Name + type of a column, used to declare table schemas. Lives in its
+/// own header so the storage layer (db/lsm/) and the table front end can
+/// both name it without a dependency cycle.
+struct ColumnSpec {
+  std::string name;
+  ValueType type;
+};
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_SCHEMA_H_

@@ -1,0 +1,83 @@
+#ifndef MUVE_DB_SNAPSHOT_H_
+#define MUVE_DB_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/lsm/memtable.h"
+#include "db/lsm/run.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "db/value.h"
+
+namespace muve::db {
+
+/// An immutable, consistent view of one table version: the run set and
+/// the memtable row count frozen at `Table::Snapshot()` time. Everything
+/// a scan touches is pinned by shared ownership — the runs (compaction
+/// may retire them from the live table, the pinned objects stay valid),
+/// the memtable chunks (the writer appends only past the frozen
+/// prefix), and the table itself (a snapshot outliving its table keeps
+/// reads well-defined).
+///
+/// Copyable and cheap to copy (shared pointers). A default-constructed
+/// snapshot is empty (no table, zero rows).
+class TableSnapshot {
+ public:
+  TableSnapshot() = default;
+
+  bool valid() const { return table_ != nullptr; }
+
+  /// The snapshotted table (schema/name/id access). Valid only when
+  /// `valid()`.
+  const Table& table() const { return *table_; }
+  const std::shared_ptr<const Table>& table_ptr() const { return table_; }
+
+  /// The table version this snapshot froze.
+  uint64_t version() const { return version_; }
+
+  /// Rows visible to this snapshot.
+  size_t num_rows() const { return num_rows_; }
+
+  size_t num_columns() const {
+    return table_ == nullptr ? 0 : table_->num_columns();
+  }
+
+  /// The pinned runs, in logical row order.
+  const std::vector<std::shared_ptr<const lsm::Run>>& runs() const {
+    return runs_;
+  }
+
+  /// The frozen memtable prefix (zero rows when the memtable was empty
+  /// at snapshot time).
+  const lsm::MemTable::View& memtable() const { return mem_view_; }
+
+  /// Value at (row, col), row in [0, num_rows()).
+  Value ValueAt(size_t row, size_t col) const;
+
+  /// A layout-preserving deep copy: a new independent table whose run
+  /// boundaries, run contents (including per-run dictionary order), and
+  /// memtable prefix replicate this snapshot exactly, so scans over the
+  /// clone are bit-for-bit identical to scans over the snapshot. The
+  /// differential suites use this as the frozen oracle for reads racing
+  /// writes; it also serves as a fork/backup primitive.
+  Result<std::shared_ptr<Table>> Clone(const std::string& name) const;
+
+ private:
+  friend class Table;
+
+  std::shared_ptr<const Table> table_;
+  uint64_t version_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<std::shared_ptr<const lsm::Run>> runs_;
+  /// Keeps the viewed chunks alive; reads go through `mem_view_`.
+  std::shared_ptr<const lsm::MemTable> mem_;
+  lsm::MemTable::View mem_view_;
+};
+
+}  // namespace muve::db
+
+#endif  // MUVE_DB_SNAPSHOT_H_

@@ -1,64 +1,104 @@
 #ifndef MUVE_DB_TABLE_H_
 #define MUVE_DB_TABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
-#include "db/column.h"
+#include "common/thread_pool.h"
+#include "db/lsm/compaction.h"
+#include "db/lsm/memtable.h"
+#include "db/lsm/run.h"
+#include "db/schema.h"
 #include "db/value.h"
 
 namespace muve::db {
 
-/// Name + type of a column, used to declare table schemas.
-struct ColumnSpec {
-  std::string name;
-  ValueType type;
+class TableSnapshot;
+
+/// Storage-layer knobs of a versioned table.
+struct TableOptions {
+  /// Rows the memtable absorbs before it is sealed into an immutable
+  /// columnar run. A multiple of the vectorized batch size keeps run
+  /// boundaries aligned with batch boundaries on big scans.
+  size_t flush_threshold = 4096;
+  /// Background compaction is scheduled once the run count exceeds this
+  /// (only when a compaction pool is attached).
+  size_t max_runs = 8;
+  /// One compaction round merges adjacent runs down to this many.
+  size_t target_runs = 4;
+  /// Cap on rows of any single merged run (see lsm::CompactionPolicy).
+  size_t max_compacted_rows = 1 << 20;
 };
 
-/// An in-memory, columnar, single relation. MUVE queries a single table
-/// per voice query (paper §3), so the engine is a single-table engine
-/// with no join support.
+/// An in-memory, versioned, single relation with LSM-flavoured storage.
+/// MUVE queries a single table per voice query (paper §3), so the engine
+/// is a single-table engine with no join support.
 ///
-/// Concurrency contract (single writer, no write/scan overlap): scans —
-/// scalar and vectorized alike — capture raw column array pointers
-/// (Column::*_raw()) for their duration, and AppendRow may reallocate
-/// those arrays, so a table must never be appended to while a query is
-/// scanning it. Every caller already works this way: serving paths scan
-/// shared tables that are only appended to between requests, and an
-/// append bumps `version()` so result caches can never resurrect a
-/// pre-append answer.
-class Table {
+/// Layout: appends land in a row-oriented memtable; at
+/// `TableOptions::flush_threshold` rows the memtable is sealed into an
+/// immutable columnar `lsm::Run` and a fresh memtable starts. Background
+/// compaction (when enabled) concatenates adjacent runs into bigger
+/// ones. Run order preserves append order, so the logical row sequence —
+/// and every scan's accumulation order — is independent of the physical
+/// run layout.
+///
+/// Concurrency contract (single writer, concurrent readers): one thread
+/// at a time may call AppendRow, while any number of threads read
+/// through snapshots. `Snapshot()` returns an immutable view — the
+/// pinned run set plus a frozen memtable prefix — so an in-flight scan,
+/// request, or serving session executes against one consistent version
+/// while the writer proceeds. Snapshots also pin retired runs (and the
+/// table itself) alive until the last reader drops them.
+class Table : public std::enable_shared_from_this<Table> {
  public:
   /// Creates a table with the given schema. Column names must be unique
   /// (case insensitive).
   static Result<std::shared_ptr<Table>> Create(
-      std::string name, const std::vector<ColumnSpec>& schema);
+      std::string name, const std::vector<ColumnSpec>& schema,
+      TableOptions options = {});
 
   const std::string& name() const { return name_; }
-  size_t num_rows() const { return num_rows_; }
-  size_t num_columns() const { return columns_.size(); }
+  size_t num_columns() const { return schema_.size(); }
+
+  /// Total rows appended so far. Under concurrent ingest this is a
+  /// moving target — scans read a snapshot's row count instead.
+  size_t num_rows() const {
+    return num_rows_.load(std::memory_order_acquire);
+  }
 
   /// Process-unique identity of this table object, assigned at creation.
-  /// Result caches key on (id, version) so a `Sample()` copy or an
+  /// Result caches key on (id, run id) so a `Sample()` copy or an
   /// identically named table can never alias another table's entries.
   uint64_t id() const { return id_; }
 
-  /// Content version: bumped by every successful AppendRow. A cached
-  /// result is valid only for the exact (id, version) it was computed
-  /// against; bumping the version logically invalidates all entries.
-  uint64_t version() const { return version_; }
+  /// Content version: bumped by every successful AppendRow. Flushes and
+  /// compactions reorganize storage without changing contents, so they
+  /// do not bump it.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
-  /// Appends one row; `values` must match the schema arity and types.
-  /// Bumps `version()`.
+  /// Appends one row; `values` must match the schema arity and types
+  /// (int64 promotes to double for DOUBLE columns). Bumps `version()`.
+  /// Single writer: concurrent AppendRow calls must be serialized by the
+  /// caller; readers never need to coordinate with the writer.
   Status AppendRow(const std::vector<Value>& values);
 
-  /// Column by index.
-  const Column& column(size_t index) const { return *columns_[index]; }
+  /// An immutable, consistent view of the current contents: the run set
+  /// and the memtable prefix at this instant, pinned against flushes,
+  /// compactions, and table destruction for the snapshot's lifetime.
+  TableSnapshot Snapshot() const;
 
-  /// Column by name (case insensitive), or nullptr.
-  const Column* FindColumn(const std::string& name) const;
+  // --- Schema access -------------------------------------------------
+
+  const std::vector<ColumnSpec>& schema() const { return schema_; }
+  const ColumnSpec& spec(size_t index) const { return schema_[index]; }
 
   /// Index of a column by name (case insensitive).
   Result<size_t> ColumnIndex(const std::string& name) const;
@@ -69,19 +109,119 @@ class Table {
   /// Names of columns with the given type.
   std::vector<std::string> ColumnNamesOfType(ValueType type) const;
 
+  // --- Table statistics ----------------------------------------------
+
+  /// Number of distinct values appended to column `index`, maintained
+  /// incrementally on append.
+  size_t DistinctCount(size_t index) const;
+
+  /// Distinct values of a string column in first-appearance order (the
+  /// vocabulary the phonetic index and workload generators consume).
+  /// Empty for numeric columns.
+  std::vector<std::string> StringValues(size_t index) const;
+
+  /// As above by (case-insensitive) column name; empty when the column
+  /// does not exist.
+  std::vector<std::string> StringValues(const std::string& name) const;
+
+  /// Value at (row, col) of the current contents. Convenience for tests
+  /// and serialization; scans use snapshots.
+  Value ValueAt(size_t row, size_t col) const;
+
   /// Builds a new table containing a deterministic row sample of
-  /// approximately `fraction` of this table (every k-th row), used for
-  /// approximate query processing and data-size scaling experiments.
+  /// approximately `fraction` of this table (every k-th row of a
+  /// snapshot), used for approximate query processing and data-size
+  /// scaling experiments.
   std::shared_ptr<Table> Sample(double fraction) const;
 
+  // --- LSM storage controls ------------------------------------------
+
+  const TableOptions& options() const { return options_; }
+
+  /// Seals the current memtable into a run now (no-op when empty).
+  void Flush();
+
+  /// Synchronous compaction down to `TableOptions::target_runs`.
+  void Compact();
+
+  /// Attaches the worker pool that background compaction rounds are
+  /// scheduled on: once the run count exceeds `TableOptions::max_runs`
+  /// after a flush, one compaction task is submitted (never more than
+  /// one in flight). The pool must outlive the table or be shut down
+  /// first — a task finding the pool stopped simply skips the round.
+  /// Pass nullptr to stop scheduling.
+  void EnableBackgroundCompaction(ThreadPool* pool);
+
+  size_t num_runs() const;
+  size_t memtable_rows() const;
+
+  // --- Retired-run feed (run-granular cache invalidation) -------------
+
+  /// Total runs retired by compaction so far. Caches remember the last
+  /// sequence they swept and use it as the cheap "anything new?" probe.
+  uint64_t retired_seq() const {
+    return retired_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Appends the ids of runs retired after sequence `since` (0-based:
+  /// `since` == retired_seq() yields nothing) to `out`. Returns false
+  /// when that history was already trimmed from the bounded log — the
+  /// caller must fall back to sweeping all of its entries for this
+  /// table.
+  bool RetiredRunsSince(uint64_t since, std::vector<uint64_t>* out) const;
+
  private:
-  Table(std::string name, std::vector<std::unique_ptr<Column>> columns);
+  friend class TableSnapshot;
+
+  Table(std::string name, std::vector<ColumnSpec> schema,
+        TableOptions options);
+
+  /// Seals the memtable into a run. Caller holds `mutex_`.
+  void FlushLocked();
+
+  /// Submits one background compaction task if warranted. Caller holds
+  /// `mutex_`.
+  void MaybeScheduleCompactionLocked();
+
+  /// One full compaction round (plan, build merged runs, install).
+  void CompactionRound();
+
+  /// Entry point of the scheduled background task.
+  void BackgroundCompact();
+
+  /// Per-column incremental distinct-value tracking. Guarded by mutex_.
+  struct ColumnStats {
+    std::vector<std::string> string_values;  ///< First-appearance order.
+    std::unordered_set<std::string> string_seen;
+    std::unordered_set<int64_t> int_seen;
+    std::unordered_set<double> double_seen;
+  };
 
   std::string name_;
-  std::vector<std::unique_ptr<Column>> columns_;
-  size_t num_rows_ = 0;
+  std::vector<ColumnSpec> schema_;
+  TableOptions options_;
   uint64_t id_ = 0;
-  uint64_t version_ = 0;
+  std::atomic<size_t> num_rows_{0};
+  std::atomic<uint64_t> version_{0};
+
+  /// Guards the storage state below (runs, memtable, stats, retirement
+  /// log, compaction scheduling flag).
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const lsm::Run>> runs_;
+  std::shared_ptr<lsm::MemTable> mem_;
+  std::vector<ColumnStats> stats_;
+
+  /// Bounded append-only log of retired run ids. `retired_seq_` counts
+  /// all retirements ever; the log keeps the most recent ones, starting
+  /// at sequence `retired_log_base_`.
+  std::vector<uint64_t> retired_log_;
+  uint64_t retired_log_base_ = 0;
+  std::atomic<uint64_t> retired_seq_{0};
+
+  ThreadPool* compaction_pool_ = nullptr;
+  bool compaction_scheduled_ = false;
+  /// Serializes compaction rounds (manual and background).
+  std::mutex compaction_mutex_;
 };
 
 }  // namespace muve::db

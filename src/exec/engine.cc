@@ -23,7 +23,8 @@ struct UnitOutcome {
   std::vector<std::pair<size_t, double>> values;
 };
 
-UnitOutcome ExecuteUnit(const MergeUnit& unit, const db::Table& target,
+UnitOutcome ExecuteUnit(const MergeUnit& unit,
+                        const db::TableSnapshot& target,
                         const core::CandidateSet& candidates, bool sampled,
                         double sample_fraction,
                         const db::ExecutorOptions& db_options) {
@@ -127,6 +128,12 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
       SampleTable(std::clamp(sample_fraction, 0.0, 1.0));
   const bool sampled = sample_fraction < 1.0;
 
+  // One snapshot for the whole batch: every unit — and therefore every
+  // plot of a multiplot answer — scans the same frozen version while a
+  // concurrent writer keeps appending to the live table.
+  const db::TableSnapshot snapshot = target->Snapshot();
+  out.snapshot_version = snapshot.version();
+
   const std::vector<MergeUnit> units = PlanMergedExecution(
       candidates, subset, *table_, estimator_, options_.enable_merging);
   out.queries_issued = units.size();
@@ -135,7 +142,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
 
   StopWatch watch;
   if (controls.deadline.IsFinite()) {
-    MUVE_RETURN_NOT_OK(ExecuteUnitsBounded(units, *target, candidates,
+    MUVE_RETURN_NOT_OK(ExecuteUnitsBounded(units, snapshot, candidates,
                                            sampled, controls, cache, &out));
   } else if (pool_ != nullptr && units.size() >= 2) {
     // Independent units run concurrently with serial per-unit scans:
@@ -150,10 +157,10 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     unit_options.cache = cache;
     unit_options.vectorize = options_.vectorize;
     for (const MergeUnit& unit : units) {
-      futures.push_back(pool_->Submit([&unit, &target, &candidates,
+      futures.push_back(pool_->Submit([&unit, &snapshot, &candidates,
                                        sampled, sample_fraction,
                                        unit_options] {
-        return ExecuteUnit(unit, *target, candidates, sampled,
+        return ExecuteUnit(unit, snapshot, candidates, sampled,
                            sample_fraction, unit_options);
       }));
     }
@@ -182,7 +189,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     }
     for (const MergeUnit& unit : units) {
       const UnitOutcome outcome = ExecuteUnit(
-          unit, *target, candidates, sampled, sample_fraction, db_options);
+          unit, snapshot, candidates, sampled, sample_fraction, db_options);
       MUVE_RETURN_NOT_OK(outcome.status);
       for (const auto& [idx, value] : outcome.values) {
         out.values[idx] = value;
@@ -197,7 +204,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
 }
 
 Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
-                                   const db::Table& target,
+                                   const db::TableSnapshot& target,
                                    const core::CandidateSet& candidates,
                                    bool sampled,
                                    const ExecControls& controls,

@@ -14,6 +14,7 @@
 #include "core/candidate.h"
 #include "core/multiplot.h"
 #include "db/cost_estimator.h"
+#include "db/snapshot.h"
 #include "db/table.h"
 #include "exec/merger.h"
 
@@ -90,6 +91,11 @@ struct Execution {
   size_t plots_dropped = 0;
   /// True when the deadline cut this execution short.
   bool deadline_hit = false;
+  /// Table version of the snapshot every scan of this execution ran
+  /// against: one Execute call reads one consistent version even while
+  /// a writer appends concurrently, and all values of one answer (every
+  /// plot of a multiplot) reflect that single version.
+  uint64_t snapshot_version = 0;
 };
 
 /// Executes candidate queries against a table, with query merging and
@@ -164,7 +170,7 @@ class Engine {
   /// protects the base-candidate unit, drops the rest on expiry, and
   /// records the drops in `out`.
   Status ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
-                             const db::Table& target,
+                             const db::TableSnapshot& target,
                              const core::CandidateSet& candidates,
                              bool sampled, const ExecControls& controls,
                              cache::QueryCache* cache, Execution* out);

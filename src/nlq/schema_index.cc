@@ -9,22 +9,25 @@ namespace muve::nlq {
 SchemaIndex::SchemaIndex(std::shared_ptr<const db::Table> table)
     : table_(std::move(table)) {
   for (size_t c = 0; c < table_->num_columns(); ++c) {
-    const db::Column& column = table_->column(c);
-    all_columns_.Add(column.name());
-    if (column.type() != db::ValueType::kString) {
-      numeric_columns_.Add(column.name());
+    const db::ColumnSpec& spec = table_->spec(c);
+    all_columns_.Add(spec.name);
+    if (spec.type != db::ValueType::kString) {
+      numeric_columns_.Add(spec.name);
       continue;
     }
     phonetics::PhoneticIndex& per_column =
-        values_per_column_[ToLower(column.name())];
-    for (const std::string& value : column.dictionary()) {
+        values_per_column_[ToLower(spec.name)];
+    // Vocabulary harvested once at index construction; values appended
+    // later are invisible to the phonetic index until it is rebuilt
+    // (acceptable staleness under live ingest — see DESIGN.md).
+    for (const std::string& value : table_->StringValues(c)) {
       all_values_.Add(value);
       per_column.Add(value);
       std::vector<std::string>& owners =
           columns_of_value_[ToLower(value)];
-      if (std::find(owners.begin(), owners.end(), column.name()) ==
+      if (std::find(owners.begin(), owners.end(), spec.name) ==
           owners.end()) {
-        owners.push_back(column.name());
+        owners.push_back(spec.name);
       }
     }
   }

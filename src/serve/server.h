@@ -158,6 +158,11 @@ class Server {
   size_t queue_depth() const { return queue_.depth(); }
   size_t live_sessions() const { return sessions_.live_sessions(); }
   SessionManager& session_manager() { return sessions_; }
+  /// Pipeline cache counters summed over live sessions (see
+  /// SessionManager::AggregateCacheStats).
+  PipelineCacheStats cache_stats() const {
+    return sessions_.AggregateCacheStats();
+  }
   const ServerOptions& options() const { return options_; }
 
  private:

@@ -85,4 +85,16 @@ size_t SessionManager::live_sessions() const {
   return sessions_.size();
 }
 
+PipelineCacheStats SessionManager::AggregateCacheStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PipelineCacheStats total;
+  for (const auto& [id, slot] : sessions_) {
+    const PipelineCacheStats stats = slot.session->engine.cache_stats();
+    total.results += stats.results;
+    total.candidates += stats.candidates;
+    total.plans += stats.plans;
+  }
+  return total;
+}
+
 }  // namespace muve::serve

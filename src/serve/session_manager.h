@@ -133,6 +133,11 @@ class SessionManager {
   /// every candidate for eviction is pinned).
   size_t live_sessions() const;
 
+  /// Sums the per-session pipeline cache counters over live sessions
+  /// (an evicted session's counters leave with it). Safe concurrent
+  /// with serving; the counters themselves are monotonic atomics.
+  PipelineCacheStats AggregateCacheStats() const;
+
   uint64_t sessions_created() const {
     return created_.load(std::memory_order_relaxed);
   }

@@ -215,10 +215,10 @@ Result<std::shared_ptr<Table>> MakeDataset(std::string_view name,
 std::vector<std::string> BuildVocabulary(const Table& table) {
   std::vector<std::string> vocabulary;
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    const db::Column& column = table.column(c);
-    vocabulary.push_back(column.name());
-    if (column.type() == ValueType::kString) {
-      for (const std::string& value : column.dictionary()) {
+    const db::ColumnSpec& spec = table.spec(c);
+    vocabulary.push_back(spec.name);
+    if (spec.type == ValueType::kString) {
+      for (const std::string& value : table.StringValues(c)) {
         vocabulary.push_back(value);
       }
     }

@@ -105,10 +105,42 @@ Request MakeRequest(const PlannedRequest& planned,
   return request;
 }
 
-}  // namespace
+/// Per-column value pools the ingest writer draws rows from, captured
+/// once before the campaign so synthesis never reads the table it is
+/// mutating. Strings come from the column's full domain; numerics from a
+/// fixed-size sample of existing rows.
+Result<std::vector<std::vector<db::Value>>> CaptureIngestPools(
+    const db::Table& table, Rng* rng) {
+  const size_t rows = table.num_rows();
+  if (rows == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "streaming ingest needs a non-empty table to sample "
+                  "row shapes from");
+  }
+  std::vector<std::vector<db::Value>> pools;
+  pools.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::vector<db::Value> pool;
+    if (table.spec(c).type == db::ValueType::kString) {
+      for (const std::string& value : table.StringValues(c)) {
+        pool.emplace_back(value);
+      }
+    } else {
+      for (size_t i = 0; i < 64; ++i) {
+        pool.push_back(table.ValueAt(rng->UniformInt(rows), c));
+      }
+    }
+    pools.push_back(std::move(pool));
+  }
+  return pools;
+}
 
-Result<LoadReport> RunLoad(serve::Server* server, const db::Table& table,
-                           const LoadOptions& options) {
+/// The campaign core, shared by both RunLoad overloads. `writable` is
+/// null for read-only campaigns; with options.ingest_qps > 0 it is the
+/// single-writer side of the snapshot contract.
+Result<LoadReport> RunLoadImpl(serve::Server* server, const db::Table& table,
+                               db::Table* writable,
+                               const LoadOptions& options) {
   Rng rng(options.seed);
   Result<std::vector<PlannedRequest>> planned =
       PlanRequests(table, options, &rng);
@@ -127,7 +159,60 @@ Result<LoadReport> RunLoad(serve::Server* server, const db::Table& table,
     outcomes.push_back(outcome);
   };
 
+  const bool ingest = writable != nullptr && options.ingest_qps > 0.0;
+  std::vector<std::vector<db::Value>> pools;
+  if (ingest) {
+    Result<std::vector<std::vector<db::Value>>> captured =
+        CaptureIngestPools(table, &rng);
+    if (!captured.ok()) return captured.status();
+    pools = *std::move(captured);
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
+
+  // Streaming ingest: one writer thread paced at ingest_qps appends
+  // synthesized rows (and periodically seals runs) for the duration of
+  // the drive loop, so every read below races live writes.
+  std::atomic<bool> ingest_stop{false};
+  std::atomic<size_t> ingested{0};
+  std::atomic<size_t> ingest_flushes{0};
+  std::atomic<bool> ingest_ok{true};
+  std::thread writer;
+  if (ingest) {
+    writer = std::thread([&, wall_start] {
+      Rng ingest_rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+      const bool paced = std::isfinite(options.ingest_qps);
+      const double gap_ms = paced ? 1000.0 / options.ingest_qps : 0.0;
+      size_t n = 0;
+      while (!ingest_stop.load(std::memory_order_acquire)) {
+        if (paced) {
+          std::this_thread::sleep_until(
+              wall_start + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   gap_ms * static_cast<double>(n))));
+          if (ingest_stop.load(std::memory_order_acquire)) break;
+        }
+        std::vector<db::Value> row;
+        row.reserve(pools.size());
+        for (const std::vector<db::Value>& pool : pools) {
+          row.push_back(ingest_rng.Choice(pool));
+        }
+        if (!writable->AppendRow(row).ok()) {
+          ingest_ok.store(false, std::memory_order_release);
+          break;
+        }
+        ++n;
+        ingested.store(n, std::memory_order_release);
+        if (options.ingest_flush_every > 0 &&
+            n % options.ingest_flush_every == 0) {
+          writable->Flush();
+          ingest_flushes.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!paced) std::this_thread::yield();
+      }
+    });
+  }
 
   if (options.mode == LoadOptions::Mode::kClosedLoop) {
     // Closed loop: each client keeps one request in flight. The shared
@@ -189,6 +274,14 @@ Result<LoadReport> RunLoad(serve::Server* server, const db::Table& table,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  if (writer.joinable()) {
+    ingest_stop.store(true, std::memory_order_release);
+    writer.join();
+    if (!ingest_ok.load(std::memory_order_acquire)) {
+      return Status(StatusCode::kInternal, "streaming ingest append failed");
+    }
+  }
 
   LoadReport report;
   report.requests = requests.size();
@@ -275,7 +368,30 @@ Result<LoadReport> RunLoad(serve::Server* server, const db::Table& table,
         after.class_submitted[i] - stats_before.class_submitted[i];
   }
   report.server = delta;
+
+  report.ingested_rows = ingested.load(std::memory_order_acquire);
+  report.ingest_flushes = ingest_flushes.load(std::memory_order_acquire);
+  report.ingest_sustained_qps =
+      duration_seconds > 0.0
+          ? static_cast<double>(report.ingested_rows) / duration_seconds
+          : 0.0;
   return report;
+}
+
+}  // namespace
+
+Result<LoadReport> RunLoad(serve::Server* server, const db::Table& table,
+                           const LoadOptions& options) {
+  if (options.ingest_qps > 0.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "ingest_qps > 0 requires the mutable RunLoad overload");
+  }
+  return RunLoadImpl(server, table, nullptr, options);
+}
+
+Result<LoadReport> RunLoad(serve::Server* server, db::Table* table,
+                           const LoadOptions& options) {
+  return RunLoadImpl(server, *table, table, options);
 }
 
 std::string LoadReport::ToJson(const std::string& indent) const {
@@ -301,6 +417,10 @@ std::string LoadReport::ToJson(const std::string& indent) const {
   out << inner << "\"rung_histogram\": {\"exact\": " << rung_histogram[0]
       << ", \"degraded_plan\": " << rung_histogram[1]
       << ", \"base_only\": " << rung_histogram[2] << "},\n";
+  out << inner << "\"ingested_rows\": " << ingested_rows << ",\n";
+  out << inner << "\"ingest_sustained_qps\": " << ingest_sustained_qps
+      << ",\n";
+  out << inner << "\"ingest_flushes\": " << ingest_flushes << ",\n";
   out << inner << "\"server\": {\n";
   const std::string deep = inner + "  ";
   out << deep << "\"submitted\": " << server.submitted << ",\n";

@@ -44,6 +44,16 @@ struct LoadOptions {
   /// concurrent single-flight collisions something to coalesce.
   double repeat_probability = 0.3;
   uint64_t seed = 1;
+  /// Streaming ingest: > 0 runs one writer thread for the duration of
+  /// the campaign, appending synthesized rows to the serving table at
+  /// this rate (rows/second; infinity = unpaced, append as fast as the
+  /// table absorbs). Rows are drawn from the table's own value domains,
+  /// deterministically in `seed`. Requires the mutable RunLoad overload
+  /// — the const overload rejects a nonzero rate.
+  double ingest_qps = 0.0;
+  /// Streaming ingest: the writer seals a columnar run every this many
+  /// appends (0 leaves sealing to the table's own flush threshold).
+  size_t ingest_flush_every = 256;
   /// Shape of the generated ground-truth queries.
   QueryGeneratorOptions query;
 };
@@ -75,6 +85,11 @@ struct LoadReport {
   /// Degradation rungs of completed answers (exact / degraded-plan /
   /// base-only).
   size_t rung_histogram[3] = {0, 0, 0};
+  /// Streaming ingest (ingest_qps > 0): rows appended while the
+  /// campaign ran, the achieved append rate, and runs the writer sealed.
+  size_t ingested_rows = 0;
+  double ingest_sustained_qps = 0.0;
+  size_t ingest_flushes = 0;
   /// Server funnel counters, as deltas over the campaign.
   serve::ServerStats server;
 
@@ -89,6 +104,13 @@ struct LoadReport {
 /// outcomes. The schedule and query mix are deterministic in
 /// `options.seed`; actual interleaving under concurrency is not.
 Result<LoadReport> RunLoad(serve::Server* server, const db::Table& table,
+                           const LoadOptions& options);
+
+/// As above against the mutable serving table: when options.ingest_qps
+/// is nonzero, one writer thread streams appends into `table` — the
+/// single-writer side of the snapshot contract — for the duration of the
+/// campaign, so reads race live ingest, run seals, and compaction.
+Result<LoadReport> RunLoad(serve::Server* server, db::Table* table,
                            const LoadOptions& options);
 
 }  // namespace muve::workload

@@ -46,12 +46,12 @@ Result<db::AggregateQuery> RandomQuery(const db::Table& table, Rng* rng,
       static_cast<int64_t>(max_predicates)));
 
   for (size_t i = 0; i < num_predicates; ++i) {
-    const db::Column* column = table.FindColumn(string_columns[i]);
-    const std::vector<std::string>& dictionary = column->dictionary();
-    if (dictionary.empty()) continue;
-    const std::string& value = rng->Choice(dictionary);
+    const std::vector<std::string> values =
+        table.StringValues(string_columns[i]);
+    if (values.empty()) continue;
+    const std::string& value = rng->Choice(values);
     query.predicates.push_back(
-        db::Predicate::Equals(column->name(), db::Value(value)));
+        db::Predicate::Equals(string_columns[i], db::Value(value)));
   }
   if (query.predicates.empty()) {
     return Status::FailedPrecondition("no predicates generated (empty "

@@ -1,6 +1,7 @@
 // Unit tests for the session caching subsystem (src/cache/): LRU
 // recency/eviction semantics, the capacity-0 disabled path, key
-// exactness, table-version invalidation, and counter consistency under
+// exactness, run-granular invalidation (appends never sweep; compaction
+// retires exactly the rewritten runs), and counter consistency under
 // concurrent ThreadPool use.
 
 #include <atomic>
@@ -27,10 +28,12 @@ using cache::LruCache;
 using cache::QueryCache;
 using cache::StatsSnapshot;
 
-std::shared_ptr<db::Table> MakeTable(size_t rows = 64) {
+std::shared_ptr<db::Table> MakeTable(size_t rows = 64,
+                                     db::TableOptions options = {}) {
   auto table = db::Table::Create(
       "cachet", {{"city", db::ValueType::kString},
-                 {"delay", db::ValueType::kInt64}});
+                 {"delay", db::ValueType::kInt64}},
+      options);
   EXPECT_TRUE(table.ok());
   for (size_t r = 0; r < rows; ++r) {
     const Status status = (*table)->AppendRow(
@@ -38,6 +41,10 @@ std::shared_ptr<db::Table> MakeTable(size_t rows = 64) {
          db::Value(static_cast<int64_t>(r) - 10)});
     EXPECT_TRUE(status.ok());
   }
+  // Seal the rows into a columnar run: only run segments are cached (the
+  // memtable tail is always rescanned), so a pure-memtable table would
+  // never exercise the cache.
+  (*table)->Flush();
   return std::move(table).value();
 }
 
@@ -193,8 +200,8 @@ TEST(QueryCacheTest, DisabledCacheNeverStores) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
-TEST(QueryCacheTest, VersionBumpInvalidatesStaleEntries) {
-  auto table = MakeTable(10);  // 5 rows match "queens".
+TEST(QueryCacheTest, AppendsNeverInvalidateRunEntries) {
+  auto table = MakeTable(10);  // 5 rows match "queens", all in one run.
   QueryCache cache(16);
   db::ExecutorOptions options;
   options.cache = &cache;
@@ -205,41 +212,82 @@ TEST(QueryCacheTest, VersionBumpInvalidatesStaleEntries) {
   EXPECT_EQ(before->value, 5.0);
   EXPECT_EQ(cache.size(), 1u);
 
-  // Appending bumps the table version: the cached entry must not be
-  // served again.
+  // Appending only grows the memtable tail: the cached run partial stays
+  // valid, is served as a hit, and the fresh rows come from the rescan
+  // of the (never cached) memtable.
   ASSERT_TRUE(
       table->AppendRow({db::Value("queens"), db::Value(int64_t{1})}).ok());
 
   const auto after = db::Executor::Execute(*table, query, options);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->value, 6.0);
-  EXPECT_GE(cache.stats().invalidations, 1u);
-
-  // The fresh result is cached under the new version and hits again.
-  const auto warm = db::Executor::Execute(*table, query, options);
-  ASSERT_TRUE(warm.ok());
-  EXPECT_EQ(warm->value, 6.0);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
   EXPECT_GE(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
-TEST(QueryCacheTest, SweepFreesCapacityOfStaleEntries) {
-  auto table = MakeTable(10);
-  QueryCache cache(16);
+TEST(QueryCacheTest, CompactionRetiresExactlyRewrittenRunKeys) {
+  // 5 runs of 4 rows; one compaction round (target 4) merges exactly the
+  // leftmost adjacent pair, retiring 2 runs and leaving 3 untouched.
+  db::TableOptions topt;
+  topt.flush_threshold = 4;
+  topt.target_runs = 4;
+  auto table = MakeTable(20, topt);
+  ASSERT_EQ(table->num_runs(), 5u);
+  QueryCache cache(32);
   db::ExecutorOptions options;
   options.cache = &cache;
-  const auto r1 = db::Executor::Execute(*table, CountCity("queens"), options);
-  const auto r2 = db::Executor::Execute(*table, CountCity("quincy"), options);
-  ASSERT_TRUE(r1.ok());
-  ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(cache.size(), 2u);
 
-  ASSERT_TRUE(
-      table->AppendRow({db::Value("queens"), db::Value(int64_t{1})}).ok());
-  const auto r3 = db::Executor::Execute(*table, CountCity("queens"), options);
-  ASSERT_TRUE(r3.ok());
-  // Both stale entries were swept; only the fresh one remains.
-  EXPECT_EQ(cache.size(), 1u);
+  const db::AggregateQuery query = CountCity("queens");
+  const auto cold = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->value, 10.0);
+  EXPECT_EQ(cache.size(), 5u);  // One partial per run.
+
+  table->Compact();
+  ASSERT_EQ(table->num_runs(), 4u);
+
+  const auto warm = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->value, 10.0);
+  // Exactly the two rewritten runs' keys were swept; the three untouched
+  // runs hit, the merged run misses once and is stored.
   EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_GE(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(QueryCacheTest, WarmReplayAfterIngestHitsUntouchedRuns) {
+  db::TableOptions topt;
+  topt.flush_threshold = 8;
+  auto table = MakeTable(16, topt);  // 2 runs of 8.
+  ASSERT_EQ(table->num_runs(), 2u);
+  QueryCache cache(32);
+  db::ExecutorOptions options;
+  options.cache = &cache;
+
+  const db::AggregateQuery query = CountCity("queens");
+  const auto cold = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->value, 8.0);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Stream enough rows to seal a third run plus a memtable tail.
+  for (size_t r = 0; r < 10; ++r) {
+    ASSERT_TRUE(
+        table->AppendRow({db::Value("queens"), db::Value(int64_t{1})})
+            .ok());
+  }
+  ASSERT_EQ(table->num_runs(), 3u);
+  ASSERT_EQ(table->memtable_rows(), 2u);
+
+  const auto warm = db::Executor::Execute(*table, query, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->value, 18.0);
+  // The two pre-ingest runs replay from cache; only the new run misses.
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 3u);
 }
 
 TEST(QueryCacheTest, DistinctTablesNeverShareEntries) {
@@ -247,20 +295,23 @@ TEST(QueryCacheTest, DistinctTablesNeverShareEntries) {
   auto table_b = MakeTable(20);  // Same schema and name, different table.
   QueryCache cache(16);
   const db::AggregateQuery query = CountCity("queens");
+  const uint64_t run_a = table_a->Snapshot().runs()[0]->id();
+  const uint64_t run_b = table_b->Snapshot().runs()[0]->id();
 
-  db::AggregateResult result_a;
-  result_a.value = 5.0;
-  cache.Store(*table_a, query, result_a);
+  db::AggregatePartial partial_a;
+  partial_a.count = 5;
+  cache.StoreRun(*table_a, run_a, query, partial_a);
 
-  db::AggregateResult out;
-  EXPECT_FALSE(cache.Lookup(*table_b, query, &out));
-  EXPECT_TRUE(cache.Lookup(*table_a, query, &out));
-  EXPECT_EQ(out.value, 5.0);
+  db::AggregatePartial out;
+  EXPECT_FALSE(cache.LookupRun(*table_b, run_b, query, &out));
+  EXPECT_TRUE(cache.LookupRun(*table_a, run_a, query, &out));
+  EXPECT_EQ(out.count, 5u);
 }
 
 TEST(QueryCacheTest, KeysAreExactBeyondDisplayPrecision) {
   auto table = MakeTable(4);
   QueryCache cache(16);
+  const uint64_t run = table->Snapshot().runs()[0]->id();
   // Two predicates whose constants agree to 6 significant digits — the
   // display precision of Value::ToString — but differ beyond it.
   db::AggregateQuery q1;
@@ -271,12 +322,13 @@ TEST(QueryCacheTest, KeysAreExactBeyondDisplayPrecision) {
   db::AggregateQuery q2 = q1;
   q2.predicates[0].values = {db::Value(1.00000002)};
 
-  db::AggregateResult result;
-  result.value = 42.0;
-  cache.Store(*table, q1, result);
-  db::AggregateResult out;
-  EXPECT_FALSE(cache.Lookup(*table, q2, &out)) << "aliased distinct keys";
-  EXPECT_TRUE(cache.Lookup(*table, q1, &out));
+  db::AggregatePartial partial;
+  partial.count = 42;
+  cache.StoreRun(*table, run, q1, partial);
+  db::AggregatePartial out;
+  EXPECT_FALSE(cache.LookupRun(*table, run, q2, &out))
+      << "aliased distinct keys";
+  EXPECT_TRUE(cache.LookupRun(*table, run, q1, &out));
 }
 
 TEST(QueryCacheTest, GroupedResultsRoundTrip) {
@@ -313,8 +365,9 @@ TEST(QueryCacheTest, GroupedResultsRoundTrip) {
   // position-indexed cells, so it must not hit the stored entry.
   db::GroupByQuery reordered = query;
   std::swap(reordered.group_values[0], reordered.group_values[1]);
-  db::GroupByResult out;
-  EXPECT_FALSE(cache.Lookup(*table, reordered, &out));
+  const uint64_t run = table->Snapshot().runs()[0]->id();
+  db::GroupedPartial out;
+  EXPECT_FALSE(cache.LookupRun(*table, run, reordered, &out));
 }
 
 // ---------------------------------------------------------------------

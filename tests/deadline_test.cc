@@ -324,6 +324,104 @@ TEST(DeadlineExecutorTest, TimedOutBatchScanNeverPopulatesCache) {
   EXPECT_EQ(computed->empty_input, replayed->empty_input);
 }
 
+// A timeout racing storage reorganization: the scan times out against a
+// snapshot, the table flushes and keeps ingesting meanwhile — the cache
+// must stay empty (no partial from the cancelled scan, under any run
+// layout), and the post-flush recompute is correct and cacheable.
+TEST(DeadlineExecutorTest, FlushDuringTimeoutNeverPopulatesCache) {
+  auto table = Table311(5000);
+  cache::QueryCache cache(64);
+  const db::AggregateQuery query = Query311(
+      db::AggregateFunction::kCount, "", "borough", "brooklyn");
+
+  const db::TableSnapshot snapshot = table->Snapshot();
+  SteppingClock clock;
+  db::ExecutorOptions bounded;
+  bounded.cache = &cache;
+  bounded.parallel_grain = 256;
+  bounded.deadline = Deadline::AfterMillis(2.5, &clock);
+  const auto timed_out = db::Executor::Execute(snapshot, query, bounded);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kTimeout);
+
+  // The writer proceeds: the memtable tail is sealed into a run and more
+  // rows stream in. Still nothing cached from the cancelled scan.
+  table->Flush();
+  for (size_t r = 0; r < 32; ++r) {
+    ASSERT_TRUE(table
+                    ->AppendRow({db::Value("brooklyn"), db::Value("noise"),
+                                 db::Value("nypd"), db::Value("open"),
+                                 db::Value("phone"), db::Value(1.0),
+                                 db::Value(int64_t{1})})
+                    .ok());
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Recompute on the live (reorganized) table: per-run partials land in
+  // the cache and a replay serves them, in agreement with an uncached
+  // oracle scan.
+  db::ExecutorOptions unbounded;
+  unbounded.cache = &cache;
+  const auto computed = db::Executor::Execute(*table, query, unbounded);
+  const auto oracle = db::Executor::Execute(*table, query);
+  ASSERT_TRUE(computed.ok() && oracle.ok());
+  EXPECT_EQ(computed->value, oracle->value);
+  EXPECT_GT(cache.size(), 0u);
+  const auto replayed = db::Executor::Execute(*table, query, unbounded);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_EQ(computed->value, replayed->value);
+}
+
+// A snapshot pinned before its table is destroyed still serves
+// deadline-bounded scans: a generous budget completes with correct
+// values, an expired one cancels cleanly — and neither path touches
+// freed storage.
+TEST(DeadlineExecutorTest, SnapshotOutlivesTableUnderDeadline) {
+  db::TableSnapshot survivor;
+  double expected = 0.0;
+  {
+    auto table = Table311(3000);
+    table->Flush();
+    survivor = table->Snapshot();
+    const auto reference = db::Executor::Execute(
+        *table,
+        Query311(db::AggregateFunction::kCount, "", "borough", "brooklyn"));
+    ASSERT_TRUE(reference.ok());
+    expected = reference->value;
+    // `table` dies here; the snapshot holds the last pin.
+  }
+  ASSERT_TRUE(survivor.valid());
+
+  cache::QueryCache cache(16);
+  SteppingClock clock;
+  db::ExecutorOptions bounded;
+  bounded.cache = &cache;
+  bounded.parallel_grain = 256;
+  bounded.deadline = Deadline::AfterMillis(1000.0, &clock);
+  const auto result = db::Executor::Execute(
+      survivor,
+      Query311(db::AggregateFunction::kCount, "", "borough", "brooklyn"),
+      bounded);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, expected);
+
+  SteppingClock expired_clock;
+  db::ExecutorOptions expiring = bounded;
+  expiring.cache = &cache;
+  expiring.deadline = Deadline::AfterMillis(0.5, &expired_clock);
+  const auto cancelled = db::Executor::Execute(
+      survivor,
+      Query311(db::AggregateFunction::kAvg, "open_hours", "borough",
+               "bronx"),
+      expiring);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kTimeout);
+  // Only the completed scan's run partials are cached.
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 // ---------------------------------------------------------------------
 // exec::Engine unit dropping.
 // ---------------------------------------------------------------------

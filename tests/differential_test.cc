@@ -308,7 +308,11 @@ TEST_F(DifferentialTest, ExecutorVectorizedVsScalarScans) {
             ExpectBitwiseEqual(*scalar_warm, *vec_warm,
                                "warm " + context);
             ExpectBitwiseEqual(*vec, *vec_warm, "cold-vs-warm " + context);
-            EXPECT_GT(vec_cache.stats().hits, 0u) << context;
+            // Only sealed runs are cached; a table small enough to be
+            // pure memtable legitimately never hits.
+            if (target->num_runs() > 0) {
+              EXPECT_GT(vec_cache.stats().hits, 0u) << context;
+            }
           }
         }
       }
@@ -371,7 +375,11 @@ TEST_F(DifferentialTest, ExecutorVectorizedVsScalarGroupedScans) {
                                  "cold-vs-warm " + context);
             }
           }
-          EXPECT_GT(vec_cache.stats().hits, 0u) << context;
+          // Only sealed runs are cached; a table small enough to be
+          // pure memtable legitimately never hits.
+          if (target->num_runs() > 0) {
+            EXPECT_GT(vec_cache.stats().hits, 0u) << context;
+          }
         }
       }
     }
@@ -663,8 +671,9 @@ TEST_F(DifferentialTest, ExecutorCachedVsUncachedScans) {
       EXPECT_GT(roomy.stats().hits, 0u) << "seed " << seed;
     }
 
-    // Version-bump invalidation: after an append, the cached path must
-    // match a fresh uncached scan, never the stale cached value.
+    // Appends under run-granular caching: cached run partials stay
+    // valid (only the memtable tail grew), so the cached path must
+    // still match a fresh uncached scan exactly.
     cache::QueryCache qcache(16);
     db::ExecutorOptions cached;
     cached.cache = &qcache;
@@ -672,7 +681,7 @@ TEST_F(DifferentialTest, ExecutorCachedVsUncachedScans) {
     ASSERT_TRUE(stale.ok());
     std::vector<db::Value> row;
     for (size_t c = 0; c < table->num_columns(); ++c) {
-      switch (table->column(c).type()) {
+      switch (table->spec(c).type) {
         case db::ValueType::kString:
           row.emplace_back("absent_value");
           break;

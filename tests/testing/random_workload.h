@@ -32,6 +32,12 @@ struct RandomTableOptions {
   /// and miss and GROUP BY groups stay populated).
   size_t min_vocab = 3;
   size_t max_vocab = 8;
+  /// Memtable flush threshold for the generated table. Small enough
+  /// that every default-shaped random table (>= 500 rows) spans several
+  /// columnar runs plus a memtable tail, so scans cross run boundaries
+  /// (where per-run dictionaries, cache partials, and batch tiling all
+  /// restart) and cached replays have run partials to hit.
+  size_t flush_threshold = 256;
 };
 
 /// Short pronounceable-ish vocabulary entries: "v<k>_<column>".
@@ -76,7 +82,9 @@ inline std::shared_ptr<db::Table> RandomTable(
                       is_int ? db::ValueType::kInt64
                              : db::ValueType::kDouble});
   }
-  auto table = db::Table::Create("rand", schema);
+  db::TableOptions table_options;
+  table_options.flush_threshold = options.flush_threshold;
+  auto table = db::Table::Create("rand", schema, table_options);
   assert(table.ok());
   const size_t rows = static_cast<size_t>(
       rng->UniformInRange(static_cast<int64_t>(options.min_rows),
@@ -113,9 +121,8 @@ inline db::Predicate RandomPredicate(const db::Table& table, Rng* rng,
   if (rng->Bernoulli(miss_probability)) {
     return db::Predicate::Equals(column, db::Value("absent_value"));
   }
-  const db::Column* col = table.FindColumn(column);
-  return db::Predicate::Equals(column,
-                               db::Value(rng->Choice(col->dictionary())));
+  const std::vector<std::string> domain = table.StringValues(column);
+  return db::Predicate::Equals(column, db::Value(rng->Choice(domain)));
 }
 
 /// Random equality/IN predicate over any column type — the workload the
@@ -128,37 +135,43 @@ inline db::Predicate RandomVecPredicate(const db::Table& table, Rng* rng,
                                         double miss_probability = 0.15) {
   const size_t column_index = static_cast<size_t>(rng->UniformInRange(
       0, static_cast<int64_t>(table.num_columns()) - 1));
-  const db::Column& column = table.column(column_index);
+  const db::ColumnSpec& spec = table.spec(column_index);
+  const size_t num_rows = table.num_rows();
+  const std::vector<std::string> domain =
+      spec.type == db::ValueType::kString ? table.StringValues(column_index)
+                                          : std::vector<std::string>();
   const size_t list_size =
       rng->Bernoulli(0.5) ? 1
                           : static_cast<size_t>(rng->UniformInRange(2, 6));
   const auto random_row = [&] {
     return static_cast<size_t>(rng->UniformInRange(
-        0, static_cast<int64_t>(column.size()) - 1));
+        0, static_cast<int64_t>(num_rows) - 1));
   };
   std::vector<db::Value> values;
   values.reserve(list_size);
   for (size_t k = 0; k < list_size; ++k) {
-    const bool miss =
-        column.size() == 0 || rng->Bernoulli(miss_probability);
-    switch (column.type()) {
+    const bool miss = num_rows == 0 || rng->Bernoulli(miss_probability);
+    switch (spec.type) {
       case db::ValueType::kString:
-        values.emplace_back(miss ? "absent_value_" + std::to_string(k)
-                                 : rng->Choice(column.dictionary()));
+        values.emplace_back(miss || domain.empty()
+                                ? "absent_value_" + std::to_string(k)
+                                : rng->Choice(domain));
         break;
       case db::ValueType::kInt64:
-        values.emplace_back(miss ? static_cast<int64_t>(1000000 + k)
-                                 : column.int_data()[random_row()]);
+        values.emplace_back(
+            miss ? static_cast<int64_t>(1000000 + k)
+                 : table.ValueAt(random_row(), column_index).AsInt64());
         break;
       case db::ValueType::kDouble:
-        values.emplace_back(miss ? 1.0e6 + static_cast<double>(k)
-                                 : column.double_data()[random_row()]);
+        values.emplace_back(
+            miss ? 1.0e6 + static_cast<double>(k)
+                 : table.ValueAt(random_row(), column_index).AsDouble());
         break;
     }
   }
   return values.size() == 1
-             ? db::Predicate::Equals(column.name(), values[0])
-             : db::Predicate::In(column.name(), std::move(values));
+             ? db::Predicate::Equals(spec.name, values[0])
+             : db::Predicate::In(spec.name, std::move(values));
 }
 
 /// Random single-aggregate query whose predicates span every vectorized
@@ -203,8 +216,7 @@ inline db::GroupByQuery RandomVecGroupByQuery(const db::Table& table,
   const std::vector<std::string> string_columns =
       table.ColumnNamesOfType(db::ValueType::kString);
   query.group_column = rng->Choice(string_columns);
-  const db::Column* group_col = table.FindColumn(query.group_column);
-  for (const std::string& value : group_col->dictionary()) {
+  for (const std::string& value : table.StringValues(query.group_column)) {
     if (rng->Bernoulli(0.8)) query.group_values.push_back(value);
   }
   // An absent group value: its cells must come back empty, not zeroed.
@@ -288,8 +300,7 @@ inline db::GroupByQuery RandomGroupByQuery(const db::Table& table,
   const std::vector<std::string> string_columns =
       table.ColumnNamesOfType(db::ValueType::kString);
   query.group_column = rng->Choice(string_columns);
-  const db::Column* group_col = table.FindColumn(query.group_column);
-  for (const std::string& value : group_col->dictionary()) {
+  for (const std::string& value : table.StringValues(query.group_column)) {
     if (rng->Bernoulli(0.8)) query.group_values.push_back(value);
   }
   // An absent group value: its cells must come back empty, not zeroed.
@@ -339,9 +350,8 @@ inline core::CandidateSet RandomCandidateSet(const db::Table& table,
       base.predicates.push_back(RandomPredicate(table, rng, 0.0));
     }
     // Vary the first predicate's constant over the column's domain.
-    const db::Column* varying =
-        table.FindColumn(base.predicates.front().column);
-    const std::vector<std::string>& domain = varying->dictionary();
+    const std::vector<std::string> domain =
+        table.StringValues(base.predicates.front().column);
     const size_t members = static_cast<size_t>(
         rng->UniformInRange(1, static_cast<int64_t>(
                                    std::min<size_t>(domain.size(), 5))));
@@ -373,9 +383,8 @@ inline core::CandidateSet TinyCandidateSet(const db::Table& table,
   db::AggregateQuery base = RandomAggregateQuery(table, rng);
   base.predicates.clear();
   base.predicates.push_back(RandomPredicate(table, rng, 0.0));
-  const db::Column* varying =
-      table.FindColumn(base.predicates.front().column);
-  const std::vector<std::string>& domain = varying->dictionary();
+  const std::vector<std::string> domain =
+      table.StringValues(base.predicates.front().column);
   const size_t members = static_cast<size_t>(rng->UniformInRange(
       2, static_cast<int64_t>(std::min(domain.size(), max_members))));
   for (size_t m = 0; m < members; ++m) {
