@@ -53,6 +53,14 @@ if [[ -f build/BENCH_vec.json ]]; then
   cat build/BENCH_vec.json
 fi
 
+# The bench_phonetics_smoke tier1 test wrote phonetic-index stats
+# (index build time, brute vs indexed lookups/sec at 1k/10k/100k
+# vocabulary, pruned fraction); surface them.
+if [[ -f build/BENCH_phonetics.json ]]; then
+  echo "==> Phonetic index smoke stats (build/BENCH_phonetics.json)"
+  cat build/BENCH_phonetics.json
+fi
+
 # The bench_server_smoke tier1 test wrote concurrent-server stats
 # (offered vs sustained QPS, shed ratio, single-flight hit ratio,
 # deadline-hit ratio); surface them.

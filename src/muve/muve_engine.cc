@@ -123,10 +123,12 @@ core::Multiplot MuveEngine::BaseOnlyMultiplot(
 MuveEngine::MuveEngine(std::shared_ptr<const db::Table> table,
                        MuveOptions options)
     : options_(SyncCacheOptions(std::move(options))),
-      schema_index_(std::make_shared<nlq::SchemaIndex>(table)),
+      exec_engine_(table, options_.execution),
+      schema_index_(std::make_shared<nlq::SchemaIndex>(
+          table, phonetics::PhoneticIndexOptions{
+                     .pool = exec_engine_.thread_pool()})),
       translator_(schema_index_),
       generator_(schema_index_),
-      exec_engine_(table, options_.execution),
       candidate_cache_(options_.cache_capacity),
       plan_memo_(options_.cache_capacity) {
   generator_.set_cache(&candidate_cache_);
@@ -156,6 +158,17 @@ void MuveEngine::ClearCaches() {
 }
 
 Result<MuveEngine::Answer> MuveEngine::Ask(const Request& request) {
+  // Absorb any vocabulary the table gained since the last request (one
+  // atomic compare when nothing was appended). New linkable values change
+  // what the front half would compute, so the structures keyed on the old
+  // vocabulary — candidate sets and memoized plans — are dropped; the
+  // executor result cache is invalidated run-granularly by the table
+  // itself and survives.
+  if (schema_index_->SyncWithTable()) {
+    candidate_cache_.Clear();
+    plan_memo_.Clear();
+  }
+
   const auto observe = [&request](Request::Stage stage) {
     if (request.stage_observer) request.stage_observer(stage);
   };

@@ -254,10 +254,14 @@ class MuveEngine {
       const core::CandidateSet& candidates);
 
   MuveOptions options_;
-  std::shared_ptr<const nlq::SchemaIndex> schema_index_;
+  // The execution engine owns the shared ThreadPool, so it is constructed
+  // first and the schema index (whose phonetic lookups score candidates on
+  // that pool) after it. Mutable pointer: Ask() syncs the index with the
+  // table's vocabulary; translator/generator hold const views.
+  exec::Engine exec_engine_;
+  std::shared_ptr<nlq::SchemaIndex> schema_index_;
   nlq::Translator translator_;
   nlq::CandidateGenerator generator_;
-  exec::Engine exec_engine_;
   std::unique_ptr<speech::SpeechSimulator> speech_;
   nlq::CandidateGenerator::Cache candidate_cache_;
   cache::LruCache<std::string, PlanMemoEntry> plan_memo_;

@@ -92,15 +92,114 @@ std::string Spoken(const std::string& name) {
   return out;
 }
 
-/// Confidence blend: half phonetic, half spelling — robust to both ASR
-/// confusions and near-miss transcriptions, while rejecting words that
-/// merely share a consonant skeleton.
-double BlendedSimilarity(const std::string& window,
-                         const std::string& entry) {
-  return 0.5 * phonetics::PhoneticSimilarity(window, Spoken(entry)) +
-         0.5 * phonetics::JaroWinklerSimilarity(ToLower(window),
-                                                Spoken(entry));
-}
+/// Lookup fan-outs the translator asks the schema index for. Centralized
+/// so the per-utterance memo below can key lookups on the window alone.
+constexpr size_t kColumnFanout = 3;
+constexpr size_t kValueFanout = 5;
+
+/// Per-utterance scratch. The translator's loops (aggregation-column
+/// windows, pattern-predicate sides, generic windows) revisit the same
+/// token windows and schema entries many times; this memo encodes each
+/// window once, precomputes each entry's lowered/spoken form and
+/// Metaphone code once, and caches every index lookup and blended
+/// similarity for the lifetime of one Translate call.
+class TranslationScratch {
+ public:
+  explicit TranslationScratch(const SchemaIndex& index) : index_(index) {}
+
+  const std::vector<ColumnMatch>& TopColumns(const std::string& window,
+                                             bool numeric_only) {
+    auto& memo = numeric_only ? numeric_columns_ : all_columns_;
+    auto [it, inserted] = memo.try_emplace(window);
+    if (inserted) {
+      it->second = index_.TopColumns(window, kColumnFanout, numeric_only);
+    }
+    return it->second;
+  }
+
+  const std::vector<ValueMatch>& TopValues(const std::string& window) {
+    auto [it, inserted] = values_.try_emplace(window);
+    if (inserted) it->second = index_.TopValues(window, kValueFanout);
+    return it->second;
+  }
+
+  const std::vector<ValueMatch>& TopValuesInColumn(
+      const std::string& column, const std::string& window) {
+    auto [it, inserted] =
+        column_values_.try_emplace(PairKey(column, window));
+    if (inserted) {
+      it->second = index_.TopValuesInColumn(column, window, kColumnFanout);
+    }
+    return it->second;
+  }
+
+  /// Confidence blend: half phonetic, half spelling — robust to both ASR
+  /// confusions and near-miss transcriptions, while rejecting words that
+  /// merely share a consonant skeleton.
+  double Blended(const std::string& window, const std::string& entry) {
+    auto [it, inserted] = blended_.try_emplace(PairKey(window, entry), 0.0);
+    if (inserted) {
+      const WindowForms& w = Window(window);
+      const EntryForms& e = Entry(entry);
+      it->second =
+          0.5 * phonetics::CodeSimilarity(w.code, e.code) +
+          0.5 * phonetics::JaroWinklerSimilarity(w.lower, e.spoken);
+    }
+    return it->second;
+  }
+
+ private:
+  struct WindowForms {
+    std::string lower;
+    phonetics::MetaphoneCode code;
+  };
+  struct EntryForms {
+    std::string spoken;
+    phonetics::MetaphoneCode code;
+  };
+
+  static std::string PairKey(const std::string& a, const std::string& b) {
+    std::string key;
+    key.reserve(a.size() + 1 + b.size());
+    key += a;
+    key += '\x1f';  // Unit separator: never appears in tokens or names.
+    key += b;
+    return key;
+  }
+
+  static const phonetics::DoubleMetaphone& Encoder() {
+    static const phonetics::DoubleMetaphone kEncoder;
+    return kEncoder;
+  }
+
+  const WindowForms& Window(const std::string& window) {
+    auto [it, inserted] = windows_.try_emplace(window);
+    if (inserted) {
+      it->second.lower = ToLower(window);
+      it->second.code = Encoder().Encode(window);
+    }
+    return it->second;
+  }
+
+  const EntryForms& Entry(const std::string& entry) {
+    auto [it, inserted] = entries_.try_emplace(entry);
+    if (inserted) {
+      it->second.spoken = Spoken(entry);
+      it->second.code = Encoder().Encode(it->second.spoken);
+    }
+    return it->second;
+  }
+
+  const SchemaIndex& index_;
+  std::unordered_map<std::string, std::vector<ColumnMatch>> all_columns_;
+  std::unordered_map<std::string, std::vector<ColumnMatch>>
+      numeric_columns_;
+  std::unordered_map<std::string, std::vector<ValueMatch>> values_;
+  std::unordered_map<std::string, std::vector<ValueMatch>> column_values_;
+  std::unordered_map<std::string, double> blended_;
+  std::unordered_map<std::string, WindowForms> windows_;
+  std::unordered_map<std::string, EntryForms> entries_;
+};
 
 }  // namespace
 
@@ -124,6 +223,8 @@ Result<Translation> Translator::Translate(std::string_view text) const {
   out.query.table = index_->table().name();
   out.query.function = db::AggregateFunction::kCount;
   out.confidence = 1.0;
+
+  TranslationScratch scratch(*index_);
 
   std::vector<char> used(tokens.size(), 0);
   std::vector<std::string> constrained_columns;
@@ -161,8 +262,8 @@ Result<Translation> Translator::Translate(std::string_view text) const {
         if (overlap) continue;
         const std::string window = WindowText(tokens, start, length);
         for (const ColumnMatch& match :
-             index_->TopColumns(window, 3, /*numeric_only=*/true)) {
-          const double blended = BlendedSimilarity(window, match.column);
+             scratch.TopColumns(window, /*numeric_only=*/true)) {
+          const double blended = scratch.Blended(window, match.column);
           if (blended > best_similarity) {
             best_similarity = blended;
             best_column = match.column;
@@ -217,8 +318,9 @@ Result<Translation> Translator::Translate(std::string_view text) const {
       }
       if (blocked) continue;
       const std::string window = WindowText(tokens, start, length);
-      for (const ColumnMatch& match : index_->TopColumns(window, 3)) {
-        const double blended = BlendedSimilarity(window, match.column);
+      for (const ColumnMatch& match :
+           scratch.TopColumns(window, /*numeric_only=*/false)) {
+        const double blended = scratch.Blended(window, match.column);
         if (blended > best_column_sim) {
           best_column_sim = blended;
           best_column = match.column;
@@ -240,8 +342,8 @@ Result<Translation> Translator::Translate(std::string_view text) const {
       if (blocked) continue;
       const std::string window = WindowText(tokens, i + 1, length);
       for (const ValueMatch& match :
-           index_->TopValuesInColumn(best_column, window, 3)) {
-        const double blended = BlendedSimilarity(window, match.value);
+           scratch.TopValuesInColumn(best_column, window)) {
+        const double blended = scratch.Blended(window, match.value);
         if (blended > best_value_sim) {
           best_value_sim = blended;
           best_value = match.value;
@@ -277,8 +379,8 @@ Result<Translation> Translator::Translate(std::string_view text) const {
       double best_value_sim = 0.0;
       std::string best_value;
       std::string best_value_column;
-      for (const ValueMatch& match : index_->TopValues(window, 5)) {
-        const double blended = BlendedSimilarity(window, match.value);
+      for (const ValueMatch& match : scratch.TopValues(window)) {
+        const double blended = scratch.Blended(window, match.value);
         if (blended > best_value_sim) {
           best_value_sim = blended;
           best_value = match.value;
@@ -287,9 +389,10 @@ Result<Translation> Translator::Translate(std::string_view text) const {
       }
       if (best_value_sim < kGenericValueThreshold) continue;
       double best_column_sim = 0.0;
-      for (const ColumnMatch& match : index_->TopColumns(window, 3)) {
-        best_column_sim = std::max(
-            best_column_sim, BlendedSimilarity(window, match.column));
+      for (const ColumnMatch& match :
+           scratch.TopColumns(window, /*numeric_only=*/false)) {
+        best_column_sim = std::max(best_column_sim,
+                                   scratch.Blended(window, match.column));
       }
       if (best_column_sim > best_value_sim) continue;  // Descriptive.
       found.push_back(

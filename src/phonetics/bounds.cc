@@ -1,0 +1,114 @@
+#include "phonetics/bounds.h"
+
+#include <algorithm>
+
+namespace muve::phonetics {
+
+namespace {
+
+inline uint32_t SymbolBit(char c) {
+  if (c >= 'A' && c <= 'Z') return 1u << (c - 'A');
+  if (c == '0') return 1u << 26;
+  return 1u << 27;
+}
+
+inline size_t CommonPrefix(std::string_view a, std::string_view b) {
+  const size_t max_prefix = std::min({size_t{4}, a.size(), b.size()});
+  size_t prefix = 0;
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return prefix;
+}
+
+// JW = jaro + p * 0.1 * (1 - jaro) is increasing in jaro for p * 0.1 < 1,
+// so evaluating it at an upper bound of jaro (and at any p >= the true
+// prefix) stays an upper bound.
+inline double WinklerFromJaroBound(double jaro_ub, size_t prefix) {
+  return jaro_ub + static_cast<double>(prefix) * 0.1 * (1.0 - jaro_ub);
+}
+
+}  // namespace
+
+uint32_t CodeSymbolMask(std::string_view code) {
+  uint32_t mask = 0;
+  for (char c : code) mask |= SymbolBit(c);
+  return mask;
+}
+
+uint64_t ByteMask(std::string_view text) {
+  uint64_t mask = 0;
+  for (char c : text) {
+    mask |= uint64_t{1} << (static_cast<unsigned char>(c) & 63);
+  }
+  return mask;
+}
+
+size_t CommonSymbolUpperBound(std::string_view a, uint32_t mask_a,
+                              std::string_view b, uint32_t mask_b) {
+  // Count with multiplicity on each side: a repeated symbol contributes
+  // several matches only if it is counted several times, so taking the min
+  // of the two per-side counts (and the length floor) stays >= the true
+  // Jaro match count even for strings like "LL" vs "LL".
+  size_t a_in_b = 0;
+  for (char c : a) a_in_b += (mask_b & SymbolBit(c)) != 0 ? 1 : 0;
+  size_t b_in_a = 0;
+  for (char c : b) b_in_a += (mask_a & SymbolBit(c)) != 0 ? 1 : 0;
+  return std::min({a_in_b, b_in_a, std::min(a.size(), b.size())});
+}
+
+double JaroUpperBound(size_t len_a, size_t len_b, size_t match_ub) {
+  if (len_a == 0 && len_b == 0) return 1.0;
+  if (len_a == 0 || len_b == 0) return 0.0;
+  const size_t m = std::min(match_ub, std::min(len_a, len_b));
+  if (m == 0) return 0.0;
+  const double md = static_cast<double>(m);
+  return (md / static_cast<double>(len_a) + md / static_cast<double>(len_b) +
+          1.0) /
+         3.0;
+}
+
+double CodePairUpperBound(std::string_view a, uint32_t mask_a,
+                          std::string_view b, uint32_t mask_b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t match_ub = CommonSymbolUpperBound(a, mask_a, b, mask_b);
+  const double jaro_ub = JaroUpperBound(a.size(), b.size(), match_ub);
+  // match_ub == 0 implies a[0] != b[0] (an equal first character is itself
+  // a common symbol), so the Winkler prefix is 0 and JW == Jaro == 0.
+  if (jaro_ub == 0.0) return 0.0;
+  return WinklerFromJaroBound(jaro_ub, CommonPrefix(a, b));
+}
+
+double CodePairLengthUpperBound(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const double jaro_ub =
+      JaroUpperBound(a.size(), b.size(), std::min(a.size(), b.size()));
+  return WinklerFromJaroBound(jaro_ub, CommonPrefix(a, b));
+}
+
+double SpellingLengthUpperBound(size_t len_a, size_t len_b) {
+  if (len_a == 0 && len_b == 0) return 1.0;
+  if (len_a == 0 || len_b == 0) return 0.0;
+  const double jaro_ub = JaroUpperBound(len_a, len_b, std::min(len_a, len_b));
+  const size_t prefix_ub = std::min({size_t{4}, len_a, len_b});
+  return WinklerFromJaroBound(jaro_ub, prefix_ub);
+}
+
+double SpellingUpperBound(std::string_view a, uint64_t mask_a,
+                          std::string_view b, uint64_t mask_b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t a_in_b = 0;
+  for (char c : a) {
+    a_in_b += (mask_b >> (static_cast<unsigned char>(c) & 63)) & 1;
+  }
+  size_t b_in_a = 0;
+  for (char c : b) {
+    b_in_a += (mask_a >> (static_cast<unsigned char>(c) & 63)) & 1;
+  }
+  const size_t match_ub = std::min({a_in_b, b_in_a, std::min(a.size(), b.size())});
+  const double jaro_ub = JaroUpperBound(a.size(), b.size(), match_ub);
+  if (jaro_ub == 0.0) return 0.0;
+  return WinklerFromJaroBound(jaro_ub, CommonPrefix(a, b));
+}
+
+}  // namespace muve::phonetics

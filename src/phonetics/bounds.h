@@ -1,0 +1,84 @@
+#ifndef MUVE_PHONETICS_BOUNDS_H_
+#define MUVE_PHONETICS_BOUNDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace muve::phonetics {
+
+/// Admissible upper bounds on Jaro-Winkler similarity, used by the
+/// indexed PhoneticIndex::TopK to discard vocabulary entries that are
+/// provably below the running kth score without computing the full
+/// comparison. "Admissible" means: for every input pair the bound is
+/// >= the exact JaroWinklerSimilarity of that pair (up to floating-point
+/// rounding — the index prunes with a small slack, see
+/// kPruneSlack below — and the property suite in tests/ asserts it over
+/// randomized inputs), so pruning never changes the top-k result.
+///
+/// Derivations (m = Jaro match count, t = transpositions, la/lb =
+/// lengths, p = Winkler common prefix <= 4):
+///  - Jaro = (m/la + m/lb + (m - t/2)/m) / 3 with (m - t/2)/m <= 1 and
+///    m <= any upper bound M on the match count, so
+///    Jaro <= (M/la + M/lb + 1) / 3                     [JaroUpperBound]
+///  - m <= min(la, lb); and every matched character of `a` has an equal
+///    partner in `b`, so m is also bounded by the number of characters
+///    of `a` (with multiplicity) whose symbol occurs anywhere in `b`
+///    — computable from a symbol bitmask of `b`   [CommonSymbolUpperBound]
+///  - JW = Jaro + p * 0.1 * (1 - Jaro) is increasing in Jaro (for
+///    p * 0.1 < 1) and in p, so substituting an upper bound for Jaro and
+///    the true (cheaply computed) prefix p keeps the bound admissible.
+///  - Exact corner cases mirror JaroSimilarity: both strings empty -> 1,
+///    exactly one empty -> 0, zero common symbols -> 0 (no match is
+///    possible, and an equal first character would itself be a match).
+
+/// Pruning slack: entries are pruned only when their upper bound is
+/// below `kth_score - kPruneSlack`. The bounds above are admissible in
+/// exact arithmetic; the slack absorbs the few-ulp rounding error of
+/// evaluating them in doubles so a boundary tie can never be pruned.
+inline constexpr double kPruneSlack = 1e-9;
+
+/// 32-bit symbol-presence mask of a Double Metaphone code. Bits 0..25
+/// are 'A'..'Z', bit 26 is '0' (the TH symbol); other bytes fold into
+/// bit 27 (never emitted by the encoder, kept for safety).
+uint32_t CodeSymbolMask(std::string_view code);
+
+/// 64-bit folded byte-presence mask of an arbitrary (lowercased) string:
+/// bit (c & 63) per byte. Collisions only weaken the bound (more bytes
+/// appear shared than truly are), never break admissibility.
+uint64_t ByteMask(std::string_view text);
+
+/// Upper bound on the Jaro match count between `a` and `b`:
+/// min(|a|, |b|, #chars of a present in mask_b, #chars of b present in
+/// mask_a), counting with multiplicity on each counted side.
+size_t CommonSymbolUpperBound(std::string_view a, uint32_t mask_a,
+                              std::string_view b, uint32_t mask_b);
+
+/// (M/la + M/lb + 1)/3 with M clamped to min(la, lb); exact 1/0 for the
+/// empty corner cases.
+double JaroUpperBound(size_t len_a, size_t len_b, size_t match_ub);
+
+/// Admissible upper bound on JaroWinklerSimilarity(a, b) for Double
+/// Metaphone codes, from lengths, the true common prefix, and the
+/// symbol-mask match-count bound.
+double CodePairUpperBound(std::string_view a, uint32_t mask_a,
+                          std::string_view b, uint32_t mask_b);
+
+/// Cheaper length-and-first-symbol-only variant (no mask): the "length
+/// banding" stage — admissible but looser than CodePairUpperBound.
+double CodePairLengthUpperBound(std::string_view a, std::string_view b);
+
+/// Length-only bound for the spelling half: assumes every character could
+/// match and the Winkler prefix is as long as possible. Admissible for any
+/// pair of strings with these lengths.
+double SpellingLengthUpperBound(size_t len_a, size_t len_b);
+
+/// Admissible upper bound on JaroWinklerSimilarity(a, b) for arbitrary
+/// byte strings (the spelling half of the blended score), using the
+/// folded byte masks.
+double SpellingUpperBound(std::string_view a, uint64_t mask_a,
+                          std::string_view b, uint64_t mask_b);
+
+}  // namespace muve::phonetics
+
+#endif  // MUVE_PHONETICS_BOUNDS_H_

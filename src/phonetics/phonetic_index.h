@@ -1,10 +1,13 @@
 #ifndef MUVE_PHONETICS_PHONETIC_INDEX_H_
 #define MUVE_PHONETICS_PHONETIC_INDEX_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "phonetics/double_metaphone.h"
 
 namespace muve::phonetics {
@@ -15,19 +18,62 @@ struct PhoneticMatch {
   double similarity = 0.0;  ///< Phonetic similarity in [0, 1].
 };
 
+/// Knobs for PhoneticIndex. Defaults give the pruned serial path.
+struct PhoneticIndexOptions {
+  /// Score every entry and fully sort (the pre-index linear scan). Kept as
+  /// the differential oracle for the pruned path — the indexed lookup must
+  /// return bit-identical entries, scores, and order.
+  bool brute_force = false;
+
+  /// Pool for parallel candidate scoring; null scores on the caller. The
+  /// sweep partitioning depends only on the vocabulary size and a fixed
+  /// grain, never the pool size, so results are identical for any pool.
+  ThreadPool* pool = nullptr;
+
+  /// Minimum vocabulary size before TopK fans out to the pool; below it
+  /// the chunked sweep runs inline (identical partitioning, same result).
+  size_t parallel_min_entries = 4096;
+};
+
+/// Counters from one TopK lookup. On the brute-force path only
+/// `vocabulary` and `scored` are populated (nothing is pruned).
+struct PhoneticLookupStats {
+  size_t vocabulary = 0;     ///< Entries in the index at lookup time.
+  size_t seeded = 0;         ///< Candidates scored by the blocking seed.
+  size_t pruned_length = 0;  ///< Swept entries cut by the length-band bound.
+  size_t pruned_mask = 0;    ///< Swept entries cut by the symbol-mask bound.
+  size_t scored = 0;         ///< Full blended scores computed (incl. seeds).
+
+  /// Fraction of the vocabulary that was never fully scored.
+  double PrunedFraction() const {
+    if (vocabulary == 0) return 0.0;
+    return static_cast<double>(vocabulary - scored) /
+           static_cast<double>(vocabulary);
+  }
+};
+
 /// Vocabulary index answering "k most phonetically similar entries"
 /// queries, standing in for the Apache Lucene phonetic functionality the
 /// paper uses (§3, typically k = 20).
 ///
-/// Entries are encoded with Double Metaphone at insertion time; lookups
-/// compare the query's codes to all stored codes with Jaro-Winkler. For the
-/// vocabulary sizes MUVE handles (schema element names and distinct column
-/// values), a scored linear scan is exact and fast.
+/// Entries are encoded with Double Metaphone at insertion time and bucketed
+/// by code (exact-code blocking) and by (first code symbol, code length)
+/// bands. A lookup scores the blocking buckets first to establish a kth
+/// score threshold, then sweeps the rest of the vocabulary behind two
+/// admissible Jaro-Winkler upper bounds (length-band, then symbol-mask; see
+/// bounds.h) that discard entries provably below the threshold without
+/// computing the full comparison. The sweep runs chunk-parallel on the
+/// shared ThreadPool for large vocabularies. Every path — brute force,
+/// serial pruned, parallel pruned at any thread count — returns
+/// bit-identical results (entries, scores, and tie-break order).
 class PhoneticIndex {
  public:
   PhoneticIndex() = default;
+  explicit PhoneticIndex(const PhoneticIndexOptions& options)
+      : options_(options) {}
 
-  /// Adds one vocabulary entry. Duplicate entries are ignored.
+  /// Adds one vocabulary entry. Duplicate entries (case insensitive) are
+  /// ignored; the check is a hash lookup, so building is O(n) overall.
   void Add(std::string_view entry);
 
   /// Adds each entry of `entries`.
@@ -36,12 +82,16 @@ class PhoneticIndex {
   /// Number of distinct entries in the index.
   size_t size() const { return entries_.size(); }
 
+  const PhoneticIndexOptions& options() const { return options_; }
+
   /// Returns up to `k` entries most phonetically similar to `query`,
   /// sorted by descending similarity (ties broken lexicographically).
   /// When `include_exact` is false, an entry equal to `query` (case
   /// insensitive) is excluded — MUVE uses this to propose *alternatives*.
+  /// When `stats` is non-null it receives the lookup's pruning counters.
   std::vector<PhoneticMatch> TopK(std::string_view query, size_t k,
-                                  bool include_exact = true) const;
+                                  bool include_exact = true,
+                                  PhoneticLookupStats* stats = nullptr) const;
 
   /// Phonetic similarity between `query` and a specific entry (whether or
   /// not the entry is indexed).
@@ -52,9 +102,39 @@ class PhoneticIndex {
     std::string text;
     std::string lower;
     MetaphoneCode code;
+    uint32_t primary_mask = 0;    ///< CodeSymbolMask(code.primary).
+    uint32_t secondary_mask = 0;  ///< CodeSymbolMask(code.secondary).
+    uint64_t lower_mask = 0;      ///< ByteMask(lower).
+    bool has_secondary = false;   ///< code.secondary != code.primary.
   };
 
+  /// (score, entry id) during selection; texts materialize only at the end.
+  struct Candidate {
+    double score = 0.0;
+    uint32_t id = 0;
+  };
+
+  std::vector<PhoneticMatch> TopKBrute(const std::string& query_lower,
+                                       const MetaphoneCode& query_code,
+                                       size_t k, bool include_exact,
+                                       PhoneticLookupStats* stats) const;
+
+  std::vector<PhoneticMatch> TopKIndexed(const std::string& query_lower,
+                                         const MetaphoneCode& query_code,
+                                         size_t k, bool include_exact,
+                                         PhoneticLookupStats* stats) const;
+
+  PhoneticIndexOptions options_;
   std::vector<IndexedEntry> entries_;
+  /// Lowered entry -> id. Deduplicates Add and resolves the excluded entry
+  /// for include_exact=false in O(1).
+  std::unordered_map<std::string, uint32_t> by_lower_;
+  /// Double Metaphone code -> ids whose primary (or distinct secondary)
+  /// code equals it. The highest-value blocking seed.
+  std::unordered_map<std::string, std::vector<uint32_t>> code_buckets_;
+  /// (first primary-code symbol, primary-code length) -> ids. Seeds near
+  /// misses the exact-code buckets don't cover.
+  std::unordered_map<uint16_t, std::vector<uint32_t>> band_buckets_;
 };
 
 }  // namespace muve::phonetics

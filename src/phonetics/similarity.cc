@@ -60,25 +60,23 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b,
   return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
 }
 
-double PhoneticSimilarity(std::string_view a, std::string_view b) {
-  static const DoubleMetaphone kEncoder;
-  const MetaphoneCode code_a = kEncoder.Encode(a);
-  const MetaphoneCode code_b = kEncoder.Encode(b);
-  double best = JaroWinklerSimilarity(code_a.primary, code_b.primary);
-  if (code_a.secondary != code_a.primary) {
-    best = std::max(best,
-                    JaroWinklerSimilarity(code_a.secondary, code_b.primary));
+double CodeSimilarity(const MetaphoneCode& a, const MetaphoneCode& b) {
+  double best = JaroWinklerSimilarity(a.primary, b.primary);
+  if (a.secondary != a.primary) {
+    best = std::max(best, JaroWinklerSimilarity(a.secondary, b.primary));
   }
-  if (code_b.secondary != code_b.primary) {
-    best = std::max(best,
-                    JaroWinklerSimilarity(code_a.primary, code_b.secondary));
+  if (b.secondary != b.primary) {
+    best = std::max(best, JaroWinklerSimilarity(a.primary, b.secondary));
   }
-  if (code_a.secondary != code_a.primary &&
-      code_b.secondary != code_b.primary) {
-    best = std::max(
-        best, JaroWinklerSimilarity(code_a.secondary, code_b.secondary));
+  if (a.secondary != a.primary && b.secondary != b.primary) {
+    best = std::max(best, JaroWinklerSimilarity(a.secondary, b.secondary));
   }
   return best;
+}
+
+double PhoneticSimilarity(std::string_view a, std::string_view b) {
+  static const DoubleMetaphone kEncoder;
+  return CodeSimilarity(kEncoder.Encode(a), kEncoder.Encode(b));
 }
 
 }  // namespace muve::phonetics

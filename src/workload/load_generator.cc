@@ -64,6 +64,7 @@ struct Outcome {
   bool deadline_met = false;
   int rung = -1;
   double latency_ms = 0.0;
+  double translate_ms = 0.0;
 };
 
 Outcome RecordOutcome(const Result<serve::ServedAnswer>& result,
@@ -76,6 +77,7 @@ Outcome RecordOutcome(const Result<serve::ServedAnswer>& result,
     outcome.shared = served.shared;
     outcome.deadline_met = served.deadline_met;
     outcome.latency_ms = served.total_millis;
+    outcome.translate_ms = served.answer.timings.translate_millis;
     outcome.rung = static_cast<int>(served.answer.degradation.rung);
   } else if (result.status().code() == StatusCode::kOverloaded) {
     outcome.shed = true;
@@ -287,14 +289,18 @@ Result<LoadReport> RunLoadImpl(serve::Server* server, const db::Table& table,
   report.requests = requests.size();
   report.duration_seconds = duration_seconds;
   std::vector<double> latencies;
+  std::vector<double> translate_latencies;
   size_t finite_completed = 0;
   size_t finite_met = 0;
   double latency_sum = 0.0;
+  double translate_sum = 0.0;
   for (const Outcome& outcome : outcomes) {
     if (outcome.completed) {
       ++report.completed;
       latencies.push_back(outcome.latency_ms);
       latency_sum += outcome.latency_ms;
+      translate_latencies.push_back(outcome.translate_ms);
+      translate_sum += outcome.translate_ms;
       if (outcome.shared) ++report.shared_answers;
       if (outcome.rung >= 0 && outcome.rung < 3) {
         ++report.rung_histogram[outcome.rung];
@@ -325,6 +331,12 @@ Result<LoadReport> RunLoadImpl(serve::Server* server, const db::Table& table,
   report.mean_latency_ms =
       report.completed > 0
           ? latency_sum / static_cast<double>(report.completed)
+          : 0.0;
+  report.translate_p50_ms = Percentile(&translate_latencies, 0.50);
+  report.translate_p99_ms = Percentile(&translate_latencies, 0.99);
+  report.translate_mean_ms =
+      report.completed > 0
+          ? translate_sum / static_cast<double>(report.completed)
           : 0.0;
   report.shed_ratio =
       report.requests > 0
@@ -409,6 +421,9 @@ std::string LoadReport::ToJson(const std::string& indent) const {
   out << inner << "\"p95_latency_ms\": " << p95_latency_ms << ",\n";
   out << inner << "\"p99_latency_ms\": " << p99_latency_ms << ",\n";
   out << inner << "\"mean_latency_ms\": " << mean_latency_ms << ",\n";
+  out << inner << "\"translate_p50_ms\": " << translate_p50_ms << ",\n";
+  out << inner << "\"translate_p99_ms\": " << translate_p99_ms << ",\n";
+  out << inner << "\"translate_mean_ms\": " << translate_mean_ms << ",\n";
   out << inner << "\"shed_ratio\": " << shed_ratio << ",\n";
   out << inner << "\"deadline_hit_ratio\": " << deadline_hit_ratio << ",\n";
   out << inner << "\"shared_answers\": " << shared_answers << ",\n";

@@ -76,6 +76,13 @@ struct LoadReport {
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double mean_latency_ms = 0.0;
+  /// Translator-stage wall clock over completed requests. Requests whose
+  /// front half replayed from the plan memo (or rode a single-flight
+  /// leader) skipped translation and count as 0 here, so these track the
+  /// phonetic front half's cost as the caches see it, not the cold cost.
+  double translate_p50_ms = 0.0;
+  double translate_p99_ms = 0.0;
+  double translate_mean_ms = 0.0;
   double shed_ratio = 0.0;  ///< shed / requests.
   /// Among completed finite-deadline requests: answered in budget.
   double deadline_hit_ratio = 1.0;

@@ -22,6 +22,7 @@
 #include "common/thread_pool.h"
 #include "db/query.h"
 #include "db/table.h"
+#include "nlq/schema_index.h"
 #include "serve/admission_queue.h"
 #include "serve/server.h"
 #include "serve/session_manager.h"
@@ -736,6 +737,71 @@ TEST(ServerTest, IngestRacingSessionsAnswerOneConsistentVersion) {
   // Every transcript is a COUNT, so the consistency oracle must have
   // actually exercised bars.
   EXPECT_GT(bars_checked, 0u);
+}
+
+TEST(ServerTest, SessionSchemaIndexIsReusedAndAbsorbsIngestedValues) {
+  std::shared_ptr<db::Table> table = Table311(400);
+  Server server(table, SmallServer(1, 8));
+
+  // The first request creates the session and builds its schema index,
+  // synced to the table version of that moment.
+  ASSERT_TRUE(
+      server.Ask("alice", Request::Text("how many complaints in brooklyn"))
+          .ok());
+  const nlq::SchemaIndex* built_index = nullptr;
+  size_t distinct_at_build = 0;
+  {
+    SessionManager::Handle alice = server.session_manager().Acquire("alice");
+    built_index = &alice->engine.schema_index();
+    distinct_at_build = built_index->distinct_values();
+    EXPECT_EQ(built_index->synced_version(), table->version());
+    EXPECT_EQ(built_index->values_absorbed(), 0u);
+  }
+
+  // Later requests on the session reuse that index object: no
+  // per-request rebuild, and no absorptions while the table is
+  // quiescent.
+  ASSERT_TRUE(
+      server.Ask("alice", Request::Text("how many complaints in queens"))
+          .ok());
+  {
+    SessionManager::Handle alice = server.session_manager().Acquire("alice");
+    EXPECT_EQ(&alice->engine.schema_index(), built_index);
+    EXPECT_EQ(alice->engine.schema_index().values_absorbed(), 0u);
+    EXPECT_EQ(alice->engine.schema_index().distinct_values(),
+              distinct_at_build);
+  }
+  EXPECT_EQ(server.session_manager().sessions_created(), 1u);
+
+  // Ingest rows carrying a complaint type the vocabulary has never
+  // seen, sealed into a run. The next request on the same session must
+  // absorb it incrementally into the same index object.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(table
+                    ->AppendRow({db::Value(std::string("brooklyn")),
+                                 db::Value(std::string("gerbil stampede")),
+                                 db::Value(std::string("nypd")),
+                                 db::Value(std::string("open")),
+                                 db::Value(std::string("phone")),
+                                 db::Value(2.5),
+                                 db::Value(static_cast<int64_t>(61))})
+                    .ok());
+  }
+  table->Flush();
+  ASSERT_TRUE(
+      server.Ask("alice", Request::Text("how many complaints in brooklyn"))
+          .ok());
+  {
+    SessionManager::Handle alice = server.session_manager().Acquire("alice");
+    const nlq::SchemaIndex& index = alice->engine.schema_index();
+    EXPECT_EQ(&index, built_index);
+    EXPECT_EQ(index.synced_version(), table->version());
+    EXPECT_GT(index.values_absorbed(), 0u);
+    EXPECT_EQ(index.distinct_values(), distinct_at_build + 1);
+    EXPECT_EQ(index.ColumnsOfValue("gerbil stampede"),
+              std::vector<std::string>{"complaint_type"});
+  }
+  EXPECT_EQ(server.session_manager().sessions_created(), 1u);
 }
 
 // ---------------------------------------------------------------------
