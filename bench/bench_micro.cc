@@ -356,7 +356,7 @@ void BM_PipelineRepeatQuery(benchmark::State& state) {
   target.predicates = {db::Predicate::Equals("origin", db::Value("boston"))};
   const std::string utterance = nlq::VerbalizeQuery(target);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.AskText(utterance));
+    benchmark::DoNotOptimize(engine.Ask(Request::Text(utterance)));
   }
   const PipelineCacheStats stats = engine.cache_stats();
   state.counters["plan_hit_rate"] = stats.plans.hit_rate();

@@ -18,6 +18,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/rng.h"
 #include "serve/server.h"
@@ -145,6 +146,128 @@ int RunBench(const std::string& json_path, bool soak) {
     return Fail("saturation", "unexpected pipeline errors");
   }
 
+  // Phase D — tenant isolation: a light "gold" tenant first runs alone
+  // (isolated baseline), then reruns the identical schedule while a
+  // "flood" tenant offers 10x the single-thread sustainable rate at the
+  // same server. The flood tenant is clipped by its token bucket and
+  // deprioritized by weighted fair dequeue; the acceptance signal is
+  // gold's contended p99 staying within 2x of its isolated p99.
+  serve::ServerOptions tenant_server;
+  tenant_server.num_workers = 4;
+  // Deep enough that admitted work queues instead of bouncing: the
+  // queue bound is global, so queue-full rejections hit the light
+  // tenant too — isolation should come from the quota clip and the
+  // weighted fair dequeue, not from racing for slots.
+  tenant_server.max_queue_depth = 64;
+  tenant_server.feasibility_floor_millis = std::max(0.5, 0.5 * mean_ms);
+  tenant_server.tenant_quotas["gold"] = {/*rate_qps=*/0.0, /*burst=*/8.0,
+                                         /*weight=*/8.0};
+  // Quotas are capacity planning: isolation is only achievable when the
+  // sum of admitted contracts fits the machine (the host may well be a
+  // single core, in which case extra workers buy nothing), so the flood
+  // contract is sized such that gold (0.25x) plus flood (0.2x) stays
+  // under half of the calibrated single-thread capacity. The clip and
+  // the weighted fair dequeue then keep the 10x offered overload from
+  // translating into queueing delay for gold. A shallow burst makes the
+  // clip engage within the campaign instead of hiding inside one big
+  // initial allowance.
+  tenant_server.tenant_quotas["flood"] = {0.2 * qps1, 4.0, 1.0};
+
+  LoadOptions gold_load;
+  gold_load.mode = LoadOptions::Mode::kOpenLoop;
+  gold_load.offered_qps = std::max(1.0, 0.25 * qps1);
+  gold_load.num_requests =
+      ScaleRequests(soak ? 8.0 : 4.0, gold_load.offered_qps, soak ? 100 : 60,
+                    soak ? 2000 : 600);
+  gold_load.num_sessions = 2;
+  gold_load.deadline_millis = std::max(250.0, 30.0 * mean_ms);
+  gold_load.repeat_probability = 0.35;
+  // All-interactive: class priority is strict and global, so any replay
+  // requests the gold tenant submitted would legitimately starve behind
+  // the flood's interactive backlog. Isolation is a promise about the
+  // latency-sensitive class; it is measured on that class.
+  gold_load.replay_fraction = 0.0;
+  gold_load.tenant_id = "gold";
+  gold_load.seed = 14;
+
+  LoadOptions flood_load;
+  flood_load.mode = LoadOptions::Mode::kOpenLoop;
+  // 10x overload relative to the flood's own contract: the tenant
+  // offers ten times what its token bucket admits, so nine in ten of
+  // its requests bounce off the quota for the whole campaign.
+  flood_load.offered_qps = 10.0 * tenant_server.tenant_quotas["flood"].rate_qps;
+  // The flood must outlast the gold campaign so every gold request is
+  // measured under contention — a short squall would leave most of the
+  // gold percentile distribution uncontended. Offered requests beyond
+  // the quota are rejected at the token bucket for the cost of a
+  // counter bump, so the high cap is cheap.
+  flood_load.num_requests =
+      ScaleRequests(soak ? 9.0 : 4.5, flood_load.offered_qps, soak ? 500 : 100,
+                    soak ? 40000 : 10000);
+  flood_load.num_sessions = 6;
+  flood_load.deadline_millis = std::max(250.0, 30.0 * mean_ms);
+  flood_load.repeat_probability = 0.35;
+  flood_load.tenant_id = "flood";
+  flood_load.seed = 15;
+
+  // Session engines are expensive to build (calibration probe, speech
+  // lexicon); warm every session both phases will touch so the measured
+  // tail reflects steady-state serving, not mid-campaign cold starts.
+  const size_t warm_sessions =
+      std::max(gold_load.num_sessions, flood_load.num_sessions);
+  const auto warm = [&](serve::Server& server) {
+    for (size_t i = 0; i < warm_sessions; ++i) {
+      server.session_manager().Acquire("session-" + std::to_string(i));
+    }
+  };
+
+  LoadReport gold_isolated;
+  {
+    serve::Server server(table, tenant_server);
+    warm(server);
+    Result<LoadReport> result = workload::RunLoad(&server, *table, gold_load);
+    if (!result.ok()) {
+      return Fail("tenant_isolated", result.status().ToString());
+    }
+    gold_isolated = result.value();
+  }
+  if (gold_isolated.errors > 0) {
+    return Fail("tenant_isolated", "unexpected pipeline errors");
+  }
+
+  LoadReport gold_contended;
+  LoadReport flood_contended;
+  serve::TenantCounters gold_counters;
+  serve::TenantCounters flood_counters;
+  {
+    serve::Server server(table, tenant_server);
+    warm(server);
+    Result<LoadReport> gold_result = LoadReport{};
+    Result<LoadReport> flood_result = LoadReport{};
+    std::thread flood_thread([&] {
+      flood_result = workload::RunLoad(&server, *table, flood_load);
+    });
+    gold_result = workload::RunLoad(&server, *table, gold_load);
+    flood_thread.join();
+    if (!gold_result.ok()) {
+      return Fail("tenant_contended", gold_result.status().ToString());
+    }
+    if (!flood_result.ok()) {
+      return Fail("tenant_contended", flood_result.status().ToString());
+    }
+    gold_contended = gold_result.value();
+    flood_contended = flood_result.value();
+    gold_counters = server.tenant_counters("gold");
+    flood_counters = server.tenant_counters("flood");
+  }
+  if (gold_contended.errors > 0 || flood_contended.errors > 0) {
+    return Fail("tenant_contended", "unexpected pipeline errors");
+  }
+  const double isolation_ratio =
+      gold_isolated.p99_latency_ms > 0.0
+          ? gold_contended.p99_latency_ms / gold_isolated.p99_latency_ms
+          : 0.0;
+
   std::ostringstream out;
   out << "{\n";
   out << "  \"benchmark\": \"" << (soak ? "server_soak" : "server_smoke")
@@ -162,6 +285,31 @@ int RunBench(const std::string& json_path, bool soak) {
       << overload.single_flight_hit_ratio << ",\n";
   out << "  \"deadline_hit_ratio\": " << overload.deadline_hit_ratio
       << ",\n";
+  // Tenant isolation (phase D): headline p99s and the funnel counters
+  // that show the flood tenant being clipped.
+  out << "  \"tenant_isolation\": {\n";
+  out << "    \"gold_offered_qps\": " << gold_load.offered_qps << ",\n";
+  out << "    \"flood_offered_qps\": " << flood_load.offered_qps << ",\n";
+  out << "    \"gold_isolated_p99_ms\": " << gold_isolated.p99_latency_ms
+      << ",\n";
+  out << "    \"gold_contended_p99_ms\": " << gold_contended.p99_latency_ms
+      << ",\n";
+  out << "    \"isolation_ratio\": " << isolation_ratio << ",\n";
+  out << "    \"gold_contended_completed\": " << gold_contended.completed
+      << ",\n";
+  out << "    \"gold_contended_shed\": " << gold_contended.shed << ",\n";
+  out << "    \"flood_contended_completed\": " << flood_contended.completed
+      << ",\n";
+  out << "    \"flood_rejected_quota\": " << flood_counters.rejected_quota
+      << ",\n";
+  out << "    \"flood_shed\": " << flood_counters.shed << ",\n";
+  out << "    \"gold_admitted\": " << gold_counters.admitted << ",\n";
+  out << "    \"gold_isolated\": " << gold_isolated.ToJson("    ") << ",\n";
+  out << "    \"gold_contended\": " << gold_contended.ToJson("    ")
+      << ",\n";
+  out << "    \"flood_contended\": " << flood_contended.ToJson("    ")
+      << "\n";
+  out << "  },\n";
   out << "  \"calibration\": " << calibration.ToJson("  ") << ",\n";
   out << "  \"overload_2x\": " << overload.ToJson("  ") << ",\n";
   out << "  \"saturation\": " << saturation.ToJson("  ") << "\n";
@@ -181,6 +329,14 @@ int RunBench(const std::string& json_path, bool soak) {
                  "bench_server: WARNING: deadline_hit_ratio %.3f < 0.95 "
                  "in the 2x overload phase\n",
                  overload.deadline_hit_ratio);
+  }
+  if (isolation_ratio > 2.0) {
+    std::fprintf(stderr,
+                 "bench_server: WARNING: gold tenant p99 degraded %.2fx "
+                 "under 10x flood (isolated %.3f ms, contended %.3f ms; "
+                 "acceptance asks <= 2x)\n",
+                 isolation_ratio, gold_isolated.p99_latency_ms,
+                 gold_contended.p99_latency_ms);
   }
   return 0;
 }

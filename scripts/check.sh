@@ -67,6 +67,12 @@ fi
 if [[ -f build/BENCH_server.json ]]; then
   echo "==> Concurrent server smoke stats (build/BENCH_server.json)"
   cat build/BENCH_server.json
+  # Headline per-tenant isolation: the well-behaved "gold" tenant's p99
+  # alone vs while a "flood" tenant offers 10x its quota (acceptance:
+  # ratio <= 2x), and the quota clip that protects it.
+  echo "==> Per-tenant isolation (from tenant_isolation above)"
+  grep -E '"(gold_offered_qps|flood_offered_qps|gold_isolated_p99_ms|gold_contended_p99_ms|isolation_ratio|flood_rejected_quota)":' \
+    build/BENCH_server.json || true
 fi
 
 # The bench_ingest_smoke tier1 test wrote live-ingest stats (achieved

@@ -18,7 +18,7 @@ double CostEstimator::ScanCost(size_t rows, size_t num_predicates,
 }
 
 Result<double> CostEstimator::PredicateSelectivity(
-    const Table& table, const Predicate& predicate) const {
+    const Relation& table, const Predicate& predicate) const {
   auto index = table.ColumnIndex(predicate.column);
   if (!index.ok()) {
     return Status::NotFound("predicate column '" + predicate.column +
@@ -34,7 +34,7 @@ Result<double> CostEstimator::PredicateSelectivity(
 }
 
 Result<CostEstimate> CostEstimator::Estimate(
-    const Table& table, const AggregateQuery& query) const {
+    const Relation& table, const AggregateQuery& query) const {
   CostEstimate out;
   out.selectivity = 1.0;
   for (const Predicate& predicate : query.predicates) {
@@ -49,7 +49,7 @@ Result<CostEstimate> CostEstimator::Estimate(
 }
 
 Result<CostEstimate> CostEstimator::EstimateGrouped(
-    const Table& table, const GroupByQuery& query) const {
+    const Relation& table, const GroupByQuery& query) const {
   CostEstimate out;
   out.selectivity = 1.0;
   for (const Predicate& predicate : query.shared_predicates) {

@@ -4,7 +4,7 @@
 #include "common/status.h"
 #include "db/executor.h"
 #include "db/query.h"
-#include "db/table.h"
+#include "db/relation.h"
 
 namespace muve::db {
 
@@ -34,12 +34,12 @@ class CostEstimator {
       : params_(params) {}
 
   /// Estimates a single aggregation query (sequential scan + aggregate).
-  Result<CostEstimate> Estimate(const Table& table,
+  Result<CostEstimate> Estimate(const Relation& table,
                                 const AggregateQuery& query) const;
 
   /// Estimates a merged, grouped query: one scan evaluated once for all
   /// member queries (the merging benefit is one scan instead of N).
-  Result<CostEstimate> EstimateGrouped(const Table& table,
+  Result<CostEstimate> EstimateGrouped(const Relation& table,
                                        const GroupByQuery& query) const;
 
   const CostParams& params() const { return params_; }
@@ -47,7 +47,7 @@ class CostEstimator {
  private:
   double ScanCost(size_t rows, size_t num_predicates,
                   size_t num_aggregates) const;
-  Result<double> PredicateSelectivity(const Table& table,
+  Result<double> PredicateSelectivity(const Relation& table,
                                       const Predicate& predicate) const;
 
   CostParams params_;

@@ -706,9 +706,9 @@ std::string GroupByQuery::ToSql() const {
   return sql;
 }
 
-Result<AggregateResult> Executor::Execute(const TableSnapshot& snapshot,
-                                          const AggregateQuery& query,
-                                          const ExecutorOptions& options) {
+Result<AggregatePartial> Executor::ExecutePartial(
+    const TableSnapshot& snapshot, const AggregateQuery& query,
+    const ExecutorOptions& options) {
   if (!snapshot.valid()) {
     return Status::InvalidArgument("executor needs a valid snapshot");
   }
@@ -867,7 +867,15 @@ Result<AggregateResult> Executor::Execute(const TableSnapshot& snapshot,
                               seg_partials[s]);
     }
   }
-  return FinishPartial(agg.fn, total);
+  return total;
+}
+
+Result<AggregateResult> Executor::Execute(const TableSnapshot& snapshot,
+                                          const AggregateQuery& query,
+                                          const ExecutorOptions& options) {
+  MUVE_ASSIGN_OR_RETURN(AggregatePartial total,
+                        ExecutePartial(snapshot, query, options));
+  return FinishPartial(query.function, total);
 }
 
 Result<AggregateResult> Executor::Execute(const Table& table,
@@ -876,7 +884,7 @@ Result<AggregateResult> Executor::Execute(const Table& table,
   return Execute(table.Snapshot(), query, options);
 }
 
-Result<GroupByResult> Executor::ExecuteGrouped(
+Result<GroupedPartial> Executor::ExecuteGroupedPartial(
     const TableSnapshot& snapshot, const GroupByQuery& query,
     const ExecutorOptions& options) {
   if (!snapshot.valid()) {
@@ -1087,23 +1095,57 @@ Result<GroupByResult> Executor::ExecuteGrouped(
                               seg_partials[s]);
     }
   }
+  return total;
+}
 
-  GroupByResult out;
-  out.rows_scanned = n;
-  out.cells.resize(num_groups);
-  for (size_t g = 0; g < num_groups; ++g) {
-    out.cells[g].reserve(num_aggs);
-    for (size_t a = 0; a < num_aggs; ++a) {
-      out.cells[g].push_back(FinishPartial(aggs[a].fn, total.cells[g][a]));
-    }
-  }
-  return out;
+Result<GroupByResult> Executor::ExecuteGrouped(
+    const TableSnapshot& snapshot, const GroupByQuery& query,
+    const ExecutorOptions& options) {
+  MUVE_ASSIGN_OR_RETURN(GroupedPartial total,
+                        ExecuteGroupedPartial(snapshot, query, options));
+  return FinishGrouped(query, total, snapshot.num_rows());
 }
 
 Result<GroupByResult> Executor::ExecuteGrouped(
     const Table& table, const GroupByQuery& query,
     const ExecutorOptions& options) {
   return ExecuteGrouped(table.Snapshot(), query, options);
+}
+
+void Executor::MergePartial(const AggregatePartial& src,
+                            AggregatePartial* dst) {
+  MergeInto(src, dst);
+}
+
+void Executor::MergePartial(const GroupedPartial& src, GroupedPartial* dst) {
+  MergeGrids(src, dst);
+}
+
+GroupedPartial Executor::MakeGroupedIdentity(const GroupByQuery& query) {
+  return MakeGrid(query.group_values.size(), query.aggregates.size());
+}
+
+AggregateResult Executor::FinishAggregate(AggregateFunction fn,
+                                          const AggregatePartial& partial) {
+  return FinishPartial(fn, partial);
+}
+
+GroupByResult Executor::FinishGrouped(const GroupByQuery& query,
+                                      const GroupedPartial& total,
+                                      size_t rows_scanned) {
+  GroupByResult out;
+  out.rows_scanned = rows_scanned;
+  const size_t num_groups = query.group_values.size();
+  const size_t num_aggs = query.aggregates.size();
+  out.cells.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    out.cells[g].reserve(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      out.cells[g].push_back(
+          FinishPartial(query.aggregates[a].function, total.cells[g][a]));
+    }
+  }
+  return out;
 }
 
 double Executor::ScaleSampledValue(AggregateFunction fn, double value,

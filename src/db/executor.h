@@ -194,6 +194,50 @@ class Executor {
       const Table& table, const GroupByQuery& query,
       const ExecutorOptions& options = {});
 
+  // --- Partial-aggregate surface (scatter-gather) ---------------------
+  //
+  // A sharded table scans each shard's snapshot independently and merges
+  // the per-shard partials in shard order, exactly as Execute merges its
+  // per-segment partials in segment order. ExecutePartial is Execute up
+  // to (but excluding) the finish step; Execute == FinishAggregate of
+  // ExecutePartial, so the single-table path and a 1-shard scatter are
+  // the same code.
+
+  /// The merged partial state over the whole snapshot (cache interaction,
+  /// parallel slicing, and deadline behavior identical to Execute).
+  static Result<AggregatePartial> ExecutePartial(
+      const TableSnapshot& snapshot, const AggregateQuery& query,
+      const ExecutorOptions& options = {});
+
+  /// The merged grouped partial over the whole snapshot. Grid dimensions
+  /// are (query.group_values.size() x query.aggregates.size()) regardless
+  /// of the snapshot's contents, so partials from different shards always
+  /// merge cell-wise.
+  static Result<GroupedPartial> ExecuteGroupedPartial(
+      const TableSnapshot& snapshot, const GroupByQuery& query,
+      const ExecutorOptions& options = {});
+
+  /// Folds `src` into `dst` (call in shard order; the zero-value
+  /// AggregatePartial is the merge identity).
+  static void MergePartial(const AggregatePartial& src, AggregatePartial* dst);
+
+  /// Cell-wise grid fold; `src` and `dst` must have equal dimensions.
+  static void MergePartial(const GroupedPartial& src, GroupedPartial* dst);
+
+  /// The all-zero merge identity grid for a grouped query's dimensions.
+  static GroupedPartial MakeGroupedIdentity(const GroupByQuery& query);
+
+  /// Resolves a merged partial into the final result (COUNT/SUM read the
+  /// accumulators, AVG divides, MIN/MAX guard emptiness).
+  static AggregateResult FinishAggregate(AggregateFunction fn,
+                                         const AggregatePartial& partial);
+
+  /// Resolves a merged grid into a GroupByResult for `query`'s aggregate
+  /// list; `rows_scanned` is the caller's total (summed over shards).
+  static GroupByResult FinishGrouped(const GroupByQuery& query,
+                                     const GroupedPartial& total,
+                                     size_t rows_scanned);
+
   /// Scales an aggregate computed on a `fraction` sample back to the full
   /// data (COUNT/SUM scale by 1/fraction; AVG/MIN/MAX are estimates as-is).
   static double ScaleSampledValue(AggregateFunction fn, double value,

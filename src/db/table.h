@@ -14,6 +14,7 @@
 #include "db/lsm/compaction.h"
 #include "db/lsm/memtable.h"
 #include "db/lsm/run.h"
+#include "db/relation.h"
 #include "db/schema.h"
 #include "db/value.h"
 
@@ -55,7 +56,7 @@ struct TableOptions {
 /// request, or serving session executes against one consistent version
 /// while the writer proceeds. Snapshots also pin retired runs (and the
 /// table itself) alive until the last reader drops them.
-class Table : public std::enable_shared_from_this<Table> {
+class Table : public Relation, public std::enable_shared_from_this<Table> {
  public:
   /// Creates a table with the given schema. Column names must be unique
   /// (case insensitive).
@@ -63,24 +64,24 @@ class Table : public std::enable_shared_from_this<Table> {
       std::string name, const std::vector<ColumnSpec>& schema,
       TableOptions options = {});
 
-  const std::string& name() const { return name_; }
-  size_t num_columns() const { return schema_.size(); }
+  const std::string& name() const override { return name_; }
+  size_t num_columns() const override { return schema_.size(); }
 
   /// Total rows appended so far. Under concurrent ingest this is a
   /// moving target — scans read a snapshot's row count instead.
-  size_t num_rows() const {
+  size_t num_rows() const override {
     return num_rows_.load(std::memory_order_acquire);
   }
 
   /// Process-unique identity of this table object, assigned at creation.
   /// Result caches key on (id, run id) so a `Sample()` copy or an
   /// identically named table can never alias another table's entries.
-  uint64_t id() const { return id_; }
+  uint64_t id() const override { return id_; }
 
   /// Content version: bumped by every successful AppendRow. Flushes and
   /// compactions reorganize storage without changing contents, so they
   /// do not bump it.
-  uint64_t version() const {
+  uint64_t version() const override {
     return version_.load(std::memory_order_acquire);
   }
 
@@ -97,32 +98,34 @@ class Table : public std::enable_shared_from_this<Table> {
 
   // --- Schema access -------------------------------------------------
 
-  const std::vector<ColumnSpec>& schema() const { return schema_; }
-  const ColumnSpec& spec(size_t index) const { return schema_[index]; }
+  const std::vector<ColumnSpec>& schema() const override { return schema_; }
+  const ColumnSpec& spec(size_t index) const override {
+    return schema_[index];
+  }
 
   /// Index of a column by name (case insensitive).
-  Result<size_t> ColumnIndex(const std::string& name) const;
+  Result<size_t> ColumnIndex(const std::string& name) const override;
 
   /// All column names, in schema order.
-  std::vector<std::string> ColumnNames() const;
+  std::vector<std::string> ColumnNames() const override;
 
   /// Names of columns with the given type.
-  std::vector<std::string> ColumnNamesOfType(ValueType type) const;
+  std::vector<std::string> ColumnNamesOfType(ValueType type) const override;
 
   // --- Table statistics ----------------------------------------------
 
   /// Number of distinct values appended to column `index`, maintained
   /// incrementally on append.
-  size_t DistinctCount(size_t index) const;
+  size_t DistinctCount(size_t index) const override;
 
   /// Distinct values of a string column in first-appearance order (the
   /// vocabulary the phonetic index and workload generators consume).
   /// Empty for numeric columns.
-  std::vector<std::string> StringValues(size_t index) const;
+  std::vector<std::string> StringValues(size_t index) const override;
 
   /// As above by (case-insensitive) column name; empty when the column
   /// does not exist.
-  std::vector<std::string> StringValues(const std::string& name) const;
+  std::vector<std::string> StringValues(const std::string& name) const override;
 
   /// Value at (row, col) of the current contents. Convenience for tests
   /// and serialization; scans use snapshots.

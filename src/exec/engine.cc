@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "db/executor.h"
+#include "shard/scatter_gather.h"
 
 namespace muve::exec {
 
@@ -23,15 +24,44 @@ struct UnitOutcome {
   std::vector<std::pair<size_t, double>> values;
 };
 
-UnitOutcome ExecuteUnit(const MergeUnit& unit,
-                        const db::TableSnapshot& target,
+/// How one unit's scan draws from the shared pool: `db_options.pool` row-
+/// partitions a single-table (or single-shard) scan; `shard_pool` runs
+/// shard scans as parallel tasks. At most one of the two is ever set —
+/// one level of parallelism at a time.
+Result<db::AggregateResult> ExecuteSingle(const ScanTarget& target,
+                                          const db::AggregateQuery& query,
+                                          const db::ExecutorOptions& db_options,
+                                          ThreadPool* shard_pool) {
+  if (!target.is_sharded()) {
+    return db::Executor::Execute(target.single, query, db_options);
+  }
+  shard::ScatterOptions scatter;
+  scatter.executor = db_options;
+  scatter.shard_pool = shard_pool;
+  return shard::ScatterGather::Execute(target.sharded, query, scatter);
+}
+
+Result<db::GroupByResult> ExecuteGroupedTarget(
+    const ScanTarget& target, const db::GroupByQuery& query,
+    const db::ExecutorOptions& db_options, ThreadPool* shard_pool) {
+  if (!target.is_sharded()) {
+    return db::Executor::ExecuteGrouped(target.single, query, db_options);
+  }
+  shard::ScatterOptions scatter;
+  scatter.executor = db_options;
+  scatter.shard_pool = shard_pool;
+  return shard::ScatterGather::ExecuteGrouped(target.sharded, query, scatter);
+}
+
+UnitOutcome ExecuteUnit(const MergeUnit& unit, const ScanTarget& target,
                         const core::CandidateSet& candidates, bool sampled,
                         double sample_fraction,
-                        const db::ExecutorOptions& db_options) {
+                        const db::ExecutorOptions& db_options,
+                        ThreadPool* shard_pool = nullptr) {
   UnitOutcome out;
   if (unit.merged) {
-    Result<db::GroupByResult> result =
-        db::Executor::ExecuteGrouped(target, unit.group_query, db_options);
+    Result<db::GroupByResult> result = ExecuteGroupedTarget(
+        target, unit.group_query, db_options, shard_pool);
     if (!result.ok()) {
       out.status = result.status();
       return out;
@@ -50,8 +80,8 @@ UnitOutcome ExecuteUnit(const MergeUnit& unit,
       }
     }
   } else {
-    Result<db::AggregateResult> result = db::Executor::Execute(
-        target, candidates[unit.candidate].query, db_options);
+    Result<db::AggregateResult> result = ExecuteSingle(
+        target, candidates[unit.candidate].query, db_options, shard_pool);
     if (!result.ok()) {
       out.status = result.status();
       return out;
@@ -71,6 +101,18 @@ UnitOutcome ExecuteUnit(const MergeUnit& unit,
 
 Engine::Engine(std::shared_ptr<const db::Table> table, EngineOptions options)
     : table_(std::move(table)), options_(options) {
+  relation_ = table_.get();
+  Init();
+}
+
+Engine::Engine(std::shared_ptr<const shard::ShardedTable> table,
+               EngineOptions options)
+    : sharded_(std::move(table)), options_(options) {
+  relation_ = sharded_.get();
+  Init();
+}
+
+void Engine::Init() {
   const size_t threads =
       ThreadPool::ResolveThreadCount(options_.num_threads);
   if (threads >= 2) pool_ = std::make_unique<ThreadPool>(threads);
@@ -82,15 +124,22 @@ Engine::Engine(std::shared_ptr<const db::Table> table, EngineOptions options)
   // estimated cost, yielding cost-units-per-millisecond for
   // EstimateMillis (used by the dynamic approximate method).
   db::AggregateQuery probe;
-  probe.table = table_->name();
+  probe.table = relation_->name();
   probe.function = db::AggregateFunction::kCount;
   db::ExecutorOptions probe_options;
   probe_options.vectorize = options_.vectorize;
+  ScanTarget target;
+  if (sharded_ != nullptr) {
+    target.sharded = sharded_->Snapshot();
+  } else {
+    target.single = table_->Snapshot();
+  }
   StopWatch watch;
-  auto result = db::Executor::Execute(*table_, probe, probe_options);
+  auto result = ExecuteSingle(target, probe, probe_options, nullptr);
   const double millis = std::max(1e-3, watch.ElapsedMillis());
   if (result.ok()) {
-    if (auto estimate = estimator_.Estimate(*table_, probe); estimate.ok()) {
+    if (auto estimate = estimator_.Estimate(*relation_, probe);
+        estimate.ok()) {
       cost_units_per_ms_ = estimate->total_cost / millis;
     }
   }
@@ -104,6 +153,31 @@ std::shared_ptr<const db::Table> Engine::SampleTable(double fraction) {
   std::shared_ptr<const db::Table> sample = table_->Sample(fraction);
   samples_.emplace(fraction, sample);
   return sample;
+}
+
+std::shared_ptr<const shard::ShardedTable> Engine::SampleSharded(
+    double fraction) {
+  if (fraction >= 1.0) return sharded_;
+  std::lock_guard<std::mutex> lock(samples_mutex_);
+  auto it = sharded_samples_.find(fraction);
+  if (it != sharded_samples_.end()) return it->second;
+  std::shared_ptr<const shard::ShardedTable> sample =
+      sharded_->Sample(fraction);
+  sharded_samples_.emplace(fraction, sample);
+  return sample;
+}
+
+const db::Relation& Engine::SnapshotTarget(double fraction,
+                                           ScanTarget* target) {
+  if (sharded_ != nullptr) {
+    const std::shared_ptr<const shard::ShardedTable> sampled =
+        SampleSharded(fraction);
+    target->sharded = sampled->Snapshot();
+    return *sampled;
+  }
+  const std::shared_ptr<const db::Table> sampled = SampleTable(fraction);
+  target->single = sampled->Snapshot();
+  return *sampled;
 }
 
 Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
@@ -124,30 +198,32 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
   out.values.assign(candidates.size(), std::nan(""));
   if (subset.empty()) return out;
 
-  const std::shared_ptr<const db::Table> target =
-      SampleTable(std::clamp(sample_fraction, 0.0, 1.0));
   const bool sampled = sample_fraction < 1.0;
 
   // One snapshot for the whole batch: every unit — and therefore every
-  // plot of a multiplot answer — scans the same frozen version while a
-  // concurrent writer keeps appending to the live table.
-  const db::TableSnapshot snapshot = target->Snapshot();
-  out.snapshot_version = snapshot.version();
+  // plot of a multiplot answer — scans the same frozen version (of every
+  // shard, when sharded) while a concurrent writer keeps appending to
+  // the live table.
+  ScanTarget target;
+  const db::Relation& scan_relation =
+      SnapshotTarget(std::clamp(sample_fraction, 0.0, 1.0), &target);
+  out.snapshot_version = target.version();
 
   const std::vector<MergeUnit> units = PlanMergedExecution(
-      candidates, subset, *table_, estimator_, options_.enable_merging);
+      candidates, subset, *relation_, estimator_, options_.enable_merging);
   out.queries_issued = units.size();
   out.estimated_cost =
-      EstimateUnitsCost(units, *target, estimator_, candidates);
+      EstimateUnitsCost(units, scan_relation, estimator_, candidates);
 
   StopWatch watch;
   if (controls.deadline.IsFinite()) {
-    MUVE_RETURN_NOT_OK(ExecuteUnitsBounded(units, snapshot, candidates,
+    MUVE_RETURN_NOT_OK(ExecuteUnitsBounded(units, target, candidates,
                                            sampled, controls, cache, &out));
   } else if (pool_ != nullptr && units.size() >= 2) {
-    // Independent units run concurrently with serial per-unit scans:
-    // never both unit- and row-level parallelism at once, so pool tasks
-    // never wait on sub-tasks of the same pool.
+    // Independent units run concurrently with serial per-unit scans
+    // (serial per-unit shard loops, when sharded): never two levels of
+    // parallelism at once, so pool tasks never wait on sub-tasks of the
+    // same pool.
     std::vector<std::future<UnitOutcome>> futures;
     futures.reserve(units.size());
     // The shared result cache is safe under concurrent units (it locks
@@ -157,10 +233,10 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     unit_options.cache = cache;
     unit_options.vectorize = options_.vectorize;
     for (const MergeUnit& unit : units) {
-      futures.push_back(pool_->Submit([&unit, &snapshot, &candidates,
+      futures.push_back(pool_->Submit([&unit, &target, &candidates,
                                        sampled, sample_fraction,
                                        unit_options] {
-        return ExecuteUnit(unit, snapshot, candidates, sampled,
+        return ExecuteUnit(unit, target, candidates, sampled,
                            sample_fraction, unit_options);
       }));
     }
@@ -178,18 +254,22 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
       }
     }
   } else {
-    // Serial across units; a lone unit may still partition its scan by
-    // rows when a pool exists.
+    // Serial across units; a lone unit may still parallelize its scan
+    // when a pool exists — by rows (unsharded), or across shards with
+    // row partitioning inside each shard task's slack (sharded).
     db::ExecutorOptions db_options;
     db_options.cache = cache;
     db_options.vectorize = options_.vectorize;
+    ThreadPool* shard_pool = nullptr;
     if (units.size() == 1) {
       db_options.pool = pool_.get();
       db_options.min_parallel_rows = options_.min_parallel_rows;
+      shard_pool = pool_.get();
     }
     for (const MergeUnit& unit : units) {
-      const UnitOutcome outcome = ExecuteUnit(
-          unit, snapshot, candidates, sampled, sample_fraction, db_options);
+      const UnitOutcome outcome =
+          ExecuteUnit(unit, target, candidates, sampled, sample_fraction,
+                      db_options, shard_pool);
       MUVE_RETURN_NOT_OK(outcome.status);
       for (const auto& [idx, value] : outcome.values) {
         out.values[idx] = value;
@@ -204,7 +284,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
 }
 
 Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
-                                   const db::TableSnapshot& target,
+                                   const ScanTarget& target,
                                    const core::CandidateSet& candidates,
                                    bool sampled,
                                    const ExecControls& controls,
@@ -235,9 +315,11 @@ Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
   base_options.vectorize = options_.vectorize;
   db::ExecutorOptions rest_options = base_options;
   rest_options.deadline = controls.deadline;
+  ThreadPool* base_shard_pool = nullptr;
   if (units.size() == 1) {
     base_options.pool = pool_.get();
     base_options.min_parallel_rows = options_.min_parallel_rows;
+    base_shard_pool = pool_.get();
   }
 
   const double sample_fraction = controls.sample_fraction;
@@ -250,7 +332,8 @@ Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
     }
     return ExecuteUnit(units[u], target, candidates, sampled,
                        sample_fraction,
-                       u == base_unit ? base_options : rest_options);
+                       u == base_unit ? base_options : rest_options,
+                       u == base_unit ? base_shard_pool : nullptr);
   };
 
   std::vector<UnitOutcome> outcomes(units.size());
@@ -349,9 +432,9 @@ Result<Execution> Engine::ExecuteMultiplot(
 double Engine::EstimateMillis(const core::CandidateSet& candidates,
                               const std::vector<size_t>& subset) const {
   const std::vector<MergeUnit> units = PlanMergedExecution(
-      candidates, subset, *table_, estimator_, options_.enable_merging);
+      candidates, subset, *relation_, estimator_, options_.enable_merging);
   const double cost =
-      EstimateUnitsCost(units, *table_, estimator_, candidates);
+      EstimateUnitsCost(units, *relation_, estimator_, candidates);
   return cost / std::max(1e-9, cost_units_per_ms_) +
          options_.per_query_overhead_ms * static_cast<double>(units.size());
 }

@@ -14,9 +14,11 @@
 #include "core/candidate.h"
 #include "core/multiplot.h"
 #include "db/cost_estimator.h"
+#include "db/relation.h"
 #include "db/snapshot.h"
 #include "db/table.h"
 #include "exec/merger.h"
+#include "shard/sharded_table.h"
 
 namespace muve::exec {
 
@@ -98,16 +100,49 @@ struct Execution {
   uint64_t snapshot_version = 0;
 };
 
-/// Executes candidate queries against a table, with query merging and
-/// sampled (approximate) execution. Samples are materialized lazily and
-/// cached; sample construction is excluded from reported latencies (a
-/// deployed system maintains samples ahead of time).
+/// The scan target of one execution batch: a consistent snapshot of
+/// either a single table or every shard of a sharded table. One target
+/// is taken per Execute call, so all values of one answer reflect one
+/// version.
+struct ScanTarget {
+  db::TableSnapshot single;
+  shard::ShardedSnapshot sharded;
+
+  bool is_sharded() const { return !sharded.shards.empty(); }
+  uint64_t version() const {
+    return is_sharded() ? sharded.version : single.version();
+  }
+};
+
+/// Executes candidate queries against a table — single or sharded — with
+/// query merging and sampled (approximate) execution. Samples are
+/// materialized lazily and cached; sample construction is excluded from
+/// reported latencies (a deployed system maintains samples ahead of
+/// time).
+///
+/// With a sharded backing store, each merge unit's scan scatters over
+/// the shards and gathers partial aggregates in shard order
+/// (shard::ScatterGather). A one-shard sharded table takes the
+/// single-table code path unchanged — the oracle the shard differential
+/// suite compares against.
 class Engine {
  public:
   explicit Engine(std::shared_ptr<const db::Table> table,
                   EngineOptions options = {});
+  explicit Engine(std::shared_ptr<const shard::ShardedTable> table,
+                  EngineOptions options = {});
 
+  /// The backing relation (planning/catalog surface), either kind.
+  const db::Relation& relation() const { return *relation_; }
+  bool is_sharded() const { return sharded_ != nullptr; }
+
+  /// The single backing table. Only valid on unsharded engines; sharded
+  /// callers go through relation() or sharded_table().
   const db::Table& table() const { return *table_; }
+  const std::shared_ptr<const shard::ShardedTable>& sharded_table() const {
+    return sharded_;
+  }
+
   const db::CostEstimator& estimator() const { return estimator_; }
   const EngineOptions& options() const { return options_; }
 
@@ -146,7 +181,8 @@ class Engine {
   /// Calibrated throughput: optimizer cost units per millisecond.
   double cost_units_per_ms() const { return cost_units_per_ms_; }
 
-  /// Sampled version of the table (cached by fraction).
+  /// Sampled version of the table (cached by fraction). Unsharded
+  /// engines only; sharded engines sample per shard internally.
   std::shared_ptr<const db::Table> SampleTable(double fraction);
 
   /// The engine's worker pool, or nullptr when running serially
@@ -166,16 +202,29 @@ class Engine {
   }
 
  private:
+  /// Shared construction tail: pool, cache, calibration probe.
+  void Init();
+
   /// Deadline-bounded unit execution (finite-deadline path of Execute):
   /// protects the base-candidate unit, drops the rest on expiry, and
   /// records the drops in `out`.
   Status ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
-                             const db::TableSnapshot& target,
+                             const ScanTarget& target,
                              const core::CandidateSet& candidates,
                              bool sampled, const ExecControls& controls,
                              cache::QueryCache* cache, Execution* out);
 
+  /// The sampled relation for `fraction` (the backing store itself at
+  /// fraction >= 1), plus its consistent snapshot in `*target`.
+  const db::Relation& SnapshotTarget(double fraction, ScanTarget* target);
+
+  /// Sharded counterpart of SampleTable.
+  std::shared_ptr<const shard::ShardedTable> SampleSharded(double fraction);
+
+  /// Exactly one of table_/sharded_ is set; relation_ points at it.
   std::shared_ptr<const db::Table> table_;
+  std::shared_ptr<const shard::ShardedTable> sharded_;
+  const db::Relation* relation_ = nullptr;
   EngineOptions options_;
   db::CostEstimator estimator_;
   std::unique_ptr<ThreadPool> pool_;
@@ -185,6 +234,8 @@ class Engine {
   /// `samples_mutex_`: concurrent serving requests may share one engine.
   std::mutex samples_mutex_;
   std::map<double, std::shared_ptr<const db::Table>> samples_;
+  std::map<double, std::shared_ptr<const shard::ShardedTable>>
+      sharded_samples_;
 };
 
 }  // namespace muve::exec

@@ -132,7 +132,7 @@ std::vector<size_t> MergeUnit::Members() const {
 
 std::vector<MergeUnit> PlanMergedExecution(
     const core::CandidateSet& candidates, const std::vector<size_t>& subset,
-    const db::Table& table, const db::CostEstimator& estimator,
+    const db::Relation& table, const db::CostEstimator& estimator,
     bool enable_merging) {
   std::vector<MergeUnit> units;
   if (!enable_merging) {
@@ -219,7 +219,7 @@ std::vector<MergeUnit> PlanMergedExecution(
 }
 
 double EstimateUnitsCost(const std::vector<MergeUnit>& units,
-                         const db::Table& table,
+                         const db::Relation& table,
                          const db::CostEstimator& estimator,
                          const core::CandidateSet& candidates) {
   double total = 0.0;
@@ -241,7 +241,7 @@ double EstimateUnitsCost(const std::vector<MergeUnit>& units,
 }
 
 std::vector<core::ProcessingGroup> BuildProcessingGroups(
-    const core::CandidateSet& candidates, const db::Table& table,
+    const core::CandidateSet& candidates, const db::Relation& table,
     const db::CostEstimator& estimator) {
   std::vector<size_t> all(candidates.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;

@@ -7,7 +7,7 @@
 #include "core/planner.h"
 #include "db/cost_estimator.h"
 #include "db/executor.h"
-#include "db/table.h"
+#include "db/relation.h"
 
 namespace muve::exec {
 
@@ -39,12 +39,12 @@ struct MergeUnit {
 /// `enable_merging` false every candidate becomes its own unit.
 std::vector<MergeUnit> PlanMergedExecution(
     const core::CandidateSet& candidates, const std::vector<size_t>& subset,
-    const db::Table& table, const db::CostEstimator& estimator,
+    const db::Relation& table, const db::CostEstimator& estimator,
     bool enable_merging);
 
 /// Estimated total cost (optimizer units) of executing the units.
 double EstimateUnitsCost(const std::vector<MergeUnit>& units,
-                         const db::Table& table,
+                         const db::Relation& table,
                          const db::CostEstimator& estimator,
                          const core::CandidateSet& candidates);
 
@@ -52,7 +52,7 @@ double EstimateUnitsCost(const std::vector<MergeUnit>& units,
 /// (paper §8.1): one group per potential merged unit over the *full*
 /// candidate set, plus singleton groups, each with its estimated cost.
 std::vector<core::ProcessingGroup> BuildProcessingGroups(
-    const core::CandidateSet& candidates, const db::Table& table,
+    const core::CandidateSet& candidates, const db::Relation& table,
     const db::CostEstimator& estimator);
 
 }  // namespace muve::exec

@@ -141,7 +141,7 @@ Result<PresentationOutcome> RunPresentation(
       core::PlannerConfig config = options.planner;
       config.processing.mode = core::ProcessingCostMode::kObjective;
       config.processing.groups = BuildProcessingGroups(
-          planning_set, engine->table(), engine->estimator());
+          planning_set, engine->relation(), engine->estimator());
       // Convert optimizer cost units into model milliseconds.
       config.processing.objective_weight =
           1.0 / std::max(1e-9, engine->cost_units_per_ms());

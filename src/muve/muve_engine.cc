@@ -131,8 +131,26 @@ MuveEngine::MuveEngine(std::shared_ptr<const db::Table> table,
       generator_(schema_index_),
       candidate_cache_(options_.cache_capacity),
       plan_memo_(options_.cache_capacity) {
+  Init(*table);
+}
+
+MuveEngine::MuveEngine(std::shared_ptr<const shard::ShardedTable> table,
+                       MuveOptions options)
+    : options_(SyncCacheOptions(std::move(options))),
+      exec_engine_(table, options_.execution),
+      schema_index_(std::make_shared<nlq::SchemaIndex>(
+          table, phonetics::PhoneticIndexOptions{
+                     .pool = exec_engine_.thread_pool()})),
+      translator_(schema_index_),
+      generator_(schema_index_),
+      candidate_cache_(options_.cache_capacity),
+      plan_memo_(options_.cache_capacity) {
+  Init(*table);
+}
+
+void MuveEngine::Init(const db::Relation& table) {
   generator_.set_cache(&candidate_cache_);
-  std::vector<std::string> lexicon = workload::BuildVocabulary(*table);
+  std::vector<std::string> lexicon = workload::BuildVocabulary(table);
   for (const char* word :
        {"how", "many", "total", "average", "maximum", "minimum", "count",
         "sum", "where", "is", "and", "records", "number", "of"}) {

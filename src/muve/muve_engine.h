@@ -76,6 +76,12 @@ struct Request {
   speech::SpeechNoiseOptions noise;
   Rng* rng = nullptr;  ///< Required in voice mode; non-owning.
 
+  /// The tenant this request bills against. Ignored by MuveEngine itself
+  /// (one engine serves one logical database); the serving layer keys
+  /// admission quotas, weighted fair queueing, and per-tenant stats on
+  /// it. Empty means the default tenant.
+  std::string tenant_id;
+
   /// End-to-end answer deadline. Infinite (the default) runs the exact
   /// unbounded pipeline; a finite deadline is split across stages and the
   /// answer degrades down the ladder exact -> degraded plan -> base-only
@@ -187,6 +193,12 @@ class MuveEngine {
 
   explicit MuveEngine(std::shared_ptr<const db::Table> table,
                       MuveOptions options = {});
+  /// Over a sharded table: merge-unit scans scatter over the shards and
+  /// gather partial aggregates (see exec::Engine). The whole front half
+  /// (translation, candidate generation, planning) is storage-agnostic —
+  /// it reads only the Relation catalog surface.
+  explicit MuveEngine(std::shared_ptr<const shard::ShardedTable> table,
+                      MuveOptions options = {});
 
   /// Serves one request end to end. With an infinite deadline and default
   /// controls the answer is byte-identical to the classic AskText /
@@ -197,16 +209,21 @@ class MuveEngine {
   /// (Answer::degradation says which rung and why).
   Result<Answer> Ask(const Request& request);
 
-  /// Answers a (recognized) text query. Equivalent to
+  /// DEPRECATED — build a Request (Request::Text) and call Ask().
+  /// Kept as a thin wrapper for source compatibility; equivalent to
   /// `Ask(Request::Text(text))`.
   Result<Answer> AskText(std::string_view text);
 
-  /// Answers a voice query: the utterance passes through the simulated
-  /// recognizer before translation. Equivalent to
+  /// DEPRECATED — build a Request (Request::Voice) and call Ask().
+  /// Kept as a thin wrapper for source compatibility; equivalent to
   /// `Ask(Request::Voice(utterance, rng, noise))`.
   Result<Answer> AskVoice(std::string_view utterance, Rng* rng,
                           const speech::SpeechNoiseOptions& noise = {});
 
+  /// The backing relation (single or sharded), catalog surface only.
+  const db::Relation& relation() const { return exec_engine_.relation(); }
+  bool is_sharded() const { return exec_engine_.is_sharded(); }
+  /// The single backing table. Only valid on unsharded engines.
   const db::Table& table() const { return exec_engine_.table(); }
   const nlq::SchemaIndex& schema_index() const { return *schema_index_; }
   exec::Engine& exec_engine() { return exec_engine_; }
@@ -246,6 +263,10 @@ class MuveEngine {
   /// Returns `options` with the master cache knob copied into the layers
   /// it governs (called in the init list before members that read it).
   static MuveOptions SyncCacheOptions(MuveOptions options);
+
+  /// Shared construction tail: candidate cache hookup and the speech
+  /// simulator's lexicon (table vocabulary + query stop words).
+  void Init(const db::Relation& table);
 
   /// Bottom rung of the ladder: a single plot showing only the base
   /// query's bar (candidate #0, highlighted), synthesized when planning

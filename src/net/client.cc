@@ -1,0 +1,123 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "net/protocol.h"
+#include "net/wire.h"
+
+namespace muve::net {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string target = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::Internal(
+        "connect to " + target + ":" + std::to_string(port) +
+        " failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<serve::ServedAnswer> Client::Ask(const Request& request,
+                                        serve::RequestClass request_class) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string payload;
+  payload.push_back(static_cast<char>(request_class));
+  payload += SerializeRequest(request);
+  Status sent = WriteFrame(fd_, FrameType::kRequest, payload);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Frame frame;
+  Result<bool> more = ReadFrame(fd_, &frame);
+  if (!more.ok()) {
+    Close();
+    return more.status();
+  }
+  if (!more.value()) {
+    Close();
+    return Status::Internal("server closed connection before answering");
+  }
+  switch (frame.type) {
+    case FrameType::kAnswer:
+      return ParseServedAnswer(frame.payload);
+    case FrameType::kError: {
+      WireReader reader(frame.payload);
+      Status status;
+      MUVE_RETURN_NOT_OK(DecodeStatus(&reader, &status));
+      if (status.ok()) {
+        return Status::ParseError("error frame carried an OK status");
+      }
+      return status;
+    }
+    default:
+      Close();
+      return Status::ParseError("unexpected frame type " +
+                                std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+Status Client::Ping() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  Status sent = WriteFrame(fd_, FrameType::kPing, "");
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Frame frame;
+  Result<bool> more = ReadFrame(fd_, &frame);
+  if (!more.ok()) {
+    Close();
+    return more.status();
+  }
+  if (!more.value() || frame.type != FrameType::kPong) {
+    Close();
+    return Status::ParseError("expected Pong");
+  }
+  return Status::OK();
+}
+
+}  // namespace muve::net

@@ -1,0 +1,56 @@
+#ifndef MUVE_NET_CLIENT_H_
+#define MUVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "muve/muve_engine.h"
+#include "serve/admission_queue.h"
+#include "serve/server.h"
+
+namespace muve::net {
+
+/// Blocking client for the frame protocol: one connection, one request
+/// in flight at a time (the protocol is serial per connection). Callers
+/// wanting concurrency open one Client per thread — that also matches
+/// the server's session-per-connection model.
+///
+/// Movable, not copyable. Host resolution is deliberately minimal:
+/// dotted-quad IPv4 or "localhost" (the loadgen/e2e use case); no DNS.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `request`, blocks for the response. Server-side rejections
+  /// (Overloaded, pipeline errors) come back as their decoded Status;
+  /// transport failures surface as Internal/ParseError and close the
+  /// connection.
+  Result<serve::ServedAnswer> Ask(
+      const Request& request,
+      serve::RequestClass request_class = serve::RequestClass::kInteractive);
+
+  /// Round-trips a Ping/Pong frame.
+  Status Ping();
+
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace muve::net
+
+#endif  // MUVE_NET_CLIENT_H_

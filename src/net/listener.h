@@ -1,0 +1,100 @@
+#ifndef MUVE_NET_LISTENER_H_
+#define MUVE_NET_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "serve/server.h"
+
+namespace muve::net {
+
+struct ListenerOptions {
+  /// TCP port to bind on 0.0.0.0; 0 picks an ephemeral port (read it
+  /// back via port()).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Print "LISTENING port=N" to stdout once the socket is ready — the
+  /// handshake scripts (e2e smoke, README quickstart) wait for it.
+  bool announce = false;
+};
+
+struct ListenerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_served = 0;
+  /// Malformed frames or payloads received (each also answers/closes
+  /// with an Error frame where the framing still permits one).
+  uint64_t protocol_errors = 0;
+};
+
+/// TCP front door for a serve::Server: an accept thread plus one thread
+/// per connection, each speaking the length-prefixed frame protocol
+/// (protocol.h) serially — one request, one response, in order.
+///
+/// Each connection is its own serving session ("conn-<n>"), so a
+/// connection gets session-cache affinity and its requests inherit the
+/// server's admission control, per-tenant quotas, and single-flight
+/// coalescing exactly as in-process callers do.
+///
+/// A malformed payload inside an intact frame answers with an Error
+/// frame and keeps the connection; a broken frame stream closes it.
+class Listener {
+ public:
+  /// `server` must outlive the listener.
+  explicit Listener(serve::Server* server, ListenerOptions options = {});
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails if the port is
+  /// taken or Start was already called.
+  Status Start();
+
+  /// The bound port (the chosen one when options.port was 0). 0 before
+  /// Start.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, unblocks and joins every connection thread.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ListenerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(uint64_t conn_id, int fd);
+  /// Handles one kRequest frame; returns false when the connection
+  /// should close (frame-level protocol violation).
+  bool HandleRequest(const std::string& session_id, int fd,
+                     const Frame& frame);
+
+  serve::Server* const server_;
+  const ListenerOptions options_;
+
+  /// Atomic: the accept loop passes it to accept(2) while Shutdown
+  /// closes it and writes -1 to unblock that call.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;
+  bool started_ = false;
+  bool shutdown_ = false;
+  /// Live connection fds by id, so Shutdown can unblock their reads.
+  std::unordered_map<uint64_t, int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  uint64_t next_conn_id_ = 0;
+  ListenerStats stats_;
+};
+
+}  // namespace muve::net
+
+#endif  // MUVE_NET_LISTENER_H_

@@ -1,0 +1,43 @@
+#ifndef MUVE_NET_PROTOCOL_H_
+#define MUVE_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace muve::net {
+
+/// One protocol frame: `[u32 length][u8 type][payload]`, length counting
+/// the type byte plus the payload (so an empty-payload frame has
+/// length 1). Integers are little-endian like the rest of the wire
+/// format (wire.h).
+enum class FrameType : uint8_t {
+  kRequest = 1,  ///< payload: u8 RequestClass + SerializeRequest bytes.
+  kAnswer = 2,   ///< payload: SerializeServedAnswer bytes.
+  kError = 3,    ///< payload: EncodeStatus bytes (never StatusCode::kOk).
+  kPing = 4,     ///< empty payload; the peer responds kPong.
+  kPong = 5,     ///< empty payload.
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Upper bound on the length field: a peer announcing more than this is
+/// treated as a protocol error instead of an allocation request.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Writes one frame to `fd`, looping over partial writes and EINTR.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame from `fd` into `*frame`. Returns false on a clean
+/// EOF at a frame boundary (the peer closed the connection); a
+/// mid-frame EOF, oversized length, or socket error is a Status.
+Result<bool> ReadFrame(int fd, Frame* frame);
+
+}  // namespace muve::net
+
+#endif  // MUVE_NET_PROTOCOL_H_

@@ -1,0 +1,798 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace muve::net {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("wire: truncated ") + what);
+}
+
+// ---------------------------------------------------------------------------
+// Field tags of the top-level tagged messages. Tag 0 terminates a
+// message; tags are never reused for a different meaning within a wire
+// version. Nested leaf structs (queries, plots, executions) encode
+// positionally — their layout is fixed per version and locked by the
+// golden-file test.
+
+enum RequestTag : uint8_t {
+  kRequestEnd = 0,
+  kRequestTranscript = 1,
+  kRequestVoice = 2,
+  kRequestUtterance = 3,
+  kRequestNoise = 4,
+  kRequestDeadlineMillis = 5,
+  kRequestUseIlp = 6,
+  kRequestBypassCache = 7,
+  kRequestTenantId = 8,
+};
+
+enum AnswerTag : uint8_t {
+  kAnswerEnd = 0,
+  kAnswerTranscript = 1,
+  kAnswerBaseQuery = 2,
+  kAnswerBaseConfidence = 3,
+  kAnswerCandidates = 4,
+  kAnswerPlan = 5,
+  kAnswerExecution = 6,
+  kAnswerTimings = 7,
+  kAnswerDegradation = 8,
+  kAnswerPipelineMillis = 9,
+};
+
+enum ServedTag : uint8_t {
+  kServedEnd = 0,
+  kServedAnswer = 1,
+  kServedRequestClass = 2,
+  kServedShared = 3,
+  kServedQueueMillis = 4,
+  kServedServiceMillis = 5,
+  kServedTotalMillis = 6,
+  kServedDeadlineMet = 7,
+};
+
+// ---------------------------------------------------------------------------
+// Leaf codecs (positional).
+
+void EncodeValue(const db::Value& value, WireWriter* w) {
+  w->PutU8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case db::ValueType::kInt64:
+      w->PutI64(value.AsInt64());
+      break;
+    case db::ValueType::kDouble:
+      w->PutDouble(value.AsDouble());
+      break;
+    case db::ValueType::kString:
+      w->PutString(value.AsString());
+      break;
+  }
+}
+
+Result<db::Value> DecodeValue(WireReader* r) {
+  MUVE_ASSIGN_OR_RETURN(uint8_t kind, r->ReadU8());
+  switch (kind) {
+    case 0: {
+      MUVE_ASSIGN_OR_RETURN(int64_t v, r->ReadI64());
+      return db::Value(v);
+    }
+    case 1: {
+      MUVE_ASSIGN_OR_RETURN(double v, r->ReadDouble());
+      return db::Value(v);
+    }
+    case 2: {
+      MUVE_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+      return db::Value(std::move(v));
+    }
+    default:
+      return Status::ParseError("wire: unknown value kind " +
+                                std::to_string(kind));
+  }
+}
+
+void EncodePredicate(const db::Predicate& predicate, WireWriter* w) {
+  w->PutString(predicate.column);
+  w->PutU8(static_cast<uint8_t>(predicate.op));
+  w->PutU32(static_cast<uint32_t>(predicate.values.size()));
+  for (const db::Value& value : predicate.values) EncodeValue(value, w);
+}
+
+Result<db::Predicate> DecodePredicate(WireReader* r) {
+  db::Predicate predicate;
+  MUVE_ASSIGN_OR_RETURN(predicate.column, r->ReadString());
+  MUVE_ASSIGN_OR_RETURN(uint8_t op, r->ReadU8());
+  if (op > static_cast<uint8_t>(db::PredicateOp::kIn)) {
+    return Status::ParseError("wire: unknown predicate op " +
+                              std::to_string(op));
+  }
+  predicate.op = static_cast<db::PredicateOp>(op);
+  MUVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  predicate.values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MUVE_ASSIGN_OR_RETURN(db::Value value, DecodeValue(r));
+    predicate.values.push_back(std::move(value));
+  }
+  return predicate;
+}
+
+void EncodeQuery(const db::AggregateQuery& query, WireWriter* w) {
+  w->PutString(query.table);
+  w->PutU8(static_cast<uint8_t>(query.function));
+  w->PutString(query.aggregate_column);
+  w->PutU32(static_cast<uint32_t>(query.predicates.size()));
+  for (const db::Predicate& predicate : query.predicates) {
+    EncodePredicate(predicate, w);
+  }
+}
+
+Result<db::AggregateQuery> DecodeQuery(WireReader* r) {
+  db::AggregateQuery query;
+  MUVE_ASSIGN_OR_RETURN(query.table, r->ReadString());
+  MUVE_ASSIGN_OR_RETURN(uint8_t fn, r->ReadU8());
+  if (fn > static_cast<uint8_t>(db::AggregateFunction::kMax)) {
+    return Status::ParseError("wire: unknown aggregate function " +
+                              std::to_string(fn));
+  }
+  query.function = static_cast<db::AggregateFunction>(fn);
+  MUVE_ASSIGN_OR_RETURN(query.aggregate_column, r->ReadString());
+  MUVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  query.predicates.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MUVE_ASSIGN_OR_RETURN(db::Predicate predicate, DecodePredicate(r));
+    query.predicates.push_back(std::move(predicate));
+  }
+  return query;
+}
+
+void EncodeCandidates(const core::CandidateSet& candidates, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(candidates.size()));
+  for (const core::CandidateQuery& candidate : candidates.candidates()) {
+    EncodeQuery(candidate.query, w);
+    w->PutDouble(candidate.probability);
+  }
+}
+
+Result<core::CandidateSet> DecodeCandidates(WireReader* r) {
+  MUVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  std::vector<core::CandidateQuery> candidates;
+  candidates.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    core::CandidateQuery candidate;
+    MUVE_ASSIGN_OR_RETURN(candidate.query, DecodeQuery(r));
+    MUVE_ASSIGN_OR_RETURN(candidate.probability, r->ReadDouble());
+    candidates.push_back(std::move(candidate));
+  }
+  return core::CandidateSet(std::move(candidates));
+}
+
+void EncodeMultiplot(const core::Multiplot& multiplot, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(multiplot.rows.size()));
+  for (const auto& row : multiplot.rows) {
+    w->PutU32(static_cast<uint32_t>(row.size()));
+    for (const core::Plot& plot : row) {
+      w->PutString(plot.query_template.key);
+      w->PutString(plot.query_template.title);
+      w->PutU8(static_cast<uint8_t>(plot.query_template.slot));
+      w->PutU32(static_cast<uint32_t>(plot.bars.size()));
+      for (const core::PlotBar& bar : plot.bars) {
+        w->PutU64(bar.candidate_index);
+        w->PutString(bar.label);
+        w->PutBool(bar.highlighted);
+        w->PutDouble(bar.value);
+        w->PutBool(bar.approximate);
+      }
+    }
+  }
+}
+
+Result<core::Multiplot> DecodeMultiplot(WireReader* r) {
+  core::Multiplot multiplot;
+  MUVE_ASSIGN_OR_RETURN(uint32_t num_rows, r->ReadU32());
+  multiplot.rows.resize(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    MUVE_ASSIGN_OR_RETURN(uint32_t num_plots, r->ReadU32());
+    multiplot.rows[i].reserve(num_plots);
+    for (uint32_t p = 0; p < num_plots; ++p) {
+      core::Plot plot;
+      MUVE_ASSIGN_OR_RETURN(plot.query_template.key, r->ReadString());
+      MUVE_ASSIGN_OR_RETURN(plot.query_template.title, r->ReadString());
+      MUVE_ASSIGN_OR_RETURN(uint8_t slot, r->ReadU8());
+      if (slot > static_cast<uint8_t>(core::SlotKind::kPredicateColumn)) {
+        return Status::ParseError("wire: unknown template slot " +
+                                  std::to_string(slot));
+      }
+      plot.query_template.slot = static_cast<core::SlotKind>(slot);
+      MUVE_ASSIGN_OR_RETURN(uint32_t num_bars, r->ReadU32());
+      plot.bars.reserve(num_bars);
+      for (uint32_t b = 0; b < num_bars; ++b) {
+        core::PlotBar bar;
+        MUVE_ASSIGN_OR_RETURN(uint64_t index, r->ReadU64());
+        bar.candidate_index = static_cast<size_t>(index);
+        MUVE_ASSIGN_OR_RETURN(bar.label, r->ReadString());
+        MUVE_ASSIGN_OR_RETURN(bar.highlighted, r->ReadBool());
+        MUVE_ASSIGN_OR_RETURN(bar.value, r->ReadDouble());
+        MUVE_ASSIGN_OR_RETURN(bar.approximate, r->ReadBool());
+        plot.bars.push_back(std::move(bar));
+      }
+      multiplot.rows[i].push_back(std::move(plot));
+    }
+  }
+  return multiplot;
+}
+
+void EncodePlan(const core::PlanResult& plan, WireWriter* w) {
+  EncodeMultiplot(plan.multiplot, w);
+  w->PutDouble(plan.expected_cost);
+  w->PutDouble(plan.optimize_millis);
+  w->PutBool(plan.timed_out);
+  w->PutU64(plan.nodes_explored);
+  w->PutDouble(plan.processing_cost);
+  w->PutDouble(plan.best_bound);
+  w->PutDouble(plan.optimality_gap);
+}
+
+Result<core::PlanResult> DecodePlan(WireReader* r) {
+  core::PlanResult plan;
+  MUVE_ASSIGN_OR_RETURN(plan.multiplot, DecodeMultiplot(r));
+  MUVE_ASSIGN_OR_RETURN(plan.expected_cost, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(plan.optimize_millis, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(plan.timed_out, r->ReadBool());
+  MUVE_ASSIGN_OR_RETURN(uint64_t nodes, r->ReadU64());
+  plan.nodes_explored = static_cast<size_t>(nodes);
+  MUVE_ASSIGN_OR_RETURN(plan.processing_cost, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(plan.best_bound, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(plan.optimality_gap, r->ReadDouble());
+  return plan;
+}
+
+void EncodeExecution(const exec::Execution& execution, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(execution.values.size()));
+  for (double value : execution.values) w->PutDouble(value);
+  w->PutDouble(execution.measured_millis);
+  w->PutDouble(execution.modeled_millis);
+  w->PutU64(execution.queries_issued);
+  w->PutDouble(execution.estimated_cost);
+  w->PutU64(execution.units_dropped);
+  w->PutU64(execution.bars_dropped);
+  w->PutU64(execution.plots_dropped);
+  w->PutBool(execution.deadline_hit);
+  w->PutU64(execution.snapshot_version);
+}
+
+Result<exec::Execution> DecodeExecution(WireReader* r) {
+  exec::Execution execution;
+  MUVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  execution.values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MUVE_ASSIGN_OR_RETURN(double value, r->ReadDouble());
+    execution.values.push_back(value);
+  }
+  MUVE_ASSIGN_OR_RETURN(execution.measured_millis, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(execution.modeled_millis, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(uint64_t issued, r->ReadU64());
+  execution.queries_issued = static_cast<size_t>(issued);
+  MUVE_ASSIGN_OR_RETURN(execution.estimated_cost, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(uint64_t units, r->ReadU64());
+  execution.units_dropped = static_cast<size_t>(units);
+  MUVE_ASSIGN_OR_RETURN(uint64_t bars, r->ReadU64());
+  execution.bars_dropped = static_cast<size_t>(bars);
+  MUVE_ASSIGN_OR_RETURN(uint64_t plots, r->ReadU64());
+  execution.plots_dropped = static_cast<size_t>(plots);
+  MUVE_ASSIGN_OR_RETURN(execution.deadline_hit, r->ReadBool());
+  MUVE_ASSIGN_OR_RETURN(execution.snapshot_version, r->ReadU64());
+  return execution;
+}
+
+void EncodeTimings(const StageTimings& timings, WireWriter* w) {
+  w->PutDouble(timings.asr_millis);
+  w->PutDouble(timings.translate_millis);
+  w->PutDouble(timings.generate_millis);
+  w->PutDouble(timings.plan_millis);
+  w->PutDouble(timings.execute_millis);
+}
+
+Result<StageTimings> DecodeTimings(WireReader* r) {
+  StageTimings timings;
+  MUVE_ASSIGN_OR_RETURN(timings.asr_millis, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(timings.translate_millis, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(timings.generate_millis, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(timings.plan_millis, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(timings.execute_millis, r->ReadDouble());
+  return timings;
+}
+
+void EncodeDegradation(const Degradation& degradation, WireWriter* w) {
+  w->PutU8(static_cast<uint8_t>(degradation.rung));
+  uint8_t flags = 0;
+  if (degradation.candidates_capped) flags |= 1;
+  if (degradation.plan_truncated) flags |= 2;
+  if (degradation.ilp_fell_back) flags |= 4;
+  if (degradation.base_only_fallback) flags |= 8;
+  w->PutU8(flags);
+  w->PutU64(degradation.units_dropped);
+  w->PutU64(degradation.bars_dropped);
+  w->PutU64(degradation.plots_dropped);
+}
+
+Result<Degradation> DecodeDegradation(WireReader* r) {
+  Degradation degradation;
+  MUVE_ASSIGN_OR_RETURN(uint8_t rung, r->ReadU8());
+  if (rung > static_cast<uint8_t>(Degradation::Rung::kBaseOnly)) {
+    return Status::ParseError("wire: unknown degradation rung " +
+                              std::to_string(rung));
+  }
+  degradation.rung = static_cast<Degradation::Rung>(rung);
+  MUVE_ASSIGN_OR_RETURN(uint8_t flags, r->ReadU8());
+  degradation.candidates_capped = (flags & 1) != 0;
+  degradation.plan_truncated = (flags & 2) != 0;
+  degradation.ilp_fell_back = (flags & 4) != 0;
+  degradation.base_only_fallback = (flags & 8) != 0;
+  MUVE_ASSIGN_OR_RETURN(uint64_t units, r->ReadU64());
+  degradation.units_dropped = static_cast<size_t>(units);
+  MUVE_ASSIGN_OR_RETURN(uint64_t bars, r->ReadU64());
+  degradation.bars_dropped = static_cast<size_t>(bars);
+  MUVE_ASSIGN_OR_RETURN(uint64_t plots, r->ReadU64());
+  degradation.plots_dropped = static_cast<size_t>(plots);
+  return degradation;
+}
+
+// ---------------------------------------------------------------------------
+// Tagged-field helpers: each field is [u8 tag][u32 len][payload], so a
+// parser can skip tags it does not recognize.
+
+void PutField(uint8_t tag, const WireWriter& payload, WireWriter* w) {
+  w->PutU8(tag);
+  w->PutString(payload.bytes());
+}
+
+void PutStringField(uint8_t tag, std::string_view value, WireWriter* w) {
+  w->PutU8(tag);
+  w->PutString(value);
+}
+
+void PutDoubleField(uint8_t tag, double value, WireWriter* w) {
+  WireWriter payload;
+  payload.PutDouble(value);
+  PutField(tag, payload, w);
+}
+
+void PutBoolField(uint8_t tag, bool value, WireWriter* w) {
+  WireWriter payload;
+  payload.PutBool(value);
+  PutField(tag, payload, w);
+}
+
+Result<double> FieldDouble(std::string_view payload) {
+  WireReader r(payload);
+  return r.ReadDouble();
+}
+
+Result<bool> FieldBool(std::string_view payload) {
+  WireReader r(payload);
+  return r.ReadBool();
+}
+
+Status CheckVersion(WireReader* r) {
+  MUVE_ASSIGN_OR_RETURN(uint8_t version, r->ReadU8());
+  if (version != kWireVersion) {
+    return Status::ParseError("wire: unsupported version " +
+                              std::to_string(version) + " (speaking " +
+                              std::to_string(kWireVersion) + ")");
+  }
+  return Status::OK();
+}
+
+/// Bytes after the end tag mean the sender and receiver disagree about
+/// message boundaries (a framing bug) — reject rather than quietly
+/// dropping them.
+Status CheckExhausted(const WireReader& r) {
+  if (!r.exhausted()) {
+    return Status::ParseError("wire: " + std::to_string(r.remaining()) +
+                              " trailing bytes after message end");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Primitives.
+
+void WireWriter::PutU32(uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out_.append(bytes, 4);
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out_.append(bytes, 8);
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  out_.append(v.data(), v.size());
+}
+
+Result<uint8_t> WireReader::ReadU8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<bool> WireReader::ReadBool() {
+  MUVE_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+  return v != 0;
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::ReadU64() {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> WireReader::ReadI64() {
+  MUVE_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> WireReader::ReadDouble() {
+  MUVE_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::ReadString() {
+  MUVE_ASSIGN_OR_RETURN(std::string_view block, ReadBlock());
+  return std::string(block);
+}
+
+Result<std::string_view> WireReader::ReadBlock() {
+  MUVE_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  if (remaining() < len) return Truncated("block");
+  std::string_view block = data_.substr(pos_, len);
+  pos_ += len;
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// Status codes.
+
+namespace {
+
+/// The one table both directions derive from: StatusCode <-> wire code.
+/// Append-only — wire codes are part of the protocol.
+constexpr std::pair<StatusCode, uint8_t> kStatusCodeTable[] = {
+    {StatusCode::kOk, 0},
+    {StatusCode::kInvalidArgument, 1},
+    {StatusCode::kNotFound, 2},
+    {StatusCode::kOutOfRange, 3},
+    {StatusCode::kFailedPrecondition, 4},
+    {StatusCode::kUnimplemented, 5},
+    {StatusCode::kTimeout, 6},
+    {StatusCode::kInternal, 7},
+    {StatusCode::kParseError, 8},
+    {StatusCode::kInfeasible, 9},
+    {StatusCode::kUnbounded, 10},
+    {StatusCode::kOverloaded, 11},
+};
+
+}  // namespace
+
+uint8_t WireErrorCode(StatusCode code) {
+  for (const auto& [status_code, wire_code] : kStatusCodeTable) {
+    if (status_code == code) return wire_code;
+  }
+  // Unreachable for in-range codes; map anything unexpected to internal.
+  return WireErrorCode(StatusCode::kInternal);
+}
+
+Result<StatusCode> StatusCodeFromWire(uint8_t wire_code) {
+  for (const auto& [status_code, mapped] : kStatusCodeTable) {
+    if (mapped == wire_code) return status_code;
+  }
+  return Status::ParseError("wire: unknown status code " +
+                            std::to_string(wire_code));
+}
+
+void EncodeStatus(const Status& status, WireWriter* w) {
+  w->PutU8(WireErrorCode(status.code()));
+  w->PutString(status.message());
+}
+
+Status DecodeStatus(WireReader* r, Status* out) {
+  MUVE_ASSIGN_OR_RETURN(uint8_t wire_code, r->ReadU8());
+  MUVE_ASSIGN_OR_RETURN(StatusCode code, StatusCodeFromWire(wire_code));
+  MUVE_ASSIGN_OR_RETURN(std::string message, r->ReadString());
+  *out = (code == StatusCode::kOk) ? Status::OK()
+                                   : Status(code, std::move(message));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Request.
+
+std::string SerializeRequest(const Request& request) {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  PutStringField(kRequestTranscript, request.transcript, &w);
+  if (request.voice) {
+    PutBoolField(kRequestVoice, true, &w);
+    PutStringField(kRequestUtterance, request.utterance, &w);
+    WireWriter noise;
+    noise.PutDouble(request.noise.substitution_rate);
+    noise.PutDouble(request.noise.deletion_rate);
+    noise.PutU64(request.noise.confusion_k);
+    PutField(kRequestNoise, noise, &w);
+  }
+  if (request.deadline.IsFinite()) {
+    PutDoubleField(kRequestDeadlineMillis, request.deadline.RemainingMillis(),
+                   &w);
+  }
+  if (request.use_ilp.has_value()) {
+    PutBoolField(kRequestUseIlp, *request.use_ilp, &w);
+  }
+  if (request.bypass_cache) {
+    PutBoolField(kRequestBypassCache, true, &w);
+  }
+  if (!request.tenant_id.empty()) {
+    PutStringField(kRequestTenantId, request.tenant_id, &w);
+  }
+  w.PutU8(kRequestEnd);
+  return w.Take();
+}
+
+Result<Request> ParseRequest(std::string_view data) {
+  WireReader r(data);
+  MUVE_RETURN_NOT_OK(CheckVersion(&r));
+  Request request;
+  for (;;) {
+    MUVE_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    if (tag == kRequestEnd) break;
+    MUVE_ASSIGN_OR_RETURN(std::string_view payload, r.ReadBlock());
+    switch (tag) {
+      case kRequestTranscript:
+        request.transcript = std::string(payload);
+        break;
+      case kRequestVoice: {
+        MUVE_ASSIGN_OR_RETURN(request.voice, FieldBool(payload));
+        break;
+      }
+      case kRequestUtterance:
+        request.utterance = std::string(payload);
+        break;
+      case kRequestNoise: {
+        WireReader noise(payload);
+        MUVE_ASSIGN_OR_RETURN(request.noise.substitution_rate,
+                              noise.ReadDouble());
+        MUVE_ASSIGN_OR_RETURN(request.noise.deletion_rate,
+                              noise.ReadDouble());
+        MUVE_ASSIGN_OR_RETURN(uint64_t k, noise.ReadU64());
+        request.noise.confusion_k = static_cast<size_t>(k);
+        break;
+      }
+      case kRequestDeadlineMillis: {
+        MUVE_ASSIGN_OR_RETURN(double remaining, FieldDouble(payload));
+        // Re-anchor the remaining budget on this process's clock; time
+        // spent in transit has already drained from `remaining` at
+        // serialization time.
+        request.deadline = Deadline::AfterMillis(remaining);
+        break;
+      }
+      case kRequestUseIlp: {
+        MUVE_ASSIGN_OR_RETURN(bool use_ilp, FieldBool(payload));
+        request.use_ilp = use_ilp;
+        break;
+      }
+      case kRequestBypassCache: {
+        MUVE_ASSIGN_OR_RETURN(request.bypass_cache, FieldBool(payload));
+        break;
+      }
+      case kRequestTenantId:
+        request.tenant_id = std::string(payload);
+        break;
+      default:
+        break;  // Unknown tag from a newer writer: skip.
+    }
+  }
+  MUVE_RETURN_NOT_OK(CheckExhausted(r));
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Answer.
+
+std::string SerializeAnswer(const MuveEngine::Answer& answer) {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  PutStringField(kAnswerTranscript, answer.transcript, &w);
+  {
+    WireWriter payload;
+    EncodeQuery(answer.base_query, &payload);
+    PutField(kAnswerBaseQuery, payload, &w);
+  }
+  PutDoubleField(kAnswerBaseConfidence, answer.base_confidence, &w);
+  {
+    WireWriter payload;
+    EncodeCandidates(answer.candidates, &payload);
+    PutField(kAnswerCandidates, payload, &w);
+  }
+  {
+    WireWriter payload;
+    EncodePlan(answer.plan, &payload);
+    PutField(kAnswerPlan, payload, &w);
+  }
+  {
+    WireWriter payload;
+    EncodeExecution(answer.execution, &payload);
+    PutField(kAnswerExecution, payload, &w);
+  }
+  {
+    WireWriter payload;
+    EncodeTimings(answer.timings, &payload);
+    PutField(kAnswerTimings, payload, &w);
+  }
+  {
+    WireWriter payload;
+    EncodeDegradation(answer.degradation, &payload);
+    PutField(kAnswerDegradation, payload, &w);
+  }
+  PutDoubleField(kAnswerPipelineMillis, answer.pipeline_millis, &w);
+  w.PutU8(kAnswerEnd);
+  return w.Take();
+}
+
+Result<MuveEngine::Answer> ParseAnswer(std::string_view data) {
+  WireReader r(data);
+  MUVE_RETURN_NOT_OK(CheckVersion(&r));
+  MuveEngine::Answer answer;
+  for (;;) {
+    MUVE_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    if (tag == kAnswerEnd) break;
+    MUVE_ASSIGN_OR_RETURN(std::string_view payload, r.ReadBlock());
+    WireReader field(payload);
+    switch (tag) {
+      case kAnswerTranscript:
+        answer.transcript = std::string(payload);
+        break;
+      case kAnswerBaseQuery: {
+        MUVE_ASSIGN_OR_RETURN(answer.base_query, DecodeQuery(&field));
+        break;
+      }
+      case kAnswerBaseConfidence: {
+        MUVE_ASSIGN_OR_RETURN(answer.base_confidence, field.ReadDouble());
+        break;
+      }
+      case kAnswerCandidates: {
+        MUVE_ASSIGN_OR_RETURN(answer.candidates, DecodeCandidates(&field));
+        break;
+      }
+      case kAnswerPlan: {
+        MUVE_ASSIGN_OR_RETURN(answer.plan, DecodePlan(&field));
+        break;
+      }
+      case kAnswerExecution: {
+        MUVE_ASSIGN_OR_RETURN(answer.execution, DecodeExecution(&field));
+        break;
+      }
+      case kAnswerTimings: {
+        MUVE_ASSIGN_OR_RETURN(answer.timings, DecodeTimings(&field));
+        break;
+      }
+      case kAnswerDegradation: {
+        MUVE_ASSIGN_OR_RETURN(answer.degradation, DecodeDegradation(&field));
+        break;
+      }
+      case kAnswerPipelineMillis: {
+        MUVE_ASSIGN_OR_RETURN(answer.pipeline_millis, field.ReadDouble());
+        break;
+      }
+      default:
+        break;  // Unknown tag from a newer writer: skip.
+    }
+  }
+  MUVE_RETURN_NOT_OK(CheckExhausted(r));
+  return answer;
+}
+
+// ---------------------------------------------------------------------------
+// ServedAnswer.
+
+std::string SerializeServedAnswer(const serve::ServedAnswer& served) {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  PutStringField(kServedAnswer, SerializeAnswer(served.answer), &w);
+  {
+    WireWriter payload;
+    payload.PutU8(static_cast<uint8_t>(served.request_class));
+    PutField(kServedRequestClass, payload, &w);
+  }
+  PutBoolField(kServedShared, served.shared, &w);
+  PutDoubleField(kServedQueueMillis, served.queue_millis, &w);
+  PutDoubleField(kServedServiceMillis, served.service_millis, &w);
+  PutDoubleField(kServedTotalMillis, served.total_millis, &w);
+  PutBoolField(kServedDeadlineMet, served.deadline_met, &w);
+  w.PutU8(kServedEnd);
+  return w.Take();
+}
+
+Result<serve::ServedAnswer> ParseServedAnswer(std::string_view data) {
+  WireReader r(data);
+  MUVE_RETURN_NOT_OK(CheckVersion(&r));
+  serve::ServedAnswer served;
+  for (;;) {
+    MUVE_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    if (tag == kServedEnd) break;
+    MUVE_ASSIGN_OR_RETURN(std::string_view payload, r.ReadBlock());
+    WireReader field(payload);
+    switch (tag) {
+      case kServedAnswer: {
+        MUVE_ASSIGN_OR_RETURN(served.answer, ParseAnswer(payload));
+        break;
+      }
+      case kServedRequestClass: {
+        MUVE_ASSIGN_OR_RETURN(uint8_t cls, field.ReadU8());
+        if (cls >= serve::kNumRequestClasses) {
+          return Status::ParseError("wire: unknown request class " +
+                                    std::to_string(cls));
+        }
+        served.request_class = static_cast<serve::RequestClass>(cls);
+        break;
+      }
+      case kServedShared: {
+        MUVE_ASSIGN_OR_RETURN(served.shared, field.ReadBool());
+        break;
+      }
+      case kServedQueueMillis: {
+        MUVE_ASSIGN_OR_RETURN(served.queue_millis, field.ReadDouble());
+        break;
+      }
+      case kServedServiceMillis: {
+        MUVE_ASSIGN_OR_RETURN(served.service_millis, field.ReadDouble());
+        break;
+      }
+      case kServedTotalMillis: {
+        MUVE_ASSIGN_OR_RETURN(served.total_millis, field.ReadDouble());
+        break;
+      }
+      case kServedDeadlineMet: {
+        MUVE_ASSIGN_OR_RETURN(served.deadline_met, field.ReadBool());
+        break;
+      }
+      default:
+        break;  // Unknown tag from a newer writer: skip.
+    }
+  }
+  MUVE_RETURN_NOT_OK(CheckExhausted(r));
+  return served;
+}
+
+}  // namespace muve::net

@@ -8,7 +8,7 @@
 namespace muve::nlq {
 
 SchemaIndex::SchemaIndex(
-    std::shared_ptr<const db::Table> table,
+    std::shared_ptr<const db::Relation> table,
     const phonetics::PhoneticIndexOptions& phonetic_options)
     : table_(std::move(table)),
       phonetic_options_(phonetic_options),

@@ -9,7 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "db/table.h"
+#include "db/relation.h"
 #include "phonetics/phonetic_index.h"
 
 namespace muve::nlq {
@@ -39,15 +39,17 @@ struct ColumnMatch {
 /// concurrently with a sync (readers take a shared lock).
 class SchemaIndex {
  public:
-  /// Builds the indexes over `table`'s current contents.
+  /// Builds the indexes over `table`'s current contents. Any Relation —
+  /// a single db::Table or a shard::ShardedTable (whose catalog surface
+  /// presents globally merged vocabularies) — works unchanged.
   /// `phonetic_options` is forwarded to every phonetic index (thread
   /// pool for parallel candidate scoring, brute-force oracle toggle).
-  explicit SchemaIndex(std::shared_ptr<const db::Table> table,
+  explicit SchemaIndex(std::shared_ptr<const db::Relation> table,
                        const phonetics::PhoneticIndexOptions&
                            phonetic_options = {});
 
-  const db::Table& table() const { return *table_; }
-  std::shared_ptr<const db::Table> table_ptr() const { return table_; }
+  const db::Relation& table() const { return *table_; }
+  std::shared_ptr<const db::Relation> table_ptr() const { return table_; }
 
   /// Absorbs string values appended to the table since construction or
   /// the last sync into the value indexes (the distinct-value suffix of
@@ -100,7 +102,7 @@ class SchemaIndex {
                    phonetics::PhoneticIndex& per_column,
                    const std::string& value);
 
-  std::shared_ptr<const db::Table> table_;
+  std::shared_ptr<const db::Relation> table_;
   phonetics::PhoneticIndexOptions phonetic_options_;
 
   // Immutable after construction (the schema is fixed).

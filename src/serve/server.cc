@@ -1,19 +1,51 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
+#include "net/wire.h"
+
 namespace muve::serve {
+namespace {
+
+/// " (remaining X ms < floor Y ms)" — the numbers a caller needs to
+/// tell "sent with too little budget" from "budget drained in queue".
+std::string FloorDetail(double remaining_millis, double floor_millis) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " (remaining %.3f ms < floor %.3f ms)",
+                remaining_millis, floor_millis);
+  return buf;
+}
+
+}  // namespace
 
 Server::Server(std::shared_ptr<const db::Table> table,
                ServerOptions options)
     : options_(options),
       sessions_(std::move(table), options.sessions),
       queue_(options.max_queue_depth),
+      tenants_(options.default_tenant_quota, options.tenant_quotas),
       max_in_flight_(options.max_in_flight > 0
                          ? options.max_in_flight
                          : std::max<size_t>(1, options.num_workers)) {
+  StartWorkers();
+}
+
+Server::Server(std::shared_ptr<const shard::ShardedTable> table,
+               ServerOptions options)
+    : options_(options),
+      sessions_(std::move(table), options.sessions),
+      queue_(options.max_queue_depth),
+      tenants_(options.default_tenant_quota, options.tenant_quotas),
+      max_in_flight_(options.max_in_flight > 0
+                         ? options.max_in_flight
+                         : std::max<size_t>(1, options.num_workers)) {
+  StartWorkers();
+}
+
+void Server::StartWorkers() {
   const size_t workers = std::max<size_t>(1, options_.num_workers);
   pool_ = std::make_unique<ThreadPool>(workers);
   workers_.reserve(workers);
@@ -54,6 +86,20 @@ std::future<Result<ServedAnswer>> Server::Submit(
     }
   }
 
+  // Per-tenant token bucket: a tenant offering above its contracted
+  // rate is clipped here, before it can consume queue slots that
+  // belong to everyone.
+  const std::string tenant = task->request.tenant_id;
+  {
+    const Status quota = tenants_.Admit(tenant);
+    if (!quota.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_quota;
+      task->promise.set_value(quota);
+      return future;
+    }
+  }
+
   // Feasibility floor: a request that cannot possibly be answered in
   // its remaining budget is rejected now — cheaply, at admission —
   // instead of occupying queue and worker capacity to deliver a
@@ -61,10 +107,13 @@ std::future<Result<ServedAnswer>> Server::Submit(
   const Deadline& deadline = task->request.deadline;
   if (options_.feasibility_floor_millis > 0.0 && deadline.IsFinite() &&
       deadline.RemainingMillis() < options_.feasibility_floor_millis) {
+    tenants_.RecordShed(tenant);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.rejected_infeasible;
     task->promise.set_value(Status::Overloaded(
-        "remaining deadline budget below feasibility floor"));
+        "remaining deadline budget below feasibility floor" +
+        FloorDetail(deadline.RemainingMillis(),
+                    options_.feasibility_floor_millis)));
     return future;
   }
 
@@ -72,9 +121,12 @@ std::future<Result<ServedAnswer>> Server::Submit(
   // already queued or executing, attach this one to its flight instead
   // of spending a queue slot and a dispatch on duplicated work. The
   // leader's worker resolves the promise when it fans its answer out.
+  // The key is tenant-prefixed: coalescing across tenants would let a
+  // quota-clipped tenant ride another tenant's admissions.
   if (options_.enable_single_flight && Coalescible(task->request)) {
     task->admitted_millis = NowMillis();
     const std::string key =
+        tenant + '\x1F' +
         MuveEngine::NormalizedTranscriptKey(task->request.transcript);
     FlightTicket ticket = single_flight_.LeadOrAttach(key, &task);
     if (!ticket.led) {
@@ -86,24 +138,40 @@ std::future<Result<ServedAnswer>> Server::Submit(
   }
 
   task->admitted_millis = NowMillis();
-  const Status pushed =
-      queue_.Push(std::move(task), deadline, request_class);
+  const Status pushed = queue_.Push(std::move(task), deadline, request_class,
+                                    tenant, tenants_.Weight(tenant));
   if (!pushed.ok()) {
+    Status reject = pushed;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (pushed.code() == StatusCode::kOverloaded) {
         ++stats_.rejected_queue_full;
+        // The bare "admission queue full" loses what the caller needs
+        // for retry policy: how deep the queue is and how much budget
+        // the request still had when it was turned away.
+        char detail[128];
+        if (deadline.IsFinite()) {
+          std::snprintf(detail, sizeof(detail),
+                        " (depth %zu; remaining deadline budget %.3f ms)",
+                        queue_.max_depth(), deadline.RemainingMillis());
+        } else {
+          std::snprintf(detail, sizeof(detail),
+                        " (depth %zu; deadline unbounded)",
+                        queue_.max_depth());
+        }
+        reject = Status::Overloaded(pushed.message() + detail);
       } else {
         ++stats_.rejected_stopped;
       }
     }
+    tenants_.RecordShed(tenant);
     // Push rejections leave the caller's object intact; release any
     // followers that attached in the window since LeadOrAttach.
     std::vector<TaskPtr> orphans = single_flight_.Close(task->flight);
     for (TaskPtr& orphan : orphans) {
-      ShedTask(*orphan, pushed, &ServerStats::shed_at_dispatch);
+      ShedTask(*orphan, reject, &ServerStats::shed_at_dispatch);
     }
-    task->promise.set_value(pushed);
+    task->promise.set_value(reject);
     return future;
   }
   {
@@ -128,6 +196,7 @@ void Server::WorkerLoop() {
 
 void Server::ShedTask(Task& task, const Status& status,
                       uint64_t ServerStats::*counter) {
+  tenants_.RecordShed(task.request.tenant_id);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++(stats_.*counter);
@@ -161,15 +230,20 @@ void Server::ProcessTask(TaskPtr task) {
   // first follower that can still make its deadline; the rest ride on
   // the promoted execution or are shed with it.
   std::vector<TaskPtr> carried;
+  const auto drained_status = [this](const Deadline& d) {
+    return Status::Overloaded(
+        "deadline budget drained below feasibility floor in queue" +
+        FloorDetail(d.RemainingMillis(), options_.feasibility_floor_millis));
+  };
   if (below_floor(task->request.deadline)) {
-    const Status status = Status::Overloaded(
-        "deadline budget drained below feasibility floor in queue");
     std::vector<TaskPtr> members = single_flight_.Close(task->flight);
-    ShedTask(*task, status, &ServerStats::shed_at_dispatch);
+    ShedTask(*task, drained_status(task->request.deadline),
+             &ServerStats::shed_at_dispatch);
     task.reset();
     for (TaskPtr& member : members) {
       if (below_floor(member->request.deadline)) {
-        ShedTask(*member, status, &ServerStats::shed_at_dispatch);
+        ShedTask(*member, drained_status(member->request.deadline),
+                 &ServerStats::shed_at_dispatch);
       } else if (task == nullptr) {
         task = std::move(member);
       } else {
@@ -199,8 +273,10 @@ void Server::ProcessTask(TaskPtr task) {
       stats_.failed += 1 + followers.size();
     }
     for (TaskPtr& member : followers) {
+      tenants_.RecordShed(member->request.tenant_id);
       member->promise.set_value(result.status());
     }
+    tenants_.RecordShed(task->request.tenant_id);
     task->promise.set_value(result.status());
     return;
   }
@@ -215,9 +291,27 @@ void Server::ProcessTask(TaskPtr task) {
   const Deadline& deadline = task->request.deadline;
   served.deadline_met = !deadline.IsFinite() || !deadline.Expired();
 
+  // Fan out through the stable Answer codec instead of a struct copy:
+  // every follower decodes the same bytes a remote client would
+  // receive, so in-process fan-out and the wire agree by construction
+  // (the golden-file round-trip test pins the format itself).
+  std::string packed;
+  if (!followers.empty()) packed = net::SerializeAnswer(served.answer);
   for (TaskPtr& member : followers) {
+    Result<MuveEngine::Answer> decoded = net::ParseAnswer(packed);
+    if (!decoded.ok()) {
+      // A codec defect, not load: fail the follower with the parse
+      // error rather than inventing an answer.
+      tenants_.RecordShed(member->request.tenant_id);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.failed;
+      }
+      member->promise.set_value(decoded.status());
+      continue;
+    }
     ServedAnswer fanned;
-    fanned.answer = served.answer;
+    fanned.answer = std::move(decoded).value();
     fanned.request_class = member->request_class;
     fanned.shared = true;
     // A follower never queued or executed: its whole life was waiting
@@ -229,6 +323,7 @@ void Server::ProcessTask(TaskPtr task) {
     const Deadline& member_deadline = member->request.deadline;
     fanned.deadline_met =
         !member_deadline.IsFinite() || !member_deadline.Expired();
+    tenants_.RecordCompleted(member->request.tenant_id);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.completed;
@@ -243,6 +338,7 @@ void Server::ProcessTask(TaskPtr task) {
     member->promise.set_value(std::move(fanned));
   }
 
+  tenants_.RecordCompleted(task->request.tenant_id);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.completed;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -19,6 +20,8 @@
 #include "serve/admission_queue.h"
 #include "serve/session_manager.h"
 #include "serve/single_flight.h"
+#include "serve/tenant.h"
+#include "shard/sharded_table.h"
 
 namespace muve::serve {
 
@@ -53,6 +56,12 @@ struct ServerOptions {
   bool enable_single_flight = true;
   /// Session capacity / per-session engine template / RNG seeding.
   SessionManagerOptions sessions;
+  /// Quota and fair-share weight for tenants without an entry in
+  /// `tenant_quotas` (including the default "" tenant). The default is
+  /// unlimited rate, weight 1 — single-tenant callers see no change.
+  TenantQuota default_tenant_quota;
+  /// Per-tenant overrides, keyed by Request::tenant_id.
+  std::unordered_map<std::string, TenantQuota> tenant_quotas;
 };
 
 /// One served answer plus serving-side measurements.
@@ -79,6 +88,8 @@ struct ServerStats {
   uint64_t admitted = 0;
   /// Rejected at admission: queue at max depth.
   uint64_t rejected_queue_full = 0;
+  /// Rejected at admission: the tenant's token bucket was empty.
+  uint64_t rejected_quota = 0;
   /// Rejected at admission: remaining budget below the feasibility
   /// floor.
   uint64_t rejected_infeasible = 0;
@@ -105,9 +116,10 @@ struct ServerStats {
   uint64_t class_submitted[kNumRequestClasses] = {0, 0};
 
   /// Everything shed or rejected for load reasons (not pipeline
-  /// errors): queue-full + infeasible + shed-at-dispatch.
+  /// errors): queue-full + quota + infeasible + shed-at-dispatch.
   uint64_t shed_total() const {
-    return rejected_queue_full + rejected_infeasible + shed_at_dispatch;
+    return rejected_queue_full + rejected_quota + rejected_infeasible +
+           shed_at_dispatch;
   }
 };
 
@@ -129,6 +141,9 @@ struct ServerStats {
 class Server {
  public:
   Server(std::shared_ptr<const db::Table> table, ServerOptions options = {});
+  /// Sharded serving: session engines scatter-gather over the shards.
+  Server(std::shared_ptr<const shard::ShardedTable> table,
+         ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -155,6 +170,14 @@ class Server {
   void Stop();
 
   ServerStats stats() const;
+  /// Funnel counters for one tenant ("" = the default tenant).
+  TenantCounters tenant_counters(const std::string& tenant_id) const {
+    return tenants_.counters(tenant_id);
+  }
+  /// Funnel counters for every tenant seen so far.
+  std::unordered_map<std::string, TenantCounters> tenant_stats() const {
+    return tenants_.all_counters();
+  }
   size_t queue_depth() const { return queue_.depth(); }
   size_t live_sessions() const { return sessions_.live_sessions(); }
   SessionManager& session_manager() { return sessions_; }
@@ -180,6 +203,8 @@ class Server {
   };
   using TaskPtr = std::unique_ptr<Task>;
 
+  /// Shared tail of both constructors: spawn the worker loops.
+  void StartWorkers();
   void WorkerLoop();
   void ProcessTask(TaskPtr task);
   /// Runs the pipeline for `task`: session acquisition, voice RNG
@@ -205,6 +230,7 @@ class Server {
   const ServerOptions options_;
   SessionManager sessions_;
   AdmissionQueue<TaskPtr> queue_;
+  TenantAccountant tenants_;
   SingleFlight<TaskPtr> single_flight_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::future<void>> workers_;

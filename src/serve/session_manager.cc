@@ -23,6 +23,11 @@ SessionManager::SessionManager(std::shared_ptr<const db::Table> table,
                                SessionManagerOptions options)
     : table_(std::move(table)), options_(std::move(options)) {}
 
+SessionManager::SessionManager(
+    std::shared_ptr<const shard::ShardedTable> table,
+    SessionManagerOptions options)
+    : sharded_(std::move(table)), options_(std::move(options)) {}
+
 SessionManager::Handle SessionManager::Acquire(
     const std::string& session_id) {
   {
@@ -36,9 +41,13 @@ SessionManager::Handle SessionManager::Acquire(
   // Construct outside the lock: engine construction probes the table
   // (calibration scan) and builds the speech lexicon — holding the
   // manager mutex for that would stall every concurrent Acquire.
-  auto session = std::make_shared<Session>(
-      session_id, table_, options_.engine,
-      SessionSeed(options_.seed, session_id));
+  const uint64_t seed = SessionSeed(options_.seed, session_id);
+  auto session =
+      sharded_ != nullptr
+          ? std::make_shared<Session>(session_id, sharded_, options_.engine,
+                                      seed)
+          : std::make_shared<Session>(session_id, table_, options_.engine,
+                                      seed);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = sessions_.find(session_id);
   if (it != sessions_.end()) {

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "db/table.h"
 #include "muve/muve_engine.h"
+#include "shard/sharded_table.h"
 
 namespace muve::serve {
 
@@ -56,6 +57,13 @@ class SessionManager {
   struct Session {
     Session(std::string session_id,
             std::shared_ptr<const db::Table> table,
+            const MuveOptions& options, uint64_t rng_seed)
+        : id(std::move(session_id)),
+          engine(std::move(table), options),
+          rng(rng_seed) {}
+
+    Session(std::string session_id,
+            std::shared_ptr<const shard::ShardedTable> table,
             const MuveOptions& options, uint64_t rng_seed)
         : id(std::move(session_id)),
           engine(std::move(table), options),
@@ -123,6 +131,10 @@ class SessionManager {
 
   SessionManager(std::shared_ptr<const db::Table> table,
                  SessionManagerOptions options = {});
+  /// Sharded serving: every session engine scatter-gathers over the
+  /// shards instead of scanning one table.
+  SessionManager(std::shared_ptr<const shard::ShardedTable> table,
+                 SessionManagerOptions options = {});
 
   /// Returns a pinned handle for `session_id`, creating the session on
   /// first use (which may evict the least recently used idle session at
@@ -157,7 +169,9 @@ class SessionManager {
     std::list<std::string>::iterator lru_it;
   };
 
+  /// Exactly one of the two is set (see the constructors).
   const std::shared_ptr<const db::Table> table_;
+  const std::shared_ptr<const shard::ShardedTable> sharded_;
   const SessionManagerOptions options_;
   mutable std::mutex mutex_;
   /// Front = most recently used session id.

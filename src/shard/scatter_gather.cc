@@ -1,0 +1,111 @@
+#include "shard/scatter_gather.h"
+
+#include <utility>
+#include <vector>
+
+namespace muve::shard {
+
+namespace {
+
+/// Whether the shard scans run as parallel tasks on `options.shard_pool`.
+bool ShardParallel(const ShardedSnapshot& snapshot,
+                   const ScatterOptions& options) {
+  return options.shard_pool != nullptr &&
+         options.shard_pool->num_threads() >= 2 &&
+         snapshot.shards.size() >= 2;
+}
+
+/// Per-shard executor options under shard-level parallelism: the shard
+/// task itself is the unit of parallelism, so row partitioning inside it
+/// is disabled.
+db::ExecutorOptions ShardTaskOptions(const db::ExecutorOptions& base) {
+  db::ExecutorOptions options = base;
+  options.pool = nullptr;
+  return options;
+}
+
+}  // namespace
+
+Result<db::AggregateResult> ScatterGather::Execute(
+    const ShardedSnapshot& snapshot, const db::AggregateQuery& query,
+    const ScatterOptions& options) {
+  if (snapshot.shards.empty()) {
+    return Status::InvalidArgument("scatter needs at least one shard");
+  }
+  if (snapshot.shards.size() == 1) {
+    // The single-table oracle path, byte for byte.
+    return db::Executor::Execute(snapshot.shards[0], query, options.executor);
+  }
+
+  const size_t num_shards = snapshot.shards.size();
+  std::vector<Result<db::AggregatePartial>> partials;
+  partials.assign(num_shards, db::AggregatePartial{});
+  if (ShardParallel(snapshot, options)) {
+    const db::ExecutorOptions task_options =
+        ShardTaskOptions(options.executor);
+    ParallelFor(options.shard_pool, num_shards, 1,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  (void)chunk;
+                  for (size_t s = begin; s < end; ++s) {
+                    partials[s] = db::Executor::ExecutePartial(
+                        snapshot.shards[s], query, task_options);
+                  }
+                });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      partials[s] = db::Executor::ExecutePartial(snapshot.shards[s], query,
+                                                 options.executor);
+    }
+  }
+
+  db::AggregatePartial total;
+  for (size_t s = 0; s < num_shards; ++s) {
+    MUVE_RETURN_NOT_OK(partials[s].status());
+    db::Executor::MergePartial(*partials[s], &total);
+  }
+  return db::Executor::FinishAggregate(query.function, total);
+}
+
+Result<db::GroupByResult> ScatterGather::ExecuteGrouped(
+    const ShardedSnapshot& snapshot, const db::GroupByQuery& query,
+    const ScatterOptions& options) {
+  if (snapshot.shards.empty()) {
+    return Status::InvalidArgument("scatter needs at least one shard");
+  }
+  if (snapshot.shards.size() == 1) {
+    return db::Executor::ExecuteGrouped(snapshot.shards[0], query,
+                                        options.executor);
+  }
+
+  const size_t num_shards = snapshot.shards.size();
+  std::vector<Result<db::GroupedPartial>> partials;
+  partials.assign(num_shards, db::GroupedPartial{});
+  if (ShardParallel(snapshot, options)) {
+    const db::ExecutorOptions task_options =
+        ShardTaskOptions(options.executor);
+    ParallelFor(options.shard_pool, num_shards, 1,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  (void)chunk;
+                  for (size_t s = begin; s < end; ++s) {
+                    partials[s] = db::Executor::ExecuteGroupedPartial(
+                        snapshot.shards[s], query, task_options);
+                  }
+                });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      partials[s] = db::Executor::ExecuteGroupedPartial(
+          snapshot.shards[s], query, options.executor);
+    }
+  }
+
+  db::GroupedPartial total = db::Executor::MakeGroupedIdentity(query);
+  size_t rows_scanned = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    MUVE_RETURN_NOT_OK(partials[s].status());
+    db::Executor::MergePartial(*partials[s], &total);
+    rows_scanned += snapshot.shards[s].num_rows();
+  }
+  return db::Executor::FinishGrouped(query, total, rows_scanned);
+}
+
+}  // namespace muve::shard

@@ -1,0 +1,58 @@
+#ifndef MUVE_SHARD_SCATTER_GATHER_H_
+#define MUVE_SHARD_SCATTER_GATHER_H_
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "db/executor.h"
+#include "shard/sharded_table.h"
+
+namespace muve::shard {
+
+/// Controls one scatter-gather execution.
+struct ScatterOptions {
+  /// Per-shard executor configuration (cache, vectorization, deadline,
+  /// row-partitioning pool). The result cache may be shared across
+  /// shards — entries key on each shard table's own id.
+  db::ExecutorOptions executor;
+  /// Pool for shard-level parallelism: with >= 2 shards, per-shard scans
+  /// run as parallel tasks on this pool and `executor.pool` is ignored
+  /// for them (one level of parallelism at a time — shard tasks never
+  /// nest row partitioning). Null scans the shards serially, each shard
+  /// free to row-partition on `executor.pool`.
+  ThreadPool* shard_pool = nullptr;
+};
+
+/// Scatter-gather execution over a sharded snapshot.
+///
+/// Merge contract: every shard scan produces the same partial-aggregate
+/// state a single-table scan produces per storage segment
+/// (`db::AggregatePartial` / `db::GroupedPartial`), and the per-shard
+/// partials are folded **in shard order** with the same merge arithmetic
+/// the executor applies to its per-segment partials. COUNT/MIN/MAX are
+/// order-invariant and exact; double SUM/AVG accumulate in a fixed
+/// deterministic order, so a given shard layout always reproduces its own
+/// results bit-for-bit. Across *different* shard counts the grouping of
+/// the same additions changes; for sums that are exactly representable
+/// (integer data, dyadic-grid doubles within range) the result is
+/// bit-identical to the unsharded scan — the shard differential suite
+/// asserts exactly that — while arbitrary doubles may differ in the last
+/// bit, as in any distributed aggregation.
+///
+/// A single-shard snapshot takes `db::Executor`'s single-table path
+/// unchanged, which is the oracle the differential suites compare
+/// against. Errors surface deterministically: the first failing shard in
+/// shard order wins.
+class ScatterGather {
+ public:
+  static Result<db::AggregateResult> Execute(
+      const ShardedSnapshot& snapshot, const db::AggregateQuery& query,
+      const ScatterOptions& options = {});
+
+  static Result<db::GroupByResult> ExecuteGrouped(
+      const ShardedSnapshot& snapshot, const db::GroupByQuery& query,
+      const ScatterOptions& options = {});
+};
+
+}  // namespace muve::shard
+
+#endif  // MUVE_SHARD_SCATTER_GATHER_H_

@@ -1,0 +1,313 @@
+#include "shard/sharded_table.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace muve::shard {
+
+namespace {
+
+/// Process-wide id source for sharded tables. Seeded far from db::Table's
+/// counter so a sharded table's id can never collide with a shard's own
+/// table id in logs; caches only ever key on the shard tables' ids.
+uint64_t NextShardedTableId() {
+  static std::atomic<uint64_t> next{1};
+  return (uint64_t{1} << 32) + next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// FNV-1a 64-bit.
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t hash = 1469598103934665603ull) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+inline uint64_t HashValue(const db::Value& value, db::ValueType type) {
+  switch (type) {
+    case db::ValueType::kInt64: {
+      const int64_t v = value.is_int64() ? value.AsInt64() : 0;
+      return Fnv1a(&v, sizeof(v));
+    }
+    case db::ValueType::kDouble: {
+      // Hash the bit pattern of the schema-normalized double so int64
+      // literals appended to a DOUBLE column route like their promoted
+      // value.
+      const double v =
+          value.is_string() ? 0.0 : value.AsDouble();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      return Fnv1a(&bits, sizeof(bits));
+    }
+    case db::ValueType::kString: {
+      if (!value.is_string()) return Fnv1a(nullptr, 0);
+      const std::string& s = value.AsString();
+      return Fnv1a(s.data(), s.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+ShardedTable::ShardedTable(std::string name,
+                           std::vector<db::ColumnSpec> schema,
+                           ShardedTableOptions options,
+                           std::vector<std::shared_ptr<db::Table>> shards)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(std::move(options)),
+      id_(NextShardedTableId()),
+      shards_(std::move(shards)),
+      stats_(schema_.size()) {
+  if (!options_.hash_column.empty()) {
+    for (size_t i = 0; i < schema_.size(); ++i) {
+      if (EqualsIgnoreCase(schema_[i].name, options_.hash_column)) {
+        hash_column_index_ = i;
+        break;
+      }
+    }
+  }
+}
+
+Result<std::shared_ptr<ShardedTable>> ShardedTable::Create(
+    std::string name, const std::vector<db::ColumnSpec>& schema,
+    ShardedTableOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("sharded table '" + name +
+                                   "' needs at least one shard");
+  }
+  if (!options.hash_column.empty()) {
+    bool found = false;
+    for (const db::ColumnSpec& spec : schema) {
+      if (EqualsIgnoreCase(spec.name, options.hash_column)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("hash column '" + options.hash_column +
+                                     "' not in schema of table '" + name +
+                                     "'");
+    }
+  }
+  options.range_stripe_rows = std::max<size_t>(1, options.range_stripe_rows);
+  std::vector<std::shared_ptr<db::Table>> shards;
+  shards.reserve(options.num_shards);
+  for (size_t i = 0; i < options.num_shards; ++i) {
+    MUVE_ASSIGN_OR_RETURN(
+        std::shared_ptr<db::Table> shard,
+        db::Table::Create(name + "#" + std::to_string(i), schema,
+                          options.shard_options));
+    shards.push_back(std::move(shard));
+  }
+  return std::shared_ptr<ShardedTable>(new ShardedTable(
+      std::move(name), schema, std::move(options), std::move(shards)));
+}
+
+Result<std::shared_ptr<ShardedTable>> ShardedTable::FromTable(
+    const db::Table& source, ShardedTableOptions options) {
+  MUVE_ASSIGN_OR_RETURN(
+      std::shared_ptr<ShardedTable> sharded,
+      Create(source.name(), source.schema(), std::move(options)));
+  const db::TableSnapshot snapshot = source.Snapshot();
+  std::vector<db::Value> row(source.num_columns());
+  for (size_t r = 0; r < snapshot.num_rows(); ++r) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      row[c] = snapshot.ValueAt(r, c);
+    }
+    MUVE_RETURN_NOT_OK(sharded->AppendRow(row));
+  }
+  sharded->Flush();
+  return sharded;
+}
+
+Result<size_t> ShardedTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (EqualsIgnoreCase(schema_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in table '" + name_ +
+                          "'");
+}
+
+std::vector<std::string> ShardedTable::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(schema_.size());
+  for (const auto& spec : schema_) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<std::string> ShardedTable::ColumnNamesOfType(
+    db::ValueType type) const {
+  std::vector<std::string> names;
+  for (const auto& spec : schema_) {
+    if (spec.type == type) names.push_back(spec.name);
+  }
+  return names;
+}
+
+size_t ShardedTable::DistinctCount(size_t index) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const ColumnStats& stats = stats_[index];
+  switch (schema_[index].type) {
+    case db::ValueType::kInt64:
+      return stats.int_seen.size();
+    case db::ValueType::kDouble:
+      return stats.double_seen.size();
+    case db::ValueType::kString:
+      return stats.string_values.size();
+  }
+  return 0;
+}
+
+std::vector<std::string> ShardedTable::StringValues(size_t index) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_[index].string_values;
+}
+
+std::vector<std::string> ShardedTable::StringValues(
+    const std::string& name) const {
+  auto index = ColumnIndex(name);
+  if (!index.ok()) return {};
+  return StringValues(*index);
+}
+
+size_t ShardedTable::RouteAt(uint64_t seq,
+                             const std::vector<db::Value>& values) const {
+  if (shards_.size() == 1) return 0;
+  switch (options_.partitioning) {
+    case Partitioning::kHash: {
+      uint64_t hash = 0;
+      if (hash_column_index_ != SIZE_MAX &&
+          hash_column_index_ < values.size()) {
+        hash = HashValue(values[hash_column_index_],
+                         schema_[hash_column_index_].type);
+      } else {
+        hash = Fnv1a(&seq, sizeof(seq));
+      }
+      return static_cast<size_t>(hash % shards_.size());
+    }
+    case Partitioning::kRange: {
+      const uint64_t stripe = seq / options_.range_stripe_rows;
+      return static_cast<size_t>(stripe % shards_.size());
+    }
+  }
+  return 0;
+}
+
+size_t ShardedTable::RouteRow(const std::vector<db::Value>& values) const {
+  return RouteAt(num_rows_.load(std::memory_order_acquire), values);
+}
+
+Status ShardedTable::AppendRow(const std::vector<db::Value>& values) {
+  const uint64_t seq = num_rows_.load(std::memory_order_relaxed);
+  const size_t target = RouteAt(seq, values);
+  MUVE_RETURN_NOT_OK(shards_[target]->AppendRow(values));
+  {
+    // The shard validated and normalized the row; track global distincts
+    // with the same normalization (int64 promotes on DOUBLE columns).
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (size_t i = 0; i < values.size(); ++i) {
+      ColumnStats& stats = stats_[i];
+      switch (schema_[i].type) {
+        case db::ValueType::kInt64:
+          stats.int_seen.insert(values[i].AsInt64());
+          break;
+        case db::ValueType::kDouble:
+          stats.double_seen.insert(values[i].AsDouble());
+          break;
+        case db::ValueType::kString:
+          if (stats.string_seen.insert(values[i].AsString()).second) {
+            stats.string_values.push_back(values[i].AsString());
+          }
+          break;
+      }
+    }
+  }
+  num_rows_.fetch_add(1, std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+ShardedSnapshot ShardedTable::Snapshot() const {
+  ShardedSnapshot snapshot;
+  snapshot.version = version_.load(std::memory_order_acquire);
+  snapshot.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snapshot.shards.push_back(shard->Snapshot());
+  }
+  return snapshot;
+}
+
+db::Value ShardedTable::ValueAt(size_t row, size_t col) const {
+  for (const auto& shard : shards_) {
+    const db::TableSnapshot snapshot = shard->Snapshot();
+    if (row < snapshot.num_rows()) return snapshot.ValueAt(row, col);
+    row -= snapshot.num_rows();
+  }
+  return db::Value();
+}
+
+void ShardedTable::RebuildStats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.assign(schema_.size(), ColumnStats());
+  size_t rows = 0;
+  for (const auto& shard : shards_) {
+    const db::TableSnapshot snapshot = shard->Snapshot();
+    rows += snapshot.num_rows();
+    for (size_t r = 0; r < snapshot.num_rows(); ++r) {
+      for (size_t c = 0; c < schema_.size(); ++c) {
+        const db::Value value = snapshot.ValueAt(r, c);
+        ColumnStats& stats = stats_[c];
+        switch (schema_[c].type) {
+          case db::ValueType::kInt64:
+            stats.int_seen.insert(value.AsInt64());
+            break;
+          case db::ValueType::kDouble:
+            stats.double_seen.insert(value.AsDouble());
+            break;
+          case db::ValueType::kString:
+            if (stats.string_seen.insert(value.AsString()).second) {
+              stats.string_values.push_back(value.AsString());
+            }
+            break;
+        }
+      }
+    }
+  }
+  num_rows_.store(rows, std::memory_order_release);
+  version_.store(rows, std::memory_order_release);
+}
+
+std::shared_ptr<ShardedTable> ShardedTable::Sample(double fraction) const {
+  std::vector<std::shared_ptr<db::Table>> sampled;
+  sampled.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    sampled.push_back(shard->Sample(fraction));
+  }
+  std::shared_ptr<ShardedTable> out(new ShardedTable(
+      name_ + "_sample", schema_, options_, std::move(sampled)));
+  out->RebuildStats();
+  return out;
+}
+
+void ShardedTable::Flush() {
+  for (const auto& shard : shards_) shard->Flush();
+}
+
+void ShardedTable::Compact() {
+  for (const auto& shard : shards_) shard->Compact();
+}
+
+void ShardedTable::EnableBackgroundCompaction(ThreadPool* pool) {
+  for (const auto& shard : shards_) shard->EnableBackgroundCompaction(pool);
+}
+
+}  // namespace muve::shard

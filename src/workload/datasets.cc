@@ -212,7 +212,7 @@ Result<std::shared_ptr<Table>> MakeDataset(std::string_view name,
   return Status::NotFound("unknown dataset '" + std::string(name) + "'");
 }
 
-std::vector<std::string> BuildVocabulary(const Table& table) {
+std::vector<std::string> BuildVocabulary(const db::Relation& table) {
   std::vector<std::string> vocabulary;
   for (size_t c = 0; c < table.num_columns(); ++c) {
     const db::ColumnSpec& spec = table.spec(c);

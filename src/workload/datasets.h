@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "db/relation.h"
 #include "db/table.h"
 
 namespace muve::workload {
@@ -41,9 +42,9 @@ std::shared_ptr<db::Table> Make311Table(size_t num_rows, Rng* rng);
 /// Flight-delays table (the paper's largest dataset).
 std::shared_ptr<db::Table> MakeFlightsTable(size_t num_rows, Rng* rng);
 
-/// All schema element names and categorical values of a table: the
-/// vocabulary MUVE indexes phonetically (paper §3).
-std::vector<std::string> BuildVocabulary(const db::Table& table);
+/// All schema element names and categorical values of a relation (single
+/// or sharded table): the vocabulary MUVE indexes phonetically (paper §3).
+std::vector<std::string> BuildVocabulary(const db::Relation& table);
 
 }  // namespace muve::workload
 

@@ -101,6 +101,7 @@ double Percentile(std::vector<double>* sorted_in_place, double p) {
 Request MakeRequest(const PlannedRequest& planned,
                     const LoadOptions& options) {
   Request request = Request::Text(planned.utterance);
+  request.tenant_id = options.tenant_id;
   if (std::isfinite(options.deadline_millis)) {
     request.deadline = Deadline::AfterMillis(options.deadline_millis);
   }
@@ -360,6 +361,7 @@ Result<LoadReport> RunLoadImpl(serve::Server* server, const db::Table& table,
   delta.admitted = after.admitted - stats_before.admitted;
   delta.rejected_queue_full =
       after.rejected_queue_full - stats_before.rejected_queue_full;
+  delta.rejected_quota = after.rejected_quota - stats_before.rejected_quota;
   delta.rejected_infeasible =
       after.rejected_infeasible - stats_before.rejected_infeasible;
   delta.rejected_stopped =
@@ -442,6 +444,7 @@ std::string LoadReport::ToJson(const std::string& indent) const {
   out << deep << "\"admitted\": " << server.admitted << ",\n";
   out << deep << "\"rejected_queue_full\": " << server.rejected_queue_full
       << ",\n";
+  out << deep << "\"rejected_quota\": " << server.rejected_quota << ",\n";
   out << deep << "\"rejected_infeasible\": " << server.rejected_infeasible
       << ",\n";
   out << deep << "\"rejected_stopped\": " << server.rejected_stopped

@@ -43,6 +43,11 @@ struct LoadOptions {
   /// fresh random query — repeats exercise the session caches and give
   /// concurrent single-flight collisions something to coalesce.
   double repeat_probability = 0.3;
+  /// Tenant id stamped on every request of this campaign (empty = the
+  /// default tenant). Concurrent campaigns with different tenant ids
+  /// against one server exercise quota clipping and weighted fair
+  /// dequeue — the tenant-isolation benchmark runs exactly that.
+  std::string tenant_id;
   uint64_t seed = 1;
   /// Streaming ingest: > 0 runs one writer thread for the duration of
   /// the campaign, appending synthesized rows to the serving table at

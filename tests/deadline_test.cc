@@ -775,14 +775,14 @@ TEST(DeadlineMuveTest, DegradedRequestsNeverPoisonSessionCaches) {
 
   // The follow-up unconstrained request recomputes the full pipeline —
   // no memo hit, no capped candidate set replay.
-  auto second = engine.AskText("how many complaints in brooklyn");
+  auto second = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(second.ok());
   EXPECT_FALSE(second->degradation.degraded());
   EXPECT_EQ(engine.cache_stats().plans.hits, 0u);
   EXPECT_GT(second->candidates.size(), first->candidates.size());
 
   // The clean run memoizes; a third request replays it.
-  auto third = engine.AskText("how many complaints in brooklyn");
+  auto third = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(third.ok());
   EXPECT_EQ(engine.cache_stats().plans.hits, 1u);
 }

@@ -788,8 +788,8 @@ TEST_F(DifferentialTest, MuvePipelineCachedVsUncachedReplay) {
     MuveEngine uncached(table, uncached_options);
 
     for (const char* phase : {"cold", "warm"}) {
-      const auto expected = uncached.AskText(utterance);
-      const auto actual = cached.AskText(utterance);
+      const auto expected = uncached.Ask(Request::Text(utterance));
+      const auto actual = cached.Ask(Request::Text(utterance));
       ASSERT_EQ(expected.ok(), actual.ok())
           << "seed " << seed << " " << phase << " \"" << utterance << "\"";
       if (!expected.ok()) break;

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end smoke over a real socket: start muve_serve as a separate
+# process on an ephemeral port, drive it with muve_loadgen over TCP,
+# and require every request to come back (completed or deliberately
+# shed — transport or protocol failures fail the test). Registered as
+# a tier1 ctest; scripts/check.sh runs it with every suite.
+#
+# Usage: e2e_smoke.sh <muve_serve_binary> <muve_loadgen_binary>
+set -u
+
+SERVE_BIN="${1:?usage: e2e_smoke.sh <muve_serve> <muve_loadgen>}"
+LOADGEN_BIN="${2:?usage: e2e_smoke.sh <muve_serve> <muve_loadgen>}"
+
+WORKDIR="$(mktemp -d)"
+SERVER_OUT="$WORKDIR/server.out"
+SERVER_PID=""
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# Small table + 2 shards: the networked path exercises scatter-gather
+# serving, not just the single-table oracle.
+"$SERVE_BIN" --port=0 --rows=1500 --seed=7 --num_shards=2 --workers=2 \
+  >"$SERVER_OUT" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "LISTENING port=N" once the socket is ready.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^LISTENING port=\([0-9][0-9]*\)$/\1/p' "$SERVER_OUT" |
+    head -n 1)"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server exited before listening" >&2
+    cat "$SERVER_OUT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: server never announced its port" >&2
+  cat "$SERVER_OUT" >&2
+  exit 1
+fi
+
+"$LOADGEN_BIN" --connect=127.0.0.1:"$PORT" --rows=1500 --seed=7 \
+  --requests=30 --clients=3 --json="$WORKDIR/report.json"
+LOADGEN_RC=$?
+if [ "$LOADGEN_RC" -ne 0 ]; then
+  echo "FAIL: loadgen exited $LOADGEN_RC" >&2
+  cat "$SERVER_OUT" >&2
+  exit "$LOADGEN_RC"
+fi
+
+# A clean loadgen exit means zero protocol/transport errors; also
+# require that the server actually answered (at this closed-loop load
+# nothing should shed, so all-shed would mean a broken serving path).
+COMPLETED="$(sed -n 's/.*"completed": \([0-9][0-9]*\),*/\1/p' \
+  "$WORKDIR/report.json" | head -n 1)"
+if [ -z "$COMPLETED" ] || [ "$COMPLETED" -eq 0 ]; then
+  echo "FAIL: no requests completed (answered QPS is zero)" >&2
+  cat "$WORKDIR/report.json" >&2
+  cat "$SERVER_OUT" >&2
+  exit 1
+fi
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_RC=$?
+SERVER_PID=""
+if [ "$SERVER_RC" -ne 0 ]; then
+  echo "FAIL: server exited $SERVER_RC on SIGTERM" >&2
+  cat "$SERVER_OUT" >&2
+  exit "$SERVER_RC"
+fi
+
+echo "PASS: e2e smoke (port $PORT)"

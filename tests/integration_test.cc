@@ -37,7 +37,7 @@ TEST_P(DatasetPipelineTest, GroundTruthRecoverableThroughCleanPipeline) {
   for (size_t i = 0; i < trials; ++i) {
     auto truth = workload::RandomQuery(*table, &rng, gen_options);
     ASSERT_TRUE(truth.ok());
-    auto answer = engine.AskText(nlq::VerbalizeQuery(*truth));
+    auto answer = engine.Ask(Request::Text(nlq::VerbalizeQuery(*truth)));
     if (!answer.ok()) continue;
     const std::string truth_key = truth->CanonicalKey();
     for (size_t c = 0; c < answer->candidates.size(); ++c) {
@@ -84,7 +84,7 @@ TEST(IntegrationTest, NoisyPipelineBenefitsFromMultiplots) {
     auto truth = workload::RandomQuery(*table, &rng, gen_options);
     ASSERT_TRUE(truth.ok());
     auto answer =
-        engine.AskVoice(nlq::VerbalizeQuery(*truth), &rng, noise);
+        engine.Ask(Request::Voice(nlq::VerbalizeQuery(*truth), &rng, noise));
     if (!answer.ok()) continue;
     ++answered;
     const std::string truth_key = truth->CanonicalKey();
@@ -137,7 +137,7 @@ TEST(IntegrationTest, UserStudyLoopOnPlannedMultiplot) {
   // model's prediction.
   auto table = *workload::MakeDataset("nyc311", 5000, 38);
   MuveEngine engine(table);
-  auto answer = engine.AskText("how many complaints in brooklyn");
+  auto answer = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(answer.ok());
 
   user::UserBehaviorModel behavior;

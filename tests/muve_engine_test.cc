@@ -28,7 +28,7 @@ std::shared_ptr<db::Table> Table311() {
 
 TEST(MuveEngineTest, AskTextEndToEnd) {
   MuveEngine engine(Table311());
-  auto answer = engine.AskText("how many complaints in brooklyn");
+  auto answer = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(answer->base_query.function, db::AggregateFunction::kCount);
   EXPECT_GE(answer->candidates.size(), 2u);
@@ -47,7 +47,7 @@ TEST(MuveEngineTest, AskTextEndToEnd) {
 TEST(MuveEngineTest, MultiplotValuesMatchDirectExecution) {
   auto table = Table311();
   MuveEngine engine(table);
-  auto answer = engine.AskText("how many complaints in brooklyn");
+  auto answer = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(answer.ok());
   auto direct = db::Executor::Execute(*table, answer->base_query);
   ASSERT_TRUE(direct.ok());
@@ -66,8 +66,8 @@ TEST(MuveEngineTest, AskVoiceWithNoiseStillAnswers) {
   noise.substitution_rate = 0.3;
   int answered = 0;
   for (int i = 0; i < 10; ++i) {
-    auto answer = engine.AskVoice("how many noise complaints in brooklyn",
-                                  &rng, noise);
+    auto answer = engine.Ask(Request::Voice("how many noise complaints in brooklyn",
+                                  &rng, noise));
     if (answer.ok()) ++answered;
   }
   // Noise may occasionally destroy the utterance beyond recognition, but
@@ -85,7 +85,7 @@ TEST(MuveEngineTest, IlpModePlansValidMultiplots) {
   options.planner.timeout_ms = 1500.0;
   options.generation.max_candidates = 12;  // Keep the ILP small.
   MuveEngine engine(Table311(), options);
-  auto answer = engine.AskText("how many complaints in brooklyn");
+  auto answer = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(answer.ok());
   EXPECT_FALSE(answer->plan.multiplot.empty());
   EXPECT_TRUE(
@@ -94,7 +94,7 @@ TEST(MuveEngineTest, IlpModePlansValidMultiplots) {
 
 TEST(MuveEngineTest, AnswerRendersAsAscii) {
   MuveEngine engine(Table311());
-  auto answer = engine.AskText("average open hours for noise in queens");
+  auto answer = engine.Ask(Request::Text("average open hours for noise in queens"));
   ASSERT_TRUE(answer.ok());
   const std::string text = viz::RenderMultiplot(
       answer->plan.multiplot, {.use_color = false});
@@ -103,7 +103,7 @@ TEST(MuveEngineTest, AnswerRendersAsAscii) {
 
 TEST(MuveEngineTest, RejectsUnlinkableUtterance) {
   MuveEngine engine(Table311());
-  EXPECT_FALSE(engine.AskText("zzz qqq xxx").ok());
+  EXPECT_FALSE(engine.Ask(Request::Text("zzz qqq xxx")).ok());
 }
 
 // ---------------------------------------------------------------------
@@ -119,7 +119,7 @@ TEST(MuveEngineTest, AskVoiceUntranslatableTranscriptFailsGracefully) {
   speech::SpeechNoiseOptions no_noise;
   no_noise.substitution_rate = 0.0;
   no_noise.deletion_rate = 0.0;
-  auto answer = engine.AskVoice("zzz qqq xxx", &rng, no_noise);
+  auto answer = engine.Ask(Request::Voice("zzz qqq xxx", &rng, no_noise));
   EXPECT_FALSE(answer.ok());
   EXPECT_FALSE(answer.status().message().empty());
 }
@@ -136,7 +136,7 @@ TEST(MuveEngineTest, AskVoiceEmptyCandidateSetYieldsEmptyMultiplot) {
   no_noise.substitution_rate = 0.0;
   no_noise.deletion_rate = 0.0;
   auto answer =
-      engine.AskVoice("how many complaints in brooklyn", &rng, no_noise);
+      engine.Ask(Request::Voice("how many complaints in brooklyn", &rng, no_noise));
   ASSERT_TRUE(answer.ok());
   EXPECT_TRUE(answer->candidates.empty());
   EXPECT_TRUE(answer->plan.multiplot.empty());
@@ -157,7 +157,7 @@ TEST(MuveEngineTest, AskVoiceIlpTimeoutFallsBackToIncumbent) {
   no_noise.substitution_rate = 0.0;
   no_noise.deletion_rate = 0.0;
   auto answer =
-      engine.AskVoice("how many complaints in brooklyn", &rng, no_noise);
+      engine.Ask(Request::Voice("how many complaints in brooklyn", &rng, no_noise));
   ASSERT_TRUE(answer.ok());
   EXPECT_TRUE(answer->plan.timed_out);
   EXPECT_TRUE(
@@ -168,7 +168,7 @@ TEST(MuveEngineTest, AmbiguousQueryCoversMultipleInterpretations) {
   // "heating" has the deliberate near-homophone "heeding": both
   // interpretations should make it into the multiplot.
   MuveEngine engine(Table311());
-  auto answer = engine.AskText("how many heating complaints");
+  auto answer = engine.Ask(Request::Text("how many heating complaints"));
   ASSERT_TRUE(answer.ok());
   bool heating_exists = false;
   bool heeding_exists = false;
@@ -247,7 +247,7 @@ TEST(MuveEngineTest, AskVoiceEqualsAskWithVoiceRequest) {
 
 TEST(MuveEngineTest, StageTimingsSumToPipelineMillis) {
   MuveEngine engine(Table311());
-  auto answer = engine.AskText("how many complaints in brooklyn");
+  auto answer = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(answer->timings.asr_millis, 0.0);  // Text request: no ASR.
   EXPECT_GT(answer->timings.translate_millis, 0.0);
@@ -256,7 +256,7 @@ TEST(MuveEngineTest, StageTimingsSumToPipelineMillis) {
                    answer->timings.PipelineMillis());
 
   Rng rng(7);
-  auto voiced = engine.AskVoice("how many complaints in brooklyn", &rng);
+  auto voiced = engine.Ask(Request::Voice("how many complaints in brooklyn", &rng));
   ASSERT_TRUE(voiced.ok());
   EXPECT_GE(voiced->timings.asr_millis, 0.0);
   // ASR stays out of the pipeline figure (it is upstream of MUVE).
@@ -281,9 +281,9 @@ TEST(MuveEngineTest, UseIlpOverrideNeverTouchesPlanMemo) {
   EXPECT_EQ(engine.cache_stats().plans.lookups(), 0u);
 
   // The session default still memoizes as before.
-  auto classic = engine.AskText("how many complaints in brooklyn");
+  auto classic = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(classic.ok());
-  auto replay = engine.AskText("how many complaints in brooklyn");
+  auto replay = engine.Ask(Request::Text("how many complaints in brooklyn"));
   ASSERT_TRUE(replay.ok());
   EXPECT_EQ(engine.cache_stats().plans.hits, 1u);
 }
@@ -359,7 +359,7 @@ void StressAsk(const std::vector<std::string>& utterances,
       MuveEngine* engine = engine_for(t);
       for (size_t i = 0; i < iters; ++i) {
         const size_t pick = (t + i) % utterances.size();
-        auto answer = engine->AskText(utterances[pick]);
+        auto answer = engine->Ask(Request::Text(utterances[pick]));
         std::string failure;
         if (!answer.ok()) {
           failure = "thread " + std::to_string(t) + ": " +
@@ -388,7 +388,7 @@ TEST(MuveEngineConcurrencyTest, SharedEngineConcurrentAskMatchesSerial) {
   MuveEngine reference(table, options);
   std::vector<std::string> expected;
   for (const std::string& utterance : utterances) {
-    auto answer = reference.AskText(utterance);
+    auto answer = reference.Ask(Request::Text(utterance));
     ASSERT_TRUE(answer.ok()) << utterance;
     expected.push_back(AnswerDigest(*answer));
   }
@@ -412,7 +412,7 @@ TEST(MuveEngineConcurrencyTest, DistinctEnginesConcurrentAskMatchesSerial) {
   MuveEngine reference(table, options);
   std::vector<std::string> expected;
   for (const std::string& utterance : utterances) {
-    auto answer = reference.AskText(utterance);
+    auto answer = reference.Ask(Request::Text(utterance));
     ASSERT_TRUE(answer.ok()) << utterance;
     expected.push_back(AnswerDigest(*answer));
   }
@@ -449,8 +449,8 @@ TEST(MuveEngineConcurrencyTest, SharedEngineConcurrentVoiceAsk) {
     callers.emplace_back([&, t] {
       Rng rng(1000 + t);
       for (size_t i = 0; i < iters; ++i) {
-        auto answer = shared.AskVoice(
-            "how many noise complaints in brooklyn", &rng, noise);
+        auto answer = shared.Ask(Request::Voice(
+            "how many noise complaints in brooklyn", &rng, noise));
         if (answer.ok()) answered.fetch_add(1, std::memory_order_relaxed);
       }
     });

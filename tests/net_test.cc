@@ -1,0 +1,474 @@
+/// Tests for the wire format and the TCP transport (src/net/):
+/// primitive round-trips (bit-exact doubles, bounds-checked reads), the
+/// table-driven StatusCode <-> wire error-code mapping over every
+/// status code, Request/Answer/ServedAnswer codec round-trips (via
+/// serialize -> parse -> reserialize byte equality on real pipeline
+/// answers), a checked-in golden file pinning the v1 Answer encoding,
+/// and an in-process Listener + Client end-to-end exchange over a real
+/// loopback socket — including a quota rejection whose kOverloaded
+/// status crosses the wire intact.
+///
+/// Regenerate the golden file after an intentional format change with
+///   MUVE_WRITE_GOLDEN=1 ./net_test --gtest_filter='*Golden*'
+/// (a version bump, since v1 bytes are a compatibility contract).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "muve/muve_engine.h"
+#include "net/client.h"
+#include "net/listener.h"
+#include "net/wire.h"
+#include "serve/server.h"
+#include "workload/datasets.h"
+
+namespace muve::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------
+
+TEST(WirePrimitivesTest, RoundTripsEveryPrimitive) {
+  WireWriter w;
+  w.PutU8(0xAB);
+  w.PutBool(true);
+  w.PutBool(false);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutDouble(-0.0);
+  w.PutString("hello wire");
+  w.PutString("");  // Empty strings are legal.
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_FALSE(r.ReadBool().value());
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  const double negative_zero = r.ReadDouble().value();
+  EXPECT_EQ(negative_zero, 0.0);
+  EXPECT_TRUE(std::signbit(negative_zero));  // -0.0 survives, bit-exact.
+  EXPECT_EQ(r.ReadString().value(), "hello wire");
+  EXPECT_EQ(r.ReadString().value(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WirePrimitivesTest, DoublesAreBitExactIncludingNaNPayloads) {
+  // Doubles travel as their IEEE-754 bit pattern: infinities, subnormals
+  // and NaN payload bits all round-trip exactly.
+  const uint64_t nan_payload_bits = 0x7FF800000000BEEFull;
+  double weird_nan;
+  static_assert(sizeof(weird_nan) == sizeof(nan_payload_bits));
+  std::memcpy(&weird_nan, &nan_payload_bits, sizeof(weird_nan));
+  const double cases[] = {std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(), weird_nan};
+  for (const double value : cases) {
+    WireWriter w;
+    w.PutDouble(value);
+    WireReader r(w.bytes());
+    const double back = r.ReadDouble().value();
+    uint64_t value_bits = 0, back_bits = 0;
+    std::memcpy(&value_bits, &value, sizeof(value));
+    std::memcpy(&back_bits, &back, sizeof(back));
+    EXPECT_EQ(value_bits, back_bits);
+  }
+}
+
+TEST(WirePrimitivesTest, TruncatedBuffersFailWithParseError) {
+  WireWriter w;
+  w.PutU64(7);
+  w.PutString("abcdef");
+  const std::string& full = w.bytes();
+  // Every proper prefix must fail cleanly on some read, never crash or
+  // fabricate data.
+  for (size_t len = 0; len < full.size(); ++len) {
+    WireReader r(std::string_view(full.data(), len));
+    const auto u = r.ReadU64();
+    if (!u.ok()) {
+      EXPECT_EQ(u.status().code(), StatusCode::kParseError);
+      continue;
+    }
+    const auto s = r.ReadString();
+    ASSERT_FALSE(s.ok()) << "prefix " << len;
+    EXPECT_EQ(s.status().code(), StatusCode::kParseError);
+  }
+  // A string whose declared length exceeds the buffer also fails.
+  WireWriter lying;
+  lying.PutU32(1000);
+  lying.PutRaw("short");
+  WireReader r(lying.bytes());
+  const auto s = r.ReadString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------
+// StatusCode <-> wire error code.
+// ---------------------------------------------------------------------
+
+struct StatusCodeCase {
+  StatusCode code;
+  uint8_t wire;
+};
+
+/// Every StatusCode with its frozen wire value. Append-only: new codes
+/// get new wire values; these assignments never change.
+constexpr StatusCodeCase kStatusCodeCases[] = {
+    {StatusCode::kOk, 0},
+    {StatusCode::kInvalidArgument, 1},
+    {StatusCode::kNotFound, 2},
+    {StatusCode::kOutOfRange, 3},
+    {StatusCode::kFailedPrecondition, 4},
+    {StatusCode::kUnimplemented, 5},
+    {StatusCode::kTimeout, 6},
+    {StatusCode::kInternal, 7},
+    {StatusCode::kParseError, 8},
+    {StatusCode::kInfeasible, 9},
+    {StatusCode::kUnbounded, 10},
+    {StatusCode::kOverloaded, 11},
+};
+
+TEST(StatusWireTest, EveryStatusCodeRoundTripsThroughItsFrozenWireValue) {
+  for (const StatusCodeCase& c : kStatusCodeCases) {
+    EXPECT_EQ(WireErrorCode(c.code), c.wire);
+    const auto back = StatusCodeFromWire(c.wire);
+    ASSERT_TRUE(back.ok()) << "wire code " << int(c.wire);
+    EXPECT_EQ(*back, c.code);
+  }
+}
+
+TEST(StatusWireTest, UnknownWireCodesFailWithParseError) {
+  for (const uint8_t wire : {uint8_t{12}, uint8_t{100}, uint8_t{255}}) {
+    const auto decoded = StatusCodeFromWire(wire);
+    ASSERT_FALSE(decoded.ok()) << int(wire);
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(StatusWireTest, EncodeDecodeCarriesCodeAndMessage) {
+  for (const StatusCodeCase& c : kStatusCodeCases) {
+    const Status original =
+        c.code == StatusCode::kOk
+            ? Status::OK()
+            : Status(c.code, "detail for code " + std::to_string(c.wire));
+    WireWriter w;
+    EncodeStatus(original, &w);
+    WireReader r(w.bytes());
+    Status decoded;
+    ASSERT_TRUE(DecodeStatus(&r, &decoded).ok());
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Request codec.
+// ---------------------------------------------------------------------
+
+TEST(RequestCodecTest, TextRequestRoundTripsWithAllControls) {
+  Request request = Request::Text("show me complaints in queens");
+  request.tenant_id = "tenant-a";
+  request.bypass_cache = true;
+  request.use_ilp = false;
+
+  const auto parsed = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->transcript, request.transcript);
+  EXPECT_FALSE(parsed->voice);
+  EXPECT_EQ(parsed->tenant_id, "tenant-a");
+  EXPECT_TRUE(parsed->bypass_cache);
+  ASSERT_TRUE(parsed->use_ilp.has_value());
+  EXPECT_FALSE(*parsed->use_ilp);
+  EXPECT_FALSE(parsed->deadline.IsFinite());
+  // In-process-only hooks never cross the wire.
+  EXPECT_EQ(parsed->rng, nullptr);
+  EXPECT_FALSE(static_cast<bool>(parsed->stage_observer));
+}
+
+TEST(RequestCodecTest, VoiceRequestCarriesUtteranceAndNoise) {
+  Rng rng(7);
+  speech::SpeechNoiseOptions noise;
+  noise.substitution_rate = 0.25;
+  noise.deletion_rate = 0.05;
+  noise.confusion_k = 3;
+  Request request = Request::Voice("average delay in brooklyn", &rng, noise);
+
+  const auto parsed = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->voice);
+  EXPECT_EQ(parsed->utterance, "average delay in brooklyn");
+  EXPECT_EQ(parsed->noise.substitution_rate, 0.25);
+  EXPECT_EQ(parsed->noise.deletion_rate, 0.05);
+  EXPECT_EQ(parsed->noise.confusion_k, 3u);
+  // The sender's RNG pointer is meaningless in the receiving process;
+  // the serving side re-seeds from the session stream.
+  EXPECT_EQ(parsed->rng, nullptr);
+}
+
+TEST(RequestCodecTest, FiniteDeadlineTravelsAsRemainingBudget) {
+  Request request = Request::Text("count complaints");
+  request.deadline = Deadline::AfterMillis(5000.0);
+  const auto parsed = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->deadline.IsFinite());
+  // Re-anchored on the receiver's clock: remaining budget is preserved
+  // up to the (tiny) serialize/parse latency.
+  const double remaining = parsed->deadline.RemainingMillis();
+  EXPECT_GT(remaining, 3000.0);
+  EXPECT_LE(remaining, 5000.0 + 1.0);
+
+  Request unbounded = Request::Text("count complaints");
+  const auto parsed_unbounded = ParseRequest(SerializeRequest(unbounded));
+  ASSERT_TRUE(parsed_unbounded.ok());
+  EXPECT_FALSE(parsed_unbounded->deadline.IsFinite());
+}
+
+TEST(RequestCodecTest, GarbageAndTruncationFailWithParseError) {
+  EXPECT_EQ(ParseRequest("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseRequest("\xFFgarbage").status().code(),
+            StatusCode::kParseError);
+  const std::string full =
+      SerializeRequest(Request::Text("show me complaints"));
+  for (size_t len = 0; len < full.size(); ++len) {
+    const auto parsed = ParseRequest(std::string_view(full.data(), len));
+    ASSERT_FALSE(parsed.ok()) << "prefix " << len;
+  }
+  // Trailing bytes after a complete message are a framing bug upstream.
+  EXPECT_FALSE(ParseRequest(full + "x").ok());
+}
+
+// ---------------------------------------------------------------------
+// Answer codec.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<db::Table> TestTable() {
+  Rng rng(777);
+  return workload::Make311Table(1500, &rng);
+}
+
+/// A real pipeline answer with its wall-clock fields zeroed — everything
+/// left is a deterministic function of the (seeded) table and the
+/// transcript, which makes serialized bytes reproducible run to run.
+MuveEngine::Answer DeterministicAnswer(const std::string& transcript) {
+  MuveEngine engine(TestTable());
+  auto answer = engine.Ask(Request::Text(transcript));
+  EXPECT_TRUE(answer.ok()) << transcript;
+  answer->timings = StageTimings{};
+  answer->pipeline_millis = 0.0;
+  answer->plan.optimize_millis = 0.0;
+  answer->execution.measured_millis = 0.0;
+  // Modeled time scales by a per-process cost-model calibration.
+  answer->execution.modeled_millis = 0.0;
+  return *std::move(answer);
+}
+
+TEST(AnswerCodecTest, PipelineAnswerReserializesByteIdentically) {
+  // Serialize -> parse -> reserialize is a fixed point: if the parse
+  // dropped or perturbed any field the second serialization would
+  // differ somewhere in the bytes.
+  const MuveEngine::Answer answer =
+      DeterministicAnswer("how many complaints in brooklyn");
+  const std::string first = SerializeAnswer(answer);
+  const auto parsed = ParseAnswer(first);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->transcript, answer.transcript);
+  EXPECT_EQ(parsed->base_query.ToSql(), answer.base_query.ToSql());
+  EXPECT_EQ(parsed->candidates.size(), answer.candidates.size());
+  EXPECT_EQ(SerializeAnswer(*parsed), first);
+}
+
+TEST(AnswerCodecTest, ServedAnswerRoundTripsServingMeasurements) {
+  serve::ServedAnswer served;
+  served.answer = DeterministicAnswer("average open hours for noise in queens");
+  served.request_class = serve::RequestClass::kReplay;
+  served.shared = true;
+  served.queue_millis = 1.5;
+  served.service_millis = 12.25;
+  served.total_millis = 13.75;
+  served.deadline_met = false;
+
+  const std::string bytes = SerializeServedAnswer(served);
+  const auto parsed = ParseServedAnswer(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->request_class, serve::RequestClass::kReplay);
+  EXPECT_TRUE(parsed->shared);
+  EXPECT_EQ(parsed->queue_millis, 1.5);
+  EXPECT_EQ(parsed->service_millis, 12.25);
+  EXPECT_EQ(parsed->total_millis, 13.75);
+  EXPECT_FALSE(parsed->deadline_met);
+  EXPECT_EQ(SerializeServedAnswer(*parsed), bytes);
+}
+
+#ifndef MUVE_GOLDEN_DIR
+#define MUVE_GOLDEN_DIR "tests/golden"
+#endif
+
+TEST(AnswerCodecTest, GoldenFilePinsTheV1Encoding) {
+  // The golden file freezes the v1 Answer bytes: a codec change that
+  // silently re-encodes existing fields breaks old readers even when
+  // round-trip tests still pass, and this test is what catches it.
+  const std::string path =
+      std::string(MUVE_GOLDEN_DIR) + "/answer_v1.bin";
+  const MuveEngine::Answer answer =
+      DeterministicAnswer("how many complaints in brooklyn");
+  const std::string bytes = SerializeAnswer(answer);
+
+  if (std::getenv("MUVE_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with MUVE_WRITE_GOLDEN=1)";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string golden = contents.str();
+  // The golden still parses (compatibility), and today's encoder still
+  // produces exactly those bytes (stability).
+  const auto parsed = ParseAnswer(golden);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->transcript, answer.transcript);
+  EXPECT_EQ(bytes, golden);
+}
+
+// ---------------------------------------------------------------------
+// Listener + Client end-to-end over loopback.
+// ---------------------------------------------------------------------
+
+class LoopbackTest : public ::testing::Test {
+ protected:
+  void StartServer(serve::ServerOptions options = {}) {
+    options.num_workers = 2;
+    server_ = std::make_unique<serve::Server>(TestTable(), options);
+    listener_ = std::make_unique<Listener>(server_.get());
+    ASSERT_TRUE(listener_->Start().ok());
+    ASSERT_NE(listener_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (listener_ != nullptr) listener_->Shutdown();
+    if (server_ != nullptr) server_->Drain();
+  }
+
+  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<Listener> listener_;
+};
+
+TEST_F(LoopbackTest, PingAndAskOverARealSocket) {
+  StartServer();
+  auto client = Client::Connect("127.0.0.1", listener_->port());
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  ASSERT_TRUE(client->Ping().ok());
+
+  const auto served = client->Ask(Request::Text("how many complaints in brooklyn"));
+  ASSERT_TRUE(served.ok()) << served.status().message();
+  EXPECT_FALSE(served->answer.transcript.empty());
+  EXPECT_FALSE(served->answer.base_query.table.empty());
+  EXPECT_GE(served->service_millis, 0.0);
+
+  // The networked answer is byte-identical to the in-process answer for
+  // the same transcript (single codec, shared serving pipeline) — up to
+  // the serving-side wall-clock measurements, which we zero on both.
+  auto direct = server_->Ask(
+      "direct-session", Request::Text("how many complaints in brooklyn"));
+  ASSERT_TRUE(direct.ok());
+  auto normalize = [](MuveEngine::Answer answer) {
+    answer.timings = StageTimings{};
+    answer.pipeline_millis = 0.0;
+    answer.plan.optimize_millis = 0.0;
+    answer.execution.measured_millis = 0.0;
+    answer.execution.modeled_millis = 0.0;
+    return SerializeAnswer(answer);
+  };
+  EXPECT_EQ(normalize(served->answer), normalize(direct->answer));
+
+  const ListenerStats stats = listener_->stats();
+  EXPECT_GE(stats.connections_accepted, 1u);
+  EXPECT_GE(stats.requests_served, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST_F(LoopbackTest, QuotaRejectionCrossesTheWireAsOverloaded) {
+  serve::ServerOptions options;
+  // One token, a refill rate that cannot restore it within the test:
+  // the first request is admitted, the second is a deterministic quota
+  // rejection.
+  options.tenant_quotas["metered"] = {/*rate_qps=*/0.001, /*burst=*/1.0,
+                                      /*weight=*/1.0};
+  StartServer(options);
+  auto client = Client::Connect("127.0.0.1", listener_->port());
+  ASSERT_TRUE(client.ok());
+
+  Request request = Request::Text("how many complaints in brooklyn");
+  request.tenant_id = "metered";
+  ASSERT_TRUE(client->Ask(request).ok());
+
+  const auto rejected = client->Ask(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  // The tenant and its contract survive the encode/decode round trip.
+  EXPECT_NE(rejected.status().message().find("metered"), std::string::npos)
+      << rejected.status().message();
+  EXPECT_NE(rejected.status().message().find("over quota"),
+            std::string::npos)
+      << rejected.status().message();
+
+  // The connection survives an application-level rejection: the same
+  // client keeps working as another tenant.
+  EXPECT_TRUE(
+      client->Ask(Request::Text("how many complaints in brooklyn")).ok());
+}
+
+TEST_F(LoopbackTest, ConcurrentClientsGetConsistentAnswers) {
+  StartServer();
+  const uint16_t port = listener_->port();
+  constexpr int kClients = 4;
+  std::vector<std::string> serialized(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = Client::Connect("127.0.0.1", port);
+      if (!client.ok()) return;
+      auto served = client->Ask(Request::Text("average open hours for noise in queens"));
+      if (!served.ok()) return;
+      auto answer = std::move(served->answer);
+      answer.timings = StageTimings{};
+      answer.pipeline_millis = 0.0;
+      answer.plan.optimize_millis = 0.0;
+      answer.execution.measured_millis = 0.0;
+      answer.execution.modeled_millis = 0.0;
+      serialized[i] = SerializeAnswer(answer);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(serialized[i].empty()) << "client " << i;
+    EXPECT_EQ(serialized[i], serialized[0]) << "client " << i;
+  }
+}
+
+}  // namespace
+}  // namespace muve::net

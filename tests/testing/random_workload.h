@@ -38,6 +38,14 @@ struct RandomTableOptions {
   /// (where per-run dictionaries, cache partials, and batch tiling all
   /// restart) and cached replays have run partials to hit.
   size_t flush_threshold = 256;
+  /// Draw double values on a dyadic grid (multiples of 2^-10 within
+  /// +/-500) instead of the continuous range. Every partial sum of such
+  /// values is exactly representable, so SUM/AVG become associativity-
+  /// independent: any regrouping of the additions — different shard
+  /// counts, partition grains, merge orders — must produce bit-identical
+  /// results, letting differential suites assert byte equality where
+  /// arbitrary doubles would only allow a tolerance.
+  bool dyadic_doubles = false;
 };
 
 /// Short pronounceable-ish vocabulary entries: "v<k>_<column>".
@@ -98,6 +106,10 @@ inline std::shared_ptr<db::Table> RandomTable(
     for (size_t c = 0; c < num_numeric; ++c) {
       if (numeric_is_int[c]) {
         row.emplace_back(rng->UniformInRange(-1000, 1000));
+      } else if (options.dyadic_doubles) {
+        row.emplace_back(
+            static_cast<double>(rng->UniformInRange(-512000, 512000)) /
+            1024.0);
       } else {
         row.emplace_back(rng->UniformDouble(-500.0, 500.0));
       }
