@@ -83,6 +83,15 @@ if [[ -f build/BENCH_ingest.json ]]; then
   cat build/BENCH_ingest.json
 fi
 
+# The bench_dist_smoke tier1 test wrote distributed scatter-gather
+# stats (routed vs local QPS/p99 at 1/2/4 loopback shard endpoints with
+# bitwise-identical answers, and the straggler p99 with hedging off vs
+# on); surface them.
+if [[ -f build/BENCH_dist.json ]]; then
+  echo "==> Distributed scatter-gather smoke stats (build/BENCH_dist.json)"
+  cat build/BENCH_dist.json
+fi
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> Skipping ThreadSanitizer pass (--skip-tsan)"
   exit 0

@@ -1,0 +1,152 @@
+#ifndef MUVE_DIST_COORDINATOR_H_
+#define MUVE_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "dist/connection_pool.h"
+#include "net/wire.h"
+#include "shard/scatter_gather.h"
+
+namespace muve::dist {
+
+/// Tuning of the coordinator's downstream behavior. The defaults suit
+/// same-host/same-rack shard servers (the deployment the benches model);
+/// every limit exists so that no single slow or dead downstream can ever
+/// stall a gather past the request deadline.
+struct CoordinatorOptions {
+  /// Bound on each connection attempt.
+  double connect_timeout_ms = 250.0;
+  /// Per-attempt cap on waiting for a shard's response. Also the
+  /// effective bound when the request deadline is infinite.
+  double request_timeout_ms = 1000.0;
+  /// Additional attempts after the first failed one (transport errors
+  /// and per-attempt timeouts retry; application errors do not — they
+  /// are deterministic).
+  int max_retries = 2;
+  /// Backoff before retry r (1-based): retry_backoff_ms * 2^(r-1).
+  double retry_backoff_ms = 10.0;
+  /// After a shard has been silent this long within an attempt, send a
+  /// duplicate request on a second pooled connection and take whichever
+  /// response lands first (the straggler insurance that caps tail
+  /// latency). <= 0 disables hedging.
+  double hedge_delay_ms = 0.0;
+  /// Idle connections kept per downstream.
+  size_t pool_size = 4;
+  /// Consecutive transport failures before a downstream is ejected.
+  int eject_after_failures = 3;
+  /// How long an ejected downstream fails fast before the next request
+  /// is allowed through as a re-probe.
+  double reprobe_after_ms = 500.0;
+  /// Clock for timeouts/backoff/ejection windows (tests inject a fake;
+  /// null uses the monotonic clock).
+  const ClockSource* clock = nullptr;
+};
+
+/// Per-downstream operational counters (cumulative since construction).
+struct ShardCounters {
+  uint64_t requests = 0;     ///< Gather legs addressed to this shard.
+  uint64_t retries = 0;      ///< Re-sent attempts after a failure.
+  uint64_t hedges = 0;       ///< Duplicate sends fired by the hedge timer.
+  uint64_t hedge_wins = 0;   ///< Hedged sends that answered first.
+  uint64_t timeouts = 0;     ///< Attempts cut by the per-attempt timer.
+  uint64_t transport_errors = 0;  ///< Connect/send/recv/EOF failures.
+  uint64_t ejections = 0;    ///< Times the breaker opened.
+  uint64_t fast_failures = 0;  ///< Legs failed instantly while ejected.
+  uint64_t dropped = 0;      ///< Legs that gave up (stripe degraded).
+};
+
+struct DistStats {
+  std::vector<ShardCounters> shards;
+};
+
+/// The router's downstream half: a shard::PartialBackend over N shard
+/// servers speaking kPartialQuery/kPartialResult. One gather serializes
+/// the query once, scatters it to every shard on pooled non-blocking
+/// connections, and multiplexes the waits in a single poll(2) loop —
+/// per-attempt timeouts, bounded retries with exponential backoff, and
+/// optional hedged sends all run off that loop, so a straggling or dead
+/// shard costs its own stripe (a dropped outcome) and never the gather.
+///
+/// Health: consecutive transport failures open a per-downstream breaker
+/// (ejection); while open, legs to that shard fail fast as dropped.
+/// After `reprobe_after_ms` the next leg is let through as the re-probe
+/// and a success closes the breaker.
+///
+/// Thread-safe: concurrent gathers from different serving threads share
+/// the pools, breakers, and counters.
+class Coordinator : public shard::PartialBackend {
+ public:
+  explicit Coordinator(std::vector<Endpoint> endpoints,
+                       CoordinatorOptions options = {});
+
+  // --- shard::PartialBackend ------------------------------------------
+
+  size_t num_shards() const override { return shards_.size(); }
+
+  std::vector<Result<AggregateOutcome>> ExecutePartialAll(
+      const db::AggregateQuery& query, const Deadline& deadline) override;
+  std::vector<Result<GroupedOutcome>> ExecuteGroupedPartialAll(
+      const db::GroupByQuery& query, const Deadline& deadline) override;
+
+  // --- Operational surface --------------------------------------------
+
+  /// Ping/Pong round trip to one downstream within `timeout_ms`.
+  Status Ping(size_t shard, double timeout_ms);
+  /// Pings every downstream; first failure in shard order wins.
+  Status PingAll(double per_shard_timeout_ms);
+
+  DistStats stats() const;
+  /// The stats as a JSON document (the kStats reply payload).
+  std::string StatsJson() const;
+
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  /// Mutable per-downstream state: its pool, breaker, and counters.
+  struct Shard {
+    explicit Shard(Endpoint endpoint, const CoordinatorOptions& options)
+        : pool(std::move(endpoint), options.pool_size,
+               options.connect_timeout_ms) {}
+
+    ConnectionPool pool;
+    mutable std::mutex mutex;  ///< Guards the fields below.
+    int consecutive_failures = 0;
+    double ejected_until_ms = -std::numeric_limits<double>::infinity();
+    bool ejected = false;
+    ShardCounters counters;
+  };
+
+  /// One gather leg's terminal state.
+  struct Reply {
+    Status error = Status::OK();  ///< Hard (deterministic) failure.
+    net::PartialResult result;
+    bool dropped = false;  ///< Gave up in time; stripe degrades.
+  };
+
+  /// Scatters `payload` (a serialized PartialQuery) to every shard and
+  /// multiplexes the gather; always returns num_shards() replies.
+  std::vector<Reply> Gather(const std::string& payload,
+                            const Deadline& deadline);
+
+  /// Breaker bookkeeping (called with shard.mutex held by the helpers).
+  bool EjectedNow(Shard& shard, double now_ms);
+  void RecordFailure(Shard& shard, double now_ms);
+  void RecordSuccess(Shard& shard);
+
+  double NowMs() const { return clock_->NowMillis(); }
+
+  CoordinatorOptions options_;
+  const ClockSource* clock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace muve::dist
+
+#endif  // MUVE_DIST_COORDINATOR_H_

@@ -22,34 +22,46 @@ namespace {
 struct UnitOutcome {
   Status status;
   std::vector<std::pair<size_t, double>> values;
+  /// Remote shard stripes dropped from this unit's gather.
+  size_t shards_dropped = 0;
 };
 
 /// How one unit's scan draws from the shared pool: `db_options.pool` row-
 /// partitions a single-table (or single-shard) scan; `shard_pool` runs
 /// shard scans as parallel tasks. At most one of the two is ever set —
-/// one level of parallelism at a time.
+/// one level of parallelism at a time. `backend`, when set, sources the
+/// shard partials remotely (the router path); `stats` receives its drop
+/// counts.
 Result<db::AggregateResult> ExecuteSingle(const ScanTarget& target,
                                           const db::AggregateQuery& query,
                                           const db::ExecutorOptions& db_options,
-                                          ThreadPool* shard_pool) {
+                                          ThreadPool* shard_pool,
+                                          shard::PartialBackend* backend = nullptr,
+                                          shard::ScatterStats* stats = nullptr) {
   if (!target.is_sharded()) {
     return db::Executor::Execute(target.single, query, db_options);
   }
   shard::ScatterOptions scatter;
   scatter.executor = db_options;
   scatter.shard_pool = shard_pool;
+  scatter.backend = backend;
+  scatter.stats = stats;
   return shard::ScatterGather::Execute(target.sharded, query, scatter);
 }
 
 Result<db::GroupByResult> ExecuteGroupedTarget(
     const ScanTarget& target, const db::GroupByQuery& query,
-    const db::ExecutorOptions& db_options, ThreadPool* shard_pool) {
+    const db::ExecutorOptions& db_options, ThreadPool* shard_pool,
+    shard::PartialBackend* backend = nullptr,
+    shard::ScatterStats* stats = nullptr) {
   if (!target.is_sharded()) {
     return db::Executor::ExecuteGrouped(target.single, query, db_options);
   }
   shard::ScatterOptions scatter;
   scatter.executor = db_options;
   scatter.shard_pool = shard_pool;
+  scatter.backend = backend;
+  scatter.stats = stats;
   return shard::ScatterGather::ExecuteGrouped(target.sharded, query, scatter);
 }
 
@@ -57,11 +69,15 @@ UnitOutcome ExecuteUnit(const MergeUnit& unit, const ScanTarget& target,
                         const core::CandidateSet& candidates, bool sampled,
                         double sample_fraction,
                         const db::ExecutorOptions& db_options,
-                        ThreadPool* shard_pool = nullptr) {
+                        ThreadPool* shard_pool = nullptr,
+                        shard::PartialBackend* backend = nullptr) {
   UnitOutcome out;
+  shard::ScatterStats scatter_stats;
   if (unit.merged) {
-    Result<db::GroupByResult> result = ExecuteGroupedTarget(
-        target, unit.group_query, db_options, shard_pool);
+    Result<db::GroupByResult> result =
+        ExecuteGroupedTarget(target, unit.group_query, db_options, shard_pool,
+                             backend, &scatter_stats);
+    out.shards_dropped = scatter_stats.shards_dropped;
     if (!result.ok()) {
       out.status = result.status();
       return out;
@@ -80,8 +96,10 @@ UnitOutcome ExecuteUnit(const MergeUnit& unit, const ScanTarget& target,
       }
     }
   } else {
-    Result<db::AggregateResult> result = ExecuteSingle(
-        target, candidates[unit.candidate].query, db_options, shard_pool);
+    Result<db::AggregateResult> result =
+        ExecuteSingle(target, candidates[unit.candidate].query, db_options,
+                      shard_pool, backend, &scatter_stats);
+    out.shards_dropped = scatter_stats.shards_dropped;
     if (!result.ok()) {
       out.status = result.status();
       return out;
@@ -209,6 +227,12 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
       SnapshotTarget(std::clamp(sample_fraction, 0.0, 1.0), &target);
   out.snapshot_version = target.version();
 
+  // Remote partials apply only to the primary sharded table: samples are
+  // local tables the router materialized itself (the shard servers hold
+  // full-resolution stripes, not samples).
+  shard::PartialBackend* const backend =
+      (!sampled && target.is_sharded()) ? options_.remote_backend : nullptr;
+
   const std::vector<MergeUnit> units = PlanMergedExecution(
       candidates, subset, *relation_, estimator_, options_.enable_merging);
   out.queries_issued = units.size();
@@ -235,9 +259,9 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     for (const MergeUnit& unit : units) {
       futures.push_back(pool_->Submit([&unit, &target, &candidates,
                                        sampled, sample_fraction,
-                                       unit_options] {
+                                       unit_options, backend] {
         return ExecuteUnit(unit, target, candidates, sampled,
-                           sample_fraction, unit_options);
+                           sample_fraction, unit_options, nullptr, backend);
       }));
     }
     std::vector<UnitOutcome> outcomes;
@@ -248,6 +272,7 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     // Apply in unit order; report the first error in unit order, which
     // is the status the serial loop would have returned.
     for (const UnitOutcome& outcome : outcomes) {
+      out.shards_dropped += outcome.shards_dropped;
       MUVE_RETURN_NOT_OK(outcome.status);
       for (const auto& [idx, value] : outcome.values) {
         out.values[idx] = value;
@@ -269,7 +294,8 @@ Result<Execution> Engine::Execute(const core::CandidateSet& candidates,
     for (const MergeUnit& unit : units) {
       const UnitOutcome outcome =
           ExecuteUnit(unit, target, candidates, sampled, sample_fraction,
-                      db_options, shard_pool);
+                      db_options, shard_pool, backend);
+      out.shards_dropped += outcome.shards_dropped;
       MUVE_RETURN_NOT_OK(outcome.status);
       for (const auto& [idx, value] : outcome.values) {
         out.values[idx] = value;
@@ -323,6 +349,8 @@ Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
   }
 
   const double sample_fraction = controls.sample_fraction;
+  shard::PartialBackend* const backend =
+      (!sampled && target.is_sharded()) ? options_.remote_backend : nullptr;
   auto run_unit = [&](size_t u) -> UnitOutcome {
     if (u != base_unit && controls.deadline.Expired()) {
       UnitOutcome skipped;
@@ -333,7 +361,7 @@ Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
     return ExecuteUnit(units[u], target, candidates, sampled,
                        sample_fraction,
                        u == base_unit ? base_options : rest_options,
-                       u == base_unit ? base_shard_pool : nullptr);
+                       u == base_unit ? base_shard_pool : nullptr, backend);
   };
 
   std::vector<UnitOutcome> outcomes(units.size());
@@ -360,6 +388,7 @@ Status Engine::ExecuteUnitsBounded(const std::vector<MergeUnit>& units,
 
   for (size_t u = 0; u < units.size(); ++u) {
     const UnitOutcome& outcome = outcomes[u];
+    out->shards_dropped += outcome.shards_dropped;
     if (!outcome.status.ok()) {
       if (outcome.status.code() == StatusCode::kTimeout && u != base_unit) {
         ++out->units_dropped;

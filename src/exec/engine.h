@@ -18,6 +18,7 @@
 #include "db/snapshot.h"
 #include "db/table.h"
 #include "exec/merger.h"
+#include "shard/scatter_gather.h"
 #include "shard/sharded_table.h"
 
 namespace muve::exec {
@@ -53,6 +54,15 @@ struct EngineOptions {
   /// db::ExecutorOptions::vectorize). Byte-identical results either way;
   /// `false` runs the scalar value-at-a-time oracle path.
   bool vectorize = true;
+  /// Remote source of shard partials (dist::Coordinator). Applies only
+  /// to full-fraction scans of a sharded engine's primary table — the
+  /// router keeps its own copy of the data, so sampled/degraded scans
+  /// and the calibration probe stay local. The gather arithmetic is
+  /// unchanged (shard::ScatterGather folds the remote partials in shard
+  /// order), so routed values are byte-identical to in-process sharded
+  /// execution; dropped shards surface in Execution::shards_dropped.
+  /// Must outlive the engine.
+  shard::PartialBackend* remote_backend = nullptr;
 };
 
 /// Per-call execution controls (request-scoped), the deadline-aware
@@ -93,6 +103,10 @@ struct Execution {
   size_t plots_dropped = 0;
   /// True when the deadline cut this execution short.
   bool deadline_hit = false;
+  /// Shard stripes excluded from the merge because their (remote) shard
+  /// server could not deliver a partial in time — the answer's values
+  /// cover the surviving stripes only. Always 0 for local execution.
+  size_t shards_dropped = 0;
   /// Table version of the snapshot every scan of this execution ran
   /// against: one Execute call reads one consistent version even while
   /// a writer appends concurrently, and all values of one answer (every

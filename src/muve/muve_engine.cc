@@ -50,6 +50,7 @@ std::string Degradation::Describe() const {
   if (ilp_fell_back) flags.push_back("ilp-fell-back");
   if (base_only_fallback) flags.push_back("base-only-fallback");
   if (units_dropped > 0) flags.push_back("units-dropped");
+  if (shards_dropped > 0) flags.push_back("shards-dropped");
   if (!flags.empty()) {
     text += " [";
     for (size_t i = 0; i < flags.size(); ++i) {
@@ -333,13 +334,14 @@ Result<MuveEngine::Answer> MuveEngine::Ask(const Request& request) {
   degradation.units_dropped = answer.execution.units_dropped;
   degradation.bars_dropped = answer.execution.bars_dropped;
   degradation.plots_dropped = answer.execution.plots_dropped;
+  degradation.shards_dropped = answer.execution.shards_dropped;
 
   const bool front_degraded =
       degradation.candidates_capped || degradation.plan_truncated ||
       degradation.ilp_fell_back || degradation.base_only_fallback;
   if (degradation.base_only_fallback || answer.execution.deadline_hit) {
     degradation.rung = Degradation::Rung::kBaseOnly;
-  } else if (front_degraded) {
+  } else if (front_degraded || degradation.shards_dropped > 0) {
     degradation.rung = Degradation::Rung::kDegradedPlan;
   } else {
     degradation.rung = Degradation::Rung::kExact;
@@ -349,7 +351,8 @@ Result<MuveEngine::Answer> MuveEngine::Ask(const Request& request) {
   // request must not replay them); execution drops also skip the store
   // because ExecuteMultiplot pruned the plan's unexecuted bars in place.
   if (!replayed && memo_eligible && !front_degraded &&
-      !answer.execution.deadline_hit) {
+      !answer.execution.deadline_hit &&
+      answer.execution.shards_dropped == 0) {
     PlanMemoEntry memo;
     memo.base_query = answer.base_query;
     memo.base_confidence = answer.base_confidence;

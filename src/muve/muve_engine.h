@@ -159,6 +159,10 @@ struct Degradation {
   size_t units_dropped = 0;
   size_t bars_dropped = 0;
   size_t plots_dropped = 0;
+  /// Remote shard stripes that missed the deadline during routed
+  /// execution: the plotted values cover the surviving stripes only
+  /// (see exec::Execution::shards_dropped). Always 0 in-process.
+  size_t shards_dropped = 0;
 
   bool degraded() const { return rung != Rung::kExact; }
 

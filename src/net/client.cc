@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "net/protocol.h"
+#include "net/socket.h"
 #include "net/wire.h"
 
 namespace muve::net {
@@ -28,28 +29,10 @@ Client& Client::operator=(Client&& other) noexcept {
   return *this;
 }
 
-Result<Client> Client::Connect(const std::string& host, uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string target = (host == "localhost") ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("cannot parse IPv4 address: " + host);
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket failed: ") +
-                            std::strerror(errno));
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status status = Status::Internal(
-        "connect to " + target + ":" + std::to_string(port) +
-        " failed: " + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               double connect_timeout_ms) {
+  MUVE_ASSIGN_OR_RETURN(const int fd,
+                        ConnectFd(host, port, connect_timeout_ms));
   return Client(fd);
 }
 
@@ -118,6 +101,26 @@ Status Client::Ping() {
     return Status::ParseError("expected Pong");
   }
   return Status::OK();
+}
+
+Result<std::string> Client::Stats() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  Status sent = WriteFrame(fd_, FrameType::kStats, "");
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Frame frame;
+  Result<bool> more = ReadFrame(fd_, &frame);
+  if (!more.ok()) {
+    Close();
+    return more.status();
+  }
+  if (!more.value() || frame.type != FrameType::kStats) {
+    Close();
+    return Status::ParseError("expected Stats reply");
+  }
+  return std::move(frame.payload);
 }
 
 }  // namespace muve::net

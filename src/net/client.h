@@ -28,7 +28,12 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  static Result<Client> Connect(const std::string& host, uint16_t port);
+  /// `connect_timeout_ms > 0` bounds the connection attempt (an
+  /// unresponsive peer yields Status::Timeout instead of hanging on the
+  /// kernel's default, which can be minutes); <= 0 keeps the plain
+  /// blocking connect.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                double connect_timeout_ms = 0.0);
 
   bool connected() const { return fd_ >= 0; }
 
@@ -42,6 +47,11 @@ class Client {
 
   /// Round-trips a Ping/Pong frame.
   Status Ping();
+
+  /// Fetches the server's operational stats (a JSON document): a
+  /// muve_router answers its per-shard coordinator counters, a plain
+  /// server "{}".
+  Result<std::string> Stats();
 
   void Close();
 

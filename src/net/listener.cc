@@ -148,6 +148,14 @@ void Listener::ServeConnection(uint64_t conn_id, int fd) {
       case FrameType::kRequest:
         keep = HandleRequest(session_id, fd, frame);
         break;
+      case FrameType::kPartialQuery:
+        keep = HandlePartialQuery(fd, frame);
+        break;
+      case FrameType::kStats:
+        keep = WriteFrame(fd, FrameType::kStats,
+                          stats_provider_ ? stats_provider_() : "{}")
+                   .ok();
+        break;
       default: {
         // A frame type the server never expects from a client.
         {
@@ -169,8 +177,49 @@ void Listener::ServeConnection(uint64_t conn_id, int fd) {
   conn_fds_.erase(conn_id);
 }
 
+bool Listener::HandlePartialQuery(int fd, const Frame& frame) {
+  if (partial_handler_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.protocol_errors;
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeErrorPayload(Status::FailedPrecondition(
+                          "not a shard server (no partial handler)")))
+        .ok();
+  }
+  Result<PartialQuery> query = ParsePartialQuery(frame.payload);
+  if (!query.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.protocol_errors;
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeErrorPayload(query.status()))
+        .ok();
+  }
+  Result<PartialResult> result =
+      partial_handler_->HandlePartial(std::move(query).value());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests_served;
+  }
+  if (!result.ok()) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeErrorPayload(result.status()))
+        .ok();
+  }
+  return WriteFrame(fd, FrameType::kPartialResult,
+                    SerializePartialResult(result.value()))
+      .ok();
+}
+
 bool Listener::HandleRequest(const std::string& session_id, int fd,
                              const Frame& frame) {
+  if (server_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.protocol_errors;
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeErrorPayload(Status::FailedPrecondition(
+                          "this endpoint serves shard partials only")))
+        .ok();
+  }
   // Payload: u8 RequestClass + serialized Request.
   if (frame.payload.empty()) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -11,9 +12,22 @@
 
 #include "common/status.h"
 #include "net/protocol.h"
+#include "net/wire.h"
 #include "serve/server.h"
 
 namespace muve::net {
+
+/// Answers kPartialQuery frames — the shard-server execution mode. A
+/// muve_serve process started with --shard_index installs one
+/// (dist::ShardService) over its local stripe; a plain server leaves it
+/// unset and answers kPartialQuery with an Error frame. Implementations
+/// must be safe for concurrent calls (one per connection thread).
+class PartialHandler {
+ public:
+  virtual ~PartialHandler() = default;
+
+  virtual Result<PartialResult> HandlePartial(const PartialQuery& query) = 0;
+};
 
 struct ListenerOptions {
   /// TCP port to bind on 0.0.0.0; 0 picks an ephemeral port (read it
@@ -47,7 +61,9 @@ struct ListenerStats {
 /// frame and keeps the connection; a broken frame stream closes it.
 class Listener {
  public:
-  /// `server` must outlive the listener.
+  /// `server` must outlive the listener. It may be null for a
+  /// partial-only shard endpoint (kRequest frames then answer with an
+  /// Error frame).
   explicit Listener(serve::Server* server, ListenerOptions options = {});
   ~Listener();
 
@@ -68,6 +84,19 @@ class Listener {
 
   ListenerStats stats() const;
 
+  /// Installs the kPartialQuery handler (shard-server mode). Must be
+  /// called before Start; the handler must outlive the listener.
+  void set_partial_handler(PartialHandler* handler) {
+    partial_handler_ = handler;
+  }
+
+  /// Installs the kStats responder: its return value (a JSON document)
+  /// becomes the reply payload. Unset, kStats answers "{}". Must be
+  /// called before Start; must be thread-safe.
+  void set_stats_provider(std::function<std::string()> provider) {
+    stats_provider_ = std::move(provider);
+  }
+
  private:
   void AcceptLoop();
   void ServeConnection(uint64_t conn_id, int fd);
@@ -75,8 +104,12 @@ class Listener {
   /// should close (frame-level protocol violation).
   bool HandleRequest(const std::string& session_id, int fd,
                      const Frame& frame);
+  /// Handles one kPartialQuery frame (shard-server mode).
+  bool HandlePartialQuery(int fd, const Frame& frame);
 
   serve::Server* const server_;
+  PartialHandler* partial_handler_ = nullptr;
+  std::function<std::string()> stats_provider_;
   const ListenerOptions options_;
 
   /// Atomic: the accept loop passes it to accept(2) while Shutdown

@@ -19,6 +19,15 @@ enum class FrameType : uint8_t {
   kError = 3,    ///< payload: EncodeStatus bytes (never StatusCode::kOk).
   kPing = 4,     ///< empty payload; the peer responds kPong.
   kPong = 5,     ///< empty payload.
+  /// Shard-server execution (the router's downstream leg): one scan of
+  /// the shard's local stripe, answered with a partial aggregate instead
+  /// of a finished plot.
+  kPartialQuery = 6,   ///< payload: SerializePartialQuery bytes.
+  kPartialResult = 7,  ///< payload: SerializePartialResult bytes.
+  /// Operational counters: empty-payload request, answered with a kStats
+  /// frame whose payload is a JSON document (the router reports its
+  /// per-shard retry/hedge/ejection counters this way).
+  kStats = 8,
 };
 
 struct Frame {

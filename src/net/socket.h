@@ -1,0 +1,28 @@
+#ifndef MUVE_NET_SOCKET_H_
+#define MUVE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace muve::net {
+
+/// Opens a TCP connection to host:port and returns the connected fd
+/// (blocking mode, TCP_NODELAY set). Host resolution is deliberately
+/// minimal: dotted-quad IPv4 or "localhost"; no DNS.
+///
+/// `connect_timeout_ms > 0` bounds the connection attempt: the connect
+/// runs non-blocking and is polled until writable, so an unresponsive
+/// peer (SYN black hole, saturated backlog) yields Status::Timeout after
+/// the budget instead of hanging for the kernel's minutes-long default.
+/// `<= 0` keeps the plain blocking connect.
+Result<int> ConnectFd(const std::string& host, uint16_t port,
+                      double connect_timeout_ms = 0.0);
+
+/// Toggles O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd, bool enabled);
+
+}  // namespace muve::net
+
+#endif  // MUVE_NET_SOCKET_H_

@@ -42,6 +42,30 @@ enum AnswerTag : uint8_t {
   kAnswerTimings = 7,
   kAnswerDegradation = 8,
   kAnswerPipelineMillis = 9,
+  // Routed-execution shard drops. Emitted only when nonzero so answers
+  // from in-process (and healthy routed) execution keep their exact v1
+  // bytes — the golden file and the cross-topology byte-compare both
+  // rely on that. Carried as answer-level tags rather than new fields in
+  // the positional Execution/Degradation layouts for the same reason.
+  kAnswerExecShardsDropped = 10,
+  kAnswerDegShardsDropped = 11,
+};
+
+enum PartialQueryTag : uint8_t {
+  kPartialQueryEnd = 0,
+  kPartialQueryKind = 1,
+  kPartialQueryAggregate = 2,
+  kPartialQueryGrouped = 3,
+  kPartialQueryDeadlineMillis = 4,
+};
+
+enum PartialResultTag : uint8_t {
+  kPartialResultEnd = 0,
+  kPartialResultKind = 1,
+  kPartialResultSnapshotVersion = 2,
+  kPartialResultRowsScanned = 3,
+  kPartialResultAggregate = 4,
+  kPartialResultGrouped = 5,
 };
 
 enum ServedTag : uint8_t {
@@ -146,6 +170,102 @@ Result<db::AggregateQuery> DecodeQuery(WireReader* r) {
     query.predicates.push_back(std::move(predicate));
   }
   return query;
+}
+
+void EncodeGroupedQuery(const db::GroupByQuery& query, WireWriter* w) {
+  w->PutString(query.table);
+  w->PutU32(static_cast<uint32_t>(query.shared_predicates.size()));
+  for (const db::Predicate& predicate : query.shared_predicates) {
+    EncodePredicate(predicate, w);
+  }
+  w->PutString(query.group_column);
+  w->PutU32(static_cast<uint32_t>(query.group_values.size()));
+  for (const std::string& value : query.group_values) w->PutString(value);
+  w->PutU32(static_cast<uint32_t>(query.aggregates.size()));
+  for (const db::AggregateSpec& spec : query.aggregates) {
+    w->PutU8(static_cast<uint8_t>(spec.function));
+    w->PutString(spec.column);
+  }
+}
+
+Result<db::GroupByQuery> DecodeGroupedQuery(WireReader* r) {
+  db::GroupByQuery query;
+  MUVE_ASSIGN_OR_RETURN(query.table, r->ReadString());
+  MUVE_ASSIGN_OR_RETURN(uint32_t num_predicates, r->ReadU32());
+  query.shared_predicates.reserve(num_predicates);
+  for (uint32_t i = 0; i < num_predicates; ++i) {
+    MUVE_ASSIGN_OR_RETURN(db::Predicate predicate, DecodePredicate(r));
+    query.shared_predicates.push_back(std::move(predicate));
+  }
+  MUVE_ASSIGN_OR_RETURN(query.group_column, r->ReadString());
+  MUVE_ASSIGN_OR_RETURN(uint32_t num_values, r->ReadU32());
+  query.group_values.reserve(num_values);
+  for (uint32_t i = 0; i < num_values; ++i) {
+    MUVE_ASSIGN_OR_RETURN(std::string value, r->ReadString());
+    query.group_values.push_back(std::move(value));
+  }
+  MUVE_ASSIGN_OR_RETURN(uint32_t num_aggregates, r->ReadU32());
+  query.aggregates.reserve(num_aggregates);
+  for (uint32_t i = 0; i < num_aggregates; ++i) {
+    db::AggregateSpec spec;
+    MUVE_ASSIGN_OR_RETURN(uint8_t fn, r->ReadU8());
+    if (fn > static_cast<uint8_t>(db::AggregateFunction::kMax)) {
+      return Status::ParseError("wire: unknown aggregate function " +
+                                std::to_string(fn));
+    }
+    spec.function = static_cast<db::AggregateFunction>(fn);
+    MUVE_ASSIGN_OR_RETURN(spec.column, r->ReadString());
+    query.aggregates.push_back(std::move(spec));
+  }
+  return query;
+}
+
+// Partials carry the executor's raw merge state: the doubles cross the
+// wire as their IEEE-754 bit patterns, so the coordinator folds exactly
+// the values a local shard scan would have produced — the byte-identity
+// contract rests on this.
+void EncodeAggregatePartial(const db::AggregatePartial& partial,
+                            WireWriter* w) {
+  w->PutU64(partial.count);
+  w->PutDouble(partial.sum);
+  w->PutDouble(partial.min);
+  w->PutDouble(partial.max);
+}
+
+Result<db::AggregatePartial> DecodeAggregatePartial(WireReader* r) {
+  db::AggregatePartial partial;
+  MUVE_ASSIGN_OR_RETURN(uint64_t count, r->ReadU64());
+  partial.count = static_cast<size_t>(count);
+  MUVE_ASSIGN_OR_RETURN(partial.sum, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(partial.min, r->ReadDouble());
+  MUVE_ASSIGN_OR_RETURN(partial.max, r->ReadDouble());
+  return partial;
+}
+
+void EncodeGroupedPartial(const db::GroupedPartial& partial, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(partial.cells.size()));
+  for (const auto& row : partial.cells) {
+    w->PutU32(static_cast<uint32_t>(row.size()));
+    for (const db::AggregatePartial& cell : row) {
+      EncodeAggregatePartial(cell, w);
+    }
+  }
+}
+
+Result<db::GroupedPartial> DecodeGroupedPartial(WireReader* r) {
+  db::GroupedPartial partial;
+  MUVE_ASSIGN_OR_RETURN(uint32_t num_groups, r->ReadU32());
+  partial.cells.resize(num_groups);
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    MUVE_ASSIGN_OR_RETURN(uint32_t num_aggregates, r->ReadU32());
+    partial.cells[g].reserve(num_aggregates);
+    for (uint32_t a = 0; a < num_aggregates; ++a) {
+      MUVE_ASSIGN_OR_RETURN(db::AggregatePartial cell,
+                            DecodeAggregatePartial(r));
+      partial.cells[g].push_back(cell);
+    }
+  }
+  return partial;
 }
 
 void EncodeCandidates(const core::CandidateSet& candidates, WireWriter* w) {
@@ -366,9 +486,20 @@ void PutBoolField(uint8_t tag, bool value, WireWriter* w) {
   PutField(tag, payload, w);
 }
 
+void PutU64Field(uint8_t tag, uint64_t value, WireWriter* w) {
+  WireWriter payload;
+  payload.PutU64(value);
+  PutField(tag, payload, w);
+}
+
 Result<double> FieldDouble(std::string_view payload) {
   WireReader r(payload);
   return r.ReadDouble();
+}
+
+Result<uint64_t> FieldU64(std::string_view payload) {
+  WireReader r(payload);
+  return r.ReadU64();
 }
 
 Result<bool> FieldBool(std::string_view payload) {
@@ -666,8 +797,25 @@ std::string SerializeAnswer(const MuveEngine::Answer& answer) {
     PutField(kAnswerDegradation, payload, &w);
   }
   PutDoubleField(kAnswerPipelineMillis, answer.pipeline_millis, &w);
+  if (answer.execution.shards_dropped > 0) {
+    PutU64Field(kAnswerExecShardsDropped, answer.execution.shards_dropped,
+                &w);
+  }
+  if (answer.degradation.shards_dropped > 0) {
+    PutU64Field(kAnswerDegShardsDropped, answer.degradation.shards_dropped,
+                &w);
+  }
   w.PutU8(kAnswerEnd);
   return w.Take();
+}
+
+std::string SerializeAnswerDeterministic(MuveEngine::Answer answer) {
+  answer.timings = StageTimings{};
+  answer.pipeline_millis = 0.0;
+  answer.plan.optimize_millis = 0.0;
+  answer.execution.measured_millis = 0.0;
+  answer.execution.modeled_millis = 0.0;
+  return SerializeAnswer(answer);
 }
 
 Result<MuveEngine::Answer> ParseAnswer(std::string_view data) {
@@ -713,6 +861,16 @@ Result<MuveEngine::Answer> ParseAnswer(std::string_view data) {
       }
       case kAnswerPipelineMillis: {
         MUVE_ASSIGN_OR_RETURN(answer.pipeline_millis, field.ReadDouble());
+        break;
+      }
+      case kAnswerExecShardsDropped: {
+        MUVE_ASSIGN_OR_RETURN(uint64_t dropped, FieldU64(payload));
+        answer.execution.shards_dropped = static_cast<size_t>(dropped);
+        break;
+      }
+      case kAnswerDegShardsDropped: {
+        MUVE_ASSIGN_OR_RETURN(uint64_t dropped, FieldU64(payload));
+        answer.degradation.shards_dropped = static_cast<size_t>(dropped);
         break;
       }
       default:
@@ -793,6 +951,142 @@ Result<serve::ServedAnswer> ParseServedAnswer(std::string_view data) {
   }
   MUVE_RETURN_NOT_OK(CheckExhausted(r));
   return served;
+}
+
+// ---------------------------------------------------------------------------
+// PartialQuery / PartialResult (shard-server execution).
+
+std::string SerializePartialQuery(const PartialQuery& query) {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  {
+    WireWriter payload;
+    payload.PutU8(static_cast<uint8_t>(query.kind));
+    PutField(kPartialQueryKind, payload, &w);
+  }
+  if (query.kind == PartialQuery::Kind::kAggregate) {
+    WireWriter payload;
+    EncodeQuery(query.aggregate, &payload);
+    PutField(kPartialQueryAggregate, payload, &w);
+  } else {
+    WireWriter payload;
+    EncodeGroupedQuery(query.grouped, &payload);
+    PutField(kPartialQueryGrouped, payload, &w);
+  }
+  if (query.deadline.IsFinite()) {
+    PutDoubleField(kPartialQueryDeadlineMillis,
+                   query.deadline.RemainingMillis(), &w);
+  }
+  w.PutU8(kPartialQueryEnd);
+  return w.Take();
+}
+
+Result<PartialQuery> ParsePartialQuery(std::string_view data) {
+  WireReader r(data);
+  MUVE_RETURN_NOT_OK(CheckVersion(&r));
+  PartialQuery query;
+  for (;;) {
+    MUVE_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    if (tag == kPartialQueryEnd) break;
+    MUVE_ASSIGN_OR_RETURN(std::string_view payload, r.ReadBlock());
+    WireReader field(payload);
+    switch (tag) {
+      case kPartialQueryKind: {
+        MUVE_ASSIGN_OR_RETURN(uint8_t kind, field.ReadU8());
+        if (kind > static_cast<uint8_t>(PartialQuery::Kind::kGrouped)) {
+          return Status::ParseError("wire: unknown partial-query kind " +
+                                    std::to_string(kind));
+        }
+        query.kind = static_cast<PartialQuery::Kind>(kind);
+        break;
+      }
+      case kPartialQueryAggregate: {
+        MUVE_ASSIGN_OR_RETURN(query.aggregate, DecodeQuery(&field));
+        break;
+      }
+      case kPartialQueryGrouped: {
+        MUVE_ASSIGN_OR_RETURN(query.grouped, DecodeGroupedQuery(&field));
+        break;
+      }
+      case kPartialQueryDeadlineMillis: {
+        MUVE_ASSIGN_OR_RETURN(double remaining, FieldDouble(payload));
+        // Re-anchor on this process's clock, as for Request deadlines.
+        query.deadline = Deadline::AfterMillis(remaining);
+        break;
+      }
+      default:
+        break;  // Unknown tag from a newer writer: skip.
+    }
+  }
+  MUVE_RETURN_NOT_OK(CheckExhausted(r));
+  return query;
+}
+
+std::string SerializePartialResult(const PartialResult& result) {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  {
+    WireWriter payload;
+    payload.PutU8(static_cast<uint8_t>(result.kind));
+    PutField(kPartialResultKind, payload, &w);
+  }
+  PutU64Field(kPartialResultSnapshotVersion, result.snapshot_version, &w);
+  PutU64Field(kPartialResultRowsScanned, result.rows_scanned, &w);
+  if (result.kind == PartialQuery::Kind::kAggregate) {
+    WireWriter payload;
+    EncodeAggregatePartial(result.aggregate, &payload);
+    PutField(kPartialResultAggregate, payload, &w);
+  } else {
+    WireWriter payload;
+    EncodeGroupedPartial(result.grouped, &payload);
+    PutField(kPartialResultGrouped, payload, &w);
+  }
+  w.PutU8(kPartialResultEnd);
+  return w.Take();
+}
+
+Result<PartialResult> ParsePartialResult(std::string_view data) {
+  WireReader r(data);
+  MUVE_RETURN_NOT_OK(CheckVersion(&r));
+  PartialResult result;
+  for (;;) {
+    MUVE_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    if (tag == kPartialResultEnd) break;
+    MUVE_ASSIGN_OR_RETURN(std::string_view payload, r.ReadBlock());
+    WireReader field(payload);
+    switch (tag) {
+      case kPartialResultKind: {
+        MUVE_ASSIGN_OR_RETURN(uint8_t kind, field.ReadU8());
+        if (kind > static_cast<uint8_t>(PartialQuery::Kind::kGrouped)) {
+          return Status::ParseError("wire: unknown partial-result kind " +
+                                    std::to_string(kind));
+        }
+        result.kind = static_cast<PartialQuery::Kind>(kind);
+        break;
+      }
+      case kPartialResultSnapshotVersion: {
+        MUVE_ASSIGN_OR_RETURN(result.snapshot_version, FieldU64(payload));
+        break;
+      }
+      case kPartialResultRowsScanned: {
+        MUVE_ASSIGN_OR_RETURN(result.rows_scanned, FieldU64(payload));
+        break;
+      }
+      case kPartialResultAggregate: {
+        MUVE_ASSIGN_OR_RETURN(result.aggregate,
+                              DecodeAggregatePartial(&field));
+        break;
+      }
+      case kPartialResultGrouped: {
+        MUVE_ASSIGN_OR_RETURN(result.grouped, DecodeGroupedPartial(&field));
+        break;
+      }
+      default:
+        break;  // Unknown tag from a newer writer: skip.
+    }
+  }
+  MUVE_RETURN_NOT_OK(CheckExhausted(r));
+  return result;
 }
 
 }  // namespace muve::net

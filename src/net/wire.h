@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "muve/muve_engine.h"
 #include "serve/server.h"
@@ -90,8 +91,54 @@ Result<Request> ParseRequest(std::string_view data);
 std::string SerializeAnswer(const MuveEngine::Answer& answer);
 Result<MuveEngine::Answer> ParseAnswer(std::string_view data);
 
+/// SerializeAnswer of a copy with every wall-clock and calibration field
+/// zeroed (stage timings, pipeline/optimize/measured/modeled millis).
+/// Two executions of the same query against the same data then serialize
+/// to identical bytes — the form the golden files pin and the e2e smoke
+/// byte-compares across topologies.
+std::string SerializeAnswerDeterministic(MuveEngine::Answer answer);
+
 std::string SerializeServedAnswer(const serve::ServedAnswer& served);
 Result<serve::ServedAnswer> ParseServedAnswer(std::string_view data);
+
+// ---------------------------------------------------------------------------
+// Partial-aggregate messages (the router's downstream leg; frame types
+// kPartialQuery / kPartialResult). A shard server scans its local stripe
+// and answers with raw merge state — db::AggregatePartial or
+// db::GroupedPartial — plus the snapshot version it scanned, so the
+// coordinator can fold the per-shard partials in shard order with the
+// exact arithmetic shard::ScatterGather applies in process.
+
+/// One shard-scan request: exactly one of `aggregate` / `grouped` is
+/// meaningful, selected by `kind`.
+struct PartialQuery {
+  enum class Kind : uint8_t { kAggregate = 0, kGrouped = 1 };
+
+  Kind kind = Kind::kAggregate;
+  db::AggregateQuery aggregate;
+  db::GroupByQuery grouped;
+  /// Scan budget. Travels as remaining milliseconds (re-anchored on the
+  /// receiver's clock, like Request deadlines); infinite when absent.
+  Deadline deadline;
+};
+
+/// One shard's answer: the partial selected by `kind`, the shard
+/// snapshot version it was computed against, and the rows the stripe
+/// holds at that version (the coordinator sums these into
+/// GroupByResult::rows_scanned).
+struct PartialResult {
+  PartialQuery::Kind kind = PartialQuery::Kind::kAggregate;
+  uint64_t snapshot_version = 0;
+  uint64_t rows_scanned = 0;
+  db::AggregatePartial aggregate;
+  db::GroupedPartial grouped;
+};
+
+std::string SerializePartialQuery(const PartialQuery& query);
+Result<PartialQuery> ParsePartialQuery(std::string_view data);
+
+std::string SerializePartialResult(const PartialResult& result);
+Result<PartialResult> ParsePartialResult(std::string_view data);
 
 }  // namespace muve::net
 

@@ -1,5 +1,6 @@
 #include "shard/scatter_gather.h"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,19 @@ db::ExecutorOptions ShardTaskOptions(const db::ExecutorOptions& base) {
   return options;
 }
 
+/// Shard-count agreement between the caller's snapshot and the remote
+/// backend; a mismatch would silently merge the wrong stripes.
+Status CheckBackendShards(const ShardedSnapshot& snapshot,
+                          const PartialBackend& backend) {
+  if (backend.num_shards() != snapshot.shards.size()) {
+    return Status::InvalidArgument(
+        "backend serves " + std::to_string(backend.num_shards()) +
+        " shards but the snapshot has " +
+        std::to_string(snapshot.shards.size()));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<db::AggregateResult> ScatterGather::Execute(
@@ -31,6 +45,32 @@ Result<db::AggregateResult> ScatterGather::Execute(
     const ScatterOptions& options) {
   if (snapshot.shards.empty()) {
     return Status::InvalidArgument("scatter needs at least one shard");
+  }
+  if (options.backend != nullptr) {
+    MUVE_RETURN_NOT_OK(CheckBackendShards(snapshot, *options.backend));
+    std::vector<Result<PartialBackend::AggregateOutcome>> outcomes =
+        options.backend->ExecutePartialAll(query,
+                                           options.executor.deadline);
+    if (outcomes.size() != snapshot.shards.size()) {
+      return Status::Internal("backend returned " +
+                              std::to_string(outcomes.size()) +
+                              " outcomes for " +
+                              std::to_string(snapshot.shards.size()) +
+                              " shards");
+    }
+    if (options.stats != nullptr) {
+      options.stats->shards_total = outcomes.size();
+    }
+    db::AggregatePartial total;
+    for (size_t s = 0; s < outcomes.size(); ++s) {
+      MUVE_RETURN_NOT_OK(outcomes[s].status());
+      if (outcomes[s]->dropped) {
+        if (options.stats != nullptr) ++options.stats->shards_dropped;
+        continue;
+      }
+      db::Executor::MergePartial(outcomes[s]->partial, &total);
+    }
+    return db::Executor::FinishAggregate(query.function, total);
   }
   if (snapshot.shards.size() == 1) {
     // The single-table oracle path, byte for byte.
@@ -71,6 +111,42 @@ Result<db::GroupByResult> ScatterGather::ExecuteGrouped(
     const ScatterOptions& options) {
   if (snapshot.shards.empty()) {
     return Status::InvalidArgument("scatter needs at least one shard");
+  }
+  if (options.backend != nullptr) {
+    MUVE_RETURN_NOT_OK(CheckBackendShards(snapshot, *options.backend));
+    std::vector<Result<PartialBackend::GroupedOutcome>> outcomes =
+        options.backend->ExecuteGroupedPartialAll(
+            query, options.executor.deadline);
+    if (outcomes.size() != snapshot.shards.size()) {
+      return Status::Internal("backend returned " +
+                              std::to_string(outcomes.size()) +
+                              " outcomes for " +
+                              std::to_string(snapshot.shards.size()) +
+                              " shards");
+    }
+    if (options.stats != nullptr) {
+      options.stats->shards_total = outcomes.size();
+    }
+    db::GroupedPartial total = db::Executor::MakeGroupedIdentity(query);
+    size_t rows_scanned = 0;
+    for (size_t s = 0; s < outcomes.size(); ++s) {
+      MUVE_RETURN_NOT_OK(outcomes[s].status());
+      if (outcomes[s]->dropped) {
+        if (options.stats != nullptr) ++options.stats->shards_dropped;
+        continue;
+      }
+      const db::GroupedPartial& partial = outcomes[s]->partial;
+      if (partial.cells.size() != total.cells.size() ||
+          (!partial.cells.empty() && !total.cells.empty() &&
+           partial.cells[0].size() != total.cells[0].size())) {
+        return Status::Internal("shard " + std::to_string(s) +
+                                " returned a grouped partial with the "
+                                "wrong grid dimensions");
+      }
+      db::Executor::MergePartial(partial, &total);
+      rows_scanned += static_cast<size_t>(outcomes[s]->rows_scanned);
+    }
+    return db::Executor::FinishGrouped(query, total, rows_scanned);
   }
   if (snapshot.shards.size() == 1) {
     return db::Executor::ExecuteGrouped(snapshot.shards[0], query,

@@ -1,12 +1,70 @@
 #ifndef MUVE_SHARD_SCATTER_GATHER_H_
 #define MUVE_SHARD_SCATTER_GATHER_H_
 
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/executor.h"
 #include "shard/sharded_table.h"
 
 namespace muve::shard {
+
+/// Source of per-shard partial aggregates that live somewhere other than
+/// the caller's address space — the seam where distribution plugs into
+/// scatter-gather. `dist::Coordinator` implements it over sockets; the
+/// gather arithmetic stays in ScatterGather either way, so a routed
+/// answer merges the exact same partials in the exact same shard order
+/// as the in-process path.
+///
+/// Failure taxonomy: a shard that cannot deliver its partial before the
+/// deadline (stalled peer, connection refused after retries) comes back
+/// as a successful outcome with `dropped = true` and the identity
+/// partial — the gather proceeds without that stripe and reports the
+/// drop, it never hangs. A hard application error (bad query, protocol
+/// violation) comes back as an error Status and fails the whole gather,
+/// first shard in shard order winning, exactly like a local shard scan
+/// error.
+class PartialBackend {
+ public:
+  struct AggregateOutcome {
+    db::AggregatePartial partial;
+    /// The shard's snapshot version at scan time.
+    uint64_t snapshot_version = 0;
+    uint64_t rows_scanned = 0;
+    /// True when the shard missed the deadline; `partial` is the merge
+    /// identity and `rows_scanned` is 0.
+    bool dropped = false;
+  };
+  struct GroupedOutcome {
+    db::GroupedPartial partial;
+    uint64_t snapshot_version = 0;
+    uint64_t rows_scanned = 0;
+    bool dropped = false;
+  };
+
+  virtual ~PartialBackend() = default;
+
+  virtual size_t num_shards() const = 0;
+
+  /// One outcome per shard, in shard order (size() == num_shards()).
+  /// Implementations scatter concurrently but the returned vector is
+  /// positionally ordered, so the caller's fold order is deterministic.
+  virtual std::vector<Result<AggregateOutcome>> ExecutePartialAll(
+      const db::AggregateQuery& query, const Deadline& deadline) = 0;
+  virtual std::vector<Result<GroupedOutcome>> ExecuteGroupedPartialAll(
+      const db::GroupByQuery& query, const Deadline& deadline) = 0;
+};
+
+/// Per-gather observability (filled when ScatterOptions::stats is set).
+struct ScatterStats {
+  size_t shards_total = 0;
+  /// Shards whose partial missed the deadline and was excluded from the
+  /// merge — the answer covers the surviving stripes only.
+  size_t shards_dropped = 0;
+};
 
 /// Controls one scatter-gather execution.
 struct ScatterOptions {
@@ -20,6 +78,14 @@ struct ScatterOptions {
   /// nest row partitioning). Null scans the shards serially, each shard
   /// free to row-partition on `executor.pool`.
   ThreadPool* shard_pool = nullptr;
+  /// When set, shard partials come from this backend (remote shard
+  /// servers) instead of scanning `snapshot` locally; the snapshot then
+  /// only supplies the expected shard count. `executor.deadline` bounds
+  /// the remote gather. Must expose exactly as many shards as the
+  /// snapshot.
+  PartialBackend* backend = nullptr;
+  /// Optional out-param for drop accounting.
+  ScatterStats* stats = nullptr;
 };
 
 /// Scatter-gather execution over a sharded snapshot.
@@ -42,6 +108,12 @@ struct ScatterOptions {
 /// unchanged, which is the oracle the differential suites compare
 /// against. Errors surface deterministically: the first failing shard in
 /// shard order wins.
+///
+/// With `options.backend` set the partials arrive over the wire instead
+/// of from local scans, but the fold is the same code in the same order,
+/// so a routed gather is byte-identical to the in-process one whenever
+/// every shard reports (dropped shards shrink the merge to the surviving
+/// stripes and are counted in `options.stats`).
 class ScatterGather {
  public:
   static Result<db::AggregateResult> Execute(

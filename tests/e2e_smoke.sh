@@ -1,62 +1,93 @@
 #!/usr/bin/env bash
-# End-to-end smoke over a real socket: start muve_serve as a separate
-# process on an ephemeral port, drive it with muve_loadgen over TCP,
-# and require every request to come back (completed or deliberately
-# shed — transport or protocol failures fail the test). Registered as
-# a tier1 ctest; scripts/check.sh runs it with every suite.
+# End-to-end smoke over real sockets, two phases:
 #
-# Usage: e2e_smoke.sh <muve_serve_binary> <muve_loadgen_binary>
+#  1. Single process: muve_serve (2 in-process shards) on an ephemeral
+#     port, driven by muve_loadgen over TCP; every request must come
+#     back (completed or deliberately shed — transport or protocol
+#     failures fail the test).
+#
+#  2. Routed topology: two muve_serve shard servers (--shard_index),
+#     a muve_router scatter-gathering over them, and the same loadgen
+#     workload — whose per-request answers must be BYTE-IDENTICAL to
+#     the single-process run's (--dump_answers, --clients=1 keeps both
+#     transcripts in the same deterministic order).
+#
+# Registered as a tier1 ctest; scripts/check.sh runs it with every
+# suite.
+#
+# Usage: e2e_smoke.sh <muve_serve_binary> <muve_loadgen_binary> \
+#                     <muve_router_binary>
 set -u
 
-SERVE_BIN="${1:?usage: e2e_smoke.sh <muve_serve> <muve_loadgen>}"
-LOADGEN_BIN="${2:?usage: e2e_smoke.sh <muve_serve> <muve_loadgen>}"
+SERVE_BIN="${1:?usage: e2e_smoke.sh <muve_serve> <muve_loadgen> <muve_router>}"
+LOADGEN_BIN="${2:?usage: e2e_smoke.sh <muve_serve> <muve_loadgen> <muve_router>}"
+ROUTER_BIN="${3:?usage: e2e_smoke.sh <muve_serve> <muve_loadgen> <muve_router>}"
+
+ROWS=1500
+SEED=7
 
 WORKDIR="$(mktemp -d)"
-SERVER_OUT="$WORKDIR/server.out"
-SERVER_PID=""
+PIDS=()
 
 cleanup() {
-  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill -TERM "$SERVER_PID" 2>/dev/null
-    wait "$SERVER_PID" 2>/dev/null
-  fi
+  for pid in "${PIDS[@]:-}"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -TERM "$pid" 2>/dev/null
+      wait "$pid" 2>/dev/null
+    fi
+  done
   rm -rf "$WORKDIR"
 }
 trap cleanup EXIT
 
-# Small table + 2 shards: the networked path exercises scatter-gather
-# serving, not just the single-table oracle.
-"$SERVE_BIN" --port=0 --rows=1500 --seed=7 --num_shards=2 --workers=2 \
-  >"$SERVER_OUT" 2>&1 &
-SERVER_PID=$!
-
-# The server prints "LISTENING port=N" once the socket is ready.
-PORT=""
-for _ in $(seq 1 100); do
-  PORT="$(sed -n 's/^LISTENING port=\([0-9][0-9]*\)$/\1/p' "$SERVER_OUT" |
-    head -n 1)"
-  [ -n "$PORT" ] && break
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "FAIL: server exited before listening" >&2
-    cat "$SERVER_OUT" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-if [ -z "$PORT" ]; then
-  echo "FAIL: server never announced its port" >&2
-  cat "$SERVER_OUT" >&2
+fail() {
+  echo "FAIL: $1" >&2
+  shift
+  for log in "$@"; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2
+  done
   exit 1
-fi
+}
 
-"$LOADGEN_BIN" --connect=127.0.0.1:"$PORT" --rows=1500 --seed=7 \
-  --requests=30 --clients=3 --json="$WORKDIR/report.json"
-LOADGEN_RC=$?
-if [ "$LOADGEN_RC" -ne 0 ]; then
-  echo "FAIL: loadgen exited $LOADGEN_RC" >&2
-  cat "$SERVER_OUT" >&2
-  exit "$LOADGEN_RC"
-fi
+# wait_for_port <pid> <logfile>: polls for the "LISTENING port=N"
+# announcement every server/router process prints once its socket is
+# ready, and echoes N. Fails the test if the process dies first or
+# never announces.
+wait_for_port() {
+  local pid="$1" log="$2" port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^LISTENING port=\([0-9][0-9]*\)$/\1/p' "$log" |
+      head -n 1)"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      fail "process $pid exited before listening" "$log"
+    fi
+    sleep 0.1
+  done
+  [ -n "$port" ] || fail "process $pid never announced its port" "$log"
+  echo "$port"
+}
+
+# stop <pid> <logfile>: SIGTERM, require a clean exit.
+stop() {
+  local pid="$1" log="$2"
+  kill -TERM "$pid"
+  wait "$pid" || fail "process $pid exited non-zero on SIGTERM" "$log"
+}
+
+# --- Phase 1: single process, in-process scatter-gather ---------------
+
+SINGLE_OUT="$WORKDIR/single.out"
+"$SERVE_BIN" --port=0 --rows=$ROWS --seed=$SEED --num_shards=2 \
+  --workers=2 >"$SINGLE_OUT" 2>&1 &
+SINGLE_PID=$!
+PIDS+=("$SINGLE_PID")
+SINGLE_PORT="$(wait_for_port "$SINGLE_PID" "$SINGLE_OUT")" || exit 1
+
+"$LOADGEN_BIN" --connect=127.0.0.1:"$SINGLE_PORT" --rows=$ROWS \
+  --seed=$SEED --requests=30 --clients=3 --json="$WORKDIR/report.json" ||
+  fail "loadgen exited $? against the single process" "$SINGLE_OUT"
 
 # A clean loadgen exit means zero protocol/transport errors; also
 # require that the server actually answered (at this closed-loop load
@@ -64,20 +95,67 @@ fi
 COMPLETED="$(sed -n 's/.*"completed": \([0-9][0-9]*\),*/\1/p' \
   "$WORKDIR/report.json" | head -n 1)"
 if [ -z "$COMPLETED" ] || [ "$COMPLETED" -eq 0 ]; then
-  echo "FAIL: no requests completed (answered QPS is zero)" >&2
-  cat "$WORKDIR/report.json" >&2
-  cat "$SERVER_OUT" >&2
-  exit 1
+  fail "no requests completed (answered QPS is zero)" \
+    "$WORKDIR/report.json" "$SINGLE_OUT"
 fi
 
-kill -TERM "$SERVER_PID"
-wait "$SERVER_PID"
-SERVER_RC=$?
-SERVER_PID=""
-if [ "$SERVER_RC" -ne 0 ]; then
-  echo "FAIL: server exited $SERVER_RC on SIGTERM" >&2
-  cat "$SERVER_OUT" >&2
-  exit "$SERVER_RC"
-fi
+# The byte-identity oracle: the same deterministic transcript, one
+# client so the answer dump is in planned order.
+"$LOADGEN_BIN" --connect=127.0.0.1:"$SINGLE_PORT" --rows=$ROWS \
+  --seed=$SEED --requests=20 --clients=1 \
+  --dump_answers="$WORKDIR/single.answers" ||
+  fail "oracle loadgen exited $?" "$SINGLE_OUT"
 
-echo "PASS: e2e smoke (port $PORT)"
+stop "$SINGLE_PID" "$SINGLE_OUT"
+PIDS=()
+
+# --- Phase 2: two shard-server processes behind a muve_router ---------
+
+SHARD0_OUT="$WORKDIR/shard0.out"
+"$SERVE_BIN" --port=0 --rows=$ROWS --seed=$SEED --num_shards=2 \
+  --shard_index=0 >"$SHARD0_OUT" 2>&1 &
+SHARD0_PID=$!
+PIDS+=("$SHARD0_PID")
+
+SHARD1_OUT="$WORKDIR/shard1.out"
+"$SERVE_BIN" --port=0 --rows=$ROWS --seed=$SEED --num_shards=2 \
+  --shard_index=1 >"$SHARD1_OUT" 2>&1 &
+SHARD1_PID=$!
+PIDS+=("$SHARD1_PID")
+
+SHARD0_PORT="$(wait_for_port "$SHARD0_PID" "$SHARD0_OUT")" || exit 1
+SHARD1_PORT="$(wait_for_port "$SHARD1_PID" "$SHARD1_OUT")" || exit 1
+
+ROUTER_OUT="$WORKDIR/router.out"
+"$ROUTER_BIN" --port=0 --rows=$ROWS --seed=$SEED --workers=2 \
+  --shard=127.0.0.1:"$SHARD0_PORT" --shard=127.0.0.1:"$SHARD1_PORT" \
+  >"$ROUTER_OUT" 2>&1 &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+ROUTER_PORT="$(wait_for_port "$ROUTER_PID" "$ROUTER_OUT")" || exit 1
+
+"$LOADGEN_BIN" --connect=127.0.0.1:"$ROUTER_PORT" --rows=$ROWS \
+  --seed=$SEED --requests=20 --clients=1 \
+  --dump_answers="$WORKDIR/routed.answers" \
+  --json="$WORKDIR/routed_report.json" ||
+  fail "loadgen exited $? against the router" \
+    "$ROUTER_OUT" "$SHARD0_OUT" "$SHARD1_OUT"
+
+# The contract the whole dist/ subsystem stands on: routing through
+# separate shard processes changes WHERE partials are computed, never
+# the answer bytes.
+cmp -s "$WORKDIR/single.answers" "$WORKDIR/routed.answers" ||
+  fail "routed answers differ from the single-process oracle" \
+    "$WORKDIR/routed_report.json" "$ROUTER_OUT"
+
+# The router's kStats counters flow into the loadgen report.
+grep -q '"server_stats": {"shards"' "$WORKDIR/routed_report.json" ||
+  fail "router stats missing from the loadgen report" \
+    "$WORKDIR/routed_report.json"
+
+stop "$ROUTER_PID" "$ROUTER_OUT"
+stop "$SHARD0_PID" "$SHARD0_OUT"
+stop "$SHARD1_PID" "$SHARD1_OUT"
+PIDS=()
+
+echo "PASS: e2e smoke (single port $SINGLE_PORT, router port $ROUTER_PORT)"

@@ -14,6 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -30,8 +35,10 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "muve/muve_engine.h"
+#include "net/async_client.h"
 #include "net/client.h"
 #include "net/listener.h"
+#include "net/socket.h"
 #include "net/wire.h"
 #include "serve/server.h"
 #include "workload/datasets.h"
@@ -468,6 +475,301 @@ TEST_F(LoopbackTest, ConcurrentClientsGetConsistentAnswers) {
     ASSERT_FALSE(serialized[i].empty()) << "client " << i;
     EXPECT_EQ(serialized[i], serialized[0]) << "client " << i;
   }
+}
+
+// ---------------------------------------------------------------------
+// Partial-aggregate codec (the router's downstream messages).
+// ---------------------------------------------------------------------
+
+/// Deterministic sample messages: every field populated, including the
+/// merge-identity extrema (+/-inf), which must cross the wire bit-exact
+/// for routed answers to match local scatter-gather byte-for-byte.
+PartialQuery SampleAggregateQuery() {
+  PartialQuery query;
+  query.kind = PartialQuery::Kind::kAggregate;
+  query.aggregate.table = "f311";
+  query.aggregate.function = db::AggregateFunction::kSum;
+  query.aggregate.aggregate_column = "open_hours";
+  query.aggregate.predicates.push_back(
+      db::Predicate::Equals("city", db::Value("queens")));
+  query.aggregate.predicates.push_back(db::Predicate::In(
+      "complaint", {db::Value("noise"), db::Value("heating")}));
+  return query;
+}
+
+PartialQuery SampleGroupedQuery() {
+  PartialQuery query;
+  query.kind = PartialQuery::Kind::kGrouped;
+  query.grouped.table = "f311";
+  query.grouped.shared_predicates.push_back(
+      db::Predicate::Equals("status", db::Value("open")));
+  query.grouped.group_column = "city";
+  query.grouped.group_values = {"queens", "quincy"};
+  query.grouped.aggregates.push_back(
+      {db::AggregateFunction::kCount, ""});
+  query.grouped.aggregates.push_back(
+      {db::AggregateFunction::kAvg, "open_hours"});
+  return query;
+}
+
+PartialResult SampleGroupedResult() {
+  PartialResult result;
+  result.kind = PartialQuery::Kind::kGrouped;
+  result.snapshot_version = 41;
+  result.rows_scanned = 1234;
+  db::AggregatePartial populated;
+  populated.count = 17;
+  populated.sum = 42.5;
+  populated.min = -3.25;
+  populated.max = 99.0;
+  // One populated cell, one untouched merge identity (count 0, +/-inf
+  // extrema).
+  result.grouped.cells = {{populated, db::AggregatePartial{}},
+                          {db::AggregatePartial{}, populated}};
+  return result;
+}
+
+TEST(PartialCodecTest, AggregateQueryRoundTripsByteIdentically) {
+  const PartialQuery query = SampleAggregateQuery();
+  const std::string bytes = SerializePartialQuery(query);
+  const auto parsed = ParsePartialQuery(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->kind, PartialQuery::Kind::kAggregate);
+  EXPECT_EQ(parsed->aggregate.ToSql(), query.aggregate.ToSql());
+  EXPECT_FALSE(parsed->deadline.IsFinite());
+  // Infinite deadline: serialize -> parse -> serialize is a fixed point.
+  EXPECT_EQ(SerializePartialQuery(*parsed), bytes);
+}
+
+TEST(PartialCodecTest, GroupedQueryRoundTripsByteIdentically) {
+  const PartialQuery query = SampleGroupedQuery();
+  const std::string bytes = SerializePartialQuery(query);
+  const auto parsed = ParsePartialQuery(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->kind, PartialQuery::Kind::kGrouped);
+  EXPECT_EQ(parsed->grouped.ToSql(), query.grouped.ToSql());
+  EXPECT_EQ(SerializePartialQuery(*parsed), bytes);
+}
+
+TEST(PartialCodecTest, FiniteDeadlineTravelsAsRemainingBudget) {
+  FakeClock clock(1000.0);
+  PartialQuery query = SampleAggregateQuery();
+  query.deadline = Deadline::AfterMillis(250.0, &clock);
+  clock.AdvanceMillis(100.0);  // 150ms left at serialization time.
+  const std::string bytes = SerializePartialQuery(query);
+  const auto parsed = ParsePartialQuery(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->deadline.IsFinite());
+  // Re-anchored on the receiver's clock: roughly the remaining budget.
+  EXPECT_GT(parsed->deadline.RemainingMillis(), 100.0);
+  EXPECT_LE(parsed->deadline.RemainingMillis(), 150.0);
+}
+
+TEST(PartialCodecTest, ResultRoundTripsMergeIdentityBitExact) {
+  const PartialResult result = SampleGroupedResult();
+  const std::string bytes = SerializePartialResult(result);
+  const auto parsed = ParsePartialResult(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->kind, PartialQuery::Kind::kGrouped);
+  EXPECT_EQ(parsed->snapshot_version, 41u);
+  EXPECT_EQ(parsed->rows_scanned, 1234u);
+  ASSERT_EQ(parsed->grouped.cells.size(), 2u);
+  const db::AggregatePartial& identity = parsed->grouped.cells[0][1];
+  EXPECT_EQ(identity.count, 0u);
+  EXPECT_EQ(identity.min, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(identity.max, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(SerializePartialResult(*parsed), bytes);
+
+  PartialResult aggregate;
+  aggregate.kind = PartialQuery::Kind::kAggregate;
+  aggregate.snapshot_version = 7;
+  aggregate.rows_scanned = 99;
+  aggregate.aggregate.count = 3;
+  aggregate.aggregate.sum = 0.1 + 0.2;  // A non-representable double.
+  const std::string aggregate_bytes = SerializePartialResult(aggregate);
+  const auto aggregate_parsed = ParsePartialResult(aggregate_bytes);
+  ASSERT_TRUE(aggregate_parsed.ok());
+  EXPECT_EQ(SerializePartialResult(*aggregate_parsed), aggregate_bytes);
+}
+
+TEST(PartialCodecTest, GarbageSkewAndTruncationAreRejected) {
+  EXPECT_EQ(ParsePartialQuery("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParsePartialResult("").status().code(), StatusCode::kParseError);
+
+  const std::string query_bytes = SerializePartialQuery(SampleGroupedQuery());
+  const std::string result_bytes =
+      SerializePartialResult(SampleGroupedResult());
+
+  // Version skew: a newer version byte must be rejected, not misread.
+  std::string skewed = query_bytes;
+  skewed[0] = static_cast<char>(kWireVersion + 1);
+  EXPECT_EQ(ParsePartialQuery(skewed).status().code(),
+            StatusCode::kParseError);
+  skewed = result_bytes;
+  skewed[0] = static_cast<char>(kWireVersion + 1);
+  EXPECT_EQ(ParsePartialResult(skewed).status().code(),
+            StatusCode::kParseError);
+
+  // Every proper prefix fails cleanly; trailing bytes are a framing bug.
+  for (size_t len = 0; len < query_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        ParsePartialQuery(std::string_view(query_bytes.data(), len)).ok())
+        << "prefix " << len;
+  }
+  for (size_t len = 0; len < result_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        ParsePartialResult(std::string_view(result_bytes.data(), len)).ok())
+        << "prefix " << len;
+  }
+  EXPECT_FALSE(ParsePartialQuery(query_bytes + "x").ok());
+  EXPECT_FALSE(ParsePartialResult(result_bytes + "x").ok());
+}
+
+TEST(PartialCodecTest, GoldenFilePinsTheV1Encoding) {
+  // Pins the v1 bytes of both partial messages (length-prefixed, query
+  // then result) the same way answer_v1.bin pins the Answer encoding.
+  const std::string path =
+      std::string(MUVE_GOLDEN_DIR) + "/partial_v1.bin";
+  WireWriter combined;
+  combined.PutString(SerializePartialQuery(SampleGroupedQuery()));
+  combined.PutString(SerializePartialResult(SampleGroupedResult()));
+  const std::string bytes = combined.Take();
+
+  if (std::getenv("MUVE_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with MUVE_WRITE_GOLDEN=1)";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string golden = contents.str();
+  EXPECT_EQ(bytes, golden);
+  WireReader reader(golden);
+  const auto query_block = reader.ReadString();
+  const auto result_block = reader.ReadString();
+  ASSERT_TRUE(query_block.ok());
+  ASSERT_TRUE(result_block.ok());
+  EXPECT_TRUE(ParsePartialQuery(*query_block).ok());
+  EXPECT_TRUE(ParsePartialResult(*result_block).ok());
+}
+
+// ---------------------------------------------------------------------
+// Connect timeout and the non-blocking client.
+// ---------------------------------------------------------------------
+
+/// A listening socket whose backlog we saturate so further connection
+/// attempts stall in SYN_SENT — the "unresponsive peer" a connect
+/// timeout exists for. Plain loopback connects can't reproduce this
+/// (they complete instantly), so the test manufactures it.
+class SaturatedListener {
+ public:
+  bool Init() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, /*backlog=*/0) != 0) {
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0) {
+      return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    return true;
+  }
+
+  /// Fills the accept queue (never accepting) until a bounded connect
+  /// attempt times out. False if this kernel keeps completing
+  /// handshakes (then the test skips rather than flakes).
+  bool Saturate() {
+    for (int i = 0; i < 32; ++i) {
+      Result<int> fd = ConnectFd("127.0.0.1", port_, 200.0);
+      if (!fd.ok()) return fd.status().code() == StatusCode::kTimeout;
+      fillers_.push_back(*fd);
+    }
+    return false;
+  }
+
+  uint16_t port() const { return port_; }
+
+  ~SaturatedListener() {
+    for (int fd : fillers_) ::close(fd);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<int> fillers_;
+};
+
+TEST(ConnectTimeoutTest, UnresponsivePeerYieldsTimeoutNotAHang) {
+  SaturatedListener peer;
+  ASSERT_TRUE(peer.Init());
+  if (!peer.Saturate()) {
+    GTEST_SKIP() << "could not saturate the accept backlog on this kernel";
+  }
+  StopWatch timer;
+  auto client = Client::Connect("127.0.0.1", peer.port(),
+                                /*connect_timeout_ms=*/100.0);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kTimeout)
+      << client.status().message();
+  // Bounded by the timeout, not the kernel's minutes-long default.
+  EXPECT_LT(timer.ElapsedMillis(), 5000.0);
+}
+
+TEST(AsyncClientTest, PingPongOverARealSocket) {
+  Rng rng(777);
+  serve::Server server(
+      std::shared_ptr<const db::Table>(workload::Make311Table(500, &rng)));
+  Listener listener(&server);
+  ASSERT_TRUE(listener.Start().ok());
+
+  auto client = AsyncClient::Connect("127.0.0.1", listener.port(), 250.0);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  const Deadline deadline = Deadline::AfterMillis(2000.0);
+  ASSERT_TRUE(client->Send(FrameType::kPing, "", deadline).ok());
+  auto frame = client->Receive(deadline);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->type, FrameType::kPong);
+
+  // An unset stats provider answers the kStats probe with "{}".
+  ASSERT_TRUE(client->Send(FrameType::kStats, "", deadline).ok());
+  auto stats = client->Receive(deadline);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->type, FrameType::kStats);
+  EXPECT_EQ(stats->payload, "{}");
+  listener.Shutdown();
+  server.Drain();
+}
+
+TEST(AsyncClientTest, ReceiveDeadlineBoundsASilentPeer) {
+  // The peer completes the handshake (its backlog holds it) but never
+  // reads or answers — Receive must return Timeout, not hang.
+  SaturatedListener peer;
+  ASSERT_TRUE(peer.Init());
+  auto client = AsyncClient::Connect("127.0.0.1", peer.port(), 500.0);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  ASSERT_TRUE(
+      client->Send(FrameType::kPing, "", Deadline::AfterMillis(500.0)).ok());
+  StopWatch timer;
+  auto frame = client->Receive(Deadline::AfterMillis(100.0));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kTimeout);
+  EXPECT_LT(timer.ElapsedMillis(), 5000.0);
 }
 
 }  // namespace

@@ -16,6 +16,17 @@
 //   --tenant=ID          tenant id stamped on every request
 //   --replay_fraction=F  fraction submitted as RequestClass::kReplay
 //   --json=PATH          write the report JSON here (also on stdout)
+//   --dump_answers=PATH  write one hex line per request, in request
+//                        order: the deterministic answer bytes
+//                        (SerializeAnswerDeterministic). With
+//                        --clients=1 two runs against byte-identical
+//                        servers produce identical files — the e2e
+//                        smoke compares a routed topology against a
+//                        single process this way.
+//
+// --connect also accepts a muve_router: the router speaks the same
+// protocol, and its kStats reply (per-shard retry/hedge/ejection
+// counters) is embedded in the report as "server_stats".
 //
 // Exit code 0 iff every request got a well-formed response (answers and
 // load sheds both count; protocol errors and transport failures fail).
@@ -36,6 +47,7 @@
 
 #include "common/rng.h"
 #include "net/client.h"
+#include "net/wire.h"
 #include "nlq/translator.h"
 #include "workload/datasets.h"
 #include "workload/query_generator.h"
@@ -56,6 +68,17 @@ struct Outcome {
   bool deadline_met = false;
   double latency_ms = 0.0;
 };
+
+std::string HexEncode(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
 
 double Percentile(std::vector<double>* sorted_in_place, double p) {
   if (sorted_in_place->empty()) return 0.0;
@@ -79,6 +102,7 @@ int Run(int argc, char** argv) {
   double replay_fraction = 0.0;
   std::string tenant;
   std::string json_path;
+  std::string dump_answers_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* prefix) {
@@ -104,6 +128,8 @@ int Run(int argc, char** argv) {
       tenant = value("--tenant=");
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = value("--json=");
+    } else if (arg.rfind("--dump_answers=", 0) == 0) {
+      dump_answers_path = value("--dump_answers=");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -142,6 +168,10 @@ int Run(int argc, char** argv) {
   std::mutex outcomes_mutex;
   std::vector<Outcome> outcomes;
   outcomes.reserve(num_requests);
+  // Slot per request index, so the dump is in request order even with
+  // several client threads racing.
+  std::vector<std::string> answer_dump(
+      dump_answers_path.empty() ? 0 : planned.size());
   std::atomic<size_t> next{0};
   const auto wall_start = std::chrono::steady_clock::now();
   const double gap_ms = qps > 0.0 ? 1000.0 / qps : 0.0;
@@ -186,6 +216,10 @@ int Run(int argc, char** argv) {
         if (answer.ok()) {
           outcome.completed = true;
           outcome.deadline_met = answer->deadline_met;
+          if (!dump_answers_path.empty()) {
+            answer_dump[i] =
+                HexEncode(net::SerializeAnswerDeterministic(answer->answer));
+          }
         } else if (answer.status().code() == StatusCode::kOverloaded) {
           outcome.shed = true;  // A well-formed load-shed response.
         } else if (answer.status().code() == StatusCode::kParseError) {
@@ -221,6 +255,30 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Operational stats from the server (a router answers its per-shard
+  // retry/hedge/ejection counters). Best-effort: "{}" when unavailable.
+  std::string server_stats = "{}";
+  {
+    Result<net::Client> stats_client = net::Client::Connect(host, port);
+    if (stats_client.ok()) {
+      Result<std::string> stats = stats_client->Stats();
+      if (stats.ok() && !stats->empty()) server_stats = *stats;
+    }
+  }
+
+  if (!dump_answers_path.empty()) {
+    std::ofstream dump(dump_answers_path);
+    if (!dump) {
+      std::fprintf(stderr, "cannot write --dump_answers=%s\n",
+                   dump_answers_path.c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < answer_dump.size(); ++i) {
+      dump << i << " " << (answer_dump[i].empty() ? "-" : answer_dump[i])
+           << "\n";
+    }
+  }
+
   std::ostringstream out;
   out << "{\n";
   out << "  \"requests\": " << outcomes.size() << ",\n";
@@ -242,7 +300,8 @@ int Run(int argc, char** argv) {
               ? static_cast<double>(finite_met) /
                     static_cast<double>(completed)
               : 1.0)
-      << "\n";
+      << ",\n";
+  out << "  \"server_stats\": " << server_stats << "\n";
   out << "}\n";
   if (!json_path.empty()) {
     std::ofstream file(json_path);

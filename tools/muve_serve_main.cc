@@ -12,6 +12,10 @@
 //   --seed=N          dataset RNG seed (default 7)
 //   --num_shards=K    1 (default) serves the single-table oracle path;
 //                     K > 1 partitions into K hash shards
+//   --shard_index=I   shard-server mode: partition into --num_shards
+//                     stripes, keep stripe I, and serve kPartialQuery
+//                     frames only (for a muve_router upstream). The full
+//                     query surface (kRequest) answers an Error frame.
 //   --workers=N       server worker threads (default 4)
 //   --queue_depth=N   admission queue bound (default 64)
 //   --floor_ms=F      feasibility floor in ms (default 0 = off)
@@ -29,6 +33,7 @@
 #include <unistd.h>
 
 #include "common/rng.h"
+#include "dist/shard_service.h"
 #include "net/listener.h"
 #include "serve/server.h"
 #include "shard/sharded_table.h"
@@ -73,6 +78,7 @@ int Run(int argc, char** argv) {
   size_t rows = 4000;
   uint64_t seed = 7;
   size_t num_shards = 1;
+  long shard_index = -1;
   serve::ServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,6 +93,8 @@ int Run(int argc, char** argv) {
       seed = std::stoull(value("--seed="));
     } else if (arg.rfind("--num_shards=", 0) == 0) {
       num_shards = std::stoul(value("--num_shards="));
+    } else if (arg.rfind("--shard_index=", 0) == 0) {
+      shard_index = std::stol(value("--shard_index="));
     } else if (arg.rfind("--workers=", 0) == 0) {
       server_options.num_workers = std::stoul(value("--workers="));
     } else if (arg.rfind("--queue_depth=", 0) == 0) {
@@ -112,6 +120,54 @@ int Run(int argc, char** argv) {
 
   Rng rng(seed);
   std::shared_ptr<db::Table> table = workload::Make311Table(rows, &rng);
+
+  if (shard_index >= 0) {
+    // Shard-server mode: carve the deterministic table the same way the
+    // router does, keep one stripe, answer partial queries only.
+    if (num_shards < 2 || static_cast<size_t>(shard_index) >= num_shards) {
+      std::fprintf(stderr,
+                   "--shard_index=%ld needs --num_shards=K with K > 1 and "
+                   "index < K\n",
+                   shard_index);
+      return 2;
+    }
+    shard::ShardedTableOptions shard_options;
+    shard_options.num_shards = num_shards;
+    Result<std::shared_ptr<shard::ShardedTable>> sharded =
+        shard::ShardedTable::FromTable(*table, shard_options);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "sharding failed: %s\n",
+                   sharded.status().ToString().c_str());
+      return 1;
+    }
+    dist::ShardService service(
+        sharded.value()->shard(static_cast<size_t>(shard_index)));
+    net::ListenerOptions listener_options;
+    listener_options.port = port;
+    listener_options.announce = true;
+    net::Listener listener(/*server=*/nullptr, listener_options);
+    listener.set_partial_handler(&service);
+    const Status started = listener.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "muve_serve: shard %ld/%zu, %zu of %zu rows\n",
+                 shard_index, num_shards,
+                 sharded.value()->shard(static_cast<size_t>(shard_index))
+                     ->num_rows(),
+                 table->num_rows());
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    while (g_stop == 0) {
+      ::usleep(50 * 1000);
+    }
+    listener.Shutdown();
+    std::fprintf(stderr, "muve_serve: shard served %llu, failed %llu\n",
+                 static_cast<unsigned long long>(service.queries_served()),
+                 static_cast<unsigned long long>(service.queries_failed()));
+    return 0;
+  }
 
   std::unique_ptr<serve::Server> server;
   if (num_shards > 1) {
